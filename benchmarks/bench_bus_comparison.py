@@ -1,0 +1,53 @@
+"""E9 — point-to-point links versus a shared bus (section 4.4).
+
+"This solution is appropriate to an architecture where the
+communication means are point-to-point links, which allow parallel
+communications to take place.  For multi-point links, the overheads
+introduced by the replication of comms may be too high because of
+their serialization on a single link."
+
+The bench schedules the same workloads on a fully connected
+point-to-point architecture and on a single shared bus with identical
+transfer durations; the fault-tolerant schedule is consistently longer
+on the bus, and at high CCR its relative overhead overtakes the
+point-to-point one.
+
+The timed body is one FTBAR run on the bus variant.
+"""
+
+from benchmarks.conftest import graphs_per_point
+from repro.analysis.experiments import _bus_variant, run_bus_comparison
+from repro.analysis.reporting import format_bus_comparison
+from repro.core.ftbar import schedule_ftbar
+from repro.workloads.random_dag import RandomWorkloadConfig, generate_problem
+
+
+def bench_bus_comparison(benchmark, record_result):
+    """Regenerate the E9 table and time FTBAR on a bus architecture."""
+    bus_problem = _bus_variant(
+        generate_problem(
+            RandomWorkloadConfig(
+                operations=20, ccr=2.0, processors=4, npf=1, seed=2003
+            )
+        )
+    )
+    benchmark(schedule_ftbar, bus_problem)
+
+    points = run_bus_comparison(
+        ccrs=(0.5, 1.0, 2.0, 5.0),
+        operations=20,
+        processors=4,
+        graphs_per_point=graphs_per_point(5, 20),
+        seed=2003,
+    )
+    record_result(
+        "bus_comparison",
+        "E9 — point-to-point vs shared bus (Npf=1, P=4, N=20)\n"
+        + format_bus_comparison(points),
+    )
+    # §4.4's claim: the serialized bus makes the FT schedule longer, at
+    # every CCR.  (Only the absolute lengths are asserted: the *relative*
+    # overhead divides by the bus's own non-FT baseline, which is itself
+    # serialized, so the percentage comparison is statistically noisy.)
+    for point in points:
+        assert point.bus_makespan >= point.p2p_makespan - 1e-6, point

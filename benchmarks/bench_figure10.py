@@ -1,0 +1,54 @@
+"""E4/E5 — Figure 10: fault-tolerance overhead versus CCR.
+
+Settings from the paper: ``Npf = 1``, ``P = 4``, ``N = 50``,
+``CCR ∈ {0.1, 0.5, 1, 2, 5, 10}``.  Expected shape: overheads decrease
+once communications dominate (CCR > 1); FTBAR ≈ HBP for CCR ≤ 1 and
+FTBAR clearly better (the paper says by at least 20 %) for CCR ≥ 2 —
+the effect of the schedule pressure minimising the critical path.
+
+The timed body is one FTBAR run at CCR=5.
+"""
+
+from benchmarks.conftest import full_scale, graphs_per_point
+from repro.analysis.experiments import run_overhead_vs_ccr
+from repro.analysis.reporting import ascii_plot, format_overhead_sweep
+from repro.core.ftbar import schedule_ftbar
+from repro.workloads.random_dag import RandomWorkloadConfig, generate_problem
+
+
+def bench_figure10_overhead_vs_ccr(benchmark, record_result):
+    """Regenerate both panels of Figure 10 and time a representative run."""
+    operations = 50 if full_scale() else 30
+    problem = generate_problem(
+        RandomWorkloadConfig(
+            operations=operations, ccr=5.0, processors=4, npf=1, seed=2003
+        )
+    )
+    benchmark(schedule_ftbar, problem)
+
+    sweep = run_overhead_vs_ccr(
+        ccrs=(0.1, 0.5, 1.0, 2.0, 5.0, 10.0),
+        operations=operations,
+        processors=4,
+        graphs_per_point=graphs_per_point(),
+        seed=2003,
+    )
+    text = format_overhead_sweep(
+        sweep,
+        f"E4/E5 — Figure 10: overhead vs CCR (Npf=1, P=4, N={operations})",
+    )
+    plot = ascii_plot(
+        [p.x for p in sweep.points],
+        {
+            "ftbar": [p.ftbar_absence for p in sweep.points],
+            "hbp": [p.hbp_absence for p in sweep.points],
+        },
+    )
+    record_result("figure10", text + "\n\n(absence panel)\n" + plot)
+
+    by_ccr = {p.x: p for p in sweep.points}
+    # Shape assertions (section 6.2): FTBAR clearly better at high CCR...
+    for ccr in (2.0, 5.0, 10.0):
+        assert by_ccr[ccr].ftbar_absence < by_ccr[ccr].hbp_absence, ccr
+    # ...and overheads lower at CCR=10 than at the CCR=1 peak region.
+    assert by_ccr[10.0].ftbar_absence < by_ccr[1.0].ftbar_absence + 15.0

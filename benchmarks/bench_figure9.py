@@ -1,0 +1,50 @@
+"""E2/E3 — Figure 9: fault-tolerance overhead versus N.
+
+Settings from the paper: ``Npf = 1``, ``P = 4``, ``CCR = 5``, 60 random
+graphs per point (reduced by default, see conftest), overhead measured
+both without failure (9a) and with the worst single processor crash at
+t=0 (9b).  Expected shape: overhead grows with N and FTBAR stays below
+HBP.
+
+The timed body is one FTBAR run at N=40 (a middle-of-the-sweep size).
+"""
+
+from benchmarks.conftest import full_scale, graphs_per_point
+from repro.analysis.experiments import run_overhead_vs_operations
+from repro.analysis.reporting import ascii_plot, format_overhead_sweep
+from repro.core.ftbar import schedule_ftbar
+from repro.workloads.random_dag import RandomWorkloadConfig, generate_problem
+
+
+def bench_figure9_overhead_vs_n(benchmark, record_result):
+    """Regenerate both panels of Figure 9 and time a representative run."""
+    problem = generate_problem(
+        RandomWorkloadConfig(operations=40, ccr=5.0, processors=4, npf=1, seed=2003)
+    )
+    benchmark(schedule_ftbar, problem)
+
+    counts = (10, 20, 30, 40, 50, 60, 70, 80) if full_scale() else (10, 20, 40, 60)
+    sweep = run_overhead_vs_operations(
+        operation_counts=counts,
+        ccr=5.0,
+        processors=4,
+        graphs_per_point=graphs_per_point(),
+        seed=2003,
+    )
+    text = format_overhead_sweep(
+        sweep,
+        "E2/E3 — Figure 9: overhead vs N (Npf=1, P=4, CCR=5)",
+    )
+    plot = ascii_plot(
+        [p.x for p in sweep.points],
+        {
+            "ftbar": [p.ftbar_absence for p in sweep.points],
+            "hbp": [p.hbp_absence for p in sweep.points],
+        },
+    )
+    record_result("figure9", text + "\n\n(absence panel)\n" + plot)
+
+    # Shape assertions from the paper's analysis (section 6.2).
+    first, last = sweep.points[0], sweep.points[-1]
+    assert last.ftbar_absence >= first.ftbar_absence - 10.0, "overhead should grow with N"
+    assert last.ftbar_absence <= last.hbp_absence, "FTBAR should beat HBP at CCR=5"

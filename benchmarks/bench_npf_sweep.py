@@ -1,0 +1,43 @@
+"""E7 — overhead versus Npf on heterogeneous architectures.
+
+Section 7 (future work): "We are currently performing extensive
+benchmark testing of FTBAR on heterogeneous architectures.  The first
+results show that the overheads increase with the number of failures
+Npf."  This bench regenerates that result: heterogeneous tables,
+``P = 5``, ``Npf ∈ {0, 1, 2, 3}``.
+
+The timed body is one FTBAR run at Npf=2.
+"""
+
+from benchmarks.conftest import graphs_per_point
+from repro.analysis.experiments import run_npf_sweep
+from repro.analysis.reporting import format_npf_sweep
+from repro.core.ftbar import schedule_ftbar
+from repro.workloads.random_dag import RandomWorkloadConfig, generate_problem
+
+
+def bench_npf_sweep(benchmark, record_result):
+    """Regenerate the Npf sweep and time a representative Npf=2 run."""
+    problem = generate_problem(
+        RandomWorkloadConfig(
+            operations=20, ccr=1.0, processors=5, npf=2,
+            heterogeneous=True, seed=2003,
+        )
+    )
+    benchmark(schedule_ftbar, problem)
+
+    points = run_npf_sweep(
+        npfs=(0, 1, 2, 3),
+        operations=20,
+        ccr=1.0,
+        processors=5,
+        graphs_per_point=graphs_per_point(5, 20),
+        seed=2003,
+    )
+    record_result(
+        "npf_sweep",
+        "E7 — overhead vs Npf (heterogeneous, P=5, N=20, CCR=1)\n"
+        + format_npf_sweep(points),
+    )
+    overheads = [p.overhead for p in points]
+    assert overheads == sorted(overheads), "overhead should grow with Npf"

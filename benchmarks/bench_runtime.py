@@ -1,0 +1,49 @@
+"""E6 — scheduling-time comparison: FTBAR is cheaper than HBP.
+
+Section 6.2: "The time complexity of FTBAR is less than the time
+complexity of HBP.  The reason is that HBP investigates more
+possibilities than FTBAR when selecting the processor for a candidate
+operation" — HBP evaluates every ordered processor *pair* per candidate
+(O(P²)) where FTBAR ranks single processors (O(P)).
+
+Two timed bodies (one per scheduler) let pytest-benchmark print the
+direct comparison; the recorded table adds a small N sweep.
+"""
+
+from benchmarks.conftest import full_scale, graphs_per_point
+from repro.analysis.experiments import run_runtime_comparison
+from repro.analysis.reporting import format_runtime_comparison
+from repro.baselines.hbp import schedule_hbp
+from repro.core.ftbar import schedule_ftbar
+from repro.workloads.random_dag import RandomWorkloadConfig, generate_problem
+
+_PROBLEM = generate_problem(
+    RandomWorkloadConfig(operations=40, ccr=1.0, processors=4, npf=1, seed=2003)
+)
+
+
+def bench_runtime_ftbar(benchmark):
+    """Time FTBAR on the shared N=40 problem."""
+    result = benchmark(schedule_ftbar, _PROBLEM)
+    assert result.makespan > 0
+
+
+def bench_runtime_hbp(benchmark, record_result):
+    """Time HBP on the same problem; record the sweep table."""
+    result = benchmark(schedule_hbp, _PROBLEM)
+    assert result.makespan > 0
+
+    counts = (10, 20, 40, 60, 80) if full_scale() else (10, 20, 40)
+    points = run_runtime_comparison(
+        operation_counts=counts,
+        graphs_per_point=max(2, graphs_per_point(3, 5)),
+        seed=2003,
+    )
+    record_result(
+        "runtime",
+        "E6 — scheduler wall time, FTBAR vs HBP\n"
+        + format_runtime_comparison(points),
+    )
+    # The headline claim: FTBAR schedules faster than HBP.
+    for point in points:
+        assert point.ftbar_seconds < point.hbp_seconds, point

@@ -1,0 +1,48 @@
+"""Shared configuration of the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and times the
+scheduler(s) involved.  The sweeps default to a reduced number of random
+graphs per point so that ``pytest benchmarks/ --benchmark-only`` stays
+fast; set ``REPRO_BENCH_FULL=1`` to run the paper-scale configuration
+(60 graphs per point, the full N range).
+
+Each bench also appends its rendered table to
+``benchmarks/results/<name>.txt`` so the numbers survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    """True when the paper-scale configuration was requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def graphs_per_point(reduced: int = 5, full: int = 60) -> int:
+    """Number of random graphs averaged per sweep point."""
+    return full if full_scale() else reduced
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_result(results_dir):
+    """Write one bench's rendered output to its results file and stdout."""
+
+    def write(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return write

@@ -1,0 +1,69 @@
+"""Mini exploration of the paper's evaluation space (Figures 9 and 10).
+
+Generates small random workloads per section 6.1, compares FTBAR
+against HBP over N and CCR, and prints the overhead curves as tables
+and ASCII plots — a fast, laptop-friendly version of the two figures
+(the full-scale version lives in ``benchmarks/``).
+
+Run with::
+
+    python examples/random_exploration.py
+"""
+
+from repro.analysis import (
+    ascii_plot,
+    format_overhead_sweep,
+    run_overhead_vs_ccr,
+    run_overhead_vs_operations,
+)
+
+
+def main() -> None:
+    print("sweeping N (CCR = 5, P = 4, Npf = 1, 3 graphs/point)...\n")
+    by_n = run_overhead_vs_operations(
+        operation_counts=(10, 20, 30, 40),
+        ccr=5.0,
+        graphs_per_point=3,
+        seed=7,
+    )
+    print(format_overhead_sweep(by_n, "Figure 9 (mini): overhead vs N"))
+    print()
+    print(
+        ascii_plot(
+            [p.x for p in by_n.points],
+            {
+                "ftbar": [p.ftbar_absence for p in by_n.points],
+                "hbp": [p.hbp_absence for p in by_n.points],
+            },
+        )
+    )
+
+    print("\nsweeping CCR (N = 25, P = 4, Npf = 1, 3 graphs/point)...\n")
+    by_ccr = run_overhead_vs_ccr(
+        ccrs=(0.1, 0.5, 1.0, 2.0, 5.0, 10.0),
+        operations=25,
+        graphs_per_point=3,
+        seed=7,
+    )
+    print(format_overhead_sweep(by_ccr, "Figure 10 (mini): overhead vs CCR"))
+    print()
+    print(
+        ascii_plot(
+            [p.x for p in by_ccr.points],
+            {
+                "ftbar": [p.ftbar_absence for p in by_ccr.points],
+                "hbp": [p.hbp_absence for p in by_ccr.points],
+            },
+        )
+    )
+
+    high_ccr = by_ccr.points[-1]
+    print(
+        f"\nheadline check at CCR={high_ccr.x:g}: FTBAR "
+        f"{high_ccr.ftbar_absence:.1f} % vs HBP {high_ccr.hbp_absence:.1f} % "
+        f"-> FTBAR wins by {high_ccr.hbp_absence - high_ccr.ftbar_absence:.1f} points"
+    )
+
+
+if __name__ == "__main__":
+    main()

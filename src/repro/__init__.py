@@ -1,0 +1,143 @@
+"""FTBAR — distributed, fault-tolerant static scheduling.
+
+A complete reproduction of *"An Algorithm for Automatically Obtaining
+Distributed and Fault-Tolerant Static Schedules"* (Girault, Kalla,
+Sighireanu, Sorel — DSN 2003): the FTBAR active-replication list
+scheduler, its substrates (data-flow algorithm graphs, heterogeneous
+architecture graphs, timing tables, static schedule model), the HBP
+baseline, a fail-silent runtime simulator and the paper's evaluation
+harness.
+
+Quickstart
+----------
+>>> from repro import workloads, schedule_ftbar
+>>> result = schedule_ftbar(workloads.build_problem())
+>>> result.rtc_satisfied
+True
+"""
+
+from repro import (
+    analysis,
+    baselines,
+    graphs,
+    hardware,
+    schedule,
+    simulation,
+    timing,
+    workloads,
+)
+from repro.baselines import (
+    HBPResult,
+    HBPScheduler,
+    schedule_basic,
+    schedule_hbp,
+    schedule_non_fault_tolerant,
+)
+from repro.core import (
+    FTBARResult,
+    FTBARScheduler,
+    FTBARStats,
+    SchedulerOptions,
+    schedule_ftbar,
+)
+from repro.exceptions import (
+    ArchitectureError,
+    ConstraintError,
+    GraphError,
+    InfeasibleReplicationError,
+    ReproError,
+    ScheduleValidationError,
+    SchedulingError,
+    SerializationError,
+    SimulationError,
+    TimingError,
+)
+from repro.graphs import AlgorithmGraph, AlgorithmGraphBuilder, Operation, OperationKind
+from repro.hardware import Architecture, Link, LinkKind, Processor
+from repro.problem import ProblemSpec
+from repro.schedule import (
+    Schedule,
+    ScheduledComm,
+    ScheduledOperation,
+    assert_valid_schedule,
+    render_gantt,
+    schedule_table,
+    validate_schedule,
+)
+from repro.simulation import (
+    DetectionPolicy,
+    EventStatus,
+    ExecutionTrace,
+    FailureScenario,
+    ProcessorFailure,
+    ScheduleSimulator,
+    simulate,
+)
+from repro.timing import (
+    FORBIDDEN,
+    CommunicationTimes,
+    ExecutionTimes,
+    RealTimeConstraints,
+    RtcReport,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgorithmGraph",
+    "AlgorithmGraphBuilder",
+    "Architecture",
+    "ArchitectureError",
+    "CommunicationTimes",
+    "ConstraintError",
+    "DetectionPolicy",
+    "EventStatus",
+    "ExecutionTimes",
+    "ExecutionTrace",
+    "FORBIDDEN",
+    "FTBARResult",
+    "FTBARScheduler",
+    "FTBARStats",
+    "FailureScenario",
+    "GraphError",
+    "HBPResult",
+    "HBPScheduler",
+    "InfeasibleReplicationError",
+    "Link",
+    "LinkKind",
+    "Operation",
+    "OperationKind",
+    "ProblemSpec",
+    "Processor",
+    "ProcessorFailure",
+    "RealTimeConstraints",
+    "ReproError",
+    "RtcReport",
+    "Schedule",
+    "ScheduleSimulator",
+    "ScheduleValidationError",
+    "ScheduledComm",
+    "ScheduledOperation",
+    "SchedulerOptions",
+    "SchedulingError",
+    "SerializationError",
+    "SimulationError",
+    "TimingError",
+    "analysis",
+    "assert_valid_schedule",
+    "baselines",
+    "graphs",
+    "hardware",
+    "render_gantt",
+    "schedule",
+    "schedule_basic",
+    "schedule_ftbar",
+    "schedule_hbp",
+    "schedule_non_fault_tolerant",
+    "schedule_table",
+    "simulate",
+    "simulation",
+    "timing",
+    "validate_schedule",
+    "workloads",
+]

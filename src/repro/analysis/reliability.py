@@ -1,0 +1,244 @@
+"""Reliability analysis of fault-tolerant schedules.
+
+The paper guarantees masking of up to ``Npf`` fail-silent processor
+failures; its conclusion lists reliability as ongoing work.  This
+module quantifies both:
+
+* :func:`fault_tolerance_certificate` exhaustively replays the schedule
+  under **every** crash subset up to a given size (and at a set of
+  crash instants) and reports which subsets are masked — an independent
+  machine-checked version of the paper's correctness claim, which also
+  reveals *partial* tolerance beyond ``Npf`` (many ``Npf + 1``-subsets
+  are masked by luck of placement);
+* :func:`schedule_reliability` turns per-processor failure
+  probabilities into the probability that one iteration delivers all
+  its outputs, by exact enumeration over the ``2^P`` crash subsets.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.exceptions import SimulationError
+from repro.graphs.algorithm import AlgorithmGraph
+from repro.schedule.schedule import Schedule
+from repro.simulation.executor import DetectionPolicy, ScheduleSimulator
+from repro.simulation.failures import FailureScenario
+
+
+@dataclass(frozen=True)
+class ToleranceLevel:
+    """Masking statistics for one crash-subset size ``k``."""
+
+    failures: int
+    masked_subsets: int
+    total_subsets: int
+
+    @property
+    def fully_masked(self) -> bool:
+        """True when every subset of this size is masked."""
+        return self.masked_subsets == self.total_subsets
+
+    @property
+    def masked_fraction(self) -> float:
+        """Share of masked subsets (1.0 = fully tolerant at this level)."""
+        if self.total_subsets == 0:
+            return 1.0
+        return self.masked_subsets / self.total_subsets
+
+
+@dataclass
+class FaultToleranceCertificate:
+    """Outcome of the exhaustive crash-subset replay."""
+
+    npf: int
+    crash_times: tuple[float, ...]
+    levels: list[ToleranceLevel] = field(default_factory=list)
+    breaking_subsets: list[frozenset[str]] = field(default_factory=list)
+
+    @property
+    def certified(self) -> bool:
+        """True when every subset of size ≤ ``npf`` is masked."""
+        return all(
+            level.fully_masked for level in self.levels if level.failures <= self.npf
+        )
+
+    def level(self, failures: int) -> ToleranceLevel:
+        """The statistics for subsets of exactly ``failures`` crashes."""
+        for entry in self.levels:
+            if entry.failures == failures:
+                return entry
+        raise KeyError(failures)
+
+    def __str__(self) -> str:
+        lines = [
+            f"fault-tolerance certificate (npf={self.npf}, "
+            f"crash times {list(self.crash_times)}): "
+            f"{'CERTIFIED' if self.certified else 'BROKEN'}"
+        ]
+        for level in self.levels:
+            lines.append(
+                f"  {level.failures} crash(es): {level.masked_subsets}/"
+                f"{level.total_subsets} subsets masked"
+            )
+        for subset in self.breaking_subsets[:5]:
+            lines.append(f"  breaking subset: {sorted(subset)}")
+        return "\n".join(lines)
+
+
+def _masked(
+    simulator: ScheduleSimulator,
+    algorithm: AlgorithmGraph,
+    processors: Iterable[str],
+    crash_times: tuple[float, ...],
+) -> bool:
+    """True when the subset is masked at every requested crash instant."""
+    for at in crash_times:
+        trace = simulator.run(FailureScenario.crashes(processors, at=at))
+        if not trace.all_operations_delivered(algorithm):
+            return False
+    return True
+
+
+def fault_tolerance_certificate(
+    schedule: Schedule,
+    algorithm: AlgorithmGraph,
+    max_failures: int | None = None,
+    crash_times: Iterable[float] = (0.0,),
+    detection: DetectionPolicy = DetectionPolicy.NONE,
+) -> FaultToleranceCertificate:
+    """Exhaustively check masking of every crash subset up to a size.
+
+    ``max_failures`` defaults to ``schedule.npf + 1`` so the report also
+    shows how much of the *next* failure level happens to be tolerated.
+    ``crash_times`` are the instants at which all processors of a subset
+    crash simultaneously (the paper's experiment uses t = 0, the worst
+    case for active replication since nothing has been sent yet).
+    """
+    simulator = ScheduleSimulator(schedule, algorithm, detection)
+    processors = schedule.processor_names()
+    bound = schedule.npf + 1 if max_failures is None else max_failures
+    bound = min(bound, len(processors))
+    times = tuple(crash_times)
+    certificate = FaultToleranceCertificate(npf=schedule.npf, crash_times=times)
+    for size in range(bound + 1):
+        masked = 0
+        total = 0
+        for subset in itertools.combinations(processors, size):
+            total += 1
+            if _masked(simulator, algorithm, subset, times):
+                masked += 1
+            elif size <= schedule.npf:
+                certificate.breaking_subsets.append(frozenset(subset))
+        certificate.levels.append(ToleranceLevel(size, masked, total))
+    return certificate
+
+
+def event_boundary_times(schedule: Schedule, limit: int = 32) -> tuple[float, ...]:
+    """Representative crash instants: the static event start dates.
+
+    Crashing exactly when an event starts exercises the tightest races
+    (data produced but not yet sent, comm started but not delivered).
+    At most ``limit`` evenly spaced boundaries are returned.
+    """
+    boundaries = sorted(
+        {0.0}
+        | {event.start for event in schedule.all_operations()}
+        | {comm.start for comm in schedule.all_comms()}
+    )
+    if len(boundaries) <= limit:
+        return tuple(boundaries)
+    step = len(boundaries) / limit
+    return tuple(boundaries[int(i * step)] for i in range(limit))
+
+
+@dataclass(frozen=True)
+class ReliabilityReport:
+    """Probability that one iteration delivers all outputs."""
+
+    reliability: float
+    masked_probability_mass: float
+    evaluated_subsets: int
+    guaranteed_lower_bound: float
+
+    def __str__(self) -> str:
+        return (
+            f"reliability {self.reliability:.6f} "
+            f"(guaranteed lower bound {self.guaranteed_lower_bound:.6f}, "
+            f"{self.evaluated_subsets} crash subsets evaluated)"
+        )
+
+
+def schedule_reliability(
+    schedule: Schedule,
+    algorithm: AlgorithmGraph,
+    failure_probabilities: Mapping[str, float],
+    crash_times: Iterable[float] = (0.0,),
+    detection: DetectionPolicy = DetectionPolicy.NONE,
+) -> ReliabilityReport:
+    """Exact reliability by enumeration over all ``2^P`` crash subsets.
+
+    ``failure_probabilities[p]`` is the probability that processor ``p``
+    fails (fail-silent) during the iteration, independently of the
+    others.  A subset counts as masked when it is masked at *every*
+    instant of ``crash_times``.  The guaranteed lower bound is the
+    probability that at most ``Npf`` processors fail — what the paper's
+    theorem promises without looking at the schedule.
+    """
+    processors = schedule.processor_names()
+    for processor in processors:
+        if processor not in failure_probabilities:
+            raise SimulationError(
+                f"no failure probability given for processor {processor!r}"
+            )
+        probability = failure_probabilities[processor]
+        if not 0.0 <= probability <= 1.0:
+            raise SimulationError(
+                f"failure probability of {processor!r} must be in [0, 1], "
+                f"got {probability!r}"
+            )
+    simulator = ScheduleSimulator(schedule, algorithm, detection)
+    times = tuple(crash_times)
+    reliability = 0.0
+    masked_mass = 0.0
+    guaranteed = 0.0
+    evaluated = 0
+    for size in range(len(processors) + 1):
+        for subset in itertools.combinations(processors, size):
+            evaluated += 1
+            mass = 1.0
+            for processor in processors:
+                probability = failure_probabilities[processor]
+                mass *= probability if processor in subset else 1.0 - probability
+            if mass == 0.0:
+                continue
+            if size <= schedule.npf:
+                guaranteed += mass
+            if size == 0 or _masked(simulator, algorithm, subset, times):
+                reliability += mass
+                if size > 0:
+                    masked_mass += mass
+    return ReliabilityReport(
+        reliability=min(reliability, 1.0),
+        masked_probability_mass=masked_mass,
+        evaluated_subsets=evaluated,
+        guaranteed_lower_bound=min(guaranteed, 1.0),
+    )
+
+
+def mean_time_to_failure_iterations(
+    per_iteration_reliability: float,
+) -> float:
+    """Expected number of iterations before the first unmasked failure.
+
+    With independent iterations the iteration count to first failure is
+    geometric: ``MTTF = 1 / (1 - R)`` (``inf`` for ``R = 1``).
+    """
+    if not 0.0 <= per_iteration_reliability <= 1.0:
+        raise ValueError("reliability must be in [0, 1]")
+    if per_iteration_reliability == 1.0:
+        return math.inf
+    return 1.0 / (1.0 - per_iteration_reliability)

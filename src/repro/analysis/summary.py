@@ -1,0 +1,104 @@
+"""One-call audit report of a fault-tolerant schedule.
+
+Bundles everything a reviewer asks about a produced schedule — length,
+Rtc verdict, redundancy, per-resource load, output latencies, and the
+exhaustive masking certificate — into one structure with a text
+rendering.  Exposed on the CLI as ``ftbar report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import (
+    LoadProfile,
+    OutputLatency,
+    ReplicationProfile,
+    load_profile,
+    output_latencies,
+    replication_profile,
+)
+from repro.analysis.reliability import (
+    FaultToleranceCertificate,
+    fault_tolerance_certificate,
+)
+from repro.core.ftbar import FTBARResult
+from repro.timing.constraints import RtcReport
+
+
+@dataclass
+class ScheduleReport:
+    """Everything worth knowing about one produced schedule."""
+
+    name: str
+    npf: int
+    makespan: float
+    rtc: RtcReport
+    replication: ReplicationProfile
+    load: LoadProfile
+    latencies: dict[str, OutputLatency]
+    certificate: FaultToleranceCertificate
+
+    @property
+    def healthy(self) -> bool:
+        """True when Rtc holds and the masking claim is certified."""
+        return self.rtc.satisfied and self.certificate.certified
+
+
+def audit_schedule(result: FTBARResult) -> ScheduleReport:
+    """Run every analysis on one FTBAR result."""
+    schedule = result.schedule
+    algorithm = result.expanded_algorithm
+    return ScheduleReport(
+        name=schedule.name,
+        npf=schedule.npf,
+        makespan=schedule.makespan(),
+        rtc=result.rtc_report,
+        replication=replication_profile(schedule),
+        load=load_profile(schedule),
+        latencies=output_latencies(schedule, algorithm),
+        certificate=fault_tolerance_certificate(schedule, algorithm),
+    )
+
+
+def format_schedule_report(report: ScheduleReport) -> str:
+    """Terminal rendering of an audit report."""
+    lines = [
+        f"schedule {report.name!r} — npf={report.npf}, "
+        f"makespan {report.makespan:g}",
+        str(report.rtc),
+        (
+            f"redundancy: {report.replication.replicas} replicas of "
+            f"{report.replication.operations} operations "
+            f"(avg {report.replication.average_replication:.2f}/op, "
+            f"{report.replication.duplicated} duplicated), "
+            f"{report.replication.comms} comms"
+        ),
+        "processor load:",
+    ]
+    for processor in sorted(report.load.processor_busy):
+        utilization = report.load.processor_utilization(processor)
+        lines.append(
+            f"  {processor}: busy {report.load.processor_busy[processor]:g} "
+            f"({utilization:.0%})"
+        )
+    if report.load.link_busy:
+        lines.append("link load:")
+        for link in sorted(report.load.link_busy):
+            lines.append(
+                f"  {link}: busy {report.load.link_busy[link]:g} "
+                f"({report.load.link_utilization(link):.0%})"
+            )
+    lines.append("output latencies (first delivery):")
+    for sink in sorted(report.latencies):
+        entry = report.latencies[sink]
+        worst = (
+            f", worst single crash {entry.worst_single_crash:g}"
+            f" (crash of {entry.worst_crashed_processor})"
+            if entry.worst_crashed_processor
+            else ""
+        )
+        lines.append(f"  {sink}: nominal {entry.nominal:g}{worst}")
+    lines.append(str(report.certificate))
+    lines.append(f"verdict: {'HEALTHY' if report.healthy else 'NEEDS ATTENTION'}")
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Baseline schedulers: the paper's comparison points and references."""
+
+from repro.baselines.exhaustive import (
+    ExhaustiveResult,
+    ExhaustiveScheduler,
+    schedule_exhaustive,
+)
+from repro.baselines.hbp import (
+    HBP_REPLICAS,
+    HBPResult,
+    HBPScheduler,
+    HBPStats,
+    schedule_hbp,
+)
+from repro.baselines.list_scheduler import (
+    schedule_basic,
+    schedule_non_fault_tolerant,
+)
+
+__all__ = [
+    "ExhaustiveResult",
+    "ExhaustiveScheduler",
+    "HBPResult",
+    "HBPScheduler",
+    "HBPStats",
+    "HBP_REPLICAS",
+    "schedule_basic",
+    "schedule_exhaustive",
+    "schedule_hbp",
+    "schedule_non_fault_tolerant",
+]

@@ -1,0 +1,150 @@
+"""Exhaustive best-assignment scheduling for tiny problems.
+
+Finding the best fault-tolerant schedule is NP-hard (the paper cites
+Garey & Johnson), which is why FTBAR is a heuristic.  For *tiny*
+problems, however, the replica-assignment space can be enumerated: this
+module tries every way of assigning ``Npf + 1`` processors to every
+operation, builds each schedule with the same placement machinery FTBAR
+uses (operations in canonical topological order, replicas started at
+their earliest date, comms on their cheapest links), and keeps the best.
+
+The result is a strong reference point for the optimality-gap
+experiment (E10 in DESIGN.md).  Two honest caveats, documented here and
+in the result object:
+
+* the canonical operation order is fixed, so this is the optimum over
+  *assignments*, not over all static schedules;
+* FTBAR's LIP duplication can add replicas beyond ``Npf + 1``, which
+  the enumeration does not, so the heuristic can occasionally *beat*
+  this reference — a negative gap is meaningful, not a bug.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import InfeasibleReplicationError, SchedulingError
+from repro.core.placement import PlacementPlanner, commit_plan
+from repro.problem import ProblemSpec
+from repro.schedule.schedule import Schedule
+
+
+@dataclass
+class ExhaustiveResult:
+    """Best assignment found by the enumeration."""
+
+    schedule: Schedule
+    makespan: float
+    assignments_tried: int
+    assignments_total: int
+
+    @property
+    def exhaustive(self) -> bool:
+        """True when the whole assignment space was enumerated."""
+        return self.assignments_tried == self.assignments_total
+
+
+class ExhaustiveScheduler:
+    """Enumerates every ``Npf + 1``-processor assignment per operation.
+
+    ``max_assignments`` bounds the search (the space is
+    ``C(P, Npf+1) ** N``); exceeding it raises
+    :class:`~repro.exceptions.SchedulingError` so callers never silently
+    get a partial optimum.
+    """
+
+    def __init__(self, problem: ProblemSpec, max_assignments: int = 500_000) -> None:
+        if problem.algorithm.memory_operations():
+            raise SchedulingError(
+                "the exhaustive baseline does not support memory operations"
+            )
+        problem.validate()
+        self._problem = problem
+        self._algorithm = problem.algorithm
+        self._architecture = problem.architecture
+        self._npf = problem.npf
+        self._planner = PlacementPlanner(
+            problem.algorithm,
+            problem.architecture,
+            problem.exec_times,
+            problem.comm_times,
+            problem.npf,
+        )
+        self._order = self._algorithm.topological_order()
+        self._choices = self._assignment_choices()
+        self._total = math.prod(len(c) for c in self._choices.values())
+        if self._total > max_assignments:
+            raise SchedulingError(
+                f"assignment space has {self._total} points, more than the "
+                f"bound {max_assignments}; use FTBAR for problems this big"
+            )
+
+    def _assignment_choices(self) -> dict[str, list[tuple[str, ...]]]:
+        replicas = self._npf + 1
+        choices: dict[str, list[tuple[str, ...]]] = {}
+        for operation in self._order:
+            allowed = self._problem.exec_times.allowed_processors(
+                operation, self._architecture.processor_names()
+            )
+            if len(allowed) < replicas:
+                raise InfeasibleReplicationError(
+                    f"operation {operation!r} can run on {len(allowed)} "
+                    f"processor(s), {replicas} required"
+                )
+            choices[operation] = list(itertools.combinations(allowed, replicas))
+        return choices
+
+    def run(self) -> ExhaustiveResult:
+        """Enumerate every assignment; return the best schedule found."""
+        best_schedule: Schedule | None = None
+        best_makespan = math.inf
+        tried = 0
+        per_op_choices = [self._choices[op] for op in self._order]
+        for assignment in itertools.product(*per_op_choices):
+            tried += 1
+            schedule = self._build(dict(zip(self._order, assignment)), best_makespan)
+            if schedule is None:
+                continue
+            makespan = schedule.makespan()
+            if makespan < best_makespan:
+                best_makespan = makespan
+                best_schedule = schedule
+        if best_schedule is None:  # pragma: no cover - defensive
+            raise SchedulingError("no feasible assignment found")
+        return ExhaustiveResult(
+            schedule=best_schedule,
+            makespan=best_makespan,
+            assignments_tried=tried,
+            assignments_total=self._total,
+        )
+
+    def _build(
+        self,
+        assignment: dict[str, tuple[str, ...]],
+        prune_above: float,
+    ) -> Schedule | None:
+        """Schedule one assignment; None when pruned by the current best."""
+        schedule = Schedule(
+            processors=self._architecture.processor_names(),
+            links=self._architecture.link_names(),
+            npf=self._npf,
+            name=f"{self._problem.name}-exhaustive",
+        )
+        for operation in self._order:
+            for processor in assignment[operation]:
+                plan = self._planner.plan(operation, processor, schedule)
+                if plan is None:  # pragma: no cover - choices are pre-filtered
+                    return None
+                event = commit_plan(plan, schedule)
+                if event.end >= prune_above:
+                    return None
+        return schedule
+
+
+def schedule_exhaustive(
+    problem: ProblemSpec, max_assignments: int = 500_000
+) -> ExhaustiveResult:
+    """One-call API for the exhaustive best-assignment search."""
+    return ExhaustiveScheduler(problem, max_assignments).run()

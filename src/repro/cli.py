@@ -1,0 +1,406 @@
+"""Command-line interface of the FTBAR reproduction.
+
+Sub-commands::
+
+    ftbar example                    run the paper's worked example
+    ftbar schedule  problem.json     schedule a problem file
+    ftbar simulate  problem.json     schedule then crash processors
+    ftbar generate  out.json         emit a random problem file
+    ftbar bench     figure9|figure10|npf|runtime|ablation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis import (
+    audit_schedule,
+    degraded_lengths,
+    event_boundary_times,
+    format_schedule_report,
+    fault_tolerance_certificate,
+    format_ablation,
+    format_bus_comparison,
+    format_optimality_gap,
+    mean_time_to_failure_iterations,
+    run_bus_comparison,
+    run_optimality_gap,
+    schedule_reliability,
+    format_npf_sweep,
+    format_overhead_sweep,
+    format_paper_example,
+    format_runtime_comparison,
+    run_ablation,
+    run_npf_sweep,
+    run_overhead_vs_ccr,
+    run_overhead_vs_operations,
+    run_paper_example,
+    run_runtime_comparison,
+)
+from repro.core import SchedulerOptions, schedule_ftbar
+from repro.exceptions import ReproError
+from repro.schedule import (
+    render_gantt,
+    schedule_table,
+    schedule_to_dot,
+    validate_schedule,
+)
+from repro.schedule.serialization import (
+    load_json,
+    problem_from_dict,
+    problem_to_dict,
+    save_json,
+    schedule_to_dict,
+)
+from repro.simulation import (
+    DetectionPolicy,
+    FailureScenario,
+    ProcessorFailure,
+    simulate,
+    simulate_iterations,
+)
+from repro.workloads import (
+    PAPER_BASIC_LENGTH,
+    PAPER_DEGRADED_LENGTHS,
+    PAPER_FT_LENGTH,
+    PAPER_OVERHEAD,
+    RandomWorkloadConfig,
+    build_problem,
+    generate_problem,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ftbar",
+        description="Distributed fault-tolerant static scheduling (DSN 2003).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    example = commands.add_parser("example", help="run the paper's worked example")
+    example.add_argument("--gantt", action="store_true", help="print the Gantt chart")
+
+    sched = commands.add_parser("schedule", help="schedule a problem JSON file")
+    sched.add_argument("problem", type=Path)
+    sched.add_argument("--npf", type=int, default=None, help="override the file's Npf")
+    sched.add_argument("--no-duplication", action="store_true")
+    sched.add_argument("--link-insertion", action="store_true")
+    sched.add_argument("--gantt", action="store_true")
+    sched.add_argument("--output", type=Path, default=None, help="save schedule JSON")
+    sched.add_argument(
+        "--dot", type=Path, default=None, help="save a Graphviz DOT rendering"
+    )
+
+    sim = commands.add_parser("simulate", help="schedule then inject crashes")
+    sim.add_argument("problem", type=Path)
+    sim.add_argument(
+        "--crash",
+        action="append",
+        default=[],
+        metavar="PROC[@TIME]",
+        help="crash PROC at TIME (default 0); repeatable",
+    )
+    sim.add_argument(
+        "--detection",
+        choices=[p.value for p in DetectionPolicy],
+        default=DetectionPolicy.NONE.value,
+    )
+
+    report = commands.add_parser(
+        "report", help="full audit of the schedule of a problem"
+    )
+    report.add_argument("problem", type=Path)
+
+    iterate = commands.add_parser(
+        "iterate", help="cyclic execution: run the schedule over N iterations"
+    )
+    iterate.add_argument("problem", type=Path)
+    iterate.add_argument("--iterations", type=int, default=5)
+    iterate.add_argument(
+        "--crash",
+        action="append",
+        default=[],
+        metavar="PROC[@TIME]",
+        help="crash PROC at absolute TIME (default 0); repeatable",
+    )
+    iterate.add_argument(
+        "--detection",
+        choices=[p.value for p in DetectionPolicy],
+        default=DetectionPolicy.NONE.value,
+    )
+
+    validate = commands.add_parser(
+        "validate", help="schedule a problem and re-check every invariant"
+    )
+    validate.add_argument("problem", type=Path)
+    validate.add_argument(
+        "--direct-links",
+        action="store_true",
+        help="also reject multi-hop comms (strict FT guarantee)",
+    )
+
+    reliability = commands.add_parser(
+        "reliability", help="exhaustive fault-tolerance certificate"
+    )
+    reliability.add_argument("problem", type=Path)
+    reliability.add_argument(
+        "--failure-probability",
+        type=float,
+        default=None,
+        metavar="Q",
+        help="per-processor failure probability; adds a reliability figure",
+    )
+    reliability.add_argument(
+        "--boundaries",
+        action="store_true",
+        help="crash at every static event boundary instead of t=0 only",
+    )
+
+    gen = commands.add_parser("generate", help="emit a random problem JSON file")
+    gen.add_argument("output", type=Path)
+    gen.add_argument("--operations", type=int, default=20)
+    gen.add_argument("--ccr", type=float, default=1.0)
+    gen.add_argument("--processors", type=int, default=4)
+    gen.add_argument("--npf", type=int, default=1)
+    gen.add_argument("--heterogeneous", action="store_true")
+    gen.add_argument("--seed", type=int, default=0)
+
+    bench = commands.add_parser("bench", help="regenerate a paper figure")
+    bench.add_argument(
+        "figure",
+        choices=[
+            "figure9",
+            "figure10",
+            "npf",
+            "runtime",
+            "ablation",
+            "bus",
+            "gap",
+        ],
+    )
+    bench.add_argument("--graphs", type=int, default=10, help="graphs per point")
+    return parser
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    results = run_paper_example()
+    references = {
+        "ft_length": PAPER_FT_LENGTH,
+        "basic_length": PAPER_BASIC_LENGTH,
+        "overhead": PAPER_OVERHEAD,
+        "degraded": PAPER_DEGRADED_LENGTHS,
+    }
+    print(format_paper_example(results, references))
+    if args.gantt:
+        result = schedule_ftbar(build_problem())
+        print()
+        print(render_gantt(result.schedule))
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    problem = problem_from_dict(load_json(args.problem))
+    if args.npf is not None:
+        problem.npf = args.npf
+    options = SchedulerOptions(
+        duplication=not args.no_duplication,
+        link_insertion=args.link_insertion,
+    )
+    result = schedule_ftbar(problem, options)
+    print(result.schedule.summary())
+    print(result.rtc_report)
+    print()
+    print(schedule_table(result.schedule))
+    if args.gantt:
+        print()
+        print(render_gantt(result.schedule))
+    if args.output is not None:
+        save_json(schedule_to_dict(result.schedule), args.output)
+        print(f"\nschedule written to {args.output}")
+    if args.dot is not None:
+        args.dot.write_text(schedule_to_dot(result.schedule))
+        print(f"DOT rendering written to {args.dot}")
+    return 0
+
+
+def _parse_crash(spec: str) -> tuple[str, float]:
+    processor, _, when = spec.partition("@")
+    return processor, float(when) if when else 0.0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    problem = problem_from_dict(load_json(args.problem))
+    result = schedule_ftbar(problem)
+    algorithm = result.expanded_algorithm
+    print(result.schedule.summary())
+    if args.crash:
+        crashes = [_parse_crash(spec) for spec in args.crash]
+        scenario = FailureScenario(
+            [ProcessorFailure(processor, at) for processor, at in crashes]
+        )
+        trace = simulate(
+            result.schedule,
+            algorithm,
+            scenario,
+            DetectionPolicy(args.detection),
+        )
+        print(f"scenario: {scenario!r}")
+        print(trace.summary())
+        completion = trace.outputs_completion(algorithm)
+        verdict = f"outputs delivered at {completion:g}" if completion else "OUTPUTS LOST"
+        print(verdict)
+    else:
+        lengths = degraded_lengths(result.schedule, algorithm)
+        print("single-crash schedule lengths:")
+        for processor, length in sorted(lengths.items()):
+            print(f"  {processor} fails at t=0 -> {length:g}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    problem = problem_from_dict(load_json(args.problem))
+    result = schedule_ftbar(problem)
+    report = audit_schedule(result)
+    print(format_schedule_report(report))
+    return 0 if report.healthy else 1
+
+
+def _cmd_iterate(args: argparse.Namespace) -> int:
+    problem = problem_from_dict(load_json(args.problem))
+    result = schedule_ftbar(problem)
+    algorithm = result.expanded_algorithm
+    print(result.schedule.summary())
+    crashes = [_parse_crash(spec) for spec in args.crash]
+    scenario = FailureScenario(
+        [ProcessorFailure(processor, at) for processor, at in crashes]
+    )
+    run = simulate_iterations(
+        result.schedule,
+        algorithm,
+        iterations=args.iterations,
+        scenario=scenario,
+        detection=DetectionPolicy(args.detection),
+    )
+    print(run.summary())
+    for outcome in run.iterations:
+        delivered = (
+            f"outputs at {outcome.outputs_at:g}"
+            if outcome.delivered
+            else "OUTPUTS LOST"
+        )
+        print(
+            f"  iteration {outcome.index}: starts {outcome.offset:g}, "
+            f"length {outcome.trace.makespan():g}, {delivered}"
+        )
+    return 0 if run.delivered_count() == len(run) else 1
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    problem = problem_from_dict(load_json(args.problem))
+    result = schedule_ftbar(problem)
+    print(result.schedule.summary())
+    report = validate_schedule(
+        result.schedule,
+        result.expanded_algorithm,
+        problem.architecture,
+        problem.exec_times,
+        problem.comm_times,
+        require_direct_links=args.direct_links,
+    )
+    print(report)
+    return 0 if report.ok else 1
+
+
+def _cmd_reliability(args: argparse.Namespace) -> int:
+    problem = problem_from_dict(load_json(args.problem))
+    result = schedule_ftbar(problem)
+    print(result.schedule.summary())
+    times = (
+        event_boundary_times(result.schedule)
+        if args.boundaries
+        else (0.0,)
+    )
+    certificate = fault_tolerance_certificate(
+        result.schedule, result.expanded_algorithm, crash_times=times
+    )
+    print(certificate)
+    if args.failure_probability is not None:
+        report = schedule_reliability(
+            result.schedule,
+            result.expanded_algorithm,
+            {
+                p: args.failure_probability
+                for p in result.schedule.processor_names()
+            },
+            crash_times=times,
+        )
+        print(report)
+        mttf = mean_time_to_failure_iterations(report.reliability)
+        print(f"mean iterations to first unmasked failure: {mttf:g}")
+    return 0 if certificate.certified else 1
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    problem = generate_problem(
+        RandomWorkloadConfig(
+            operations=args.operations,
+            ccr=args.ccr,
+            processors=args.processors,
+            npf=args.npf,
+            heterogeneous=args.heterogeneous,
+            seed=args.seed,
+        )
+    )
+    save_json(problem_to_dict(problem), args.output)
+    print(f"problem {problem.name!r} written to {args.output}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    graphs = args.graphs
+    if args.figure == "figure9":
+        sweep = run_overhead_vs_operations(graphs_per_point=graphs)
+        print(format_overhead_sweep(sweep, "Figure 9 — overhead vs N (CCR=5, P=4)"))
+    elif args.figure == "figure10":
+        sweep = run_overhead_vs_ccr(graphs_per_point=graphs)
+        print(format_overhead_sweep(sweep, "Figure 10 — overhead vs CCR (N=50, P=4)"))
+    elif args.figure == "npf":
+        print(format_npf_sweep(run_npf_sweep(graphs_per_point=graphs)))
+    elif args.figure == "runtime":
+        print(format_runtime_comparison(run_runtime_comparison(graphs_per_point=graphs)))
+    elif args.figure == "bus":
+        print(format_bus_comparison(run_bus_comparison(graphs_per_point=graphs)))
+    elif args.figure == "gap":
+        print(format_optimality_gap(run_optimality_gap(instances=graphs)))
+    else:
+        print(format_ablation(run_ablation(graphs_per_point=graphs)))
+    return 0
+
+
+_COMMANDS = {
+    "example": _cmd_example,
+    "schedule": _cmd_schedule,
+    "simulate": _cmd_simulate,
+    "report": _cmd_report,
+    "iterate": _cmd_iterate,
+    "validate": _cmd_validate,
+    "reliability": _cmd_reliability,
+    "generate": _cmd_generate,
+    "bench": _cmd_bench,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``ftbar`` console script."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""FTBAR — the paper's fault-tolerant scheduling heuristic (section 4)."""
+
+from repro.core.ftbar import (
+    FTBARResult,
+    FTBARScheduler,
+    FTBARStats,
+    StepRecord,
+    schedule_ftbar,
+)
+from repro.core.minimize import DuplicationStats, StartTimeMinimizer
+from repro.core.options import SchedulerOptions
+from repro.core.placement import (
+    LinkState,
+    PlacementPlan,
+    PlacementPlanner,
+    PlannedComm,
+    PredecessorFeed,
+    commit_plan,
+)
+from repro.core.pressure import PressureCalculator
+
+__all__ = [
+    "DuplicationStats",
+    "FTBARResult",
+    "FTBARScheduler",
+    "FTBARStats",
+    "LinkState",
+    "PlacementPlan",
+    "PlacementPlanner",
+    "PlannedComm",
+    "PredecessorFeed",
+    "PressureCalculator",
+    "SchedulerOptions",
+    "StartTimeMinimizer",
+    "StepRecord",
+    "commit_plan",
+    "schedule_ftbar",
+]

@@ -1,0 +1,349 @@
+"""FTBAR — the Fault-Tolerance Based Active Replication heuristic.
+
+This is the paper's contribution (section 4): a greedy list-scheduling
+heuristic that, at every step,
+
+À computes the schedule pressure of each candidate operation on each
+  processor and keeps, per candidate, the ``Npf + 1`` processors with the
+  smallest pressure;
+
+Á selects the most *urgent* candidate — the one whose kept pressures
+  reach the maximum (min over processors, max over operations);
+
+Â places the selected operation on its ``Npf + 1`` best processors
+  through ``Minimize_start_time`` (LIP duplication), emitting the comms
+  implied by active replication: every replica of every predecessor
+  sends to every replica of the operation, except when a predecessor
+  replica is co-located (single zero-cost intra-processor comm, §4.1);
+
+Ã updates the candidate list with the operations whose predecessors are
+  now all scheduled.
+
+Memory operations are expanded into pinned read/write halves before
+scheduling (see :meth:`repro.graphs.AlgorithmGraph.expand_memories`), and
+the real-time constraints are checked on the finished schedule — the
+scheduler reports ``Rtc`` satisfaction rather than failing, so the
+designer can decide to add hardware or relax the constraints.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.exceptions import InfeasibleReplicationError, SchedulingError
+from repro.graphs.algorithm import AlgorithmGraph
+from repro.core.minimize import DuplicationStats, StartTimeMinimizer
+from repro.core.options import SchedulerOptions
+from repro.core.placement import PlacementPlanner, commit_plan
+from repro.core.pressure import PressureCalculator
+from repro.problem import ProblemSpec
+from repro.schedule.schedule import Schedule
+from repro.timing.comm_times import CommunicationTimes
+from repro.timing.constraints import RealTimeConstraints, RtcReport
+from repro.timing.exec_times import ExecutionTimes
+
+
+@dataclass
+class FTBARStats:
+    """Run statistics, used by the complexity experiment (E6)."""
+
+    steps: int = 0
+    pressure_evaluations: int = 0
+    duplication: DuplicationStats = field(default_factory=DuplicationStats)
+    wall_time_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """What one FTBAR macro-step decided (for observers, section 4.3).
+
+    Emitted after the selected operation has been placed, so the
+    ``makespan`` field reflects the schedule state the paper's Figures
+    5 and 6 show "after step n".
+    """
+
+    step: int
+    candidates: tuple[str, ...]
+    operation: str
+    processors: tuple[str, ...]
+    urgency: float
+    pressures: Mapping[tuple[str, str], float]
+    makespan: float
+
+
+@dataclass
+class FTBARResult:
+    """Everything FTBAR returns: the schedule, the ``Rtc`` verdict, stats."""
+
+    schedule: Schedule
+    rtc_report: RtcReport
+    stats: FTBARStats
+    expanded_algorithm: AlgorithmGraph
+    memory_pairs: Mapping[str, tuple[str, str]]
+
+    @property
+    def makespan(self) -> float:
+        """Completion date of the produced schedule."""
+        return self.schedule.makespan()
+
+    @property
+    def rtc_satisfied(self) -> bool:
+        """True when the real-time constraints hold (paper's 'indication')."""
+        return self.rtc_report.satisfied
+
+
+class FTBARScheduler:
+    """One-shot scheduler object; build it with a problem, call :meth:`run`."""
+
+    def __init__(
+        self,
+        problem: ProblemSpec,
+        options: SchedulerOptions | None = None,
+        observer: "Callable[[StepRecord], None] | None" = None,
+    ) -> None:
+        problem.validate()
+        self._observer = observer
+        self._problem = problem
+        self._options = options or SchedulerOptions()
+        self._npf = problem.npf
+        algorithm, pairs = problem.algorithm.expand_memories()
+        self._algorithm = algorithm
+        self._memory_pairs = dict(pairs)
+        self._pins: dict[str, str] = {
+            write: read for read, write in self._memory_pairs.values()
+        }
+        self._exec_times, self._comm_times = _expand_timing(
+            problem, self._memory_pairs
+        )
+        self._architecture = problem.architecture
+        self._planner = PlacementPlanner(
+            self._algorithm,
+            self._architecture,
+            self._exec_times,
+            self._comm_times,
+            self._npf,
+            link_insertion=self._options.link_insertion,
+        )
+        self._pressure = PressureCalculator(
+            self._algorithm,
+            self._architecture,
+            self._exec_times,
+            self._comm_times,
+            self._npf,
+            self._planner,
+            processor_aware=self._options.processor_aware_pressure,
+        )
+        self._minimizer = StartTimeMinimizer(
+            planner=self._planner,
+            exec_times=self._exec_times,
+            duplication=self._options.duplication,
+        )
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> FTBARResult:
+        """Execute the FTBAR macro-steps until every operation is placed."""
+        started = time.perf_counter()
+        schedule = Schedule(
+            processors=self._architecture.processor_names(),
+            links=self._architecture.link_names(),
+            npf=self._npf,
+            name=f"{self._problem.name}-ftbar",
+        )
+        stats = FTBARStats()
+        scheduled: set[str] = set()
+        while True:
+            candidates = self._candidates(scheduled)
+            if not candidates:
+                break
+            stats.steps += 1
+            operation, processors, urgency, pressures = self._select(
+                candidates, schedule
+            )
+            for processor in processors:
+                self._place(operation, processor, schedule)
+            scheduled.add(operation)
+            if self._observer is not None:
+                self._observer(
+                    StepRecord(
+                        step=stats.steps,
+                        candidates=tuple(candidates),
+                        operation=operation,
+                        processors=processors,
+                        urgency=urgency,
+                        pressures=pressures,
+                        makespan=schedule.makespan(),
+                    )
+                )
+        if len(scheduled) != len(self._algorithm):
+            missing = sorted(set(self._algorithm.operation_names()) - scheduled)
+            raise SchedulingError(
+                f"scheduling stalled; unplaced operations: {missing}"
+            )
+        stats.pressure_evaluations = self._pressure.evaluations
+        stats.duplication = self._minimizer.stats
+        stats.wall_time_s = time.perf_counter() - started
+        rtc_report = self._expanded_rtc().check(schedule)
+        return FTBARResult(
+            schedule=schedule,
+            rtc_report=rtc_report,
+            stats=stats,
+            expanded_algorithm=self._algorithm,
+            memory_pairs=self._memory_pairs,
+        )
+
+    # ------------------------------------------------------------------
+    # candidate management (macro-step Ã)
+    # ------------------------------------------------------------------
+    def _candidates(self, scheduled: set[str]) -> list[str]:
+        """Operations whose predecessors (and pin anchors) are all placed."""
+        ready: list[str] = []
+        for operation in self._algorithm.operation_names():
+            if operation in scheduled:
+                continue
+            predecessors = self._algorithm.predecessors(operation)
+            if any(p not in scheduled for p in predecessors):
+                continue
+            anchor = self._pins.get(operation)
+            if anchor is not None and anchor not in scheduled:
+                continue
+            ready.append(operation)
+        return ready
+
+    # ------------------------------------------------------------------
+    # selection (macro-steps À and Á)
+    # ------------------------------------------------------------------
+    def _select(
+        self, candidates: list[str], schedule: Schedule
+    ) -> tuple[str, tuple[str, ...], float, dict[tuple[str, str], float]]:
+        """Pick the most urgent candidate and its ``Npf + 1`` processors."""
+        best_choice: tuple[float, str, tuple[str, ...]] | None = None
+        pressures: dict[tuple[str, str], float] = {}
+        for operation in candidates:
+            processors = self._processor_pool(operation, schedule)
+            ranked: list[tuple[float, str]] = []
+            for processor in processors:
+                sigma = self._pressure.pressure(operation, processor, schedule)
+                pressures[(operation, processor)] = sigma
+                if not math.isinf(sigma):
+                    ranked.append((sigma, processor))
+            ranked.sort()
+            required = self._npf + 1
+            if len(ranked) < required:
+                raise InfeasibleReplicationError(
+                    f"operation {operation!r} can run on {len(ranked)} "
+                    f"processor(s), {required} required to tolerate "
+                    f"{self._npf} failure(s)"
+                )
+            kept = ranked[:required]
+            urgency = kept[-1][0]
+            key = (urgency, operation)
+            if best_choice is None or (
+                key[0] > best_choice[0]
+                or (key[0] == best_choice[0] and key[1] < best_choice[1])
+            ):
+                best_choice = (
+                    urgency,
+                    operation,
+                    tuple(processor for _, processor in kept),
+                )
+        assert best_choice is not None
+        return best_choice[1], best_choice[2], best_choice[0], pressures
+
+    def _processor_pool(self, operation: str, schedule: Schedule) -> tuple[str, ...]:
+        """Processors considered for one candidate.
+
+        A pinned memory half must live exactly where its anchor half
+        lives; every other operation may go anywhere the ``Dis``
+        constraints allow.
+        """
+        anchor = self._pins.get(operation)
+        if anchor is None:
+            return self._architecture.processor_names()
+        replicas = schedule.replicas_of(anchor)
+        return tuple(sorted(r.processor for r in replicas))
+
+    # ------------------------------------------------------------------
+    # placement (macro-step Â)
+    # ------------------------------------------------------------------
+    def _place(self, operation: str, processor: str, schedule: Schedule) -> None:
+        if operation in self._pins:
+            # Memory halves are placed directly: duplicating register
+            # halves would break the read/write co-location invariant.
+            plan = self._planner.plan(operation, processor, schedule)
+            if plan is None:
+                raise InfeasibleReplicationError(
+                    f"memory half {operation!r} is forbidden on {processor!r} "
+                    f"where its register lives"
+                )
+            commit_plan(plan, schedule)
+            return
+        self._minimizer.place(operation, processor, schedule)
+
+    # ------------------------------------------------------------------
+    # Rtc translation for expanded memories
+    # ------------------------------------------------------------------
+    def _expanded_rtc(self) -> RealTimeConstraints:
+        rtc = self._problem.rtc
+        if not self._memory_pairs or not rtc.operation_deadlines:
+            return rtc
+        deadlines: dict[str, float] = {}
+        for operation, deadline in rtc.operation_deadlines.items():
+            if operation in self._memory_pairs:
+                # The register is "done" when its write half has stored
+                # the new value.
+                deadlines[self._memory_pairs[operation][1]] = deadline
+            else:
+                deadlines[operation] = deadline
+        return RealTimeConstraints(
+            global_deadline=rtc.global_deadline,
+            operation_deadlines=deadlines,
+        )
+
+
+def _expand_timing(
+    problem: ProblemSpec,
+    pairs: Mapping[str, tuple[str, str]],
+) -> tuple[ExecutionTimes, CommunicationTimes]:
+    """Derive timing tables for the memory-expanded graph.
+
+    Both halves of a memory inherit the memory's tabulated execution
+    time (reading and writing the register are the same local access),
+    and edges are renamed onto the halves.
+    """
+    if not pairs:
+        return problem.exec_times, problem.comm_times
+    exec_times = problem.exec_times.copy()
+    for memory, (read, write) in pairs.items():
+        for processor in problem.architecture.processor_names():
+            duration = problem.exec_times.time_of(memory, processor)
+            exec_times.set(read, processor, duration)
+            exec_times.set(write, processor, duration)
+    comm_times = CommunicationTimes()
+    renames: dict[str, tuple[str, str]] = dict(pairs)
+    for (edge, link), duration in problem.comm_times.entries().items():
+        source, target = edge
+        if source in renames:
+            source = renames[source][0]
+        if target in renames:
+            target = renames[target][1]
+        comm_times.set((source, target), link, duration)
+    return exec_times, comm_times
+
+
+def schedule_ftbar(
+    problem: ProblemSpec,
+    options: SchedulerOptions | None = None,
+    observer: Callable[[StepRecord], None] | None = None,
+) -> FTBARResult:
+    """Convenience one-call API: build the scheduler and run it.
+
+    ``observer`` (if given) is called once per macro-step with a
+    :class:`StepRecord`, which is how the step-by-step walkthrough of
+    section 4.3 (Figures 5 and 6) is reproduced.
+    """
+    return FTBARScheduler(problem, options, observer=observer).run()

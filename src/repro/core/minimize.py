@@ -1,0 +1,131 @@
+"""The ``Minimize_start_time`` procedure (section 4.2, steps Ê–Ñ).
+
+Before a replica of the selected operation ``o`` is placed on processor
+``p``, the procedure tries to *duplicate* the operation's Latest
+Immediate Predecessor (LIP) — the predecessor whose data arrives last in
+the worst case — onto ``p`` itself.  A co-located predecessor feeds the
+replica through a zero-cost intra-processor communication, so a
+successful duplication removes the critical comm.  Duplications are kept
+only while ``S_worst(o, p)`` strictly improves; otherwise they are rolled
+back via schedule snapshots (step Ð).  The procedure recurses: the
+duplicated LIP's own start is minimised the same way (step Í), following
+Ahmad & Kwok's duplication-based scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SchedulingError
+from repro.graphs.operations import is_memory_half
+from repro.core.placement import PlacementPlan, PlacementPlanner, commit_plan
+from repro.schedule.events import ScheduledOperation
+from repro.schedule.schedule import Schedule
+from repro.timing.exec_times import ExecutionTimes
+
+_EPSILON = 1e-9
+
+
+@dataclass
+class DuplicationStats:
+    """Counters reported by the scheduler for the ablation benches."""
+
+    attempts: int = 0
+    kept: int = 0
+    rolled_back: int = 0
+    extra_replicas: int = 0
+
+    def merge(self, other: "DuplicationStats") -> None:
+        """Accumulate another run's counters into this one."""
+        self.attempts += other.attempts
+        self.kept += other.kept
+        self.rolled_back += other.rolled_back
+        self.extra_replicas += other.extra_replicas
+
+
+@dataclass
+class StartTimeMinimizer:
+    """Places replicas, duplicating LIPs while the start time improves."""
+
+    planner: PlacementPlanner
+    exec_times: ExecutionTimes
+    duplication: bool = True
+    stats: DuplicationStats = field(default_factory=DuplicationStats)
+
+    def place(
+        self,
+        operation: str,
+        processor: str,
+        schedule: Schedule,
+        duplicated: bool = False,
+    ) -> ScheduledOperation:
+        """Implement ``Minimize_start_time(operation, processor)``.
+
+        Returns the placed replica.  Raises
+        :class:`~repro.exceptions.SchedulingError` when the operation
+        cannot run on the processor (step Ë: ``S_worst`` undefined).
+        """
+        plan = self.planner.plan(operation, processor, schedule)
+        if plan is None:
+            raise SchedulingError(
+                f"operation {operation!r} cannot be scheduled on {processor!r}"
+            )
+        if self.duplication:
+            plan = self._improve_by_duplication(plan, schedule)
+        return commit_plan(plan, schedule, duplicated=duplicated)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _improve_by_duplication(
+        self, plan: PlacementPlan, schedule: Schedule
+    ) -> PlacementPlan:
+        operation, processor = plan.operation, plan.processor
+        best_worst = plan.s_worst
+        while True:
+            lip = self._duplicable_lip(plan, schedule)
+            if lip is None:
+                return plan
+            self.stats.attempts += 1
+            saved = schedule.snapshot()
+            try:
+                # Step Í: recursively minimise the LIP's start on p, which
+                # places an extra (duplicated) replica of the LIP there.
+                self.place(lip, processor, schedule, duplicated=True)
+            except SchedulingError:
+                schedule.restore(saved)
+                self.stats.rolled_back += 1
+                return plan
+            new_plan = self.planner.plan(operation, processor, schedule)
+            if new_plan is None or new_plan.s_worst >= best_worst - _EPSILON:
+                # Step Ð: the replication does not pay off — undo it all.
+                schedule.restore(saved)
+                self.stats.rolled_back += 1
+                return plan
+            # Step Ñ: improvement kept; hunt for the new LIP.
+            self.stats.kept += 1
+            self.stats.extra_replicas += 1
+            best_worst = new_plan.s_worst
+            plan = new_plan
+
+    def _duplicable_lip(
+        self, plan: PlacementPlan, schedule: Schedule
+    ) -> str | None:
+        """Step Ì: the LIP of the plan, when duplicating it can help.
+
+        The LIP's feed must be remote (a co-located predecessor already
+        costs nothing), the predecessor must be allowed on the processor,
+        must not be a memory half (register replicas are pinned together
+        and never duplicated), and must not already have a replica there.
+        """
+        feed = plan.critical_feed()
+        if feed is None or feed.local_end is not None:
+            return None
+        predecessor = feed.predecessor
+        if is_memory_half(predecessor):
+            return None
+        if not self.exec_times.is_allowed(predecessor, plan.processor):
+            return None
+        if schedule.replica_on(predecessor, plan.processor) is not None:
+            return None
+        return predecessor

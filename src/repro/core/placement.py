@@ -1,0 +1,362 @@
+"""Placement planning: earliest start times and communication slots.
+
+This module answers the question at the heart of the heuristic: *if
+operation ``o`` were placed on processor ``p`` right now, when could it
+start, and which comms would that imply?*  The same planner serves
+
+* the trial evaluations of macro-step À (schedule pressure needs
+  ``S_worst``),
+* the real placements of micro-step Â (the chosen plan is committed),
+* the recursive ``Minimize_start_time`` procedure.
+
+Planning never mutates the real schedule; reservations happen on a
+:class:`LinkState` overlay, and a chosen plan is committed afterwards
+with :func:`commit_plan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.graphs.algorithm import AlgorithmGraph
+from repro.hardware.architecture import Architecture
+from repro.schedule.events import ScheduledOperation
+from repro.schedule.schedule import Schedule
+from repro.timing.comm_times import CommunicationTimes
+from repro.timing.exec_times import ExecutionTimes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+_EPSILON = 1e-9
+
+
+class LinkState:
+    """Reservation overlay on the link timelines of a schedule.
+
+    In append mode a link's next free instant is the end of its last
+    comm (real or trial); in insertion mode idle gaps between real comms
+    can also be used.  Trial reservations live only in this object, so a
+    fresh ``LinkState`` per evaluation gives side-effect-free planning.
+    """
+
+    def __init__(self, schedule: Schedule, insertion: bool = False) -> None:
+        self._schedule = schedule
+        self._insertion = insertion
+        self._busy: dict[str, list[tuple[float, float]]] = {}
+
+    def _intervals(self, link: str) -> list[tuple[float, float]]:
+        if link not in self._busy:
+            self._busy[link] = [
+                (c.start, c.end) for c in self._schedule.comms_on(link)
+            ]
+        return self._busy[link]
+
+    def preview(self, link: str, ready: float, duration: float) -> tuple[float, float]:
+        """The slot a reservation would take, without reserving it."""
+        intervals = self._intervals(link)
+        if not self._insertion:
+            free = intervals[-1][1] if intervals else 0.0
+            start = max(ready, free)
+            return start, start + duration
+        cursor = max(ready, 0.0)
+        for begin, end in intervals:
+            if cursor + duration <= begin + _EPSILON:
+                return cursor, cursor + duration
+            cursor = max(cursor, end)
+        return cursor, cursor + duration
+
+    def reserve(self, link: str, ready: float, duration: float) -> tuple[float, float]:
+        """Pick a slot with :meth:`preview` and mark it busy."""
+        start, end = self.preview(link, ready, duration)
+        intervals = self._intervals(link)
+        position = 0
+        while position < len(intervals) and intervals[position][0] < start:
+            position += 1
+        intervals.insert(position, (start, end))
+        return start, end
+
+
+@dataclass(frozen=True)
+class PlannedComm:
+    """A communication the plan would schedule (one hop)."""
+
+    source: str
+    target: str
+    source_replica: int
+    link: str
+    start: float
+    end: float
+    source_processor: str
+    target_processor: str
+    hop_index: int
+
+
+@dataclass
+class PredecessorFeed:
+    """How one predecessor's data reaches the candidate replica.
+
+    Either ``local_end`` is set (a replica of the predecessor lives on
+    the candidate processor — single intra-processor communication, cost
+    zero, not replicated) or ``arrivals`` lists the delivery time from
+    every replica of the predecessor, with ``comms`` holding the planned
+    transfers.
+    """
+
+    predecessor: str
+    local_end: float | None = None
+    arrivals: list[float] = field(default_factory=list)
+    comms: list[PlannedComm] = field(default_factory=list)
+
+    def earliest(self) -> float:
+        """First possible arrival of this predecessor's data."""
+        if self.local_end is not None:
+            return self.local_end
+        return min(self.arrivals)
+
+    def worst_case(self, npf: int) -> float:
+        """Latest arrival the replica may have to wait for, under ≤ npf failures.
+
+        With a local replica the data is always there when the processor
+        is alive.  Otherwise at least one of the ``npf + 1`` earliest
+        senders survives any set of ``npf`` failures, so the worst-case
+        wait is the ``(npf + 1)``-th earliest arrival (the paper's
+        ``max`` over the ``Npf + 1`` replicas).
+        """
+        if self.local_end is not None:
+            return self.local_end
+        ordered = sorted(self.arrivals)
+        index = min(npf, len(ordered) - 1)
+        return ordered[index]
+
+
+@dataclass
+class PlacementPlan:
+    """The full consequence of placing one replica on one processor."""
+
+    operation: str
+    processor: str
+    duration: float
+    processor_ready: float
+    feeds: list[PredecessorFeed]
+    npf: int
+
+    @property
+    def s_best(self) -> float:
+        """Earliest start (first complete input set — paper's S_best)."""
+        ready = self.processor_ready
+        for feed in self.feeds:
+            ready = max(ready, feed.earliest())
+        return ready
+
+    @property
+    def s_worst(self) -> float:
+        """Earliest start in the worst failure case (paper's S_worst)."""
+        ready = self.processor_ready
+        for feed in self.feeds:
+            ready = max(ready, feed.worst_case(self.npf))
+        return ready
+
+    def critical_feed(self) -> PredecessorFeed | None:
+        """The feed that determines ``s_worst`` (the LIP's feed).
+
+        Ties are broken toward the lexicographically smallest
+        predecessor name so the heuristic stays deterministic.  Returns
+        ``None`` for source operations.
+        """
+        if not self.feeds:
+            return None
+        return max(
+            self.feeds,
+            key=lambda f: (f.worst_case(self.npf), _reverse_name_key(f.predecessor)),
+        )
+
+
+class _ReverseName(str):
+    """Order-inverted string so ``max`` breaks ties toward small names."""
+
+    def __lt__(self, other):  # type: ignore[override]
+        return str.__gt__(self, other)
+
+    def __gt__(self, other):  # type: ignore[override]
+        return str.__lt__(self, other)
+
+
+def _reverse_name_key(name: str) -> _ReverseName:
+    return _ReverseName(name)
+
+
+class PlacementPlanner:
+    """Plans replica placements against the current schedule state."""
+
+    def __init__(
+        self,
+        algorithm: AlgorithmGraph,
+        architecture: Architecture,
+        exec_times: ExecutionTimes,
+        comm_times: CommunicationTimes,
+        npf: int,
+        link_insertion: bool = False,
+    ) -> None:
+        self._algorithm = algorithm
+        self._architecture = architecture
+        self._exec_times = exec_times
+        self._comm_times = comm_times
+        self._npf = npf
+        self._link_insertion = link_insertion
+
+    def fresh_link_state(self, schedule: Schedule) -> LinkState:
+        """A side-effect-free reservation overlay for trial planning."""
+        return LinkState(schedule, insertion=self._link_insertion)
+
+    def plan(
+        self,
+        operation: str,
+        processor: str,
+        schedule: Schedule,
+        link_state: LinkState | None = None,
+    ) -> PlacementPlan | None:
+        """Plan placing the next replica of ``operation`` on ``processor``.
+
+        Returns ``None`` when the pair is forbidden (``Exe = inf``) or
+        the processor already hosts a replica of the operation.  All
+        predecessors must already have at least one replica scheduled
+        (guaranteed by the list-scheduling candidate rule).
+        """
+        duration = self._exec_times.time_of(operation, processor)
+        if duration == float("inf"):
+            return None
+        if schedule.replica_on(operation, processor) is not None:
+            return None
+        state = link_state if link_state is not None else self.fresh_link_state(schedule)
+        feeds: list[PredecessorFeed] = []
+        for predecessor in self._algorithm.predecessors(operation):
+            feeds.append(
+                self._plan_feed(predecessor, operation, processor, schedule, state)
+            )
+        return PlacementPlan(
+            operation=operation,
+            processor=processor,
+            duration=duration,
+            processor_ready=schedule.processor_available(processor),
+            feeds=feeds,
+            npf=self._npf,
+        )
+
+    def _plan_feed(
+        self,
+        predecessor: str,
+        operation: str,
+        processor: str,
+        schedule: Schedule,
+        state: LinkState,
+    ) -> PredecessorFeed:
+        local = schedule.replica_on(predecessor, processor)
+        if local is not None:
+            # §4.1 first case: one intra-processor communication, cost 0,
+            # the remote replicas do not send at all.
+            return PredecessorFeed(predecessor, local_end=local.end)
+        feed = PredecessorFeed(predecessor)
+        edge = (predecessor, operation)
+        for replica in schedule.replicas_of(predecessor):
+            arrival, comms = self._plan_transfer(
+                edge, replica, processor, state
+            )
+            feed.arrivals.append(arrival)
+            feed.comms.extend(comms)
+        if not feed.arrivals:
+            raise ValueError(
+                f"predecessor {predecessor!r} of {operation!r} has no replica; "
+                f"candidate rule violated"
+            )
+        return feed
+
+    def _plan_transfer(
+        self,
+        edge: tuple[str, str],
+        producer: ScheduledOperation,
+        processor: str,
+        state: LinkState,
+    ) -> tuple[float, list[PlannedComm]]:
+        """Plan the comms carrying ``edge`` from one replica to ``processor``."""
+        direct = self._architecture.links_between(producer.processor, processor)
+        if direct:
+            best: tuple[float, float, str] | None = None
+            for link in direct:
+                duration = self._comm_times.time_of(edge, link.name)
+                start, end = state.preview(link.name, producer.end, duration)
+                if best is None or (end, link.name) < (best[1], best[2]):
+                    best = (start, end, link.name)
+            start, end, link_name = best
+            state.reserve(link_name, producer.end, end - start)
+            comm = PlannedComm(
+                source=edge[0],
+                target=edge[1],
+                source_replica=producer.replica,
+                link=link_name,
+                start=start,
+                end=end,
+                source_processor=producer.processor,
+                target_processor=processor,
+                hop_index=0,
+            )
+            return end, [comm]
+        # Multi-hop route: store-and-forward over the shortest hop path.
+        hops = self._architecture.route_hops(producer.processor, processor)
+        ready = producer.end
+        comms: list[PlannedComm] = []
+        for index, (origin, link, relay) in enumerate(hops):
+            duration = self._comm_times.time_of(edge, link.name)
+            start, end = state.reserve(link.name, ready, duration)
+            comms.append(
+                PlannedComm(
+                    source=edge[0],
+                    target=edge[1],
+                    source_replica=producer.replica,
+                    link=link.name,
+                    start=start,
+                    end=end,
+                    source_processor=origin,
+                    target_processor=relay,
+                    hop_index=index,
+                )
+            )
+            ready = end
+        return ready, comms
+
+
+def commit_plan(
+    plan: PlacementPlan,
+    schedule: Schedule,
+    start: float | None = None,
+    duplicated: bool = False,
+) -> ScheduledOperation:
+    """Write a placement plan into the schedule.
+
+    The replica starts at ``start`` (default: the plan's ``S_best``, per
+    micro-step Ð) and all planned comms are placed with the new replica's
+    index as their destination.
+    """
+    event = schedule.place_operation(
+        plan.operation,
+        plan.processor,
+        plan.s_best if start is None else start,
+        plan.duration,
+        duplicated=duplicated,
+    )
+    for feed in plan.feeds:
+        for comm in feed.comms:
+            schedule.place_comm(
+                source=comm.source,
+                target=comm.target,
+                source_replica=comm.source_replica,
+                target_replica=event.replica,
+                link=comm.link,
+                start=comm.start,
+                duration=comm.end - comm.start,
+                source_processor=comm.source_processor,
+                target_processor=comm.target_processor,
+                hop_index=comm.hop_index,
+            )
+    return event

@@ -1,0 +1,36 @@
+"""Algorithm model: data-flow graphs of operations (paper section 3.2)."""
+
+from repro.graphs.algorithm import AlgorithmGraph, from_dependencies
+from repro.graphs.builder import (
+    AlgorithmGraphBuilder,
+    diamond,
+    fork_join,
+    independent_tasks,
+    layered,
+    linear_chain,
+)
+from repro.graphs.operations import (
+    Operation,
+    OperationKind,
+    is_memory_half,
+    memory_base_name,
+    memory_read_name,
+    memory_write_name,
+)
+
+__all__ = [
+    "AlgorithmGraph",
+    "AlgorithmGraphBuilder",
+    "Operation",
+    "OperationKind",
+    "diamond",
+    "fork_join",
+    "from_dependencies",
+    "independent_tasks",
+    "is_memory_half",
+    "layered",
+    "linear_chain",
+    "memory_base_name",
+    "memory_read_name",
+    "memory_write_name",
+]

@@ -1,0 +1,306 @@
+"""The algorithm model: a data-flow graph of operations.
+
+Section 3.2 of the paper models the algorithm as a directed graph whose
+vertices are operations and whose edges are data-dependencies.  The graph
+is executed once per *iteration* (one reaction to sensor inputs).  Within
+an iteration the graph must be acyclic once memory operations are expanded
+(a ``mem`` behaves like a register: its output precedes its input, so a
+cycle through a ``mem`` is legal in the source graph and is broken by the
+expansion of :meth:`AlgorithmGraph.expand_memories`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+import networkx as nx
+
+from repro.exceptions import GraphError
+from repro.graphs.operations import (
+    Operation,
+    OperationKind,
+    memory_read_name,
+    memory_write_name,
+)
+
+
+class AlgorithmGraph:
+    """A directed data-flow graph of :class:`Operation` vertices.
+
+    The class wraps a :class:`networkx.DiGraph` and adds the paper's
+    domain vocabulary (operations, data-dependencies, sources/sinks,
+    levels) plus validation.  All query methods return deterministically
+    ordered results so that the scheduler is reproducible.
+
+    Examples
+    --------
+    >>> alg = AlgorithmGraph()
+    >>> _ = alg.add_operation("I", OperationKind.EXTERNAL_IO)
+    >>> _ = alg.add_operation("A")
+    >>> alg.add_dependency("I", "A")
+    >>> alg.predecessors("A")
+    ('I',)
+    """
+
+    def __init__(self, name: str = "algorithm") -> None:
+        self.name = name
+        self._graph = nx.DiGraph()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_operation(
+        self,
+        operation: Operation | str,
+        kind: OperationKind | str = OperationKind.COMPUTATION,
+    ) -> Operation:
+        """Add a vertex; returns the stored :class:`Operation`.
+
+        ``operation`` may be a ready-made :class:`Operation` or a bare
+        name combined with ``kind``.  Adding a name twice with the same
+        kind is idempotent; re-adding with a different kind raises
+        :class:`~repro.exceptions.GraphError`.
+        """
+        if isinstance(operation, Operation):
+            op = operation
+        else:
+            op = Operation(str(operation), OperationKind(kind))
+        if op.name in self._graph:
+            existing: Operation = self._graph.nodes[op.name]["operation"]
+            if existing.kind is not op.kind:
+                raise GraphError(
+                    f"operation {op.name!r} already exists with kind "
+                    f"{existing.kind.value!r} (got {op.kind.value!r})"
+                )
+            return existing
+        self._graph.add_node(op.name, operation=op)
+        return op
+
+    def add_dependency(self, source: str, target: str, data_size: float = 1.0) -> None:
+        """Add the data-dependency ``source . target``.
+
+        ``data_size`` is an abstract volume used when communication times
+        are derived from link bandwidths instead of explicit tables.
+        """
+        for endpoint in (source, target):
+            if endpoint not in self._graph:
+                raise GraphError(f"unknown operation {endpoint!r}")
+        if source == target:
+            raise GraphError(f"self dependency on {source!r} is not allowed")
+        if data_size <= 0:
+            raise GraphError(f"data_size must be positive, got {data_size!r}")
+        self._graph.add_edge(source, target, data_size=float(data_size))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, name: object) -> bool:
+        return name in self._graph
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.operation_names())
+
+    def operation(self, name: str) -> Operation:
+        """The :class:`Operation` stored under ``name``."""
+        try:
+            return self._graph.nodes[name]["operation"]
+        except KeyError:
+            raise GraphError(f"unknown operation {name!r}") from None
+
+    def operation_names(self) -> tuple[str, ...]:
+        """All vertex names, sorted for determinism."""
+        return tuple(sorted(self._graph.nodes))
+
+    def operations(self) -> tuple[Operation, ...]:
+        """All :class:`Operation` objects, sorted by name."""
+        return tuple(self.operation(n) for n in self.operation_names())
+
+    def dependencies(self) -> tuple[tuple[str, str], ...]:
+        """All data-dependency edges, sorted for determinism."""
+        return tuple(sorted(self._graph.edges))
+
+    def data_size(self, source: str, target: str) -> float:
+        """Abstract data volume of the edge ``source . target``."""
+        try:
+            return self._graph.edges[source, target]["data_size"]
+        except KeyError:
+            raise GraphError(f"unknown dependency {source!r} -> {target!r}") from None
+
+    def has_dependency(self, source: str, target: str) -> bool:
+        """True when the edge ``source . target`` exists."""
+        return self._graph.has_edge(source, target)
+
+    def predecessors(self, name: str) -> tuple[str, ...]:
+        """Direct predecessors of ``name``, sorted."""
+        if name not in self._graph:
+            raise GraphError(f"unknown operation {name!r}")
+        return tuple(sorted(self._graph.predecessors(name)))
+
+    def successors(self, name: str) -> tuple[str, ...]:
+        """Direct successors of ``name``, sorted."""
+        if name not in self._graph:
+            raise GraphError(f"unknown operation {name!r}")
+        return tuple(sorted(self._graph.successors(name)))
+
+    def sources(self) -> tuple[str, ...]:
+        """Operations without predecessors (the external input interfaces)."""
+        return tuple(n for n in self.operation_names() if self._graph.in_degree(n) == 0)
+
+    def sinks(self) -> tuple[str, ...]:
+        """Operations without successors (the external output interfaces)."""
+        return tuple(n for n in self.operation_names() if self._graph.out_degree(n) == 0)
+
+    def number_of_dependencies(self) -> int:
+        """Number of data-dependency edges."""
+        return self._graph.number_of_edges()
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def is_acyclic(self) -> bool:
+        """True when the graph is a DAG (memories must be expanded first)."""
+        return nx.is_directed_acyclic_graph(self._graph)
+
+    def topological_order(self) -> tuple[str, ...]:
+        """A deterministic topological order of the operations."""
+        if not self.is_acyclic():
+            raise GraphError(f"graph {self.name!r} contains a cycle")
+        return tuple(nx.lexicographical_topological_sort(self._graph))
+
+    def levels(self) -> Mapping[str, int]:
+        """ASAP level of each operation (sources are level 0)."""
+        level: dict[str, int] = {}
+        for node in self.topological_order():
+            preds = self.predecessors(node)
+            level[node] = 0 if not preds else 1 + max(level[p] for p in preds)
+        return level
+
+    def heights(self) -> Mapping[str, int]:
+        """Height of each operation: longest edge-count path to a sink.
+
+        Sinks have height 0.  Used by the HBP baseline, whose partitioning
+        is height-based.
+        """
+        height: dict[str, int] = {}
+        for node in reversed(self.topological_order()):
+            succs = self.successors(node)
+            height[node] = 0 if not succs else 1 + max(height[s] for s in succs)
+        return height
+
+    def descendants(self, name: str) -> frozenset[str]:
+        """All operations reachable from ``name`` (excluded)."""
+        if name not in self._graph:
+            raise GraphError(f"unknown operation {name!r}")
+        return frozenset(nx.descendants(self._graph, name))
+
+    def ancestors(self, name: str) -> frozenset[str]:
+        """All operations from which ``name`` is reachable (excluded)."""
+        if name not in self._graph:
+            raise GraphError(f"unknown operation {name!r}")
+        return frozenset(nx.ancestors(self._graph, name))
+
+    def memory_operations(self) -> tuple[str, ...]:
+        """Names of all ``mem`` vertices, sorted."""
+        return tuple(n for n in self.operation_names() if self.operation(n).is_memory())
+
+    # ------------------------------------------------------------------
+    # validation / transformation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the structural invariants of an algorithm graph.
+
+        Raises :class:`~repro.exceptions.GraphError` when the graph is
+        empty, or when it has a cycle that does not go through a memory
+        operation (register cycles are legal; combinational ones are not).
+        """
+        if len(self) == 0:
+            raise GraphError(f"algorithm graph {self.name!r} is empty")
+        if self.is_acyclic():
+            return
+        # A cycle is legal only when it traverses a mem vertex; expansion
+        # then breaks it.  Check every simple cycle touches a memory.
+        for cycle in nx.simple_cycles(self._graph):
+            if not any(self.operation(n).is_memory() for n in cycle):
+                raise GraphError(
+                    f"combinational cycle {' -> '.join(cycle)} in graph {self.name!r}"
+                )
+
+    def expand_memories(self) -> tuple["AlgorithmGraph", Mapping[str, tuple[str, str]]]:
+        """Split every ``mem`` M into ``M#read`` (source) and ``M#write``.
+
+        The read half carries M's outgoing edges and the write half its
+        incoming edges, which realises the register semantics of section
+        3.2 ("the output precedes the input").  Both halves must be
+        scheduled on the same processors; the returned mapping
+        ``{mem_name: (read_name, write_name)}`` lets the scheduler pin
+        them together.  Graphs without memories are returned as-is (same
+        object) with an empty mapping.
+        """
+        mems = self.memory_operations()
+        if not mems:
+            return self, {}
+        expanded = AlgorithmGraph(self.name)
+        pairs: dict[str, tuple[str, str]] = {}
+        for name in self.operation_names():
+            op = self.operation(name)
+            if op.is_memory():
+                read, write = memory_read_name(name), memory_write_name(name)
+                expanded.add_operation(read, OperationKind.MEMORY)
+                expanded.add_operation(write, OperationKind.MEMORY)
+                pairs[name] = (read, write)
+            else:
+                expanded.add_operation(op)
+        for source, target in self.dependencies():
+            size = self.data_size(source, target)
+            src = pairs[source][0] if source in pairs else source
+            dst = pairs[target][1] if target in pairs else target
+            expanded.add_dependency(src, dst, size)
+        if not expanded.is_acyclic():
+            raise GraphError(
+                f"graph {self.name!r} still cyclic after memory expansion"
+            )
+        return expanded, pairs
+
+    def copy(self) -> "AlgorithmGraph":
+        """Deep-enough copy (operations are immutable)."""
+        clone = AlgorithmGraph(self.name)
+        clone._graph = self._graph.copy()
+        return clone
+
+    def to_networkx(self) -> nx.DiGraph:
+        """A copy of the underlying :class:`networkx.DiGraph`."""
+        return self._graph.copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"AlgorithmGraph(name={self.name!r}, operations={len(self)}, "
+            f"dependencies={self.number_of_dependencies()})"
+        )
+
+
+def from_dependencies(
+    edges: Iterable[tuple[str, str]],
+    kinds: Mapping[str, OperationKind | str] | None = None,
+    name: str = "algorithm",
+) -> AlgorithmGraph:
+    """Build a graph from an edge list, inferring plain computations.
+
+    ``kinds`` optionally overrides the kind of specific operations.
+
+    >>> g = from_dependencies([("I", "A"), ("A", "O")])
+    >>> g.sources(), g.sinks()
+    (('I',), ('O',))
+    """
+    kinds = dict(kinds or {})
+    graph = AlgorithmGraph(name)
+    seen: set[str] = set()
+    for source, target in edges:
+        for vertex in (source, target):
+            if vertex not in seen:
+                graph.add_operation(vertex, kinds.get(vertex, OperationKind.COMPUTATION))
+                seen.add(vertex)
+        graph.add_dependency(source, target)
+    return graph

@@ -1,0 +1,146 @@
+"""Fluent construction helpers for algorithm graphs.
+
+:class:`AlgorithmGraphBuilder` offers a chainable API that reads close to
+the paper's prose ("I feeds A, A feeds B..."), plus a handful of canned
+graph families used throughout the tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.graphs.algorithm import AlgorithmGraph
+from repro.graphs.operations import OperationKind
+
+
+class AlgorithmGraphBuilder:
+    """Chainable builder for :class:`~repro.graphs.AlgorithmGraph`.
+
+    Examples
+    --------
+    >>> alg = (AlgorithmGraphBuilder("demo")
+    ...        .external_io("I")
+    ...        .computation("A")
+    ...        .depends("A", on=["I"])
+    ...        .build())
+    >>> alg.predecessors("A")
+    ('I',)
+    """
+
+    def __init__(self, name: str = "algorithm") -> None:
+        self._graph = AlgorithmGraph(name)
+
+    def computation(self, *names: str) -> "AlgorithmGraphBuilder":
+        """Declare one or more ``comp`` operations."""
+        for name in names:
+            self._graph.add_operation(name, OperationKind.COMPUTATION)
+        return self
+
+    def memory(self, *names: str) -> "AlgorithmGraphBuilder":
+        """Declare one or more ``mem`` operations."""
+        for name in names:
+            self._graph.add_operation(name, OperationKind.MEMORY)
+        return self
+
+    def external_io(self, *names: str) -> "AlgorithmGraphBuilder":
+        """Declare one or more ``extio`` operations."""
+        for name in names:
+            self._graph.add_operation(name, OperationKind.EXTERNAL_IO)
+        return self
+
+    def depends(
+        self,
+        target: str,
+        on: Iterable[str],
+        data_size: float = 1.0,
+    ) -> "AlgorithmGraphBuilder":
+        """Declare that ``target`` consumes data from every op in ``on``."""
+        for source in on:
+            self._graph.add_dependency(source, target, data_size)
+        return self
+
+    def feeds(
+        self,
+        source: str,
+        into: Iterable[str],
+        data_size: float = 1.0,
+    ) -> "AlgorithmGraphBuilder":
+        """Declare that ``source`` produces data for every op in ``into``."""
+        for target in into:
+            self._graph.add_dependency(source, target, data_size)
+        return self
+
+    def chain(self, *names: str, data_size: float = 1.0) -> "AlgorithmGraphBuilder":
+        """Declare the linear pipeline ``names[0] -> names[1] -> ...``."""
+        for source, target in zip(names, names[1:]):
+            self._graph.add_dependency(source, target, data_size)
+        return self
+
+    def build(self, validate: bool = True) -> AlgorithmGraph:
+        """Finish construction, optionally validating the graph."""
+        if validate:
+            self._graph.validate()
+        return self._graph
+
+
+# ----------------------------------------------------------------------
+# canned graph families (handy for tests and ablations)
+# ----------------------------------------------------------------------
+
+def linear_chain(length: int, prefix: str = "T", name: str = "chain") -> AlgorithmGraph:
+    """``T0 -> T1 -> ... -> T{length-1}``; a graph with zero parallelism."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    builder = AlgorithmGraphBuilder(name)
+    names = [f"{prefix}{i}" for i in range(length)]
+    builder.computation(*names)
+    builder.chain(*names)
+    return builder.build()
+
+
+def fork_join(width: int, prefix: str = "T", name: str = "fork-join") -> AlgorithmGraph:
+    """One source fanning out to ``width`` parallel ops joined by one sink."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    builder = AlgorithmGraphBuilder(name)
+    middle = [f"{prefix}{i}" for i in range(width)]
+    builder.computation("src", *middle, "sink")
+    builder.feeds("src", into=middle)
+    builder.depends("sink", on=middle)
+    return builder.build()
+
+
+def diamond(name: str = "diamond") -> AlgorithmGraph:
+    """The classic 4-node diamond ``A -> {B, C} -> D``."""
+    return (
+        AlgorithmGraphBuilder(name)
+        .computation("A", "B", "C", "D")
+        .feeds("A", into=["B", "C"])
+        .depends("D", on=["B", "C"])
+        .build()
+    )
+
+
+def independent_tasks(count: int, prefix: str = "T", name: str = "independent") -> AlgorithmGraph:
+    """``count`` operations with no dependencies (pure task parallelism)."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    builder = AlgorithmGraphBuilder(name)
+    builder.computation(*[f"{prefix}{i}" for i in range(count)])
+    return builder.build()
+
+
+def layered(widths: Sequence[int], prefix: str = "T", name: str = "layered") -> AlgorithmGraph:
+    """Fully connected consecutive layers of the given widths."""
+    if not widths or any(w < 1 for w in widths):
+        raise ValueError("widths must be a non-empty sequence of positive ints")
+    builder = AlgorithmGraphBuilder(name)
+    layers: list[list[str]] = []
+    for level, width in enumerate(widths):
+        layer = [f"{prefix}{level}_{i}" for i in range(width)]
+        builder.computation(*layer)
+        layers.append(layer)
+    for upper, lower in zip(layers, layers[1:]):
+        for source in upper:
+            builder.feeds(source, into=lower)
+    return builder.build()

@@ -1,0 +1,17 @@
+"""Architecture model: processors and communication links (section 3.3)."""
+
+from repro.hardware.architecture import Architecture
+from repro.hardware.link import Link, LinkKind
+from repro.hardware.processor import Processor
+from repro.hardware.topologies import fully_connected, ring, single_bus, star
+
+__all__ = [
+    "Architecture",
+    "Link",
+    "LinkKind",
+    "Processor",
+    "fully_connected",
+    "ring",
+    "single_bus",
+    "star",
+]

@@ -1,0 +1,282 @@
+"""The architecture model: processors connected by communication links.
+
+Section 3.3 models the architecture as a graph whose vertices are
+processors and whose edges are communication links.  We additionally
+provide multi-hop routing (shortest path in number of hops) so that
+architectures that are not fully connected can still be scheduled; the
+paper's fault-tolerance guarantee, however, is argued for *direct* links
+between replica processors, and the schedule validator can enforce that.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+import networkx as nx
+
+from repro.exceptions import ArchitectureError
+from repro.hardware.link import Link, LinkKind
+from repro.hardware.processor import Processor
+
+
+class Architecture:
+    """A set of :class:`Processor` connected by :class:`Link` media.
+
+    Examples
+    --------
+    >>> arc = Architecture()
+    >>> _ = arc.add_processor("P1"); _ = arc.add_processor("P2")
+    >>> _ = arc.add_link("L1.2", ["P1", "P2"])
+    >>> [l.name for l in arc.links_between("P1", "P2")]
+    ['L1.2']
+    """
+
+    def __init__(self, name: str = "architecture") -> None:
+        self.name = name
+        self._processors: dict[str, Processor] = {}
+        self._links: dict[str, Link] = {}
+        self._routes: dict[tuple[str, str], tuple[Link, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_processor(self, processor: Processor | str) -> Processor:
+        """Add a processor (idempotent for identical names)."""
+        proc = processor if isinstance(processor, Processor) else Processor(str(processor))
+        existing = self._processors.get(proc.name)
+        if existing is not None:
+            return existing
+        self._processors[proc.name] = proc
+        self._routes.clear()
+        return proc
+
+    def add_link(
+        self,
+        link: Link | str,
+        endpoints: Iterable[str] | None = None,
+        kind: LinkKind | str | None = None,
+    ) -> Link:
+        """Add a communication link between existing processors.
+
+        Either pass a ready-made :class:`Link`, or a name plus
+        ``endpoints`` (and optionally ``kind``, inferred as point-to-point
+        for two endpoints and bus otherwise).
+        """
+        if isinstance(link, Link):
+            built = link
+        else:
+            if endpoints is None:
+                raise ArchitectureError("endpoints required when adding a link by name")
+            points = tuple(endpoints)
+            if kind is None:
+                inferred = LinkKind.POINT_TO_POINT if len(set(points)) == 2 else LinkKind.BUS
+            else:
+                inferred = LinkKind(kind)
+            built = Link(str(link), frozenset(points), inferred)
+        for endpoint in built.endpoints:
+            if endpoint not in self._processors:
+                raise ArchitectureError(
+                    f"link {built.name!r} references unknown processor {endpoint!r}"
+                )
+        if built.name in self._links:
+            raise ArchitectureError(f"duplicate link name {built.name!r}")
+        self._links[built.name] = built
+        self._routes.clear()
+        return built
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, name: object) -> bool:
+        return name in self._processors
+
+    def __len__(self) -> int:
+        return len(self._processors)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.processor_names())
+
+    def processor(self, name: str) -> Processor:
+        """The processor registered under ``name``."""
+        try:
+            return self._processors[name]
+        except KeyError:
+            raise ArchitectureError(f"unknown processor {name!r}") from None
+
+    def processor_names(self) -> tuple[str, ...]:
+        """All processor names, sorted for determinism."""
+        return tuple(sorted(self._processors))
+
+    def processors(self) -> tuple[Processor, ...]:
+        """All processors, sorted by name."""
+        return tuple(self._processors[n] for n in self.processor_names())
+
+    def link(self, name: str) -> Link:
+        """The link registered under ``name``."""
+        try:
+            return self._links[name]
+        except KeyError:
+            raise ArchitectureError(f"unknown link {name!r}") from None
+
+    def link_names(self) -> tuple[str, ...]:
+        """All link names, sorted for determinism."""
+        return tuple(sorted(self._links))
+
+    def links(self) -> tuple[Link, ...]:
+        """All links, sorted by name."""
+        return tuple(self._links[n] for n in self.link_names())
+
+    def links_of(self, processor: str) -> tuple[Link, ...]:
+        """Links on which ``processor`` has a communication unit."""
+        self.processor(processor)
+        return tuple(l for l in self.links() if l.attaches(processor))
+
+    def links_between(self, first: str, second: str) -> tuple[Link, ...]:
+        """All direct links joining two distinct processors, sorted."""
+        self.processor(first)
+        self.processor(second)
+        if first == second:
+            return ()
+        return tuple(l for l in self.links() if l.connects(first, second))
+
+    def neighbors(self, processor: str) -> tuple[str, ...]:
+        """Processors directly reachable from ``processor``."""
+        reachable: set[str] = set()
+        for link in self.links_of(processor):
+            reachable.update(link.endpoints)
+        reachable.discard(processor)
+        return tuple(sorted(reachable))
+
+    def is_fully_connected(self) -> bool:
+        """True when every processor pair has a direct link."""
+        names = self.processor_names()
+        return all(
+            self.links_between(a, b)
+            for i, a in enumerate(names)
+            for b in names[i + 1:]
+        )
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def route(self, source: str, target: str) -> tuple[Link, ...]:
+        """A shortest (fewest hops) sequence of links from source to target.
+
+        Returns the empty tuple for ``source == target``.  Direct links
+        win; among equal-length routes the lexicographically smallest
+        link-name sequence is chosen, which keeps scheduling reproducible.
+        Raises :class:`~repro.exceptions.ArchitectureError` when no route
+        exists.
+        """
+        self.processor(source)
+        self.processor(target)
+        if source == target:
+            return ()
+        cached = self._routes.get((source, target))
+        if cached is not None:
+            return cached
+        route = self._compute_route(source, target)
+        self._routes[(source, target)] = route
+        return route
+
+    def _compute_route(self, source: str, target: str) -> tuple[Link, ...]:
+        # BFS over processors, expanding neighbours in sorted (processor,
+        # link) order so the first route found is the deterministic winner.
+        parents: dict[str, tuple[str, Link]] = {}
+        frontier = [source]
+        seen = {source}
+        while frontier:
+            next_frontier: list[str] = []
+            for here in frontier:
+                for link in self.links_of(here):
+                    for neighbor in link.sorted_endpoints():
+                        if neighbor == here or neighbor in seen:
+                            continue
+                        seen.add(neighbor)
+                        parents[neighbor] = (here, link)
+                        next_frontier.append(neighbor)
+            if target in seen:
+                break
+            frontier = sorted(next_frontier)
+        if target not in parents:
+            raise ArchitectureError(f"no route from {source!r} to {target!r}")
+        hops: list[Link] = []
+        cursor = target
+        while cursor != source:
+            cursor, link = parents[cursor]
+            hops.append(link)
+        return tuple(reversed(hops))
+
+    def route_hops(self, source: str, target: str) -> tuple[tuple[str, Link, str], ...]:
+        """The shortest route as ``(from_processor, link, to_processor)`` hops.
+
+        Multi-hop communications need the relay processors, not just the
+        links; this returns both.  Empty for ``source == target``.
+        """
+        links = self.route(source, target)
+        hops: list[tuple[str, Link, str]] = []
+        here = source
+        remaining = [target]
+        # Recompute the node sequence by walking the links: each link of a
+        # BFS shortest route moves strictly closer to the target, and the
+        # next node is the unique endpoint that continues the route.
+        for index, link in enumerate(links):
+            if index == len(links) - 1:
+                nxt = target
+            else:
+                candidates = [e for e in link.sorted_endpoints() if e != here]
+                nxt = None
+                for candidate in candidates:
+                    tail = self.route(candidate, target)
+                    if len(tail) == len(links) - index - 1:
+                        nxt = candidate
+                        break
+                if nxt is None:  # pragma: no cover - defensive
+                    raise ArchitectureError(
+                        f"cannot reconstruct route {source!r}->{target!r}"
+                    )
+            hops.append((here, link, nxt))
+            here = nxt
+        del remaining
+        return tuple(hops)
+
+    def hop_count(self, source: str, target: str) -> int:
+        """Number of links on the shortest route between two processors."""
+        return len(self.route(source, target))
+
+    # ------------------------------------------------------------------
+    # validation / export
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants: non-empty and connected."""
+        if not self._processors:
+            raise ArchitectureError(f"architecture {self.name!r} has no processor")
+        if len(self._processors) == 1:
+            return
+        names = self.processor_names()
+        root = names[0]
+        for other in names[1:]:
+            try:
+                self.route(root, other)
+            except ArchitectureError:
+                raise ArchitectureError(
+                    f"architecture {self.name!r} is disconnected: "
+                    f"no route from {root!r} to {other!r}"
+                ) from None
+
+    def to_networkx(self) -> nx.Graph:
+        """A multigraph view: processor nodes, one edge per link pair."""
+        graph = nx.MultiGraph(name=self.name)
+        graph.add_nodes_from(self.processor_names())
+        for link in self.links():
+            ends = link.sorted_endpoints()
+            for i, a in enumerate(ends):
+                for b in ends[i + 1:]:
+                    graph.add_edge(a, b, key=link.name, link=link.name, kind=link.kind.value)
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"Architecture(name={self.name!r}, processors={len(self)}, "
+            f"links={len(self._links)})"
+        )

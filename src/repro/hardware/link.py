@@ -1,0 +1,98 @@
+"""Communication links of the architecture graph.
+
+The paper primarily targets point-to-point links (which allow parallel
+communications, section 4.4) but also discusses multi-point links (buses),
+on which replicated comms are serialised.  Both kinds are supported; a
+link is identified by name and knows the set of processors it connects.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+
+class LinkKind(str, enum.Enum):
+    """Point-to-point wire or multi-point bus."""
+
+    POINT_TO_POINT = "point-to-point"
+    BUS = "bus"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Link:
+    """A communication medium connecting two or more processors.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within one architecture.
+    endpoints:
+        Names of the processors reachable through the link.  A
+        point-to-point link has exactly two; a bus has two or more.
+    kind:
+        :class:`LinkKind`; inferred as point-to-point for two endpoints
+        unless stated otherwise.
+
+    Examples
+    --------
+    >>> link = Link.between("L1.2", "P1", "P2")
+    >>> link.connects("P1", "P2")
+    True
+    """
+
+    name: str
+    endpoints: frozenset[str]
+    kind: LinkKind = LinkKind.POINT_TO_POINT
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("link name must be a non-empty string")
+        if not isinstance(self.endpoints, frozenset):
+            object.__setattr__(self, "endpoints", frozenset(self.endpoints))
+        if not isinstance(self.kind, LinkKind):
+            object.__setattr__(self, "kind", LinkKind(self.kind))
+        if self.kind is LinkKind.POINT_TO_POINT and len(self.endpoints) != 2:
+            raise ValueError(
+                f"point-to-point link {self.name!r} needs exactly 2 endpoints, "
+                f"got {sorted(self.endpoints)}"
+            )
+        if self.kind is LinkKind.BUS and len(self.endpoints) < 2:
+            raise ValueError(f"bus {self.name!r} needs at least 2 endpoints")
+
+    @classmethod
+    def between(cls, name: str, first: str, second: str) -> "Link":
+        """Convenience constructor for a point-to-point link."""
+        return cls(name, frozenset({first, second}), LinkKind.POINT_TO_POINT)
+
+    @classmethod
+    def bus(cls, name: str, endpoints: Iterable[str]) -> "Link":
+        """Convenience constructor for a multi-point bus."""
+        return cls(name, frozenset(endpoints), LinkKind.BUS)
+
+    def connects(self, first: str, second: str) -> bool:
+        """True when both processors are endpoints of this link."""
+        return first in self.endpoints and second in self.endpoints
+
+    def attaches(self, processor: str) -> bool:
+        """True when ``processor`` has a communication unit on this link."""
+        return processor in self.endpoints
+
+    def is_point_to_point(self) -> bool:
+        """True for a two-endpoint dedicated wire."""
+        return self.kind is LinkKind.POINT_TO_POINT
+
+    def is_bus(self) -> bool:
+        """True for a shared multi-point medium."""
+        return self.kind is LinkKind.BUS
+
+    def sorted_endpoints(self) -> tuple[str, ...]:
+        """Endpoints in deterministic (sorted) order."""
+        return tuple(sorted(self.endpoints))
+
+    def __str__(self) -> str:
+        return self.name

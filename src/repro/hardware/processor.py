@@ -1,0 +1,32 @@
+"""Processor vertices of the architecture graph.
+
+Section 3.3: a processor is made of one computation unit, one local
+memory, and one or more communication units, each bound to one
+communication link.  At the model level we only need the identity; the
+number of communication units is derived from the links attached to the
+processor in the :class:`~repro.hardware.Architecture`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Processor:
+    """A computing site of the target architecture.
+
+    Examples
+    --------
+    >>> Processor("P1").name
+    'P1'
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("processor name must be a non-empty string")
+
+    def __str__(self) -> str:
+        return self.name

@@ -1,0 +1,104 @@
+"""Canned architecture topologies.
+
+The paper's experiments use a fully connected set of processors with
+point-to-point links (section 6: ``P = 4``); its predecessor papers used a
+single shared bus.  These helpers build the common shapes with
+deterministic names so tests and benchmarks can construct architectures
+in one line.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ArchitectureError
+from repro.hardware.architecture import Architecture
+from repro.hardware.link import Link
+
+
+def _processor_names(count: int, prefix: str) -> list[str]:
+    if count < 1:
+        raise ArchitectureError("an architecture needs at least one processor")
+    return [f"{prefix}{i + 1}" for i in range(count)]
+
+
+def fully_connected(
+    count: int,
+    prefix: str = "P",
+    link_prefix: str = "L",
+    name: str = "fully-connected",
+) -> Architecture:
+    """Every processor pair joined by a dedicated point-to-point link.
+
+    Link names follow the paper's ``L1.2`` convention.
+
+    >>> arc = fully_connected(3)
+    >>> arc.link_names()
+    ('L1.2', 'L1.3', 'L2.3')
+    """
+    arc = Architecture(name)
+    names = _processor_names(count, prefix)
+    for proc in names:
+        arc.add_processor(proc)
+    for i in range(count):
+        for j in range(i + 1, count):
+            arc.add_link(Link.between(f"{link_prefix}{i + 1}.{j + 1}", names[i], names[j]))
+    return arc
+
+
+def single_bus(
+    count: int,
+    prefix: str = "P",
+    bus_name: str = "BUS",
+    name: str = "single-bus",
+) -> Architecture:
+    """All processors on one shared multi-point bus (the [12, 13] setting)."""
+    arc = Architecture(name)
+    names = _processor_names(count, prefix)
+    for proc in names:
+        arc.add_processor(proc)
+    if count >= 2:
+        arc.add_link(Link.bus(bus_name, names))
+    return arc
+
+
+def ring(
+    count: int,
+    prefix: str = "P",
+    link_prefix: str = "L",
+    name: str = "ring",
+) -> Architecture:
+    """Processors joined in a cycle by point-to-point links."""
+    arc = Architecture(name)
+    names = _processor_names(count, prefix)
+    for proc in names:
+        arc.add_processor(proc)
+    if count == 2:
+        arc.add_link(Link.between(f"{link_prefix}1.2", names[0], names[1]))
+        return arc
+    for i in range(count):
+        if count > 1:
+            j = (i + 1) % count
+            lo, hi = sorted((i, j))
+            arc.add_link(Link.between(f"{link_prefix}{lo + 1}.{hi + 1}", names[lo], names[hi]))
+    return arc
+
+
+def star(
+    count: int,
+    prefix: str = "P",
+    link_prefix: str = "L",
+    hub: str | None = None,
+    name: str = "star",
+) -> Architecture:
+    """One hub processor with a dedicated link to every other processor."""
+    arc = Architecture(name)
+    names = _processor_names(count, prefix)
+    for proc in names:
+        arc.add_processor(proc)
+    center = hub if hub is not None else names[0]
+    if center not in names:
+        raise ArchitectureError(f"hub {center!r} is not one of the processors")
+    for proc in names:
+        if proc != center:
+            lo, hi = sorted((center, proc))
+            arc.add_link(Link.between(f"{link_prefix}{lo}.{hi}", lo, hi))
+    return arc

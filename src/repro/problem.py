@@ -1,0 +1,90 @@
+"""The full scheduling problem bundle.
+
+The paper's inputs are an algorithm graph ``Alg``, an architecture graph
+``Arc``, timing tables ``Exe`` (with distribution constraints ``Dis`` as
+``inf`` entries), real-time constraints ``Rtc`` and a failure hypothesis
+``Npf``.  :class:`ProblemSpec` groups them so schedulers, the CLI and the
+serializers all speak the same vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SchedulingError
+from repro.graphs.algorithm import AlgorithmGraph
+from repro.hardware.architecture import Architecture
+from repro.timing.comm_times import CommunicationTimes
+from repro.timing.constraints import RealTimeConstraints
+from repro.timing.exec_times import ExecutionTimes
+
+
+@dataclass
+class ProblemSpec:
+    """Everything the distribution heuristic needs (Figure 1 of the paper).
+
+    Parameters
+    ----------
+    algorithm:
+        The data-flow graph ``Alg``.
+    architecture:
+        The target distributed architecture ``Arc``.
+    exec_times:
+        Per-(operation, processor) durations; ``inf`` entries encode the
+        distribution constraints ``Dis``.
+    comm_times:
+        Per-(data-dependency, link) durations.
+    npf:
+        Number of fail-silent processor failures to tolerate.
+    rtc:
+        Optional real-time constraints ``Rtc``.
+    name:
+        Identifier used in reports and serialized documents.
+    """
+
+    algorithm: AlgorithmGraph
+    architecture: Architecture
+    exec_times: ExecutionTimes
+    comm_times: CommunicationTimes
+    npf: int = 0
+    rtc: RealTimeConstraints = field(default_factory=RealTimeConstraints)
+    name: str = "problem"
+
+    def __post_init__(self) -> None:
+        if self.npf < 0:
+            raise SchedulingError(f"npf must be >= 0, got {self.npf}")
+
+    @property
+    def replication_factor(self) -> int:
+        """Minimum number of replicas per operation: ``Npf + 1``."""
+        return self.npf + 1
+
+    def validate(self) -> None:
+        """Cross-check all the pieces of the problem.
+
+        Verifies the graphs individually, the completeness of both timing
+        tables, and that the architecture offers at least ``Npf + 1``
+        processors (otherwise no operation can be replicated enough).
+        """
+        self.algorithm.validate()
+        self.architecture.validate()
+        processors = self.architecture.processor_names()
+        if len(processors) < self.replication_factor:
+            raise SchedulingError(
+                f"{self.replication_factor} replicas required but architecture "
+                f"{self.architecture.name!r} only has {len(processors)} processors"
+            )
+        self.exec_times.validate_against(self.algorithm.operation_names(), processors)
+        links = self.architecture.link_names()
+        if links:
+            self.comm_times.validate_against(self.algorithm.dependencies(), links)
+        elif self.algorithm.dependencies() and len(processors) > 1:
+            raise SchedulingError(
+                "architecture has several processors but no communication link"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ProblemSpec(name={self.name!r}, operations={len(self.algorithm)}, "
+            f"processors={len(self.architecture)}, npf={self.npf})"
+        )

@@ -1,0 +1,30 @@
+"""Static schedule model: events, timelines, validation, rendering."""
+
+from repro.schedule.events import ScheduledComm, ScheduledOperation
+from repro.schedule.gantt import render_gantt, schedule_table
+from repro.schedule.graphviz import (
+    algorithm_to_dot,
+    architecture_to_dot,
+    schedule_to_dot,
+)
+from repro.schedule.schedule import Schedule, ScheduleSnapshot
+from repro.schedule.validation import (
+    ValidationReport,
+    assert_valid_schedule,
+    validate_schedule,
+)
+
+__all__ = [
+    "Schedule",
+    "ScheduleSnapshot",
+    "ScheduledComm",
+    "ScheduledOperation",
+    "ValidationReport",
+    "algorithm_to_dot",
+    "architecture_to_dot",
+    "assert_valid_schedule",
+    "render_gantt",
+    "schedule_table",
+    "schedule_to_dot",
+    "validate_schedule",
+]

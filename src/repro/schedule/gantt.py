@@ -1,0 +1,114 @@
+"""Text rendering of static schedules.
+
+Two complementary views are provided:
+
+* :func:`render_gantt` — an ASCII Gantt chart, one row per processor and
+  (optionally) per link, mirroring the figures of section 4.3;
+* :func:`schedule_table` — a plain event table (resource, event, start,
+  end), convenient in logs and easy to diff in tests.
+"""
+
+from __future__ import annotations
+
+from repro.schedule.schedule import Schedule
+
+
+def render_gantt(
+    schedule: Schedule,
+    width: int = 100,
+    with_links: bool = True,
+    time_ruler: bool = True,
+) -> str:
+    """Draw the schedule as an ASCII Gantt chart.
+
+    Every event paints a ``[label]`` box whose position and width are
+    proportional to its start date and duration.  Labels are truncated to
+    the box width; boxes of very short events degrade to a single ``#``.
+    """
+    if width < 20:
+        raise ValueError("width must be at least 20 columns")
+    makespan = schedule.makespan()
+    label_width = max(
+        [len(n) for n in schedule.processor_names()]
+        + [len(n) for n in schedule.link_names()]
+        + [4]
+    )
+    canvas_width = width - label_width - 2
+    lines: list[str] = []
+    if makespan <= 0:
+        return "(empty schedule)"
+    scale = canvas_width / makespan
+
+    def paint(events, label_of) -> str:
+        canvas = [" "] * canvas_width
+        for event in events:
+            start = min(int(round(event.start * scale)), canvas_width - 1)
+            end = min(int(round(event.end * scale)), canvas_width)
+            span = max(end - start, 1)
+            text = label_of(event)
+            box = f"[{text}]" if span >= len(text) + 2 else "#" * span
+            box = box[:span].ljust(span, "=") if span >= 3 else box[:span]
+            for offset, char in enumerate(box):
+                if start + offset < canvas_width:
+                    canvas[start + offset] = char
+        return "".join(canvas)
+
+    for processor in schedule.processor_names():
+        row = paint(
+            schedule.operations_on(processor),
+            lambda e: f"{e.operation}/{e.replica}",
+        )
+        lines.append(f"{processor.ljust(label_width)} |{row}")
+    if with_links:
+        for link in schedule.link_names():
+            row = paint(
+                schedule.comms_on(link),
+                lambda e: f"{e.source}>{e.target}",
+            )
+            lines.append(f"{link.ljust(label_width)} |{row}")
+    if time_ruler:
+        ruler = _time_ruler(label_width, canvas_width, makespan)
+        lines.append(ruler)
+    return "\n".join(lines)
+
+
+def _time_ruler(label_width: int, canvas_width: int, makespan: float) -> str:
+    ruler = [" "] * canvas_width
+    ticks = 5
+    for i in range(ticks + 1):
+        position = min(int(round(i * canvas_width / ticks)), canvas_width - 1)
+        stamp = f"{makespan * i / ticks:.4g}"
+        for offset, char in enumerate(stamp):
+            if position + offset < canvas_width:
+                ruler[position + offset] = char
+    return " " * label_width + " |" + "".join(ruler)
+
+
+def schedule_table(schedule: Schedule) -> str:
+    """A sorted, aligned event table of the whole schedule."""
+    rows: list[tuple[str, str, float, float]] = []
+    for processor in schedule.processor_names():
+        for event in schedule.operations_on(processor):
+            marker = " (dup)" if event.duplicated else ""
+            rows.append(
+                (processor, f"{event.operation}/{event.replica}{marker}",
+                 event.start, event.end)
+            )
+    for link in schedule.link_names():
+        for comm in schedule.comms_on(link):
+            rows.append((link, comm.label(), comm.start, comm.end))
+    rows.sort(key=lambda r: (r[2], r[0], r[1]))
+    if not rows:
+        return "(empty schedule)"
+    resource_width = max(len(r[0]) for r in rows)
+    event_width = max(len(r[1]) for r in rows)
+    lines = [
+        f"{'resource'.ljust(resource_width)}  {'event'.ljust(event_width)}  "
+        f"{'start':>8}  {'end':>8}"
+    ]
+    for resource, event, start, end in rows:
+        lines.append(
+            f"{resource.ljust(resource_width)}  {event.ljust(event_width)}  "
+            f"{start:8.3f}  {end:8.3f}"
+        )
+    return "\n".join(lines)

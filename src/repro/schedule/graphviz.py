@@ -1,0 +1,105 @@
+"""Graphviz DOT export of the three graph views.
+
+Pure string builders (no graphviz dependency): the algorithm data-flow
+graph, the architecture graph and the schedule (operations clustered by
+processor, comms as inter-cluster edges).  Render with e.g.::
+
+    ftbar schedule problem.json --dot out.dot
+    dot -Tsvg out.dot -o out.svg
+"""
+
+from __future__ import annotations
+
+from repro.graphs.algorithm import AlgorithmGraph
+from repro.graphs.operations import OperationKind
+from repro.hardware.architecture import Architecture
+from repro.schedule.schedule import Schedule
+
+_KIND_SHAPES = {
+    OperationKind.COMPUTATION: "box",
+    OperationKind.MEMORY: "cylinder",
+    OperationKind.EXTERNAL_IO: "ellipse",
+}
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '\\"') + '"'
+
+
+def algorithm_to_dot(algorithm: AlgorithmGraph) -> str:
+    """The data-flow graph; node shape encodes the operation kind."""
+    lines = [f"digraph {_quote(algorithm.name)} {{", "  rankdir=TB;"]
+    for operation in algorithm.operations():
+        shape = _KIND_SHAPES[operation.kind]
+        lines.append(f"  {_quote(operation.name)} [shape={shape}];")
+    for source, target in algorithm.dependencies():
+        lines.append(f"  {_quote(source)} -> {_quote(target)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def architecture_to_dot(architecture: Architecture) -> str:
+    """The architecture; links are labelled undirected edges."""
+    lines = [f"graph {_quote(architecture.name)} {{", "  layout=circo;"]
+    for processor in architecture.processor_names():
+        lines.append(f"  {_quote(processor)} [shape=box3d];")
+    for link in architecture.links():
+        endpoints = link.sorted_endpoints()
+        if link.is_bus():
+            hub = f"bus_{link.name}"
+            lines.append(
+                f"  {_quote(hub)} [shape=point, xlabel={_quote(link.name)}];"
+            )
+            for endpoint in endpoints:
+                lines.append(f"  {_quote(endpoint)} -- {_quote(hub)};")
+        else:
+            first, second = endpoints
+            lines.append(
+                f"  {_quote(first)} -- {_quote(second)} "
+                f"[label={_quote(link.name)}];"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def schedule_to_dot(schedule: Schedule) -> str:
+    """The schedule: one cluster per processor, comms across clusters.
+
+    Node labels carry the time window; intra-processor execution order
+    is drawn with invisible edges so Graphviz keeps the sequence.
+    """
+    lines = [f"digraph {_quote(schedule.name)} {{", "  rankdir=TB;",
+             "  node [shape=box];"]
+    node_ids: dict[tuple[str, int], str] = {}
+    for index, processor in enumerate(schedule.processor_names()):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f"    label={_quote(processor)};")
+        previous = None
+        for event in schedule.operations_on(processor):
+            node = f"{event.operation}_{event.replica}"
+            node_ids[(event.operation, event.replica)] = node
+            style = ", style=dashed" if event.duplicated else ""
+            newline = "\\n"
+            label = (
+                f"{event.operation}/{event.replica}{newline}"
+                f"[{event.start:g}, {event.end:g})"
+            )
+            lines.append(f"    {_quote(node)} [label={_quote(label)}{style}];")
+            if previous is not None:
+                lines.append(
+                    f"    {_quote(previous)} -> {_quote(node)} [style=invis];"
+                )
+            previous = node
+        lines.append("  }")
+    for comm in schedule.all_comms():
+        source = node_ids.get((comm.source, comm.source_replica))
+        target = node_ids.get((comm.target, comm.target_replica))
+        if source is None or target is None:
+            continue
+        label = f"{comm.link} [{comm.start:g}, {comm.end:g})"
+        lines.append(
+            f"  {_quote(source)} -> {_quote(target)} "
+            f"[label={_quote(label)}, constraint=false];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,322 @@
+"""The static distributed schedule: timelines per processor and per link.
+
+The schedule is the output of the distribution heuristic: a total order
+of operation replicas on every processor and of comms on every link
+(section 4.2 — the total order over each communication medium is what
+makes the execution deadlock-free on order-preserving networks).
+
+The class supports cheap snapshot/restore so ``Minimize_start_time`` can
+speculatively replicate predecessors and roll back when the replication
+does not pay off (step Ð of the paper's procedure).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.exceptions import ScheduleValidationError
+from repro.schedule.events import ScheduledComm, ScheduledOperation
+
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class ScheduleSnapshot:
+    """Opaque saved state for :meth:`Schedule.restore`."""
+
+    processor_timelines: Mapping[str, tuple[ScheduledOperation, ...]]
+    link_timelines: Mapping[str, tuple[ScheduledComm, ...]]
+    replicas: Mapping[str, tuple[ScheduledOperation, ...]]
+
+
+class Schedule:
+    """A static, distributed, possibly replicated schedule.
+
+    Parameters
+    ----------
+    processors:
+        Names of the processors of the target architecture.
+    links:
+        Names of the communication links.
+    npf:
+        The failure hypothesis the schedule was built for (0 for a
+        non-fault-tolerant schedule).
+    """
+
+    def __init__(
+        self,
+        processors: Iterable[str],
+        links: Iterable[str] = (),
+        npf: int = 0,
+        name: str = "schedule",
+    ) -> None:
+        self.name = name
+        self.npf = npf
+        self._processor_timelines: dict[str, list[ScheduledOperation]] = {
+            p: [] for p in processors
+        }
+        self._link_timelines: dict[str, list[ScheduledComm]] = {l: [] for l in links}
+        self._replicas: dict[str, list[ScheduledOperation]] = {}
+        if not self._processor_timelines:
+            raise ScheduleValidationError("a schedule needs at least one processor")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def place_operation(
+        self,
+        operation: str,
+        processor: str,
+        start: float,
+        duration: float,
+        duplicated: bool = False,
+    ) -> ScheduledOperation:
+        """Place a new replica of ``operation`` on ``processor``.
+
+        Rejects unknown processors, overlap with an already placed
+        replica on the same processor, and double placement of the same
+        operation on one processor (replicas live on *distinct*
+        processors by construction).
+        """
+        if processor not in self._processor_timelines:
+            raise ScheduleValidationError(f"unknown processor {processor!r}")
+        if any(r.processor == processor for r in self._replicas.get(operation, ())):
+            raise ScheduleValidationError(
+                f"operation {operation!r} already has a replica on {processor!r}"
+            )
+        replica_index = len(self._replicas.get(operation, ()))
+        event = ScheduledOperation(
+            start=start,
+            end=start + duration,
+            operation=operation,
+            replica=replica_index,
+            processor=processor,
+            duplicated=duplicated,
+        )
+        timeline = self._processor_timelines[processor]
+        self._insert(timeline, event, f"processor {processor!r}")
+        self._replicas.setdefault(operation, []).append(event)
+        return event
+
+    def place_comm(
+        self,
+        source: str,
+        target: str,
+        source_replica: int,
+        target_replica: int,
+        link: str,
+        start: float,
+        duration: float,
+        source_processor: str,
+        target_processor: str,
+        hop_index: int = 0,
+    ) -> ScheduledComm:
+        """Place a data transfer on a link; rejects overlaps on the link."""
+        if link not in self._link_timelines:
+            raise ScheduleValidationError(f"unknown link {link!r}")
+        event = ScheduledComm(
+            start=start,
+            end=start + duration,
+            source=source,
+            target=target,
+            source_replica=source_replica,
+            target_replica=target_replica,
+            link=link,
+            source_processor=source_processor,
+            target_processor=target_processor,
+            hop_index=hop_index,
+        )
+        self._insert(self._link_timelines[link], event, f"link {link!r}")
+        return event
+
+    @staticmethod
+    def _insert(timeline: list, event, resource: str) -> None:
+        index = bisect.bisect_left(timeline, event)
+        before = timeline[index - 1] if index > 0 else None
+        after = timeline[index] if index < len(timeline) else None
+        if before is not None and before.end > event.start + _EPSILON:
+            raise ScheduleValidationError(
+                f"{event!r} overlaps {before!r} on {resource}"
+            )
+        if after is not None and event.end > after.start + _EPSILON:
+            raise ScheduleValidationError(
+                f"{event!r} overlaps {after!r} on {resource}"
+            )
+        timeline.insert(index, event)
+
+    # ------------------------------------------------------------------
+    # snapshot / rollback
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ScheduleSnapshot:
+        """Capture the current state; events are immutable so this is cheap."""
+        return ScheduleSnapshot(
+            processor_timelines={
+                p: tuple(t) for p, t in self._processor_timelines.items()
+            },
+            link_timelines={l: tuple(t) for l, t in self._link_timelines.items()},
+            replicas={o: tuple(r) for o, r in self._replicas.items()},
+        )
+
+    def restore(self, saved: ScheduleSnapshot) -> None:
+        """Roll the schedule back to a previously captured snapshot."""
+        self._processor_timelines = {
+            p: list(t) for p, t in saved.processor_timelines.items()
+        }
+        self._link_timelines = {l: list(t) for l, t in saved.link_timelines.items()}
+        self._replicas = {o: list(r) for o, r in saved.replicas.items()}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def processor_names(self) -> tuple[str, ...]:
+        """Processors of the schedule, sorted."""
+        return tuple(sorted(self._processor_timelines))
+
+    def link_names(self) -> tuple[str, ...]:
+        """Links of the schedule, sorted."""
+        return tuple(sorted(self._link_timelines))
+
+    def operations_on(self, processor: str) -> tuple[ScheduledOperation, ...]:
+        """The static execution order of ``processor``."""
+        try:
+            return tuple(self._processor_timelines[processor])
+        except KeyError:
+            raise ScheduleValidationError(f"unknown processor {processor!r}") from None
+
+    def comms_on(self, link: str) -> tuple[ScheduledComm, ...]:
+        """The static transmission order of ``link``."""
+        try:
+            return tuple(self._link_timelines[link])
+        except KeyError:
+            raise ScheduleValidationError(f"unknown link {link!r}") from None
+
+    def replicas_of(self, operation: str) -> tuple[ScheduledOperation, ...]:
+        """All placed replicas of ``operation`` in placement order."""
+        return tuple(self._replicas.get(operation, ()))
+
+    def replica(self, operation: str, index: int) -> ScheduledOperation:
+        """The ``index``-th replica of ``operation``."""
+        replicas = self.replicas_of(operation)
+        if index >= len(replicas):
+            raise ScheduleValidationError(
+                f"operation {operation!r} has no replica {index}"
+            )
+        return replicas[index]
+
+    def replica_on(self, operation: str, processor: str) -> ScheduledOperation | None:
+        """The replica of ``operation`` hosted by ``processor``, if any."""
+        for event in self._replicas.get(operation, ()):
+            if event.processor == processor:
+                return event
+        return None
+
+    def scheduled_operations(self) -> tuple[str, ...]:
+        """Names of all operations having at least one replica, sorted."""
+        return tuple(sorted(self._replicas))
+
+    def is_scheduled(self, operation: str) -> bool:
+        """True when the operation has at least one replica."""
+        return operation in self._replicas
+
+    def all_operations(self) -> tuple[ScheduledOperation, ...]:
+        """Every placed replica, ordered by (start, end, name...)."""
+        events: list[ScheduledOperation] = []
+        for timeline in self._processor_timelines.values():
+            events.extend(timeline)
+        return tuple(sorted(events))
+
+    def all_comms(self) -> tuple[ScheduledComm, ...]:
+        """Every placed comm, ordered by (start, end, ...)."""
+        events: list[ScheduledComm] = []
+        for timeline in self._link_timelines.values():
+            events.extend(timeline)
+        return tuple(sorted(events))
+
+    def comms_toward(self, operation: str, replica: int) -> tuple[ScheduledComm, ...]:
+        """All final-hop comms delivering data to one operation replica."""
+        result = [
+            c
+            for c in self.all_comms()
+            if c.target == operation and c.target_replica == replica
+        ]
+        return tuple(result)
+
+    def comms_for_edge(self, source: str, target: str) -> tuple[ScheduledComm, ...]:
+        """All comms implementing the data-dependency ``source . target``."""
+        return tuple(c for c in self.all_comms() if c.edge == (source, target))
+
+    # ------------------------------------------------------------------
+    # resource availability (append-only list scheduling)
+    # ------------------------------------------------------------------
+    def processor_available(self, processor: str) -> float:
+        """End of the last operation currently placed on ``processor``."""
+        timeline = self._processor_timelines.get(processor)
+        if timeline is None:
+            raise ScheduleValidationError(f"unknown processor {processor!r}")
+        return timeline[-1].end if timeline else 0.0
+
+    def link_available(self, link: str) -> float:
+        """End of the last comm currently placed on ``link``."""
+        timeline = self._link_timelines.get(link)
+        if timeline is None:
+            raise ScheduleValidationError(f"unknown link {link!r}")
+        return timeline[-1].end if timeline else 0.0
+
+    def link_gaps(self, link: str) -> tuple[tuple[float, float], ...]:
+        """Idle intervals of ``link`` before its last comm (for insertion)."""
+        timeline = self._link_timelines.get(link)
+        if timeline is None:
+            raise ScheduleValidationError(f"unknown link {link!r}")
+        gaps: list[tuple[float, float]] = []
+        cursor = 0.0
+        for event in timeline:
+            if event.start > cursor + _EPSILON:
+                gaps.append((cursor, event.start))
+            cursor = max(cursor, event.end)
+        return tuple(gaps)
+
+    # ------------------------------------------------------------------
+    # aggregate measures
+    # ------------------------------------------------------------------
+    def makespan(self) -> float:
+        """Completion date of the whole schedule (0 when empty)."""
+        latest = 0.0
+        for timeline in self._processor_timelines.values():
+            if timeline:
+                latest = max(latest, timeline[-1].end)
+        for timeline in self._link_timelines.values():
+            if timeline:
+                latest = max(latest, timeline[-1].end)
+        return latest
+
+    def replica_count(self) -> int:
+        """Total number of placed operation replicas."""
+        return sum(len(r) for r in self._replicas.values())
+
+    def comm_count(self) -> int:
+        """Total number of placed comms."""
+        return sum(len(t) for t in self._link_timelines.values())
+
+    def duplicated_count(self) -> int:
+        """Number of extra replicas created by LIP duplication."""
+        return sum(
+            1 for r in self._replicas.values() for e in r if e.duplicated
+        )
+
+    def summary(self) -> str:
+        """One-paragraph textual description of the schedule."""
+        return (
+            f"Schedule {self.name!r}: {self.replica_count()} replicas of "
+            f"{len(self._replicas)} operations on {len(self._processor_timelines)} "
+            f"processors, {self.comm_count()} comms on "
+            f"{len(self._link_timelines)} links, npf={self.npf}, "
+            f"makespan={self.makespan():g}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule(name={self.name!r}, replicas={self.replica_count()}, "
+            f"comms={self.comm_count()}, makespan={self.makespan():g})"
+        )

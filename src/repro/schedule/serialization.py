@@ -1,0 +1,327 @@
+"""JSON (de)serialization of every model in the library.
+
+All converters go through plain ``dict``/``list`` documents so they can
+be written with the standard :mod:`json` module.  Infinite execution
+times (the ``Dis`` constraints) are encoded as the string ``"inf"``
+because strict JSON has no infinity literal.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.exceptions import SerializationError
+from repro.graphs.algorithm import AlgorithmGraph
+from repro.hardware.architecture import Architecture
+from repro.hardware.link import Link, LinkKind
+from repro.problem import ProblemSpec
+from repro.schedule.schedule import Schedule
+from repro.timing.comm_times import CommunicationTimes
+from repro.timing.constraints import RealTimeConstraints
+from repro.timing.exec_times import ExecutionTimes
+
+_FORMAT_VERSION = 1
+
+
+def _encode_time(value: float) -> float | str:
+    return "inf" if math.isinf(value) else value
+
+
+def _decode_time(value: Any) -> float:
+    if value == "inf":
+        return math.inf
+    if isinstance(value, (int, float)):
+        return float(value)
+    raise SerializationError(f"invalid time value {value!r}")
+
+
+# ----------------------------------------------------------------------
+# algorithm
+# ----------------------------------------------------------------------
+
+def algorithm_to_dict(algorithm: AlgorithmGraph) -> dict:
+    """Serialize an algorithm graph to a JSON-compatible document."""
+    return {
+        "name": algorithm.name,
+        "operations": [
+            {"name": op.name, "kind": op.kind.value}
+            for op in algorithm.operations()
+        ],
+        "dependencies": [
+            {
+                "source": source,
+                "target": target,
+                "data_size": algorithm.data_size(source, target),
+            }
+            for source, target in algorithm.dependencies()
+        ],
+    }
+
+
+def algorithm_from_dict(document: Mapping) -> AlgorithmGraph:
+    """Rebuild an algorithm graph from its document form."""
+    try:
+        graph = AlgorithmGraph(document.get("name", "algorithm"))
+        for entry in document["operations"]:
+            graph.add_operation(entry["name"], entry.get("kind", "comp"))
+        for entry in document.get("dependencies", []):
+            graph.add_dependency(
+                entry["source"], entry["target"], entry.get("data_size", 1.0)
+            )
+        return graph
+    except (KeyError, TypeError) as error:
+        raise SerializationError(f"invalid algorithm document: {error}") from error
+
+
+# ----------------------------------------------------------------------
+# architecture
+# ----------------------------------------------------------------------
+
+def architecture_to_dict(architecture: Architecture) -> dict:
+    """Serialize an architecture graph to a JSON-compatible document."""
+    return {
+        "name": architecture.name,
+        "processors": list(architecture.processor_names()),
+        "links": [
+            {
+                "name": link.name,
+                "endpoints": list(link.sorted_endpoints()),
+                "kind": link.kind.value,
+            }
+            for link in architecture.links()
+        ],
+    }
+
+
+def architecture_from_dict(document: Mapping) -> Architecture:
+    """Rebuild an architecture from its document form."""
+    try:
+        architecture = Architecture(document.get("name", "architecture"))
+        for processor in document["processors"]:
+            architecture.add_processor(processor)
+        for entry in document.get("links", []):
+            architecture.add_link(
+                Link(
+                    entry["name"],
+                    frozenset(entry["endpoints"]),
+                    LinkKind(entry.get("kind", "point-to-point")),
+                )
+            )
+        return architecture
+    except (KeyError, TypeError, ValueError) as error:
+        raise SerializationError(f"invalid architecture document: {error}") from error
+
+
+# ----------------------------------------------------------------------
+# timing
+# ----------------------------------------------------------------------
+
+def exec_times_to_dict(table: ExecutionTimes) -> dict:
+    """Serialize an execution-time table (``inf`` becomes ``"inf"``)."""
+    return {
+        "entries": [
+            {"operation": op, "processor": proc, "time": _encode_time(duration)}
+            for (op, proc), duration in sorted(table.entries().items())
+        ]
+    }
+
+
+def exec_times_from_dict(document: Mapping) -> ExecutionTimes:
+    """Rebuild an execution-time table from its document form."""
+    try:
+        table = ExecutionTimes()
+        for entry in document["entries"]:
+            table.set(
+                entry["operation"], entry["processor"], _decode_time(entry["time"])
+            )
+        return table
+    except (KeyError, TypeError) as error:
+        raise SerializationError(f"invalid exec-times document: {error}") from error
+
+
+def comm_times_to_dict(table: CommunicationTimes) -> dict:
+    """Serialize a communication-time table."""
+    return {
+        "entries": [
+            {
+                "source": edge[0],
+                "target": edge[1],
+                "link": link,
+                "time": duration,
+            }
+            for (edge, link), duration in sorted(table.entries().items())
+        ]
+    }
+
+
+def comm_times_from_dict(document: Mapping) -> CommunicationTimes:
+    """Rebuild a communication-time table from its document form."""
+    try:
+        table = CommunicationTimes()
+        for entry in document["entries"]:
+            table.set(
+                (entry["source"], entry["target"]),
+                entry["link"],
+                _decode_time(entry["time"]),
+            )
+        return table
+    except (KeyError, TypeError) as error:
+        raise SerializationError(f"invalid comm-times document: {error}") from error
+
+
+def rtc_to_dict(rtc: RealTimeConstraints) -> dict:
+    """Serialize real-time constraints."""
+    return {
+        "global_deadline": rtc.global_deadline,
+        "operation_deadlines": dict(rtc.operation_deadlines),
+    }
+
+
+def rtc_from_dict(document: Mapping) -> RealTimeConstraints:
+    """Rebuild real-time constraints from their document form."""
+    try:
+        return RealTimeConstraints(
+            global_deadline=document.get("global_deadline"),
+            operation_deadlines=dict(document.get("operation_deadlines", {})),
+        )
+    except (TypeError, AttributeError) as error:
+        raise SerializationError(f"invalid rtc document: {error}") from error
+
+
+# ----------------------------------------------------------------------
+# problem
+# ----------------------------------------------------------------------
+
+def problem_to_dict(problem: ProblemSpec) -> dict:
+    """Serialize a full scheduling problem."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": problem.name,
+        "npf": problem.npf,
+        "algorithm": algorithm_to_dict(problem.algorithm),
+        "architecture": architecture_to_dict(problem.architecture),
+        "exec_times": exec_times_to_dict(problem.exec_times),
+        "comm_times": comm_times_to_dict(problem.comm_times),
+        "rtc": rtc_to_dict(problem.rtc),
+    }
+
+
+def problem_from_dict(document: Mapping) -> ProblemSpec:
+    """Rebuild a full scheduling problem from its document form."""
+    try:
+        return ProblemSpec(
+            name=document.get("name", "problem"),
+            npf=int(document.get("npf", 0)),
+            algorithm=algorithm_from_dict(document["algorithm"]),
+            architecture=architecture_from_dict(document["architecture"]),
+            exec_times=exec_times_from_dict(document["exec_times"]),
+            comm_times=comm_times_from_dict(document["comm_times"]),
+            rtc=rtc_from_dict(document.get("rtc", {})),
+        )
+    except KeyError as error:
+        raise SerializationError(f"invalid problem document: {error}") from error
+
+
+# ----------------------------------------------------------------------
+# schedule
+# ----------------------------------------------------------------------
+
+def schedule_to_dict(schedule: Schedule) -> dict:
+    """Serialize a static schedule with all its events."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": schedule.name,
+        "npf": schedule.npf,
+        "processors": list(schedule.processor_names()),
+        "links": list(schedule.link_names()),
+        "operations": [
+            {
+                "operation": e.operation,
+                "replica": e.replica,
+                "processor": e.processor,
+                "start": e.start,
+                "end": e.end,
+                "duplicated": e.duplicated,
+            }
+            for e in schedule.all_operations()
+        ],
+        "comms": [
+            {
+                "source": c.source,
+                "target": c.target,
+                "source_replica": c.source_replica,
+                "target_replica": c.target_replica,
+                "link": c.link,
+                "start": c.start,
+                "end": c.end,
+                "source_processor": c.source_processor,
+                "target_processor": c.target_processor,
+                "hop_index": c.hop_index,
+            }
+            for c in schedule.all_comms()
+        ],
+    }
+
+
+def schedule_from_dict(document: Mapping) -> Schedule:
+    """Rebuild a static schedule from its document form.
+
+    Replica indices are re-derived from placement order, so the document
+    must list operations sorted by start date (which
+    :func:`schedule_to_dict` guarantees).
+    """
+    try:
+        schedule = Schedule(
+            processors=document["processors"],
+            links=document.get("links", []),
+            npf=int(document.get("npf", 0)),
+            name=document.get("name", "schedule"),
+        )
+        events = sorted(
+            document.get("operations", []),
+            key=lambda e: (e["operation"], e["replica"]),
+        )
+        for entry in events:
+            schedule.place_operation(
+                entry["operation"],
+                entry["processor"],
+                entry["start"],
+                entry["end"] - entry["start"],
+                duplicated=bool(entry.get("duplicated", False)),
+            )
+        for entry in document.get("comms", []):
+            schedule.place_comm(
+                entry["source"],
+                entry["target"],
+                int(entry["source_replica"]),
+                int(entry["target_replica"]),
+                entry["link"],
+                entry["start"],
+                entry["end"] - entry["start"],
+                entry["source_processor"],
+                entry["target_processor"],
+                hop_index=int(entry.get("hop_index", 0)),
+            )
+        return schedule
+    except (KeyError, TypeError) as error:
+        raise SerializationError(f"invalid schedule document: {error}") from error
+
+
+# ----------------------------------------------------------------------
+# file helpers
+# ----------------------------------------------------------------------
+
+def save_json(document: Mapping, path: str | Path) -> None:
+    """Write a document as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))
+
+
+def load_json(path: str | Path) -> dict:
+    """Read a JSON document from disk."""
+    try:
+        return json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"invalid JSON in {path}: {error}") from error

@@ -1,0 +1,324 @@
+"""Structural validation of produced schedules.
+
+The validator re-checks, independently of the scheduler, the invariants
+that make a schedule correct and fault-tolerant:
+
+* completeness — every operation of the algorithm is scheduled;
+* replication — at least ``Npf + 1`` replicas on distinct processors;
+* resource exclusivity — no overlap on any processor or link timeline;
+* timing faithfulness — durations match the ``Exe`` tables and no
+  distribution constraint is violated;
+* data coverage — every replica either has a co-located predecessor
+  replica or receives comms from at least ``Npf + 1`` distinct
+  processors (the paper's fault-tolerance argument, section 4.1);
+* time consistency — comms start after their producer ends, operations
+  start after their first complete input set; static times consistent
+  with the resource total orders are exactly the deadlock-freedom
+  certificate of section 4.2 (any time-ordered execution is legal).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import ScheduleValidationError
+from repro.graphs.algorithm import AlgorithmGraph
+from repro.hardware.architecture import Architecture
+from repro.schedule.events import ScheduledComm, ScheduledOperation
+from repro.schedule.schedule import Schedule
+from repro.timing.comm_times import CommunicationTimes
+from repro.timing.exec_times import ExecutionTimes
+
+_EPSILON = 1e-6
+
+
+@dataclass
+class ValidationReport:
+    """Accumulated validation issues; empty means the schedule is valid."""
+
+    issues: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no issue was recorded."""
+        return not self.issues
+
+    def add(self, message: str) -> None:
+        """Record one violation."""
+        self.issues.append(message)
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "schedule valid"
+        return "schedule invalid:\n" + "\n".join(f"  - {i}" for i in self.issues)
+
+
+def validate_schedule(
+    schedule: Schedule,
+    algorithm: AlgorithmGraph,
+    architecture: Architecture,
+    exec_times: ExecutionTimes,
+    comm_times: CommunicationTimes,
+    npf: int | None = None,
+    require_replication: bool = True,
+    require_direct_links: bool = False,
+) -> ValidationReport:
+    """Run every structural check and return the collected issues.
+
+    ``npf`` defaults to the schedule's own failure hypothesis.  With
+    ``require_direct_links`` the validator additionally rejects multi-hop
+    comms, because the paper's masking argument assumes replicas exchange
+    data over direct links.
+    """
+    report = ValidationReport()
+    hypothesis = schedule.npf if npf is None else npf
+    _check_completeness(report, schedule, algorithm, hypothesis, require_replication)
+    _check_placements(report, schedule, exec_times)
+    _check_resource_exclusivity(report, schedule)
+    _check_comms(
+        report, schedule, algorithm, architecture, comm_times, require_direct_links
+    )
+    _check_data_coverage(report, schedule, algorithm, hypothesis, require_replication)
+    return report
+
+
+def assert_valid_schedule(
+    schedule: Schedule,
+    algorithm: AlgorithmGraph,
+    architecture: Architecture,
+    exec_times: ExecutionTimes,
+    comm_times: CommunicationTimes,
+    npf: int | None = None,
+    require_replication: bool = True,
+    require_direct_links: bool = False,
+) -> None:
+    """Like :func:`validate_schedule` but raising on the first report."""
+    report = validate_schedule(
+        schedule,
+        algorithm,
+        architecture,
+        exec_times,
+        comm_times,
+        npf=npf,
+        require_replication=require_replication,
+        require_direct_links=require_direct_links,
+    )
+    if not report.ok:
+        raise ScheduleValidationError(str(report))
+
+
+# ----------------------------------------------------------------------
+# individual checks
+# ----------------------------------------------------------------------
+
+def _check_completeness(
+    report: ValidationReport,
+    schedule: Schedule,
+    algorithm: AlgorithmGraph,
+    npf: int,
+    require_replication: bool,
+) -> None:
+    required = npf + 1 if require_replication else 1
+    for operation in algorithm.operation_names():
+        replicas = schedule.replicas_of(operation)
+        if not replicas:
+            report.add(f"operation {operation!r} is not scheduled")
+            continue
+        if len(replicas) < required:
+            report.add(
+                f"operation {operation!r} has {len(replicas)} replicas, "
+                f"needs at least {required}"
+            )
+        processors = [r.processor for r in replicas]
+        if len(set(processors)) != len(processors):
+            report.add(
+                f"operation {operation!r} has several replicas on one "
+                f"processor: {sorted(processors)}"
+            )
+    for operation in schedule.scheduled_operations():
+        if operation not in algorithm:
+            report.add(f"scheduled operation {operation!r} is not in the algorithm")
+
+
+def _check_placements(
+    report: ValidationReport,
+    schedule: Schedule,
+    exec_times: ExecutionTimes,
+) -> None:
+    for event in schedule.all_operations():
+        try:
+            expected = exec_times.time_of(event.operation, event.processor)
+        except Exception:
+            report.add(
+                f"no execution time for {event.label()} — table incomplete"
+            )
+            continue
+        if math.isinf(expected):
+            report.add(
+                f"{event.label()} violates a distribution constraint "
+                f"(forbidden pair)"
+            )
+        elif abs(event.duration - expected) > _EPSILON:
+            report.add(
+                f"{event.label()} lasts {event.duration:g}, table says {expected:g}"
+            )
+        if event.start < -_EPSILON:
+            report.add(f"{event.label()} starts before time 0")
+
+
+def _check_resource_exclusivity(report: ValidationReport, schedule: Schedule) -> None:
+    for processor in schedule.processor_names():
+        _check_no_overlap(
+            report, schedule.operations_on(processor), f"processor {processor}"
+        )
+    for link in schedule.link_names():
+        _check_no_overlap(report, schedule.comms_on(link), f"link {link}")
+
+
+def _check_no_overlap(report: ValidationReport, events, resource: str) -> None:
+    for before, after in zip(events, events[1:]):
+        if before.end > after.start + _EPSILON:
+            report.add(
+                f"{resource}: {before.label()} (ends {before.end:g}) overlaps "
+                f"{after.label()} (starts {after.start:g})"
+            )
+
+
+def _check_comms(
+    report: ValidationReport,
+    schedule: Schedule,
+    algorithm: AlgorithmGraph,
+    architecture: Architecture,
+    comm_times: CommunicationTimes,
+    require_direct_links: bool,
+) -> None:
+    comms = schedule.all_comms()
+    for comm in comms:
+        if not algorithm.has_dependency(comm.source, comm.target):
+            report.add(f"comm {comm.label()} has no matching data-dependency")
+            continue
+        link = architecture.link(comm.link)
+        if not link.attaches(comm.source_processor):
+            report.add(
+                f"comm {comm.label()}: {comm.source_processor!r} is not on "
+                f"link {comm.link!r}"
+            )
+        if not link.attaches(comm.target_processor):
+            report.add(
+                f"comm {comm.label()}: {comm.target_processor!r} is not on "
+                f"link {comm.link!r}"
+            )
+        expected = comm_times.time_of(comm.edge, comm.link)
+        if abs(comm.duration - expected) > _EPSILON:
+            report.add(
+                f"comm {comm.label()} lasts {comm.duration:g}, "
+                f"table says {expected:g}"
+            )
+        if require_direct_links and comm.hop_index > 0:
+            report.add(
+                f"comm {comm.label()} is multi-hop (hop {comm.hop_index}); "
+                f"direct links required for the fault-tolerance guarantee"
+            )
+        if comm.hop_index == 0:
+            producer = schedule.replica_on(comm.source, comm.source_processor)
+            if producer is None:
+                report.add(
+                    f"comm {comm.label()} sent from {comm.source_processor!r} "
+                    f"where no replica of {comm.source!r} lives"
+                )
+            elif comm.start < producer.end - _EPSILON:
+                report.add(
+                    f"comm {comm.label()} starts at {comm.start:g} before its "
+                    f"producer ends at {producer.end:g}"
+                )
+        else:
+            previous = _previous_hop(comms, comm)
+            if previous is None:
+                report.add(f"comm {comm.label()} misses its hop {comm.hop_index - 1}")
+            elif comm.start < previous.end - _EPSILON:
+                report.add(
+                    f"comm {comm.label()} starts before its previous hop ends"
+                )
+
+
+def _previous_hop(comms, comm: ScheduledComm) -> ScheduledComm | None:
+    for other in comms:
+        if (
+            other.edge == comm.edge
+            and other.source_replica == comm.source_replica
+            and other.target_replica == comm.target_replica
+            and other.hop_index == comm.hop_index - 1
+        ):
+            return other
+    return None
+
+
+def _check_data_coverage(
+    report: ValidationReport,
+    schedule: Schedule,
+    algorithm: AlgorithmGraph,
+    npf: int,
+    require_replication: bool,
+) -> None:
+    required_sources = npf + 1 if require_replication else 1
+    for operation in algorithm.operation_names():
+        predecessors = algorithm.predecessors(operation)
+        for replica in schedule.replicas_of(operation):
+            ready = 0.0
+            for predecessor in predecessors:
+                arrival = _first_arrival(report, schedule, replica, predecessor,
+                                         required_sources)
+                if arrival is None:
+                    continue
+                ready = max(ready, arrival)
+            if replica.start < ready - _EPSILON:
+                report.add(
+                    f"{replica.label()} starts at {replica.start:g} before its "
+                    f"first complete input set at {ready:g}"
+                )
+
+
+def _first_arrival(
+    report: ValidationReport,
+    schedule: Schedule,
+    replica: ScheduledOperation,
+    predecessor: str,
+    required_sources: int,
+) -> float | None:
+    local = schedule.replica_on(predecessor, replica.processor)
+    if local is not None and local.end <= replica.start + _EPSILON:
+        # Intra-processor communication: not replicated, zero cost (§4.1).
+        # A co-located replica placed *after* this one (a later LIP
+        # duplication for another consumer) does not feed it — the data
+        # then arrives through comms like for any remote predecessor.
+        return local.end
+    deliveries = [
+        c
+        for c in schedule.comms_toward(replica.operation, replica.replica)
+        if c.source == predecessor and c.target_processor == replica.processor
+    ]
+    if not deliveries:
+        report.add(
+            f"{replica.label()} receives nothing for predecessor "
+            f"{predecessor!r} and has no local replica"
+        )
+        return None
+    producers: set[str] = set()
+    for comm in deliveries:
+        if comm.hop_index == 0:
+            producers.add(comm.source_processor)
+        else:
+            # Relayed delivery: the original producer is the processor of
+            # the sending replica, not the relay.
+            origin = schedule.replicas_of(predecessor)
+            if comm.source_replica < len(origin):
+                producers.add(origin[comm.source_replica].processor)
+    distinct = len(producers)
+    if distinct < required_sources:
+        report.add(
+            f"{replica.label()}: data of {predecessor!r} comes from only "
+            f"{distinct} processor(s), {required_sources} required to "
+            f"mask failures"
+        )
+    return min(c.end for c in deliveries)

@@ -1,0 +1,41 @@
+"""Runtime behaviour: failure scenarios and schedule replay (section 5)."""
+
+from repro.simulation.executor import (
+    DetectionPolicy,
+    ScheduleSimulator,
+    simulate,
+)
+from repro.simulation.failures import (
+    FailureScenario,
+    LinkFailure,
+    ProcessorFailure,
+)
+from repro.simulation.iterative import (
+    IterationOutcome,
+    IterativeSimulator,
+    IterativeTrace,
+    simulate_iterations,
+)
+from repro.simulation.trace import (
+    EventStatus,
+    ExecutionTrace,
+    SimulatedComm,
+    SimulatedOperation,
+)
+
+__all__ = [
+    "DetectionPolicy",
+    "EventStatus",
+    "ExecutionTrace",
+    "FailureScenario",
+    "IterationOutcome",
+    "IterativeSimulator",
+    "IterativeTrace",
+    "LinkFailure",
+    "ProcessorFailure",
+    "ScheduleSimulator",
+    "SimulatedComm",
+    "SimulatedOperation",
+    "simulate",
+    "simulate_iterations",
+]

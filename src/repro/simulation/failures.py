@@ -1,0 +1,259 @@
+"""Fail-silent failure scenarios (section 3.1 / section 5).
+
+A failure makes a processor silent: it produces no results and sends no
+comms while down.  Failures are *permanent* (``until = inf``) or
+*intermittent* (the processor recovers at ``until``).  A scenario is a
+set of failure intervals; the helpers answer the questions the simulator
+asks ("is P up at t?", "when can P next run for d time units?").
+
+Link failures are also modelled (a broken medium transmits nothing while
+down) even though FTBAR does **not** claim to tolerate them — the paper's
+conclusion lists link failures as future work, and simulating them lets
+the test-suite demonstrate both the limitation (a bus failure breaks the
+schedule) and the incidental robustness on fully connected topologies
+(parallel links give the replicated comms disjoint paths).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(frozen=True, order=True)
+class _Interval:
+    resource: str
+    at: float
+    until: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise SimulationError(
+                f"failure of {self.resource!r} at negative time {self.at!r}"
+            )
+        if self.until <= self.at:
+            raise SimulationError(
+                f"failure of {self.resource!r} recovers at {self.until!r} "
+                f"before failing at {self.at!r}"
+            )
+
+    @property
+    def permanent(self) -> bool:
+        """True when the resource never recovers."""
+        return math.isinf(self.until)
+
+    def covers(self, instant: float) -> bool:
+        """True when the resource is down at ``instant``."""
+        return self.at <= instant < self.until
+
+    def overlaps(self, start: float, end: float) -> bool:
+        """True when the down interval intersects ``[start, end)``."""
+        return self.at < end and start < self.until
+
+
+@dataclass(frozen=True, order=True)
+class ProcessorFailure(_Interval):
+    """One down interval ``[at, until)`` of one processor."""
+
+    @property
+    def processor(self) -> str:
+        """Name of the failing processor."""
+        return self.resource
+
+
+@dataclass(frozen=True, order=True)
+class LinkFailure(_Interval):
+    """One down interval ``[at, until)`` of one communication link."""
+
+    @property
+    def link(self) -> str:
+        """Name of the failing link."""
+        return self.resource
+
+
+class FailureScenario:
+    """A set of failure intervals, indexed by processor (and link).
+
+    Examples
+    --------
+    >>> scenario = FailureScenario.crash("P1", at=0.0)
+    >>> scenario.is_up("P1", 5.0)
+    False
+    >>> scenario.is_up("P2", 5.0)
+    True
+    """
+
+    def __init__(
+        self, failures: Iterable[ProcessorFailure | LinkFailure] = ()
+    ) -> None:
+        self._intervals: dict[str, list[ProcessorFailure]] = {}
+        self._link_intervals: dict[str, list[LinkFailure]] = {}
+        for failure in failures:
+            if isinstance(failure, LinkFailure):
+                self._link_intervals.setdefault(failure.link, []).append(failure)
+            else:
+                self._intervals.setdefault(failure.processor, []).append(failure)
+        for table in (self._intervals, self._link_intervals):
+            for intervals in table.values():
+                intervals.sort()
+                for before, after in zip(intervals, intervals[1:]):
+                    if before.overlaps(after.at, after.until):
+                        raise SimulationError(
+                            f"overlapping failure intervals for "
+                            f"{before.resource!r}: {before} and {after}"
+                        )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "FailureScenario":
+        """The nominal scenario: every processor healthy forever."""
+        return cls()
+
+    @classmethod
+    def crash(cls, processor: str, at: float = 0.0) -> "FailureScenario":
+        """One permanent fail-silent crash."""
+        return cls([ProcessorFailure(processor, at)])
+
+    @classmethod
+    def crashes(cls, processors: Iterable[str], at: float = 0.0) -> "FailureScenario":
+        """Several simultaneous permanent crashes."""
+        return cls([ProcessorFailure(p, at) for p in processors])
+
+    @classmethod
+    def intermittent(
+        cls, processor: str, at: float, until: float
+    ) -> "FailureScenario":
+        """One transient failure: down during ``[at, until)``."""
+        return cls([ProcessorFailure(processor, at, until)])
+
+    @classmethod
+    def link_down(
+        cls, link: str, at: float = 0.0, until: float = math.inf
+    ) -> "FailureScenario":
+        """One link failure (future-work territory: not masked by FTBAR)."""
+        return cls([LinkFailure(link, at, until)])
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[ProcessorFailure]:
+        for processor in sorted(self._intervals):
+            yield from self._intervals[processor]
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._intervals.values()) + sum(
+            len(v) for v in self._link_intervals.values()
+        )
+
+    def failed_processors(self) -> tuple[str, ...]:
+        """Processors having at least one down interval, sorted."""
+        return tuple(sorted(self._intervals))
+
+    def failed_links(self) -> tuple[str, ...]:
+        """Links having at least one down interval, sorted."""
+        return tuple(sorted(self._link_intervals))
+
+    def link_failures(self) -> tuple[LinkFailure, ...]:
+        """All link down intervals, sorted."""
+        return tuple(
+            failure
+            for link in sorted(self._link_intervals)
+            for failure in self._link_intervals[link]
+        )
+
+    def failure_count(self) -> int:
+        """Number of distinct processors that fail (the paper's ``k``)."""
+        return len(self._intervals)
+
+    def is_up(self, processor: str, instant: float) -> bool:
+        """True when ``processor`` is healthy at ``instant``."""
+        return not any(
+            f.covers(instant) for f in self._intervals.get(processor, ())
+        )
+
+    def up_during(self, processor: str, start: float, end: float) -> bool:
+        """True when ``processor`` is healthy over all of ``[start, end)``."""
+        return not any(
+            f.overlaps(start, end) for f in self._intervals.get(processor, ())
+        )
+
+    def resume_time(self, processor: str, instant: float) -> float:
+        """When the processor is next up, starting from ``instant``.
+
+        Returns ``instant`` itself when already up, ``inf`` when the
+        covering failure is permanent.
+        """
+        for failure in self._intervals.get(processor, ()):
+            if failure.covers(instant):
+                return failure.until
+        return instant
+
+    def next_crash_after(self, processor: str, instant: float) -> float:
+        """Start of the first down interval at or after ``instant`` (inf if none)."""
+        for failure in self._intervals.get(processor, ()):
+            if failure.at >= instant:
+                return failure.at
+            if failure.covers(instant):
+                return failure.at
+        return math.inf
+
+    def next_window(
+        self, processor: str, earliest: float, duration: float
+    ) -> float | None:
+        """Earliest ``start >= earliest`` with ``[start, start+duration)`` up.
+
+        Returns ``None`` when no such window exists (permanent failure).
+        """
+        return _next_window(
+            self._intervals.get(processor, ()), earliest, duration
+        )
+
+    # ------------------------------------------------------------------
+    # link queries
+    # ------------------------------------------------------------------
+    def link_is_up(self, link: str, instant: float) -> bool:
+        """True when ``link`` transmits at ``instant``."""
+        return not any(
+            f.covers(instant) for f in self._link_intervals.get(link, ())
+        )
+
+    def link_up_during(self, link: str, start: float, end: float) -> bool:
+        """True when ``link`` transmits over all of ``[start, end)``."""
+        return not any(
+            f.overlaps(start, end) for f in self._link_intervals.get(link, ())
+        )
+
+    def link_next_window(
+        self, link: str, earliest: float, duration: float
+    ) -> float | None:
+        """Earliest window of ``duration`` with the link up (None = never)."""
+        return _next_window(
+            self._link_intervals.get(link, ()), earliest, duration
+        )
+
+    def __repr__(self) -> str:
+        entries = list(self) + list(self.link_failures())
+        return f"FailureScenario({entries!r})"
+
+
+def _next_window(
+    intervals, earliest: float, duration: float
+) -> float | None:
+    """Shared window search over a sorted interval list."""
+    start = max(earliest, 0.0)
+    for _ in range(len(intervals) + 1):
+        blocker = next(
+            (f for f in intervals if f.overlaps(start, start + duration)),
+            None,
+        )
+        if blocker is None:
+            return start
+        if blocker.permanent:
+            return None
+        start = blocker.until
+    return start  # pragma: no cover - bounded by interval count

@@ -1,0 +1,198 @@
+"""Execution traces: what actually happened during a (faulty) run.
+
+The simulator re-times every event of the static schedule; each event
+gets a status:
+
+* ``COMPLETED`` — executed/transmitted, with its actual ``[start, end)``;
+* ``LOST`` — the hosting/sending processor was down (fail-silent);
+* ``SKIPPED`` — never attempted: the data never existed, or the failure
+  detector (option 2 of section 5) suppressed a send to a known-faulty
+  processor;
+* ``STARVED`` — an operation replica whose input set never completed
+  (only possible when more than ``Npf`` processors fail).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graphs.algorithm import AlgorithmGraph
+    from repro.timing.constraints import RealTimeConstraints
+
+
+class EventStatus(str, enum.Enum):
+    """Outcome of one event in a simulated execution."""
+
+    COMPLETED = "completed"
+    LOST = "lost"
+    SKIPPED = "skipped"
+    STARVED = "starved"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class SimulatedOperation:
+    """Actual outcome of one operation replica."""
+
+    operation: str
+    replica: int
+    processor: str
+    status: EventStatus
+    start: float | None = None
+    end: float | None = None
+
+    def label(self) -> str:
+        """Short identity, e.g. ``A/1@P3=completed``."""
+        return f"{self.operation}/{self.replica}@{self.processor}={self.status.value}"
+
+
+@dataclass(frozen=True)
+class SimulatedComm:
+    """Actual outcome of one comm (one hop)."""
+
+    source: str
+    target: str
+    source_replica: int
+    target_replica: int
+    link: str
+    source_processor: str
+    target_processor: str
+    hop_index: int
+    status: EventStatus
+    start: float | None = None
+    end: float | None = None
+    delivered: bool = False
+
+    def label(self) -> str:
+        """Short identity, e.g. ``I/0->A/1 on L1.3=completed``."""
+        return (
+            f"{self.source}/{self.source_replica}->{self.target}/"
+            f"{self.target_replica} on {self.link}={self.status.value}"
+        )
+
+
+class ExecutionTrace:
+    """All simulated events of one run plus convenience accessors."""
+
+    def __init__(
+        self,
+        operations: Iterable[SimulatedOperation],
+        comms: Iterable[SimulatedComm],
+        detections: dict[str, dict[str, float]] | None = None,
+    ) -> None:
+        self.operations = tuple(operations)
+        self.comms = tuple(comms)
+        #: Failure-detection knowledge: ``detections[p][q]`` is the time
+        #: at which processor ``p`` learned that ``q`` is faulty
+        #: (option 2 of section 5 only).
+        self.detections = detections or {}
+        self._by_replica = {
+            (o.operation, o.replica): o for o in self.operations
+        }
+
+    # ------------------------------------------------------------------
+    # event accessors
+    # ------------------------------------------------------------------
+    def operation_outcome(self, operation: str, replica: int) -> SimulatedOperation:
+        """The simulated outcome of one specific replica."""
+        return self._by_replica[(operation, replica)]
+
+    def outcomes_of(self, operation: str) -> tuple[SimulatedOperation, ...]:
+        """All simulated replicas of one operation."""
+        return tuple(
+            o for o in self.operations if o.operation == operation
+        )
+
+    def completed_operations(self) -> tuple[SimulatedOperation, ...]:
+        """Replicas that actually executed."""
+        return tuple(
+            o for o in self.operations if o.status is EventStatus.COMPLETED
+        )
+
+    def completed_comms(self) -> tuple[SimulatedComm, ...]:
+        """Comms that actually occupied their link."""
+        return tuple(
+            c for c in self.comms if c.status is EventStatus.COMPLETED
+        )
+
+    # ------------------------------------------------------------------
+    # aggregate measures
+    # ------------------------------------------------------------------
+    def makespan(self) -> float:
+        """Completion date of the degraded execution.
+
+        The latest end over every completed event (operations and
+        comms); 0.0 when nothing completed.
+        """
+        latest = 0.0
+        for operation in self.operations:
+            if operation.status is EventStatus.COMPLETED:
+                latest = max(latest, operation.end)
+        for comm in self.comms:
+            if comm.status is EventStatus.COMPLETED:
+                latest = max(latest, comm.end)
+        return latest
+
+    def first_completion(self, operation: str) -> float | None:
+        """Earliest completion among the replicas of ``operation``."""
+        ends = [
+            o.end
+            for o in self.outcomes_of(operation)
+            if o.status is EventStatus.COMPLETED
+        ]
+        return min(ends) if ends else None
+
+    def outputs_completion(self, algorithm: "AlgorithmGraph") -> float | None:
+        """When the last output operation delivers its first result.
+
+        ``None`` when some output never completes (the failure hypothesis
+        was exceeded).
+        """
+        latest = 0.0
+        for sink in algorithm.sinks():
+            first = self.first_completion(sink)
+            if first is None:
+                return None
+            latest = max(latest, first)
+        return latest
+
+    def all_operations_delivered(self, algorithm: "AlgorithmGraph") -> bool:
+        """True when every operation completed on at least one processor."""
+        return all(
+            self.first_completion(op) is not None
+            for op in algorithm.operation_names()
+        )
+
+    def starved_operations(self) -> tuple[SimulatedOperation, ...]:
+        """Replicas that blocked forever on a receive."""
+        return tuple(
+            o for o in self.operations if o.status is EventStatus.STARVED
+        )
+
+    def rtc_satisfied(self, rtc: "RealTimeConstraints") -> bool:
+        """Check the degraded completion date against the global deadline."""
+        makespan = self.makespan()
+        if math.isinf(makespan):
+            return False
+        return rtc.check_completion(makespan)
+
+    def summary(self) -> str:
+        """One-paragraph textual description of the run."""
+        counters: dict[EventStatus, int] = {}
+        for event in (*self.operations, *self.comms):
+            counters[event.status] = counters.get(event.status, 0) + 1
+        parts = ", ".join(
+            f"{status.value}={counters[status]}"
+            for status in EventStatus
+            if status in counters
+        )
+        return f"ExecutionTrace(makespan={self.makespan():g}, {parts})"
+
+    def __repr__(self) -> str:
+        return self.summary()

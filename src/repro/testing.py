@@ -1,0 +1,103 @@
+"""Hypothesis strategies for testing code built on this library.
+
+Downstream users who extend the scheduler (new cost functions, new
+baselines, new runtimes) need randomised problems with the same
+invariants our own property tests rely on.  This module packages those
+strategies; it requires ``hypothesis`` (part of the ``dev`` extra) and
+imports it lazily so the core library stays dependency-light.
+
+Example
+-------
+>>> from hypothesis import given
+>>> from repro.testing import problems
+>>> @given(problem=problems(max_operations=8))
+... def test_my_scheduler_is_sane(problem):
+...     ...
+"""
+
+from __future__ import annotations
+
+from repro.workloads.random_dag import RandomWorkloadConfig, generate_problem
+
+
+def _strategies():
+    try:
+        from hypothesis import strategies as st
+    except ImportError as error:  # pragma: no cover - dev extra installed here
+        raise ImportError(
+            "repro.testing needs hypothesis: pip install repro[dev]"
+        ) from error
+    return st
+
+
+def workload_configs(
+    max_operations: int = 12,
+    min_operations: int = 1,
+    processors: tuple[int, ...] = (2, 3, 4),
+    npf_values: tuple[int, ...] = (0, 1),
+    ccr_values: tuple[float, ...] = (0.1, 0.5, 1.0, 2.0, 5.0),
+    allow_heterogeneous: bool = True,
+):
+    """A strategy of :class:`~repro.workloads.RandomWorkloadConfig`.
+
+    Configurations always satisfy ``min(processors) >= max(npf) + 1`` is
+    *not* enforced — combine with a filter or pick compatible ranges if
+    your code requires feasible replication.
+    """
+    st = _strategies()
+
+    @st.composite
+    def build(draw) -> RandomWorkloadConfig:
+        heterogeneous = draw(st.booleans()) if allow_heterogeneous else False
+        return RandomWorkloadConfig(
+            operations=draw(
+                st.integers(min_value=min_operations, max_value=max_operations)
+            ),
+            ccr=draw(st.sampled_from(ccr_values)),
+            processors=draw(st.sampled_from(processors)),
+            npf=draw(st.sampled_from(npf_values)),
+            heterogeneous=heterogeneous,
+            seed=draw(st.integers(min_value=0, max_value=100_000)),
+        )
+
+    return build()
+
+
+def problems(
+    max_operations: int = 12,
+    min_operations: int = 1,
+    processors: tuple[int, ...] = (2, 3, 4),
+    npf_values: tuple[int, ...] = (0, 1),
+    ccr_values: tuple[float, ...] = (0.1, 0.5, 1.0, 2.0, 5.0),
+    allow_heterogeneous: bool = True,
+    feasible_only: bool = True,
+):
+    """A strategy of complete, schedulable :class:`~repro.ProblemSpec`.
+
+    With ``feasible_only`` (default) every generated problem has enough
+    processors for its ``Npf + 1`` replication.
+    """
+    st = _strategies()
+    configs = workload_configs(
+        max_operations=max_operations,
+        min_operations=min_operations,
+        processors=processors,
+        npf_values=npf_values,
+        ccr_values=ccr_values,
+        allow_heterogeneous=allow_heterogeneous,
+    )
+    if feasible_only:
+        configs = configs.filter(lambda c: c.processors >= c.npf + 1)
+    return configs.map(generate_problem)
+
+
+def algorithm_graphs(max_operations: int = 12, min_operations: int = 1):
+    """A strategy of random levelled :class:`~repro.AlgorithmGraph`."""
+    return problems(
+        max_operations=max_operations,
+        min_operations=min_operations,
+        npf_values=(0,),
+    ).map(lambda problem: problem.algorithm)
+
+
+__all__ = ["algorithm_graphs", "problems", "workload_configs"]

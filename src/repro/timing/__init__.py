@@ -1,0 +1,14 @@
+"""Timing characterisation: ``Exe``, ``Dis`` and ``Rtc`` (section 3.4)."""
+
+from repro.timing.comm_times import CommunicationTimes
+from repro.timing.constraints import RealTimeConstraints, RtcReport, RtcViolation
+from repro.timing.exec_times import FORBIDDEN, ExecutionTimes
+
+__all__ = [
+    "CommunicationTimes",
+    "ExecutionTimes",
+    "FORBIDDEN",
+    "RealTimeConstraints",
+    "RtcReport",
+    "RtcViolation",
+]

@@ -1,0 +1,167 @@
+"""Communication-time table for data-dependencies on links.
+
+Section 3.4: for inter-processor communications, ``Exe`` associates to
+each pair ``(data-dependency, communication link)`` the transmission time
+of that dependency on that link.  Intra-processor communication takes
+zero time and is not tabulated (the scheduler applies that rule itself).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import TimingError
+
+Edge = tuple[str, str]
+
+
+class CommunicationTimes:
+    """Table of per-``(data-dependency, link)`` transmission durations.
+
+    Examples
+    --------
+    >>> com = CommunicationTimes()
+    >>> com.set(("I", "A"), "L1.2", 1.75)
+    >>> com.time_of(("I", "A"), "L1.2")
+    1.75
+    """
+
+    def __init__(self, entries: Mapping[tuple[Edge, str], float] | None = None) -> None:
+        self._times: dict[tuple[Edge, str], float] = {}
+        if entries:
+            for (edge, link), duration in entries.items():
+                self.set(edge, link, duration)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def set(self, edge: Edge, link: str, duration: float) -> None:
+        """Record the duration of ``edge`` on ``link`` (must be > 0)."""
+        value = float(duration)
+        if not value > 0 or math.isinf(value):
+            raise TimingError(
+                f"communication time of {edge!r} on {link!r} must be a "
+                f"positive finite number, got {duration!r}"
+            )
+        self._times[(self._normalize(edge), link)] = value
+
+    @staticmethod
+    def _normalize(edge: Edge) -> Edge:
+        source, target = edge
+        return (str(source), str(target))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def time_of(self, edge: Edge, link: str) -> float:
+        """Transmission duration of ``edge`` on ``link``."""
+        try:
+            return self._times[(self._normalize(edge), link)]
+        except KeyError:
+            raise TimingError(
+                f"no communication time recorded for {edge!r} on {link!r}"
+            ) from None
+
+    def has_entry(self, edge: Edge, link: str) -> bool:
+        """True when the pair is tabulated."""
+        return (self._normalize(edge), link) in self._times
+
+    def average(self, edge: Edge, links: Iterable[str]) -> float:
+        """Mean duration over the given links (for static priorities)."""
+        durations = [self.time_of(edge, l) for l in links]
+        if not durations:
+            raise TimingError(f"no links given to average {edge!r} over")
+        return sum(durations) / len(durations)
+
+    def edges(self) -> tuple[Edge, ...]:
+        """All tabulated data-dependencies, sorted."""
+        return tuple(sorted({edge for edge, _ in self._times}))
+
+    def entries(self) -> Mapping[tuple[Edge, str], float]:
+        """A read-only snapshot of the raw table."""
+        return dict(self._times)
+
+    def copy(self) -> "CommunicationTimes":
+        """An independent copy of the table."""
+        return CommunicationTimes(self._times)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __repr__(self) -> str:
+        return f"CommunicationTimes(entries={len(self._times)})"
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(
+        cls,
+        edges: Iterable[Edge],
+        links: Iterable[str],
+        duration: float,
+    ) -> "CommunicationTimes":
+        """Same duration for every pair — homogeneous links."""
+        table = cls()
+        link_names = tuple(links)
+        for edge in edges:
+            for link in link_names:
+                table.set(edge, link, duration)
+        return table
+
+    @classmethod
+    def from_rows(
+        cls,
+        links: Sequence[str],
+        rows: Mapping[Edge, Sequence[float]],
+    ) -> "CommunicationTimes":
+        """Build from a paper-style table: one row of durations per edge."""
+        table = cls()
+        for edge, durations in rows.items():
+            if len(durations) != len(links):
+                raise TimingError(
+                    f"row for {edge!r} has {len(durations)} entries, "
+                    f"expected {len(links)}"
+                )
+            for link, duration in zip(links, durations):
+                table.set(edge, link, duration)
+        return table
+
+    @classmethod
+    def from_bandwidth(
+        cls,
+        edges_with_sizes: Mapping[Edge, float],
+        bandwidths: Mapping[str, float],
+        latencies: Mapping[str, float] | None = None,
+    ) -> "CommunicationTimes":
+        """Derive durations from data sizes and per-link bandwidths.
+
+        ``duration = latency + data_size / bandwidth``.  This is the
+        convenient path for synthetic workloads where only data volumes
+        are known.
+        """
+        latencies = dict(latencies or {})
+        table = cls()
+        for edge, size in edges_with_sizes.items():
+            if size <= 0:
+                raise TimingError(f"data size of {edge!r} must be positive")
+            for link, bandwidth in bandwidths.items():
+                if bandwidth <= 0:
+                    raise TimingError(f"bandwidth of {link!r} must be positive")
+                table.set(edge, link, latencies.get(link, 0.0) + size / bandwidth)
+        return table
+
+    def validate_against(
+        self,
+        edges: Iterable[Edge],
+        links: Iterable[str],
+    ) -> None:
+        """Check the table is complete for a problem."""
+        link_names = tuple(links)
+        for edge in edges:
+            for link in link_names:
+                if not self.has_entry(edge, link):
+                    raise TimingError(
+                        f"missing communication time for {edge!r} on {link!r}"
+                    )

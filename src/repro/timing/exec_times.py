@@ -1,0 +1,185 @@
+"""Execution-time table ``Exe`` and distribution constraints ``Dis``.
+
+Section 3.4: ``Exe`` associates to each pair ``(operation, processor)``
+the execution time of the operation on that processor, in abstract time
+units.  The architecture being heterogeneous, times differ per processor.
+Distribution constraints ``Dis`` are expressed by the value ``inf``:
+``Exe[o, p] = inf`` means ``o`` cannot run on ``p``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+from repro.exceptions import TimingError
+
+#: The ``Dis`` marker: an operation/processor pair that is forbidden.
+FORBIDDEN = math.inf
+
+
+class ExecutionTimes:
+    """Table of per-``(operation, processor)`` execution durations.
+
+    Entries must be explicitly present for every pair the scheduler may
+    query; a missing entry raises :class:`~repro.exceptions.TimingError`
+    (in the face of ambiguity, refuse the temptation to guess).
+
+    Examples
+    --------
+    >>> exe = ExecutionTimes()
+    >>> exe.set("A", "P1", 2.0)
+    >>> exe.forbid("A", "P2")
+    >>> exe.is_allowed("A", "P1"), exe.is_allowed("A", "P2")
+    (True, False)
+    """
+
+    def __init__(self, entries: Mapping[tuple[str, str], float] | None = None) -> None:
+        self._times: dict[tuple[str, str], float] = {}
+        if entries:
+            for (operation, processor), duration in entries.items():
+                self.set(operation, processor, duration)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def set(self, operation: str, processor: str, duration: float) -> None:
+        """Record the duration of ``operation`` on ``processor``.
+
+        ``duration`` must be positive or ``inf`` (= forbidden).  A zero
+        or negative duration is rejected: the schedule-pressure algebra
+        assumes strictly positive execution times.
+        """
+        value = float(duration)
+        if not value > 0 and not math.isinf(value):
+            raise TimingError(
+                f"execution time of {operation!r} on {processor!r} must be "
+                f"positive or inf, got {duration!r}"
+            )
+        self._times[(operation, processor)] = value
+
+    def forbid(self, operation: str, processor: str) -> None:
+        """Add the distribution constraint ``operation`` not-on ``processor``."""
+        self._times[(operation, processor)] = FORBIDDEN
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def time_of(self, operation: str, processor: str) -> float:
+        """Duration of ``operation`` on ``processor`` (``inf`` = forbidden)."""
+        try:
+            return self._times[(operation, processor)]
+        except KeyError:
+            raise TimingError(
+                f"no execution time recorded for {operation!r} on {processor!r}"
+            ) from None
+
+    def is_allowed(self, operation: str, processor: str) -> bool:
+        """True when the pair has a finite execution time."""
+        return math.isfinite(self.time_of(operation, processor))
+
+    def has_entry(self, operation: str, processor: str) -> bool:
+        """True when the pair is present in the table (even forbidden)."""
+        return (operation, processor) in self._times
+
+    def allowed_processors(
+        self, operation: str, processors: Iterable[str]
+    ) -> tuple[str, ...]:
+        """Processors of ``processors`` on which ``operation`` may run, sorted."""
+        return tuple(
+            sorted(p for p in processors if self.is_allowed(operation, p))
+        )
+
+    def average(self, operation: str, processors: Iterable[str]) -> float:
+        """Mean duration over the *allowed* processors.
+
+        Used by the static part of the schedule pressure (the bottom
+        level ``S̄``), because the priority must not depend on a placement
+        that is not chosen yet.  Raises when no processor is allowed.
+        """
+        finite = [
+            self.time_of(operation, p)
+            for p in processors
+            if self.is_allowed(operation, p)
+        ]
+        if not finite:
+            raise TimingError(f"operation {operation!r} is forbidden everywhere")
+        return sum(finite) / len(finite)
+
+    def operations(self) -> tuple[str, ...]:
+        """All operation names appearing in the table, sorted."""
+        return tuple(sorted({op for op, _ in self._times}))
+
+    def entries(self) -> Mapping[tuple[str, str], float]:
+        """A read-only snapshot of the raw table."""
+        return dict(self._times)
+
+    def copy(self) -> "ExecutionTimes":
+        """An independent copy of the table."""
+        return ExecutionTimes(self._times)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __repr__(self) -> str:
+        return f"ExecutionTimes(entries={len(self._times)})"
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(
+        cls,
+        operations: Iterable[str],
+        processors: Iterable[str],
+        duration: float,
+    ) -> "ExecutionTimes":
+        """Same duration for every pair — a homogeneous architecture."""
+        table = cls()
+        procs = tuple(processors)
+        for operation in operations:
+            for processor in procs:
+                table.set(operation, processor, duration)
+        return table
+
+    @classmethod
+    def from_rows(
+        cls,
+        processors: Sequence[str],
+        rows: Mapping[str, Sequence[float]],
+    ) -> "ExecutionTimes":
+        """Build from a paper-style table: one row of durations per op.
+
+        ``rows[op][i]`` is the duration of ``op`` on ``processors[i]``;
+        use ``float('inf')`` for forbidden pairs (the paper's ``∞``).
+        """
+        table = cls()
+        for operation, durations in rows.items():
+            if len(durations) != len(processors):
+                raise TimingError(
+                    f"row for {operation!r} has {len(durations)} entries, "
+                    f"expected {len(processors)}"
+                )
+            for processor, duration in zip(processors, durations):
+                table.set(operation, processor, duration)
+        return table
+
+    def validate_against(
+        self,
+        operations: Iterable[str],
+        processors: Iterable[str],
+    ) -> None:
+        """Check the table is complete for a problem and nowhere-empty.
+
+        Every ``(operation, processor)`` pair must have an entry, and
+        every operation must keep at least one allowed processor.
+        """
+        procs = tuple(processors)
+        for operation in operations:
+            for processor in procs:
+                if not self.has_entry(operation, processor):
+                    raise TimingError(
+                        f"missing execution time for {operation!r} on {processor!r}"
+                    )
+            if not self.allowed_processors(operation, procs):
+                raise TimingError(f"operation {operation!r} is forbidden everywhere")

@@ -1,0 +1,146 @@
+"""Classic task-graph families from the DAG-scheduling literature.
+
+Beyond the paper's random levelled graphs, these structured families
+are the standard stress tests of scheduling heuristics (Kwok & Ahmad's
+benchmark suites): reduction trees, broadcast trees, FFT butterflies,
+Gaussian-elimination kernels and linear pipelines.  They all come with
+matching timing-table helpers so a full :class:`~repro.problem.
+ProblemSpec` is one call away.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.algorithm import AlgorithmGraph
+from repro.hardware.topologies import fully_connected
+from repro.problem import ProblemSpec
+from repro.timing.comm_times import CommunicationTimes
+from repro.timing.exec_times import ExecutionTimes
+
+
+def in_tree(depth: int, arity: int = 2, name: str = "in-tree") -> AlgorithmGraph:
+    """A reduction tree: ``arity^depth`` leaves reduced to one root.
+
+    Nodes are named ``R<level>_<index>``; level 0 is the leaves and the
+    deepest level is the single root, so edges point leaf -> root.
+    """
+    if depth < 0 or arity < 1:
+        raise ValueError("depth must be >= 0 and arity >= 1")
+    graph = AlgorithmGraph(name)
+    widths = [arity ** (depth - level) for level in range(depth + 1)]
+    for level, width in enumerate(widths):
+        for index in range(width):
+            graph.add_operation(f"R{level}_{index}")
+    for level in range(depth):
+        for index in range(widths[level]):
+            graph.add_dependency(
+                f"R{level}_{index}", f"R{level + 1}_{index // arity}"
+            )
+    return graph
+
+
+def out_tree(depth: int, arity: int = 2, name: str = "out-tree") -> AlgorithmGraph:
+    """A broadcast tree: one root fanning out to ``arity^depth`` leaves."""
+    if depth < 0 or arity < 1:
+        raise ValueError("depth must be >= 0 and arity >= 1")
+    graph = AlgorithmGraph(name)
+    widths = [arity ** level for level in range(depth + 1)]
+    for level, width in enumerate(widths):
+        for index in range(width):
+            graph.add_operation(f"B{level}_{index}")
+    for level in range(depth):
+        for index in range(widths[level + 1]):
+            graph.add_dependency(
+                f"B{level}_{index // arity}", f"B{level + 1}_{index}"
+            )
+    return graph
+
+
+def butterfly(stages: int, name: str = "butterfly") -> AlgorithmGraph:
+    """An FFT butterfly: ``2^stages`` rows over ``stages`` exchange steps.
+
+    Node ``F<stage>_<row>`` feeds ``F<stage+1>_<row>`` and its butterfly
+    partner ``F<stage+1>_<row XOR 2^stage>``.
+    """
+    if stages < 0:
+        raise ValueError("stages must be >= 0")
+    rows = 2 ** stages
+    graph = AlgorithmGraph(name)
+    for stage in range(stages + 1):
+        for row in range(rows):
+            graph.add_operation(f"F{stage}_{row}")
+    for stage in range(stages):
+        for row in range(rows):
+            graph.add_dependency(f"F{stage}_{row}", f"F{stage + 1}_{row}")
+            graph.add_dependency(
+                f"F{stage}_{row}", f"F{stage + 1}_{row ^ (1 << stage)}"
+            )
+    return graph
+
+
+def gaussian_elimination(size: int, name: str = "gauss") -> AlgorithmGraph:
+    """The task graph of Gaussian elimination on a ``size × size`` matrix.
+
+    Per step ``k``: a pivot task ``P<k>`` feeds the update tasks
+    ``U<k>_<row>`` of the remaining rows, each of which feeds the next
+    step — the classic triangular DAG used throughout the scheduling
+    literature.
+    """
+    if size < 2:
+        raise ValueError("size must be >= 2")
+    graph = AlgorithmGraph(name)
+    for k in range(size - 1):
+        graph.add_operation(f"P{k}")
+        for row in range(k + 1, size):
+            graph.add_operation(f"U{k}_{row}")
+    for k in range(size - 1):
+        for row in range(k + 1, size):
+            graph.add_dependency(f"P{k}", f"U{k}_{row}")
+            if k + 1 < size - 1 and row >= k + 1:
+                if row == k + 1:
+                    graph.add_dependency(f"U{k}_{row}", f"P{k + 1}")
+                else:
+                    graph.add_dependency(f"U{k}_{row}", f"U{k + 1}_{row}")
+    return graph
+
+
+def pipeline(stages: int, width: int = 1, name: str = "pipeline") -> AlgorithmGraph:
+    """``width`` parallel chains of length ``stages`` (a stream pipeline)."""
+    if stages < 1 or width < 1:
+        raise ValueError("stages and width must be >= 1")
+    graph = AlgorithmGraph(name)
+    for lane in range(width):
+        previous = None
+        for stage in range(stages):
+            node = f"S{stage}_{lane}"
+            graph.add_operation(node)
+            if previous is not None:
+                graph.add_dependency(previous, node)
+            previous = node
+    return graph
+
+
+def family_problem(
+    algorithm: AlgorithmGraph,
+    processors: int = 4,
+    exec_time: float = 1.0,
+    ccr: float = 1.0,
+    npf: int = 1,
+) -> ProblemSpec:
+    """Wrap a family graph into a uniform-timing scheduling problem."""
+    architecture = fully_connected(processors)
+    exec_times = ExecutionTimes.uniform(
+        algorithm.operation_names(), architecture.processor_names(), exec_time
+    )
+    comm_times = CommunicationTimes.uniform(
+        algorithm.dependencies(),
+        architecture.link_names(),
+        ccr * exec_time,
+    )
+    return ProblemSpec(
+        algorithm=algorithm,
+        architecture=architecture,
+        exec_times=exec_times,
+        comm_times=comm_times,
+        npf=npf,
+        name=f"{algorithm.name}-p{processors}-ccr{ccr:g}",
+    )

@@ -1,0 +1,120 @@
+"""The paper's worked example (Figure 2, Tables 1 and 2, ``Rtc = 16``).
+
+Nine operations — the ``extio`` input ``I``, computations ``A``–``G``
+and the ``extio`` output ``O`` — scheduled on three processors fully
+connected by heterogeneous point-to-point links, tolerating one
+permanent processor failure (``Npf = 1``).
+
+The paper's own run produces a fault-tolerant schedule of length 15.05
+(< Rtc = 16), a basic non-fault-tolerant schedule of length 10.7, and
+degraded lengths 15.35 / 15.05 / 12.6 when P1 / P2 / P3 crashes at time
+0 (Figures 7 and 8).  The benchmark ``bench_paper_example`` compares our
+implementation's numbers against these references.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graphs.builder import AlgorithmGraphBuilder
+from repro.graphs.algorithm import AlgorithmGraph
+from repro.hardware.architecture import Architecture
+from repro.hardware.link import Link
+from repro.problem import ProblemSpec
+from repro.timing.comm_times import CommunicationTimes
+from repro.timing.constraints import RealTimeConstraints
+from repro.timing.exec_times import ExecutionTimes
+
+INF = math.inf
+
+#: Real-time constraint of the example: complete in less than 16 units.
+PAPER_RTC = 16.0
+#: Failure hypothesis of the example.
+PAPER_NPF = 1
+
+#: Schedule lengths the paper reports (section 4.3/4.4), used by the
+#: benchmark harness as reference points for the reproduction.
+PAPER_FT_LENGTH = 15.05
+PAPER_BASIC_LENGTH = 10.7
+PAPER_OVERHEAD = PAPER_FT_LENGTH - PAPER_BASIC_LENGTH  # 4.35
+PAPER_DEGRADED_LENGTHS = {"P1": 15.35, "P2": 15.05, "P3": 12.6}
+
+#: Table 1 — execution times; columns are P1, P2, P3; ``inf`` is the
+#: paper's ``∞`` (distribution constraints ``Dis``).
+EXECUTION_TABLE: dict[str, tuple[float, float, float]] = {
+    "I": (1.0, 1.3, INF),
+    "A": (2.0, 1.5, 1.0),
+    "B": (3.0, 1.0, 1.5),
+    "C": (2.0, 3.0, 1.0),
+    "D": (3.0, 1.7, 3.0),
+    "E": (1.0, 1.2, 2.0),
+    "F": (2.0, 2.5, 1.0),
+    "G": (1.4, 1.0, 1.5),
+    "O": (1.4, INF, 1.8),
+}
+
+#: Table 2 — communication times; columns are L1.2, L2.3, L1.3.
+COMMUNICATION_TABLE: dict[tuple[str, str], tuple[float, float, float]] = {
+    ("I", "A"): (1.75, 1.25, 1.25),
+    ("A", "B"): (1.0, 0.5, 0.5),
+    ("A", "C"): (1.0, 0.5, 0.5),
+    ("A", "D"): (1.5, 1.0, 1.0),
+    ("A", "E"): (1.0, 0.5, 0.5),
+    ("B", "F"): (1.0, 0.5, 0.5),
+    ("C", "F"): (1.3, 0.8, 0.8),
+    ("D", "G"): (1.9, 1.4, 1.4),
+    ("E", "G"): (1.3, 0.8, 0.8),
+    ("F", "G"): (1.0, 0.5, 0.5),
+    ("G", "O"): (1.1, 0.6, 0.6),
+}
+
+
+def build_algorithm() -> AlgorithmGraph:
+    """Figure 2(a): I feeds A; A fans out to B–E; F and G join; G feeds O."""
+    return (
+        AlgorithmGraphBuilder("paper-example")
+        .external_io("I", "O")
+        .computation("A", "B", "C", "D", "E", "F", "G")
+        .feeds("I", into=["A"])
+        .feeds("A", into=["B", "C", "D", "E"])
+        .depends("F", on=["B", "C"])
+        .depends("G", on=["D", "E", "F"])
+        .feeds("G", into=["O"])
+        .build()
+    )
+
+
+def build_architecture() -> Architecture:
+    """Figure 2(b): P1, P2, P3 with the three point-to-point links."""
+    architecture = Architecture("paper-architecture")
+    for processor in ("P1", "P2", "P3"):
+        architecture.add_processor(processor)
+    architecture.add_link(Link.between("L1.2", "P1", "P2"))
+    architecture.add_link(Link.between("L2.3", "P2", "P3"))
+    architecture.add_link(Link.between("L1.3", "P1", "P3"))
+    return architecture
+
+
+def build_exec_times() -> ExecutionTimes:
+    """Table 1 as an :class:`~repro.timing.ExecutionTimes` table."""
+    return ExecutionTimes.from_rows(("P1", "P2", "P3"), EXECUTION_TABLE)
+
+
+def build_comm_times() -> CommunicationTimes:
+    """Table 2 as a :class:`~repro.timing.CommunicationTimes` table."""
+    return CommunicationTimes.from_rows(
+        ("L1.2", "L2.3", "L1.3"), COMMUNICATION_TABLE
+    )
+
+
+def build_problem(npf: int = PAPER_NPF) -> ProblemSpec:
+    """The complete example problem (``Npf = 1`` and ``Rtc = 16``)."""
+    return ProblemSpec(
+        algorithm=build_algorithm(),
+        architecture=build_architecture(),
+        exec_times=build_exec_times(),
+        comm_times=build_comm_times(),
+        npf=npf,
+        rtc=RealTimeConstraints(global_deadline=PAPER_RTC),
+        name="paper-example",
+    )

@@ -1,0 +1,218 @@
+"""Random workload generator following section 6.1 of the paper.
+
+"A random algorithm graph is generated as follows: given the number of
+operations N, we randomly generate a set of levels with a random number
+of operations.  Then, operations at a given level are randomly connected
+to operations at a higher level.  The execution times of each operation
+are randomly selected from a uniform distribution with the mean equal to
+the chosen average execution time.  Similarly, the communication times
+of each data dependency are randomly selected from a uniform
+distribution with the mean equal to the chosen average communication
+time."
+
+The two swept parameters are ``N`` and the communication-to-computation
+ratio ``CCR`` (average communication time / average computation time).
+For the FTBAR-vs-HBP comparison the tables are *homogeneous* (HBP's
+assumption; the paper downgrades FTBAR accordingly); the ``Npf`` sweep
+(E7) uses heterogeneous tables instead.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.graphs.algorithm import AlgorithmGraph
+from repro.hardware.topologies import fully_connected
+from repro.problem import ProblemSpec
+from repro.timing.comm_times import CommunicationTimes
+from repro.timing.exec_times import ExecutionTimes
+
+
+@dataclass(frozen=True)
+class RandomWorkloadConfig:
+    """Parameters of one random problem instance.
+
+    Parameters
+    ----------
+    operations:
+        Number of operations ``N`` of the algorithm graph.
+    ccr:
+        Communication-to-computation ratio; the average communication
+        time is ``ccr * mean_execution``.
+    processors:
+        Size of the fully connected target architecture (the paper uses
+        4).
+    npf:
+        Failure hypothesis carried by the generated problem.
+    mean_execution:
+        Average execution time of the uniform distribution.
+    heterogeneous:
+        When False (default) every processor executes an operation in
+        the same time and every link transfers a dependency in the same
+        time — the homogeneous setting of the HBP comparison.  When True
+        each (operation, processor) and (dependency, link) pair is drawn
+        independently.
+    max_predecessors:
+        Upper bound on the number of incoming edges drawn per operation.
+    seed:
+        Seed of the private :class:`random.Random` generator; equal
+        configs generate identical problems.
+    """
+
+    operations: int
+    ccr: float
+    processors: int = 4
+    npf: int = 1
+    mean_execution: float = 10.0
+    heterogeneous: bool = False
+    max_predecessors: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.operations < 1:
+            raise ValueError("operations must be >= 1")
+        if self.ccr <= 0:
+            raise ValueError("ccr must be positive")
+        if self.processors < 1:
+            raise ValueError("processors must be >= 1")
+        if self.mean_execution <= 0:
+            raise ValueError("mean_execution must be positive")
+        if self.max_predecessors < 1:
+            raise ValueError("max_predecessors must be >= 1")
+
+    @property
+    def mean_communication(self) -> float:
+        """Average communication time implied by the CCR."""
+        return self.ccr * self.mean_execution
+
+
+def _uniform_around(rng: random.Random, mean: float) -> float:
+    """A positive sample of the uniform distribution with the given mean.
+
+    The paper only fixes the mean; we use the common ``U(0.5m, 1.5m)``
+    spread, which keeps every duration strictly positive.
+    """
+    return rng.uniform(0.5 * mean, 1.5 * mean)
+
+
+def generate_layers(rng: random.Random, operations: int) -> list[list[str]]:
+    """Split ``operations`` vertices into a random number of levels.
+
+    The level count is drawn around ``sqrt(N)`` (between ``sqrt(N)`` and
+    ``2*sqrt(N)``), a balanced regime exhibiting both parallelism inside
+    levels and depth across them; every level receives at least one
+    operation.
+    """
+    low = max(1, round(math.sqrt(operations)))
+    high = max(low, min(operations, 2 * low))
+    level_count = rng.randint(low, high)
+    layers: list[list[str]] = [[] for _ in range(level_count)]
+    names = [f"T{i}" for i in range(operations)]
+    # Guarantee non-empty levels, then scatter the rest uniformly.
+    for level in range(level_count):
+        layers[level].append(names[level])
+    for name in names[level_count:]:
+        layers[rng.randrange(level_count)].append(name)
+    return layers
+
+
+def generate_algorithm(
+    rng: random.Random,
+    operations: int,
+    max_predecessors: int = 3,
+    name: str = "random",
+) -> AlgorithmGraph:
+    """Generate a levelled random DAG per the paper's recipe."""
+    layers = generate_layers(rng, operations)
+    graph = AlgorithmGraph(name)
+    for layer in layers:
+        for operation in layer:
+            graph.add_operation(operation)
+    below: list[str] = list(layers[0])
+    for layer in layers[1:]:
+        for operation in layer:
+            fan_in = rng.randint(1, min(max_predecessors, len(below)))
+            for predecessor in rng.sample(below, fan_in):
+                graph.add_dependency(predecessor, operation)
+        below.extend(layer)
+    return graph
+
+
+def generate_exec_times(
+    rng: random.Random,
+    algorithm: AlgorithmGraph,
+    processors: tuple[str, ...],
+    mean_execution: float,
+    heterogeneous: bool,
+) -> ExecutionTimes:
+    """Uniform execution times with the configured mean."""
+    table = ExecutionTimes()
+    for operation in algorithm.operation_names():
+        if heterogeneous:
+            for processor in processors:
+                table.set(operation, processor, _uniform_around(rng, mean_execution))
+        else:
+            duration = _uniform_around(rng, mean_execution)
+            for processor in processors:
+                table.set(operation, processor, duration)
+    return table
+
+
+def generate_comm_times(
+    rng: random.Random,
+    algorithm: AlgorithmGraph,
+    links: tuple[str, ...],
+    mean_communication: float,
+    heterogeneous: bool,
+) -> CommunicationTimes:
+    """Uniform communication times with the configured mean."""
+    table = CommunicationTimes()
+    for edge in algorithm.dependencies():
+        if heterogeneous:
+            for link in links:
+                table.set(edge, link, _uniform_around(rng, mean_communication))
+        else:
+            duration = _uniform_around(rng, mean_communication)
+            for link in links:
+                table.set(edge, link, duration)
+    return table
+
+
+def generate_problem(config: RandomWorkloadConfig) -> ProblemSpec:
+    """Generate one full random scheduling problem.
+
+    The architecture is fully connected with point-to-point links, the
+    setting of the paper's simulations.
+    """
+    rng = random.Random(config.seed)
+    algorithm = generate_algorithm(
+        rng,
+        config.operations,
+        config.max_predecessors,
+        name=f"random-N{config.operations}-seed{config.seed}",
+    )
+    architecture = fully_connected(config.processors)
+    exec_times = generate_exec_times(
+        rng,
+        algorithm,
+        architecture.processor_names(),
+        config.mean_execution,
+        config.heterogeneous,
+    )
+    comm_times = generate_comm_times(
+        rng,
+        algorithm,
+        architecture.link_names(),
+        config.mean_communication,
+        config.heterogeneous,
+    )
+    return ProblemSpec(
+        algorithm=algorithm,
+        architecture=architecture,
+        exec_times=exec_times,
+        comm_times=comm_times,
+        npf=config.npf,
+        name=f"random-N{config.operations}-ccr{config.ccr:g}-seed{config.seed}",
+    )

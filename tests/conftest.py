@@ -1,0 +1,20 @@
+"""Shared fixtures for the FTBAR reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ftbar import schedule_ftbar
+from repro.workloads.paper_example import build_problem
+
+
+@pytest.fixture(scope="session")
+def paper_problem():
+    """The worked example of the paper (Figure 2, Tables 1-2)."""
+    return build_problem()
+
+
+@pytest.fixture(scope="session")
+def paper_result(paper_problem):
+    """The FTBAR schedule of the worked example (computed once)."""
+    return schedule_ftbar(paper_problem)

@@ -1,0 +1,135 @@
+"""Unit tests for the fluent builder and canned graph families."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs.builder import (
+    AlgorithmGraphBuilder,
+    diamond,
+    fork_join,
+    independent_tasks,
+    layered,
+    linear_chain,
+)
+
+
+class TestBuilder:
+    def test_fluent_chain_returns_builder(self):
+        builder = AlgorithmGraphBuilder()
+        assert builder.computation("A") is builder
+        assert builder.memory("M") is builder
+        assert builder.external_io("I") is builder
+
+    def test_depends_adds_incoming_edges(self):
+        graph = (
+            AlgorithmGraphBuilder()
+            .computation("A", "B", "C")
+            .depends("C", on=["A", "B"])
+            .build()
+        )
+        assert graph.predecessors("C") == ("A", "B")
+
+    def test_feeds_adds_outgoing_edges(self):
+        graph = (
+            AlgorithmGraphBuilder()
+            .computation("A", "B", "C")
+            .feeds("A", into=["B", "C"])
+            .build()
+        )
+        assert graph.successors("A") == ("B", "C")
+
+    def test_chain_links_consecutive(self):
+        graph = (
+            AlgorithmGraphBuilder()
+            .computation("A", "B", "C")
+            .chain("A", "B", "C")
+            .build()
+        )
+        assert graph.has_dependency("A", "B")
+        assert graph.has_dependency("B", "C")
+        assert not graph.has_dependency("A", "C")
+
+    def test_data_size_propagated(self):
+        graph = (
+            AlgorithmGraphBuilder()
+            .computation("A", "B")
+            .feeds("A", into=["B"], data_size=4.0)
+            .build()
+        )
+        assert graph.data_size("A", "B") == 4.0
+
+    def test_build_validates_by_default(self):
+        builder = AlgorithmGraphBuilder()
+        with pytest.raises(GraphError):
+            builder.build()
+
+    def test_build_without_validation(self):
+        graph = AlgorithmGraphBuilder().build(validate=False)
+        assert len(graph) == 0
+
+    def test_kinds_assigned(self):
+        graph = (
+            AlgorithmGraphBuilder()
+            .external_io("I")
+            .memory("M")
+            .computation("A")
+            .build()
+        )
+        assert graph.operation("I").is_external_io()
+        assert graph.operation("M").is_memory()
+        assert graph.operation("A").is_computation()
+
+
+class TestFamilies:
+    def test_linear_chain_shape(self):
+        graph = linear_chain(4)
+        assert len(graph) == 4
+        assert graph.sources() == ("T0",)
+        assert graph.sinks() == ("T3",)
+        assert graph.number_of_dependencies() == 3
+
+    def test_linear_chain_of_one(self):
+        graph = linear_chain(1)
+        assert len(graph) == 1
+        assert graph.number_of_dependencies() == 0
+
+    def test_linear_chain_rejects_zero(self):
+        with pytest.raises(ValueError):
+            linear_chain(0)
+
+    def test_fork_join_shape(self):
+        graph = fork_join(3)
+        assert len(graph) == 5
+        assert graph.successors("src") == ("T0", "T1", "T2")
+        assert graph.predecessors("sink") == ("T0", "T1", "T2")
+
+    def test_fork_join_rejects_zero(self):
+        with pytest.raises(ValueError):
+            fork_join(0)
+
+    def test_diamond_shape(self):
+        graph = diamond()
+        assert dict(graph.levels()) == {"A": 0, "B": 1, "C": 1, "D": 2}
+
+    def test_independent_tasks(self):
+        graph = independent_tasks(5)
+        assert len(graph) == 5
+        assert graph.number_of_dependencies() == 0
+        assert graph.sources() == graph.sinks()
+
+    def test_independent_rejects_zero(self):
+        with pytest.raises(ValueError):
+            independent_tasks(0)
+
+    def test_layered_fully_connects_consecutive(self):
+        graph = layered([2, 3, 1])
+        assert len(graph) == 6
+        # 2*3 + 3*1 edges
+        assert graph.number_of_dependencies() == 9
+        assert graph.sinks() == ("T2_0",)
+
+    def test_layered_rejects_bad_widths(self):
+        with pytest.raises(ValueError):
+            layered([])
+        with pytest.raises(ValueError):
+            layered([2, 0])

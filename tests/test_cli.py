@@ -1,0 +1,177 @@
+"""End-to-end tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.schedule.serialization import load_json
+
+
+class TestExample:
+    def test_example_prints_reference_table(self, capsys):
+        assert main(["example"]) == 0
+        output = capsys.readouterr().out
+        assert "15.05" in output
+        assert "paper" in output
+
+    def test_example_with_gantt(self, capsys):
+        assert main(["example", "--gantt"]) == 0
+        output = capsys.readouterr().out
+        assert "P1" in output and "L1.2" in output
+
+
+class TestGenerateAndSchedule:
+    def test_generate_writes_problem(self, tmp_path, capsys):
+        target = tmp_path / "problem.json"
+        assert main(["generate", str(target), "--operations", "8", "--seed", "5"]) == 0
+        document = load_json(target)
+        assert len(document["algorithm"]["operations"]) == 8
+
+    def test_schedule_prints_table(self, tmp_path, capsys):
+        target = tmp_path / "problem.json"
+        main(["generate", str(target), "--operations", "8", "--seed", "5"])
+        capsys.readouterr()
+        assert main(["schedule", str(target)]) == 0
+        output = capsys.readouterr().out
+        assert "makespan" in output
+        assert "resource" in output
+
+    def test_schedule_saves_output(self, tmp_path, capsys):
+        problem = tmp_path / "problem.json"
+        schedule = tmp_path / "schedule.json"
+        main(["generate", str(problem), "--operations", "6", "--seed", "2"])
+        assert main(["schedule", str(problem), "--output", str(schedule)]) == 0
+        document = load_json(schedule)
+        assert document["operations"]
+
+    def test_schedule_npf_override(self, tmp_path, capsys):
+        problem = tmp_path / "problem.json"
+        main(["generate", str(problem), "--operations", "6", "--npf", "1"])
+        capsys.readouterr()
+        assert main(["schedule", str(problem), "--npf", "0"]) == 0
+        assert "npf=0" in capsys.readouterr().out
+
+    def test_schedule_infeasible_problem_reports_error(self, tmp_path, capsys):
+        problem = tmp_path / "problem.json"
+        main(["generate", str(problem), "--operations", "6", "--processors", "2"])
+        capsys.readouterr()
+        assert main(["schedule", str(problem), "--npf", "3"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_simulate_all_single_crashes(self, tmp_path, capsys):
+        problem = tmp_path / "problem.json"
+        main(["generate", str(problem), "--operations", "8", "--seed", "7"])
+        capsys.readouterr()
+        assert main(["simulate", str(problem)]) == 0
+        output = capsys.readouterr().out
+        assert "P1 fails at t=0" in output
+
+    def test_simulate_explicit_crash(self, tmp_path, capsys):
+        problem = tmp_path / "problem.json"
+        main(["generate", str(problem), "--operations", "8", "--seed", "7"])
+        capsys.readouterr()
+        assert main(["simulate", str(problem), "--crash", "P1@0.5"]) == 0
+        output = capsys.readouterr().out
+        assert "outputs delivered" in output
+
+    def test_simulate_with_detection(self, tmp_path, capsys):
+        problem = tmp_path / "problem.json"
+        main(["generate", str(problem), "--operations", "8", "--seed", "7"])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "simulate",
+                    str(problem),
+                    "--crash",
+                    "P2",
+                    "--detection",
+                    "timeout-array",
+                ]
+            )
+            == 0
+        )
+
+
+class TestIterate:
+    def test_nominal_iterations(self, tmp_path, capsys):
+        problem = tmp_path / "problem.json"
+        main(["generate", str(problem), "--operations", "8", "--seed", "7"])
+        capsys.readouterr()
+        assert main(["iterate", str(problem), "--iterations", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "3 iterations" in output
+        assert "iteration 2" in output
+
+    def test_iterate_with_crash(self, tmp_path, capsys):
+        problem = tmp_path / "problem.json"
+        main(["generate", str(problem), "--operations", "8", "--seed", "7"])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "iterate",
+                    str(problem),
+                    "--iterations",
+                    "2",
+                    "--crash",
+                    "P1@0",
+                    "--detection",
+                    "timeout-array",
+                ]
+            )
+            == 0
+        )
+        assert "outputs at" in capsys.readouterr().out
+
+
+class TestValidateAndReliability:
+    def test_validate_ok(self, tmp_path, capsys):
+        problem = tmp_path / "problem.json"
+        main(["generate", str(problem), "--operations", "8", "--seed", "9"])
+        capsys.readouterr()
+        assert main(["validate", str(problem)]) == 0
+        assert "schedule valid" in capsys.readouterr().out
+
+    def test_validate_direct_links(self, tmp_path, capsys):
+        problem = tmp_path / "problem.json"
+        main(["generate", str(problem), "--operations", "8", "--seed", "9"])
+        capsys.readouterr()
+        assert main(["validate", str(problem), "--direct-links"]) == 0
+
+    def test_reliability_certificate(self, tmp_path, capsys):
+        problem = tmp_path / "problem.json"
+        main(["generate", str(problem), "--operations", "6", "--seed", "4",
+              "--processors", "3"])
+        capsys.readouterr()
+        assert main(["reliability", str(problem)]) == 0
+        output = capsys.readouterr().out
+        assert "CERTIFIED" in output
+
+    def test_reliability_with_probability(self, tmp_path, capsys):
+        problem = tmp_path / "problem.json"
+        main(["generate", str(problem), "--operations", "6", "--seed", "4",
+              "--processors", "3"])
+        capsys.readouterr()
+        assert (
+            main(
+                ["reliability", str(problem), "--failure-probability", "0.05"]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "reliability" in output
+        assert "mean iterations" in output
+
+
+class TestBench:
+    def test_bench_npf_small(self, capsys):
+        assert main(["bench", "npf", "--graphs", "1"]) == 0
+        assert "Npf" in capsys.readouterr().out
+
+    def test_bench_ablation_small(self, capsys):
+        assert main(["bench", "ablation", "--graphs", "1"]) == 0
+        assert "variant" in capsys.readouterr().out

@@ -1,0 +1,115 @@
+"""Unit tests for the communication-time table."""
+
+import math
+
+import pytest
+
+from repro.exceptions import TimingError
+from repro.timing.comm_times import CommunicationTimes
+
+
+class TestConstruction:
+    def test_set_and_get(self):
+        table = CommunicationTimes()
+        table.set(("I", "A"), "L1.2", 1.75)
+        assert table.time_of(("I", "A"), "L1.2") == 1.75
+
+    def test_constructor_entries(self):
+        table = CommunicationTimes({(("A", "B"), "L"): 0.5})
+        assert table.time_of(("A", "B"), "L") == 0.5
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(TimingError, match="positive"):
+            CommunicationTimes().set(("A", "B"), "L", 0.0)
+
+    def test_infinite_duration_rejected(self):
+        with pytest.raises(TimingError, match="positive finite"):
+            CommunicationTimes().set(("A", "B"), "L", math.inf)
+
+    def test_edge_direction_matters(self):
+        table = CommunicationTimes()
+        table.set(("A", "B"), "L", 1.0)
+        with pytest.raises(TimingError):
+            table.time_of(("B", "A"), "L")
+
+
+class TestQueries:
+    def make(self) -> CommunicationTimes:
+        return CommunicationTimes(
+            {
+                (("A", "B"), "L1"): 1.0,
+                (("A", "B"), "L2"): 3.0,
+                (("B", "C"), "L1"): 2.0,
+                (("B", "C"), "L2"): 2.0,
+            }
+        )
+
+    def test_missing_entry_raises(self):
+        with pytest.raises(TimingError, match="no communication time"):
+            self.make().time_of(("Z", "Q"), "L1")
+
+    def test_has_entry(self):
+        table = self.make()
+        assert table.has_entry(("A", "B"), "L1")
+        assert not table.has_entry(("A", "B"), "L9")
+
+    def test_average(self):
+        assert self.make().average(("A", "B"), ["L1", "L2"]) == pytest.approx(2.0)
+
+    def test_average_without_links(self):
+        with pytest.raises(TimingError, match="no links"):
+            self.make().average(("A", "B"), [])
+
+    def test_edges_sorted(self):
+        assert self.make().edges() == (("A", "B"), ("B", "C"))
+
+    def test_copy_independent(self):
+        table = self.make()
+        clone = table.copy()
+        clone.set(("A", "B"), "L1", 9.0)
+        assert table.time_of(("A", "B"), "L1") == 1.0
+
+    def test_len(self):
+        assert len(self.make()) == 4
+
+
+class TestConstructors:
+    def test_uniform(self):
+        table = CommunicationTimes.uniform([("A", "B")], ["L1", "L2"], 0.5)
+        assert table.time_of(("A", "B"), "L2") == 0.5
+
+    def test_from_rows(self):
+        table = CommunicationTimes.from_rows(
+            ("L1", "L2"), {("A", "B"): (1.0, 2.0)}
+        )
+        assert table.time_of(("A", "B"), "L2") == 2.0
+
+    def test_from_rows_length_mismatch(self):
+        with pytest.raises(TimingError, match="expected 2"):
+            CommunicationTimes.from_rows(("L1", "L2"), {("A", "B"): (1.0,)})
+
+    def test_from_bandwidth(self):
+        table = CommunicationTimes.from_bandwidth(
+            {("A", "B"): 10.0},
+            bandwidths={"L1": 5.0, "L2": 10.0},
+            latencies={"L1": 1.0},
+        )
+        assert table.time_of(("A", "B"), "L1") == pytest.approx(3.0)
+        assert table.time_of(("A", "B"), "L2") == pytest.approx(1.0)
+
+    def test_from_bandwidth_rejects_bad_inputs(self):
+        with pytest.raises(TimingError, match="data size"):
+            CommunicationTimes.from_bandwidth({("A", "B"): 0.0}, {"L": 1.0})
+        with pytest.raises(TimingError, match="bandwidth"):
+            CommunicationTimes.from_bandwidth({("A", "B"): 1.0}, {"L": 0.0})
+
+
+class TestValidation:
+    def test_complete_table_passes(self):
+        table = CommunicationTimes.uniform([("A", "B")], ["L1"], 1.0)
+        table.validate_against([("A", "B")], ["L1"])
+
+    def test_missing_pair_fails(self):
+        table = CommunicationTimes.uniform([("A", "B")], ["L1"], 1.0)
+        with pytest.raises(TimingError, match="missing communication time"):
+            table.validate_against([("A", "B")], ["L1", "L2"])

@@ -1,0 +1,89 @@
+"""Tests for the schedule diff utility."""
+
+import pytest
+
+from repro.analysis.compare import diff_schedules, format_schedule_diff
+from repro.core.ftbar import schedule_ftbar
+from repro.core.options import SchedulerOptions
+from repro.graphs.builder import diamond, linear_chain
+from repro.schedule.schedule import Schedule
+
+from tests.util import uniform_problem
+
+
+def tiny_schedule(host_of_b: str = "P2", start_of_a: float = 0.0) -> Schedule:
+    schedule = Schedule(processors=["P1", "P2", "P3"], links=[], npf=0)
+    schedule.place_operation("A", "P1", start_of_a, 1.0)
+    schedule.place_operation("B", host_of_b, 2.0, 1.0)
+    return schedule
+
+
+class TestDiff:
+    def test_identical_schedules(self):
+        diff = diff_schedules(tiny_schedule(), tiny_schedule())
+        assert diff.identical
+        assert format_schedule_diff(diff) == "schedules identical"
+
+    def test_moved_operation_detected(self):
+        diff = diff_schedules(tiny_schedule("P2"), tiny_schedule("P3"))
+        assert diff.added_hosts == {"B": ("P3",)}
+        assert diff.removed_hosts == {"B": ("P2",)}
+        assert not diff.retimed
+
+    def test_retiming_detected(self):
+        diff = diff_schedules(
+            tiny_schedule(start_of_a=0.0), tiny_schedule(start_of_a=0.5)
+        )
+        assert diff.retimed == {"A": pytest.approx(0.5)}
+        assert not diff.added_hosts
+
+    def test_makespan_delta(self):
+        before = tiny_schedule()
+        after = tiny_schedule()
+        after.place_operation("C", "P3", 0.0, 9.0)
+        diff = diff_schedules(before, after)
+        assert diff.makespan_delta == pytest.approx(6.0)
+        assert diff.added_hosts == {"C": ("P3",)}
+
+    def test_replica_and_comm_counters(self):
+        before = Schedule(processors=["P1", "P2"], links=["L"], npf=1)
+        before.place_operation("A", "P1", 0.0, 1.0)
+        after = Schedule(processors=["P1", "P2"], links=["L"], npf=1)
+        after.place_operation("A", "P1", 0.0, 1.0)
+        after.place_operation("A", "P2", 0.0, 1.0)
+        after.place_comm("A", "B", 0, 0, "L", 1.0, 0.5, "P1", "P2")
+        diff = diff_schedules(before, after)
+        assert (diff.replicas_before, diff.replicas_after) == (1, 2)
+        assert (diff.comms_before, diff.comms_after) == (0, 1)
+
+
+class TestRealSchedules:
+    def duplication_sensitive_problem(self):
+        # B is pinned away from A's processor, so without duplication an
+        # expensive comm is needed; with duplication A is recomputed on
+        # B's processor instead.
+        problem = uniform_problem(linear_chain(2), processors=2, npf=0,
+                                  comm_time=5.0)
+        problem.exec_times.forbid("T1", "P1")
+        return problem
+
+    def test_duplication_ablation_diff(self):
+        problem = self.duplication_sensitive_problem()
+        with_dup = schedule_ftbar(problem)
+        without = schedule_ftbar(problem, SchedulerOptions(duplication=False))
+        diff = diff_schedules(without.schedule, with_dup.schedule)
+        # Duplication adds a replica of T0 on P2 and removes the comm.
+        assert diff.replicas_after > diff.replicas_before
+        assert diff.comms_after < diff.comms_before
+        assert diff.makespan_delta < 0  # duplication shortens it
+        assert diff.added_hosts == {"T0": ("P2",)}
+
+    def test_format_lists_changes(self):
+        problem = self.duplication_sensitive_problem()
+        with_dup = schedule_ftbar(problem)
+        without = schedule_ftbar(problem, SchedulerOptions(duplication=False))
+        text = format_schedule_diff(
+            diff_schedules(without.schedule, with_dup.schedule)
+        )
+        assert "makespan" in text
+        assert "+ T0 now also on P2" in text

@@ -1,0 +1,96 @@
+"""Unit tests for real-time constraints (Rtc)."""
+
+import pytest
+
+from repro.exceptions import ConstraintError
+from repro.schedule.schedule import Schedule
+from repro.timing.constraints import RealTimeConstraints, RtcViolation
+
+
+def schedule_with(makespan: float) -> Schedule:
+    schedule = Schedule(processors=["P1"], npf=0)
+    schedule.place_operation("A", "P1", 0.0, makespan)
+    return schedule
+
+
+class TestSpecification:
+    def test_trivial(self):
+        assert RealTimeConstraints().is_trivial()
+        assert not RealTimeConstraints(global_deadline=5.0).is_trivial()
+        assert not RealTimeConstraints(operation_deadlines={"A": 1.0}).is_trivial()
+
+    def test_non_positive_global_deadline_rejected(self):
+        with pytest.raises(ConstraintError):
+            RealTimeConstraints(global_deadline=0.0)
+
+    def test_non_positive_operation_deadline_rejected(self):
+        with pytest.raises(ConstraintError):
+            RealTimeConstraints(operation_deadlines={"A": -1.0})
+
+
+class TestGlobalDeadline:
+    def test_satisfied(self):
+        report = RealTimeConstraints(global_deadline=10.0).check(schedule_with(8.0))
+        assert report.satisfied
+        assert report.makespan == 8.0
+
+    def test_violated(self):
+        report = RealTimeConstraints(global_deadline=5.0).check(schedule_with(8.0))
+        assert not report.satisfied
+        assert report.violations[0].subject == "<schedule>"
+        assert report.violations[0].lateness == pytest.approx(3.0)
+
+    def test_no_deadline_always_satisfied(self):
+        assert RealTimeConstraints().check(schedule_with(1e9)).satisfied
+
+    def test_check_completion(self):
+        rtc = RealTimeConstraints(global_deadline=10.0)
+        assert rtc.check_completion(9.9)
+        assert not rtc.check_completion(10.1)
+        assert RealTimeConstraints().check_completion(1e12)
+
+
+class TestOperationDeadlines:
+    def make_schedule(self) -> Schedule:
+        schedule = Schedule(processors=["P1", "P2"], npf=1)
+        schedule.place_operation("A", "P1", 0.0, 2.0)
+        schedule.place_operation("A", "P2", 0.0, 5.0)
+        return schedule
+
+    def test_checked_against_latest_replica(self):
+        # A's replicas end at 2 and 5: the guarantee must hold for the
+        # replica that survives the worst failure, so 5 is the reference.
+        assert not RealTimeConstraints(
+            operation_deadlines={"A": 4.0}
+        ).check(self.make_schedule()).satisfied
+        assert RealTimeConstraints(
+            operation_deadlines={"A": 5.0}
+        ).check(self.make_schedule()).satisfied
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ConstraintError, match="not scheduled"):
+            RealTimeConstraints(operation_deadlines={"Z": 1.0}).check(
+                self.make_schedule()
+            )
+
+    def test_violation_report_lists_operation(self):
+        report = RealTimeConstraints(operation_deadlines={"A": 1.0}).check(
+            self.make_schedule()
+        )
+        assert [v.subject for v in report.violations] == ["A"]
+
+
+class TestReportRendering:
+    def test_satisfied_string(self):
+        report = RealTimeConstraints(global_deadline=10.0).check(schedule_with(8.0))
+        assert "satisfied" in str(report)
+
+    def test_violated_string_lists_all(self):
+        report = RealTimeConstraints(global_deadline=5.0).check(schedule_with(8.0))
+        text = str(report)
+        assert "violated" in text
+        assert "<schedule>" in text
+
+    def test_violation_str(self):
+        violation = RtcViolation("A", 5.0, 8.0)
+        assert "late by 3" in str(violation)

@@ -1,0 +1,52 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+The slower sweeps (autonomous_vehicle, random_exploration) are exercised
+by the benchmarks; here we run the quick ones in-process and check their
+key claims appear in the output.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", _EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestQuickstart:
+    def test_runs_and_reports_paper_numbers(self, capsys):
+        output = run_example("quickstart", capsys)
+        assert "15.05" in output
+        assert "schedule valid" in output
+        assert "P1 crashes" in output
+
+
+class TestStepByStep:
+    def test_walkthrough_shows_selection(self, capsys):
+        output = run_example("step_by_step", capsys)
+        assert "=== step 1" in output
+        assert "<- selected" in output
+        assert "15.05" in output
+
+
+class TestFlightControl:
+    def test_registers_survive_crashes(self, capsys):
+        output = run_example("avionics_flight_control", capsys)
+        assert "register integrator" in output
+        assert "registers stored" in output
+        assert "LOST" not in output.split("single crashes")[1]

@@ -1,0 +1,128 @@
+"""Unit tests for the execution-time table (Exe / Dis)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import TimingError
+from repro.timing.exec_times import FORBIDDEN, ExecutionTimes
+
+
+class TestConstruction:
+    def test_set_and_get(self):
+        table = ExecutionTimes()
+        table.set("A", "P1", 2.0)
+        assert table.time_of("A", "P1") == 2.0
+
+    def test_constructor_entries(self):
+        table = ExecutionTimes({("A", "P1"): 1.0, ("A", "P2"): FORBIDDEN})
+        assert table.time_of("A", "P1") == 1.0
+        assert math.isinf(table.time_of("A", "P2"))
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(TimingError, match="positive"):
+            ExecutionTimes().set("A", "P1", 0.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(TimingError, match="positive"):
+            ExecutionTimes().set("A", "P1", -1.0)
+
+    def test_inf_means_forbidden(self):
+        table = ExecutionTimes()
+        table.set("A", "P1", FORBIDDEN)
+        assert not table.is_allowed("A", "P1")
+
+    def test_forbid_helper(self):
+        table = ExecutionTimes()
+        table.forbid("A", "P1")
+        assert not table.is_allowed("A", "P1")
+        assert table.has_entry("A", "P1")
+
+    def test_overwrite_allowed(self):
+        table = ExecutionTimes()
+        table.set("A", "P1", 2.0)
+        table.set("A", "P1", 3.0)
+        assert table.time_of("A", "P1") == 3.0
+
+
+class TestQueries:
+    def make(self) -> ExecutionTimes:
+        return ExecutionTimes(
+            {
+                ("A", "P1"): 2.0,
+                ("A", "P2"): 4.0,
+                ("A", "P3"): FORBIDDEN,
+                ("B", "P1"): 1.0,
+                ("B", "P2"): 1.0,
+                ("B", "P3"): 1.0,
+            }
+        )
+
+    def test_missing_entry_raises(self):
+        with pytest.raises(TimingError, match="no execution time"):
+            self.make().time_of("Z", "P1")
+
+    def test_allowed_processors_sorted_and_filtered(self):
+        table = self.make()
+        assert table.allowed_processors("A", ["P3", "P2", "P1"]) == ("P1", "P2")
+
+    def test_average_over_allowed_only(self):
+        table = self.make()
+        assert table.average("A", ["P1", "P2", "P3"]) == pytest.approx(3.0)
+
+    def test_average_forbidden_everywhere(self):
+        table = ExecutionTimes({("A", "P1"): FORBIDDEN})
+        with pytest.raises(TimingError, match="forbidden everywhere"):
+            table.average("A", ["P1"])
+
+    def test_operations_listing(self):
+        assert self.make().operations() == ("A", "B")
+
+    def test_entries_snapshot_is_a_copy(self):
+        table = self.make()
+        snapshot = table.entries()
+        snapshot[("A", "P1")] = 99.0
+        assert table.time_of("A", "P1") == 2.0
+
+    def test_copy_independent(self):
+        table = self.make()
+        clone = table.copy()
+        clone.set("A", "P1", 9.0)
+        assert table.time_of("A", "P1") == 2.0
+
+    def test_len(self):
+        assert len(self.make()) == 6
+
+
+class TestConstructors:
+    def test_uniform(self):
+        table = ExecutionTimes.uniform(["A", "B"], ["P1", "P2"], 3.0)
+        assert len(table) == 4
+        assert table.time_of("B", "P2") == 3.0
+
+    def test_from_rows(self):
+        table = ExecutionTimes.from_rows(
+            ("P1", "P2"), {"A": (1.0, 2.0), "B": (3.0, FORBIDDEN)}
+        )
+        assert table.time_of("A", "P2") == 2.0
+        assert not table.is_allowed("B", "P2")
+
+    def test_from_rows_length_mismatch(self):
+        with pytest.raises(TimingError, match="expected 2"):
+            ExecutionTimes.from_rows(("P1", "P2"), {"A": (1.0,)})
+
+
+class TestValidation:
+    def test_complete_table_passes(self):
+        table = ExecutionTimes.uniform(["A"], ["P1", "P2"], 1.0)
+        table.validate_against(["A"], ["P1", "P2"])
+
+    def test_missing_pair_fails(self):
+        table = ExecutionTimes({("A", "P1"): 1.0})
+        with pytest.raises(TimingError, match="missing execution time"):
+            table.validate_against(["A"], ["P1", "P2"])
+
+    def test_everywhere_forbidden_fails(self):
+        table = ExecutionTimes({("A", "P1"): FORBIDDEN})
+        with pytest.raises(TimingError, match="forbidden everywhere"):
+            table.validate_against(["A"], ["P1"])

@@ -1,0 +1,114 @@
+"""Tests for the exhaustive best-assignment baseline and the E10 gap."""
+
+import pytest
+
+from repro.analysis.experiments import run_optimality_gap
+from repro.baselines.exhaustive import ExhaustiveScheduler, schedule_exhaustive
+from repro.core.ftbar import schedule_ftbar
+from repro.exceptions import InfeasibleReplicationError, SchedulingError
+from repro.graphs.algorithm import AlgorithmGraph
+from repro.graphs.builder import diamond, linear_chain
+from repro.graphs.operations import OperationKind
+from repro.schedule.validation import validate_schedule
+from repro.workloads.random_dag import RandomWorkloadConfig, generate_problem
+
+from tests.util import uniform_problem
+
+
+class TestExhaustiveScheduler:
+    def test_single_operation_optimum(self):
+        graph = AlgorithmGraph("one")
+        graph.add_operation("A")
+        problem = uniform_problem(graph, processors=3, npf=1)
+        result = schedule_exhaustive(problem)
+        assert result.makespan == pytest.approx(1.0)
+        assert result.exhaustive
+        assert result.assignments_total == 3  # C(3,2)
+
+    def test_enumerates_the_whole_space(self):
+        problem = uniform_problem(linear_chain(3), processors=3, npf=1)
+        result = schedule_exhaustive(problem)
+        assert result.assignments_total == 27  # C(3,2)^3
+        assert result.assignments_tried == 27
+
+    def test_result_schedule_is_valid(self):
+        problem = uniform_problem(diamond(), processors=3, npf=1, comm_time=2.0)
+        result = schedule_exhaustive(problem)
+        report = validate_schedule(
+            result.schedule,
+            problem.algorithm,
+            problem.architecture,
+            problem.exec_times,
+            problem.comm_times,
+        )
+        assert report.ok, str(report)
+
+    def test_never_worse_than_ftbar_without_duplication(self):
+        from repro.core.options import SchedulerOptions
+
+        problem = uniform_problem(diamond(), processors=3, npf=1, comm_time=2.0)
+        plain = schedule_ftbar(problem, SchedulerOptions(duplication=False))
+        best = schedule_exhaustive(problem)
+        assert best.makespan <= plain.makespan + 1e-9
+
+    def test_space_bound_enforced(self):
+        problem = uniform_problem(linear_chain(8), processors=4, npf=1)
+        with pytest.raises(SchedulingError, match="assignment space"):
+            ExhaustiveScheduler(problem, max_assignments=100)
+
+    def test_rejects_memories(self):
+        graph = AlgorithmGraph("m")
+        graph.add_operation("M", OperationKind.MEMORY)
+        graph.add_operation("A")
+        graph.add_dependency("M", "A")
+        problem = uniform_problem(graph, processors=3, npf=1)
+        with pytest.raises(SchedulingError, match="memory"):
+            ExhaustiveScheduler(problem)
+
+    def test_infeasible_replication_rejected(self):
+        problem = uniform_problem(linear_chain(2), processors=3, npf=1)
+        problem.exec_times.forbid("T0", "P1")
+        problem.exec_times.forbid("T0", "P2")
+        with pytest.raises(InfeasibleReplicationError):
+            ExhaustiveScheduler(problem)
+
+    def test_respects_distribution_constraints(self):
+        problem = uniform_problem(diamond(), processors=3, npf=1)
+        problem.exec_times.forbid("B", "P1")
+        result = schedule_exhaustive(problem)
+        assert result.schedule.replica_on("B", "P1") is None
+
+
+class TestOptimalityGap:
+    def test_gap_points_structure(self):
+        points = run_optimality_gap(
+            operations=4, processors=3, instances=3, seed=77
+        )
+        assert len(points) == 3
+        for point in points:
+            assert point.best_makespan > 0
+            assert point.assignments > 0
+
+    def test_ftbar_close_to_best_assignment(self):
+        points = run_optimality_gap(
+            operations=5, processors=3, instances=5, seed=101
+        )
+        gaps = [p.gap_percent for p in points]
+        # The heuristic should stay within a reasonable factor of the
+        # best assignment on tiny instances (and may beat it thanks to
+        # duplication).
+        assert max(gaps) < 50.0
+        assert sum(gaps) / len(gaps) < 25.0
+
+    def test_random_instances_best_not_above_ftbar_by_construction(self):
+        # The exhaustive search covers FTBAR's own assignment when
+        # FTBAR does not duplicate, so best <= ftbar then.
+        from repro.core.options import SchedulerOptions
+
+        problem = generate_problem(
+            RandomWorkloadConfig(operations=5, ccr=1.0, processors=3,
+                                 npf=1, seed=5)
+        )
+        plain = schedule_ftbar(problem, SchedulerOptions(duplication=False))
+        best = schedule_exhaustive(problem)
+        assert best.makespan <= plain.makespan + 1e-9

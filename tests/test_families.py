@@ -1,0 +1,140 @@
+"""Tests for the classic task-graph families."""
+
+import pytest
+
+from repro.core.ftbar import schedule_ftbar
+from repro.schedule.validation import validate_schedule
+from repro.workloads.families import (
+    butterfly,
+    family_problem,
+    gaussian_elimination,
+    in_tree,
+    out_tree,
+    pipeline,
+)
+
+
+class TestInTree:
+    def test_shape(self):
+        graph = in_tree(2, arity=2)
+        assert len(graph) == 4 + 2 + 1
+        assert len(graph.sources()) == 4
+        assert graph.sinks() == ("R2_0",)
+
+    def test_arity_three(self):
+        graph = in_tree(1, arity=3)
+        assert len(graph.sources()) == 3
+        assert graph.predecessors("R1_0") == ("R0_0", "R0_1", "R0_2")
+
+    def test_depth_zero(self):
+        graph = in_tree(0)
+        assert len(graph) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            in_tree(-1)
+
+
+class TestOutTree:
+    def test_shape(self):
+        graph = out_tree(2, arity=2)
+        assert graph.sources() == ("B0_0",)
+        assert len(graph.sinks()) == 4
+
+    def test_mirror_of_in_tree(self):
+        reduction = in_tree(2)
+        broadcast = out_tree(2)
+        assert len(reduction) == len(broadcast)
+        assert len(reduction.sources()) == len(broadcast.sinks())
+
+
+class TestButterfly:
+    def test_shape(self):
+        graph = butterfly(2)
+        assert len(graph) == 4 * 3  # 2^2 rows, 3 stages
+        assert len(graph.sources()) == 4
+        assert len(graph.sinks()) == 4
+
+    def test_each_inner_node_has_two_preds(self):
+        graph = butterfly(3)
+        for row in range(8):
+            assert len(graph.predecessors(f"F1_{row}")) == 2
+
+    def test_butterfly_partners(self):
+        graph = butterfly(2)
+        assert graph.has_dependency("F0_0", "F1_1")  # partner 0^1
+        assert graph.has_dependency("F1_0", "F2_2")  # partner 0^2
+
+    def test_stage_zero(self):
+        assert len(butterfly(0)) == 1
+
+
+class TestGaussianElimination:
+    def test_size_three_structure(self):
+        graph = gaussian_elimination(3)
+        assert set(graph.operation_names()) == {"P0", "U0_1", "U0_2", "P1", "U1_2"}
+        assert graph.has_dependency("P0", "U0_1")
+        assert graph.has_dependency("U0_1", "P1")
+        assert graph.has_dependency("U0_2", "U1_2")
+        assert graph.has_dependency("P1", "U1_2")
+
+    def test_acyclic_and_single_sink(self):
+        graph = gaussian_elimination(5)
+        assert graph.is_acyclic()
+        assert graph.sinks() == (f"U3_4",)
+
+    def test_node_count(self):
+        # sum_{k=0}^{size-2} (1 + size-1-k)
+        graph = gaussian_elimination(4)
+        assert len(graph) == (1 + 3) + (1 + 2) + (1 + 1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            gaussian_elimination(1)
+
+
+class TestPipeline:
+    def test_single_lane(self):
+        graph = pipeline(4)
+        assert len(graph) == 4
+        assert graph.sources() == ("S0_0",)
+
+    def test_multi_lane(self):
+        graph = pipeline(3, width=2)
+        assert len(graph) == 6
+        assert len(graph.sources()) == 2
+        assert not graph.has_dependency("S0_0", "S1_1")
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            pipeline(0)
+
+
+class TestFamilyProblems:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            in_tree(2),
+            out_tree(2),
+            butterfly(2),
+            gaussian_elimination(4),
+            pipeline(4, width=2),
+        ],
+        ids=["in_tree", "out_tree", "butterfly", "gauss", "pipeline"],
+    )
+    def test_every_family_schedules_and_validates(self, graph):
+        problem = family_problem(graph, processors=3, npf=1, ccr=2.0)
+        result = schedule_ftbar(problem)
+        report = validate_schedule(
+            result.schedule,
+            result.expanded_algorithm,
+            problem.architecture,
+            problem.exec_times,
+            problem.comm_times,
+        )
+        assert report.ok, str(report)
+
+    def test_problem_naming(self):
+        problem = family_problem(butterfly(1), processors=2, ccr=0.5, npf=0)
+        assert "butterfly" in problem.name
+        assert "ccr0.5" in problem.name

@@ -1,0 +1,63 @@
+"""Unit tests for the text renderings of schedules."""
+
+import pytest
+
+from repro.schedule.gantt import render_gantt, schedule_table
+from repro.schedule.schedule import Schedule
+
+
+def sample() -> Schedule:
+    schedule = Schedule(processors=["P1", "P2"], links=["L"], npf=1)
+    schedule.place_operation("A", "P1", 0.0, 2.0)
+    schedule.place_operation("A", "P2", 0.0, 3.0)
+    schedule.place_operation("B", "P1", 2.0, 2.0, duplicated=True)
+    schedule.place_comm("A", "B", 1, 0, "L", 3.0, 1.0, "P2", "P1")
+    return schedule
+
+
+class TestGantt:
+    def test_one_row_per_resource(self):
+        text = render_gantt(sample())
+        lines = text.splitlines()
+        assert lines[0].startswith("P1")
+        assert lines[1].startswith("P2")
+        assert lines[2].startswith("L")
+
+    def test_links_can_be_hidden(self):
+        text = render_gantt(sample(), with_links=False)
+        assert not any(line.startswith("L ") for line in text.splitlines())
+
+    def test_empty_schedule(self):
+        schedule = Schedule(processors=["P1"])
+        assert render_gantt(schedule) == "(empty schedule)"
+
+    def test_minimum_width_enforced(self):
+        with pytest.raises(ValueError, match="at least"):
+            render_gantt(sample(), width=10)
+
+    def test_labels_present_when_space_allows(self):
+        text = render_gantt(sample(), width=120)
+        assert "A/0" in text
+        assert "A/1" in text
+
+    def test_time_ruler_shows_makespan(self):
+        text = render_gantt(sample())
+        assert "4" in text.splitlines()[-1]
+
+
+class TestScheduleTable:
+    def test_rows_sorted_by_start(self):
+        text = schedule_table(sample())
+        lines = [l for l in text.splitlines()[1:] if l.strip()]
+        starts = [float(line.split()[-2]) for line in lines]
+        assert starts == sorted(starts)
+
+    def test_duplicated_marker(self):
+        assert "(dup)" in schedule_table(sample())
+
+    def test_comm_label_present(self):
+        assert "A/1->B/0 on L" in schedule_table(sample())
+
+    def test_empty_schedule(self):
+        schedule = Schedule(processors=["P1"])
+        assert schedule_table(schedule) == "(empty schedule)"

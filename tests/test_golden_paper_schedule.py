@@ -1,0 +1,89 @@
+"""Golden regression test: the exact schedule of the worked example.
+
+The paper-example schedule is *the* reproduction artefact of this
+repository (its length 15.05 equals the paper's, and the degraded
+lengths for P1/P2 crashes match Figure 8 exactly).  This test pins
+every placement and comm so that any change to the heuristic's
+tie-breaking, pressure algebra or comm planning is caught immediately.
+If a deliberate algorithm change alters these values, re-derive the
+table with the snippet in the module docstring of
+``workloads/paper_example.py`` and re-check the E1 numbers before
+updating it.
+"""
+
+import pytest
+
+from repro.core.ftbar import schedule_ftbar
+from repro.workloads.paper_example import build_problem
+
+#: (operation, replica, processor, start, duplicated)
+GOLDEN_OPERATIONS = [
+    ("I", 0, "P1", 0.0, False),
+    ("I", 1, "P2", 0.0, False),
+    ("A", 0, "P1", 1.0, False),
+    ("A", 1, "P2", 1.3, False),
+    ("A", 2, "P3", 2.25, True),
+    ("C", 0, "P2", 2.8, False),
+    ("C", 1, "P1", 3.0, False),
+    ("B", 0, "P3", 3.25, False),
+    ("C", 2, "P3", 4.75, True),
+    ("B", 1, "P1", 5.0, False),
+    ("F", 0, "P3", 5.75, False),
+    ("D", 0, "P2", 5.8, False),
+    ("D", 1, "P3", 6.75, False),
+    ("E", 0, "P2", 7.5, False),
+    ("F", 1, "P1", 8.0, False),
+    ("G", 0, "P2", 8.7, False),
+    ("E", 1, "P3", 9.75, False),
+    ("E", 2, "P1", 10.0, True),
+    ("G", 2, "P1", 11.15, True),
+    ("G", 1, "P3", 11.75, False),
+    ("O", 1, "P1", 12.55, False),
+    ("O", 0, "P3", 13.25, False),
+]
+
+#: (source, source_replica, target, target_replica, link, start)
+GOLDEN_COMMS = [
+    ("I", 0, "A", 2, "L1.3", 1.0),
+    ("I", 1, "A", 2, "L2.3", 1.3),
+    ("F", 0, "G", 0, "L2.3", 6.75),
+    ("D", 1, "G", 2, "L1.3", 9.75),
+    ("F", 1, "G", 0, "L1.2", 10.0),
+    ("D", 0, "G", 2, "L1.2", 11.0),
+]
+
+
+class TestGoldenSchedule:
+    def test_every_operation_placement(self, paper_result):
+        measured = [
+            (e.operation, e.replica, e.processor, e.start, e.duplicated)
+            for e in paper_result.schedule.all_operations()
+        ]
+        assert len(measured) == len(GOLDEN_OPERATIONS)
+        for got, expected in zip(measured, GOLDEN_OPERATIONS):
+            assert got[:3] == expected[:3], (got, expected)
+            assert got[3] == pytest.approx(expected[3]), (got, expected)
+            assert got[4] == expected[4], (got, expected)
+
+    def test_every_comm_placement(self, paper_result):
+        measured = [
+            (c.source, c.source_replica, c.target, c.target_replica,
+             c.link, c.start)
+            for c in paper_result.schedule.all_comms()
+        ]
+        assert len(measured) == len(GOLDEN_COMMS)
+        for got, expected in zip(measured, GOLDEN_COMMS):
+            assert got[:5] == expected[:5], (got, expected)
+            assert got[5] == pytest.approx(expected[5]), (got, expected)
+
+    def test_figure6_moment(self):
+        # The paper's Figure 6: when C is scheduled (step 3), a third,
+        # duplicated replica of A appears on P3, fed by both replicas of
+        # I over the parallel links L1.3 and L2.3, and A/2 starts at the
+        # end of the earliest of those comms.
+        result = schedule_ftbar(build_problem())
+        duplicate = result.schedule.replica_on("A", "P3")
+        assert duplicate is not None and duplicate.duplicated
+        feeds = result.schedule.comms_toward("A", duplicate.replica)
+        assert {c.link for c in feeds} == {"L1.3", "L2.3"}
+        assert duplicate.start == pytest.approx(min(c.end for c in feeds))

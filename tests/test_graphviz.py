@@ -1,0 +1,68 @@
+"""Tests for the Graphviz DOT exporters."""
+
+from repro.schedule.graphviz import (
+    algorithm_to_dot,
+    architecture_to_dot,
+    schedule_to_dot,
+)
+from repro.hardware.topologies import single_bus
+from repro.workloads.paper_example import build_algorithm, build_architecture
+
+
+class TestAlgorithmDot:
+    def test_contains_all_operations_and_edges(self):
+        dot = algorithm_to_dot(build_algorithm())
+        for operation in "IABCDEFGO":
+            assert f'"{operation}"' in dot
+        assert '"I" -> "A";' in dot
+        assert '"G" -> "O";' in dot
+
+    def test_kind_shapes(self):
+        dot = algorithm_to_dot(build_algorithm())
+        assert '"I" [shape=ellipse];' in dot  # extio
+        assert '"A" [shape=box];' in dot  # comp
+
+    def test_memory_shape(self):
+        from repro.graphs.algorithm import AlgorithmGraph
+        from repro.graphs.operations import OperationKind
+
+        graph = AlgorithmGraph("m")
+        graph.add_operation("M", OperationKind.MEMORY)
+        assert '"M" [shape=cylinder];' in algorithm_to_dot(graph)
+
+    def test_is_a_digraph(self):
+        dot = algorithm_to_dot(build_algorithm())
+        assert dot.startswith('digraph "paper-example" {')
+        assert dot.rstrip().endswith("}")
+
+
+class TestArchitectureDot:
+    def test_point_to_point_edges_labelled(self):
+        dot = architecture_to_dot(build_architecture())
+        assert '"P1" -- "P2" [label="L1.2"];' in dot
+
+    def test_bus_rendered_as_hub(self):
+        dot = architecture_to_dot(single_bus(3))
+        assert '"bus_BUS" [shape=point' in dot
+        assert '"P1" -- "bus_BUS";' in dot
+
+    def test_is_an_undirected_graph(self):
+        assert architecture_to_dot(build_architecture()).startswith("graph ")
+
+
+class TestScheduleDot:
+    def test_clusters_and_comms(self, paper_result):
+        dot = schedule_to_dot(paper_result.schedule)
+        assert "subgraph cluster_0" in dot
+        assert 'label="P1";' in dot
+        # every comm shows its link and window
+        for comm in paper_result.schedule.all_comms():
+            assert comm.link in dot
+
+    def test_duplicated_replicas_dashed(self, paper_result):
+        dot = schedule_to_dot(paper_result.schedule)
+        assert "style=dashed" in dot
+
+    def test_time_windows_in_labels(self, paper_result):
+        dot = schedule_to_dot(paper_result.schedule)
+        assert "[0, 1)" in dot  # I/0 on P1 runs [0, 1)

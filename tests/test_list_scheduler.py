@@ -1,0 +1,68 @@
+"""Tests for the non-fault-tolerant baseline schedulers."""
+
+import pytest
+
+from repro.baselines.list_scheduler import (
+    schedule_basic,
+    schedule_non_fault_tolerant,
+)
+from repro.graphs.builder import diamond, linear_chain
+from repro.schedule.validation import validate_schedule
+
+from tests.util import uniform_problem
+
+
+class TestNonFaultTolerant:
+    def test_forces_npf_zero(self):
+        problem = uniform_problem(diamond(), processors=3, npf=1)
+        result = schedule_non_fault_tolerant(problem)
+        assert result.schedule.npf == 0
+        for operation in problem.algorithm.operation_names():
+            assert len(result.schedule.replicas_of(operation)) >= 1
+
+    def test_original_problem_untouched(self):
+        problem = uniform_problem(diamond(), processors=3, npf=1)
+        schedule_non_fault_tolerant(problem)
+        assert problem.npf == 1
+
+    def test_shorter_than_fault_tolerant(self):
+        from repro.core.ftbar import schedule_ftbar
+
+        problem = uniform_problem(diamond(), processors=3, npf=1, comm_time=2.0)
+        ft = schedule_ftbar(problem)
+        non_ft = schedule_non_fault_tolerant(problem)
+        assert non_ft.makespan <= ft.makespan
+
+    def test_schedule_is_valid_without_replication(self):
+        problem = uniform_problem(diamond(), processors=3, npf=1)
+        result = schedule_non_fault_tolerant(problem)
+        report = validate_schedule(
+            result.schedule,
+            result.expanded_algorithm,
+            problem.architecture,
+            problem.exec_times,
+            problem.comm_times,
+            require_replication=False,
+        )
+        assert report.ok, str(report)
+
+
+class TestBasic:
+    def test_no_duplication_in_basic(self):
+        problem = uniform_problem(linear_chain(4), processors=3, npf=1,
+                                  comm_time=5.0)
+        result = schedule_basic(problem)
+        assert result.schedule.duplicated_count() == 0
+        assert result.schedule.npf == 0
+
+    def test_basic_never_beats_nonft_with_duplication(self):
+        problem = uniform_problem(linear_chain(4), processors=3, npf=1,
+                                  comm_time=5.0)
+        basic = schedule_basic(problem)
+        non_ft = schedule_non_fault_tolerant(problem)
+        assert non_ft.makespan <= basic.makespan
+
+    def test_name_suffix(self):
+        problem = uniform_problem(diamond(), processors=2)
+        assert "basic" in schedule_basic(problem).schedule.name
+        assert "nonft" in schedule_non_fault_tolerant(problem).schedule.name

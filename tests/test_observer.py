@@ -1,0 +1,103 @@
+"""Tests for the FTBAR step observer (StepRecord stream)."""
+
+import pytest
+
+from repro.core.ftbar import StepRecord, schedule_ftbar
+from repro.graphs.builder import diamond
+
+from tests.util import uniform_problem
+
+
+def run_with_observer(problem):
+    records = []
+    result = schedule_ftbar(problem, observer=records.append)
+    return result, records
+
+
+class TestStepRecords:
+    def test_one_record_per_operation(self):
+        problem = uniform_problem(diamond(), processors=3, npf=1)
+        _, records = run_with_observer(problem)
+        assert len(records) == 4
+        assert [r.step for r in records] == [1, 2, 3, 4]
+
+    def test_first_step_schedules_the_source(self):
+        problem = uniform_problem(diamond(), processors=3, npf=1)
+        _, records = run_with_observer(problem)
+        assert records[0].operation == "A"
+        assert records[0].candidates == ("A",)
+
+    def test_selected_operation_has_npf_plus_one_processors(self):
+        problem = uniform_problem(diamond(), processors=3, npf=1)
+        _, records = run_with_observer(problem)
+        for record in records:
+            assert len(record.processors) == 2
+            assert len(set(record.processors)) == 2
+
+    def test_pressures_cover_candidates_and_processors(self):
+        problem = uniform_problem(diamond(), processors=3, npf=1)
+        _, records = run_with_observer(problem)
+        step3 = records[1]  # B and C both candidates after A
+        assert set(step3.candidates) == {"B", "C"}
+        for operation in step3.candidates:
+            for processor in ("P1", "P2", "P3"):
+                assert (operation, processor) in step3.pressures
+
+    def test_urgency_matches_selected_pressures(self):
+        problem = uniform_problem(diamond(), processors=3, npf=1)
+        _, records = run_with_observer(problem)
+        for record in records:
+            kept = sorted(
+                record.pressures[(record.operation, processor)]
+                for processor in record.processors
+            )
+            assert record.urgency == pytest.approx(max(kept))
+
+    def test_makespans_monotonically_nondecreasing(self):
+        problem = uniform_problem(diamond(), processors=3, npf=1)
+        result, records = run_with_observer(problem)
+        makespans = [r.makespan for r in records]
+        assert makespans == sorted(makespans)
+        assert makespans[-1] == pytest.approx(result.makespan)
+
+    def test_observer_does_not_change_the_schedule(self):
+        problem = uniform_problem(diamond(), processors=3, npf=1)
+        with_observer, _ = run_with_observer(problem)
+        without = schedule_ftbar(problem)
+        assert with_observer.makespan == without.makespan
+
+    def test_paper_example_steps(self, paper_problem):
+        records = []
+        schedule_ftbar(paper_problem, observer=records.append)
+        assert len(records) == 9
+        assert records[0].operation == "I"  # the only source
+        assert records[-1].operation == "O"  # the only sink
+
+
+class TestBusComparison:
+    def test_bus_serialization_is_costly(self):
+        from repro.analysis.experiments import run_bus_comparison
+
+        points = run_bus_comparison(
+            ccrs=(2.0,), operations=12, graphs_per_point=2, seed=5
+        )
+        point = points[0]
+        assert point.bus_makespan >= point.p2p_makespan - 1e-6
+
+    def test_bus_variant_preserves_durations(self):
+        from repro.analysis.experiments import _bus_variant
+        from repro.workloads.random_dag import (
+            RandomWorkloadConfig,
+            generate_problem,
+        )
+
+        problem = generate_problem(
+            RandomWorkloadConfig(operations=8, ccr=1.0, seed=3)
+        )
+        bus_problem = _bus_variant(problem)
+        assert bus_problem.architecture.link_names() == ("BUS",)
+        reference = problem.architecture.link_names()[0]
+        for edge in problem.algorithm.dependencies():
+            assert bus_problem.comm_times.time_of(edge, "BUS") == (
+                problem.comm_times.time_of(edge, reference)
+            )

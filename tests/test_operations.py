@@ -1,0 +1,86 @@
+"""Unit tests for the operation vertices (repro.graphs.operations)."""
+
+import pytest
+
+from repro.graphs.operations import (
+    Operation,
+    OperationKind,
+    is_memory_half,
+    memory_base_name,
+    memory_read_name,
+    memory_write_name,
+)
+
+
+class TestOperationKind:
+    def test_values_match_paper_vocabulary(self):
+        assert OperationKind.COMPUTATION.value == "comp"
+        assert OperationKind.MEMORY.value == "mem"
+        assert OperationKind.EXTERNAL_IO.value == "extio"
+
+    def test_constructible_from_string(self):
+        assert OperationKind("comp") is OperationKind.COMPUTATION
+        assert OperationKind("mem") is OperationKind.MEMORY
+        assert OperationKind("extio") is OperationKind.EXTERNAL_IO
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            OperationKind("task")
+
+
+class TestOperation:
+    def test_default_kind_is_computation(self):
+        assert Operation("A").kind is OperationKind.COMPUTATION
+
+    def test_kind_coerced_from_string(self):
+        assert Operation("M", "mem").kind is OperationKind.MEMORY
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Operation("")
+
+    def test_predicates(self):
+        assert Operation("A").is_computation()
+        assert not Operation("A").is_memory()
+        assert Operation("M", OperationKind.MEMORY).is_memory()
+        assert Operation("I", OperationKind.EXTERNAL_IO).is_external_io()
+
+    def test_equality_ignores_kind(self):
+        # Identity is the name; two kinds for one name is a graph error,
+        # checked at graph level.
+        assert Operation("A") == Operation("A", OperationKind.MEMORY)
+
+    def test_ordering_by_name(self):
+        assert sorted([Operation("B"), Operation("A")]) == [
+            Operation("A"),
+            Operation("B"),
+        ]
+
+    def test_hashable(self):
+        assert len({Operation("A"), Operation("A"), Operation("B")}) == 2
+
+    def test_str_is_name(self):
+        assert str(Operation("A")) == "A"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Operation("A").name = "B"
+
+
+class TestMemoryNaming:
+    def test_read_and_write_names(self):
+        assert memory_read_name("M") == "M#read"
+        assert memory_write_name("M") == "M#write"
+
+    def test_is_memory_half(self):
+        assert is_memory_half("M#read")
+        assert is_memory_half("M#write")
+        assert not is_memory_half("M")
+        assert not is_memory_half("reader")
+
+    def test_base_name_roundtrip(self):
+        assert memory_base_name(memory_read_name("M")) == "M"
+        assert memory_base_name(memory_write_name("M")) == "M"
+
+    def test_base_name_passthrough(self):
+        assert memory_base_name("A") == "A"

@@ -1,0 +1,92 @@
+"""Tests for the Figure 2 / Tables 1-2 fixture itself."""
+
+import math
+
+import pytest
+
+from repro.workloads.paper_example import (
+    COMMUNICATION_TABLE,
+    EXECUTION_TABLE,
+    PAPER_RTC,
+    build_algorithm,
+    build_architecture,
+    build_comm_times,
+    build_exec_times,
+    build_problem,
+)
+
+
+class TestAlgorithm:
+    def test_nine_operations(self):
+        assert len(build_algorithm()) == 9
+
+    def test_eleven_dependencies(self):
+        assert build_algorithm().number_of_dependencies() == 11
+
+    def test_io_kinds(self):
+        algorithm = build_algorithm()
+        assert algorithm.operation("I").is_external_io()
+        assert algorithm.operation("O").is_external_io()
+        assert algorithm.operation("A").is_computation()
+
+    def test_figure2_shape(self):
+        algorithm = build_algorithm()
+        assert algorithm.sources() == ("I",)
+        assert algorithm.sinks() == ("O",)
+        assert algorithm.successors("A") == ("B", "C", "D", "E")
+        assert algorithm.predecessors("G") == ("D", "E", "F")
+        assert algorithm.predecessors("F") == ("B", "C")
+
+
+class TestArchitecture:
+    def test_three_processors_three_links(self):
+        architecture = build_architecture()
+        assert architecture.processor_names() == ("P1", "P2", "P3")
+        assert architecture.link_names() == ("L1.2", "L1.3", "L2.3")
+
+    def test_fully_connected_point_to_point(self):
+        architecture = build_architecture()
+        assert architecture.is_fully_connected()
+        assert all(link.is_point_to_point() for link in architecture.links())
+
+
+class TestTables:
+    def test_table1_spot_values(self):
+        exe = build_exec_times()
+        assert exe.time_of("A", "P1") == 2.0
+        assert exe.time_of("B", "P2") == 1.0
+        assert exe.time_of("G", "P1") == 1.4
+        assert math.isinf(exe.time_of("I", "P3"))
+        assert math.isinf(exe.time_of("O", "P2"))
+
+    def test_table2_spot_values(self):
+        com = build_comm_times()
+        assert com.time_of(("I", "A"), "L1.2") == 1.75
+        assert com.time_of(("I", "A"), "L2.3") == 1.25
+        assert com.time_of(("D", "G"), "L1.2") == 1.9
+        assert com.time_of(("G", "O"), "L1.3") == 0.6
+
+    def test_l13_and_l23_are_twins(self):
+        for edge, (_, l23, l13) in COMMUNICATION_TABLE.items():
+            assert l23 == l13, edge
+
+    def test_l12_slower_than_others(self):
+        for edge, (l12, l23, _) in COMMUNICATION_TABLE.items():
+            assert l12 > l23, edge
+
+    def test_tables_cover_the_graphs(self):
+        problem = build_problem()
+        problem.validate()
+
+    def test_execution_table_covers_all_operations(self):
+        assert set(EXECUTION_TABLE) == set("IABCDEFGO")
+
+
+class TestProblem:
+    def test_default_npf_and_rtc(self):
+        problem = build_problem()
+        assert problem.npf == 1
+        assert problem.rtc.global_deadline == PAPER_RTC
+
+    def test_npf_override(self):
+        assert build_problem(npf=0).npf == 0

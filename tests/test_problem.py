@@ -1,0 +1,58 @@
+"""Unit tests for the ProblemSpec bundle."""
+
+import pytest
+
+from repro.exceptions import SchedulingError, TimingError
+from repro.graphs.builder import linear_chain
+from repro.problem import ProblemSpec
+from repro.timing.comm_times import CommunicationTimes
+from repro.timing.exec_times import ExecutionTimes
+from repro.hardware.topologies import fully_connected
+
+from tests.util import uniform_problem
+
+
+class TestProblemSpec:
+    def test_replication_factor(self):
+        problem = uniform_problem(linear_chain(2), npf=2, processors=3)
+        assert problem.replication_factor == 3
+
+    def test_negative_npf_rejected(self):
+        with pytest.raises(SchedulingError, match="npf"):
+            uniform_problem(linear_chain(2), npf=-1)
+
+    def test_validate_passes_for_complete_problem(self):
+        uniform_problem(linear_chain(3), processors=2).validate()
+
+    def test_validate_needs_enough_processors(self):
+        problem = uniform_problem(linear_chain(2), processors=2, npf=2)
+        with pytest.raises(SchedulingError, match="3 replicas"):
+            problem.validate()
+
+    def test_validate_catches_missing_exec_times(self):
+        problem = uniform_problem(linear_chain(2), processors=2)
+        problem.exec_times = ExecutionTimes({("T0", "P1"): 1.0})
+        with pytest.raises(TimingError):
+            problem.validate()
+
+    def test_validate_catches_missing_comm_times(self):
+        problem = uniform_problem(linear_chain(2), processors=2)
+        problem.comm_times = CommunicationTimes()
+        with pytest.raises(TimingError):
+            problem.validate()
+
+    def test_multi_processor_without_links_rejected(self):
+        arc = fully_connected(1)
+        arc.add_processor("P2")  # second processor, no link
+        problem = uniform_problem(linear_chain(2), processors=2)
+        problem.architecture = arc
+        with pytest.raises(Exception):
+            problem.validate()
+
+    def test_single_processor_without_links_ok(self):
+        problem = uniform_problem(linear_chain(3), processors=1)
+        problem.validate()
+
+    def test_repr(self):
+        problem = uniform_problem(linear_chain(2), processors=2, npf=1)
+        assert "npf=1" in repr(problem)

@@ -1,0 +1,82 @@
+"""Unit tests for Processor and Link value objects."""
+
+import pytest
+
+from repro.hardware.link import Link, LinkKind
+from repro.hardware.processor import Processor
+
+
+class TestProcessor:
+    def test_name(self):
+        assert Processor("P1").name == "P1"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Processor("")
+
+    def test_ordering(self):
+        assert sorted([Processor("P2"), Processor("P1")]) == [
+            Processor("P1"),
+            Processor("P2"),
+        ]
+
+    def test_str(self):
+        assert str(Processor("P1")) == "P1"
+
+    def test_hashable(self):
+        assert len({Processor("P1"), Processor("P1")}) == 1
+
+
+class TestLink:
+    def test_between_constructor(self):
+        link = Link.between("L1.2", "P1", "P2")
+        assert link.kind is LinkKind.POINT_TO_POINT
+        assert link.endpoints == frozenset({"P1", "P2"})
+
+    def test_bus_constructor(self):
+        bus = Link.bus("BUS", ["P1", "P2", "P3"])
+        assert bus.is_bus()
+        assert len(bus.endpoints) == 3
+
+    def test_point_to_point_needs_two_endpoints(self):
+        with pytest.raises(ValueError, match="exactly 2"):
+            Link("L", frozenset({"P1"}), LinkKind.POINT_TO_POINT)
+        with pytest.raises(ValueError, match="exactly 2"):
+            Link("L", frozenset({"P1", "P2", "P3"}), LinkKind.POINT_TO_POINT)
+
+    def test_bus_needs_two_endpoints_minimum(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            Link.bus("B", ["P1"])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Link.between("", "P1", "P2")
+
+    def test_endpoints_coerced_to_frozenset(self):
+        link = Link("L", {"P1", "P2"})  # type: ignore[arg-type]
+        assert isinstance(link.endpoints, frozenset)
+
+    def test_kind_coerced_from_string(self):
+        link = Link("B", frozenset({"P1", "P2", "P3"}), "bus")  # type: ignore[arg-type]
+        assert link.kind is LinkKind.BUS
+
+    def test_connects(self):
+        link = Link.between("L", "P1", "P2")
+        assert link.connects("P1", "P2")
+        assert link.connects("P2", "P1")
+        assert not link.connects("P1", "P3")
+
+    def test_attaches(self):
+        link = Link.between("L", "P1", "P2")
+        assert link.attaches("P1")
+        assert not link.attaches("P3")
+
+    def test_sorted_endpoints(self):
+        assert Link.between("L", "P2", "P1").sorted_endpoints() == ("P1", "P2")
+
+    def test_predicates(self):
+        assert Link.between("L", "P1", "P2").is_point_to_point()
+        assert not Link.between("L", "P1", "P2").is_bus()
+
+    def test_str(self):
+        assert str(Link.between("L1.2", "P1", "P2")) == "L1.2"

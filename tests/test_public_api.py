@@ -1,0 +1,103 @@
+"""Sanity checks of the public API surface.
+
+Every name exported in ``__all__`` must resolve and carry a docstring —
+the contract a downstream user relies on.
+"""
+
+import inspect
+
+import pytest
+
+import repro
+import repro.analysis
+import repro.baselines
+import repro.core
+import repro.graphs
+import repro.hardware
+import repro.schedule
+import repro.simulation
+import repro.timing
+import repro.workloads
+
+_PACKAGES = [
+    repro,
+    repro.analysis,
+    repro.baselines,
+    repro.core,
+    repro.graphs,
+    repro.hardware,
+    repro.schedule,
+    repro.simulation,
+    repro.timing,
+    repro.workloads,
+]
+
+
+@pytest.mark.parametrize("package", _PACKAGES, ids=lambda p: p.__name__)
+def test_all_exports_resolve(package):
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package.__name__}.{name} missing"
+
+
+@pytest.mark.parametrize("package", _PACKAGES, ids=lambda p: p.__name__)
+def test_all_is_sorted(package):
+    exported = list(package.__all__)
+    assert exported == sorted(exported), f"{package.__name__}.__all__ unsorted"
+
+
+@pytest.mark.parametrize("package", _PACKAGES, ids=lambda p: p.__name__)
+def test_public_callables_have_docstrings(package):
+    for name in package.__all__:
+        member = getattr(package, name)
+        if inspect.isclass(member) or inspect.isfunction(member):
+            assert member.__doc__, f"{package.__name__}.{name} lacks a docstring"
+
+
+def test_package_docstrings():
+    for package in _PACKAGES:
+        assert package.__doc__, f"{package.__name__} lacks a docstring"
+
+
+def test_version_is_exposed():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_key_entry_points_are_top_level():
+    for name in (
+        "schedule_ftbar",
+        "schedule_hbp",
+        "schedule_non_fault_tolerant",
+        "simulate",
+        "ProblemSpec",
+        "FailureScenario",
+        "SchedulerOptions",
+    ):
+        assert name in repro.__all__, name
+
+
+def test_exceptions_form_one_hierarchy():
+    from repro.exceptions import (
+        ArchitectureError,
+        ConstraintError,
+        GraphError,
+        InfeasibleReplicationError,
+        ReproError,
+        ScheduleValidationError,
+        SchedulingError,
+        SerializationError,
+        SimulationError,
+        TimingError,
+    )
+
+    for error in (
+        ArchitectureError,
+        ConstraintError,
+        GraphError,
+        ScheduleValidationError,
+        SchedulingError,
+        SerializationError,
+        SimulationError,
+        TimingError,
+    ):
+        assert issubclass(error, ReproError)
+    assert issubclass(InfeasibleReplicationError, SchedulingError)

@@ -1,0 +1,134 @@
+"""Tests for the §6.1 random workload generator."""
+
+import random
+
+import pytest
+
+from repro.core.ftbar import schedule_ftbar
+from repro.workloads.random_dag import (
+    RandomWorkloadConfig,
+    generate_algorithm,
+    generate_layers,
+    generate_problem,
+)
+
+
+class TestConfig:
+    def test_mean_communication_from_ccr(self):
+        config = RandomWorkloadConfig(operations=10, ccr=5.0, mean_execution=2.0)
+        assert config.mean_communication == 10.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"operations": 0, "ccr": 1.0},
+            {"operations": 10, "ccr": 0.0},
+            {"operations": 10, "ccr": 1.0, "processors": 0},
+            {"operations": 10, "ccr": 1.0, "mean_execution": 0.0},
+            {"operations": 10, "ccr": 1.0, "max_predecessors": 0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RandomWorkloadConfig(**kwargs)
+
+
+class TestLayers:
+    def test_all_operations_distributed(self):
+        layers = generate_layers(random.Random(0), 30)
+        names = [name for layer in layers for name in layer]
+        assert sorted(names) == sorted(f"T{i}" for i in range(30))
+
+    def test_no_empty_layer(self):
+        for seed in range(5):
+            layers = generate_layers(random.Random(seed), 25)
+            assert all(layer for layer in layers)
+
+    def test_level_count_scales_with_sqrt(self):
+        layers = generate_layers(random.Random(1), 100)
+        assert 10 <= len(layers) <= 20
+
+
+class TestAlgorithmGeneration:
+    def test_acyclic_and_connected_forward(self):
+        for seed in range(5):
+            graph = generate_algorithm(random.Random(seed), 40)
+            assert graph.is_acyclic()
+            # Every non-first-layer operation has at least one predecessor:
+            # only layer-0 operations are sources.
+            levels = graph.levels()
+            for op in graph.operation_names():
+                if levels[op] > 0:
+                    assert graph.predecessors(op)
+
+    def test_max_predecessors_respected(self):
+        graph = generate_algorithm(random.Random(3), 50, max_predecessors=2)
+        assert all(
+            len(graph.predecessors(op)) <= 2 for op in graph.operation_names()
+        )
+
+    def test_exact_operation_count(self):
+        assert len(generate_algorithm(random.Random(0), 23)) == 23
+
+
+class TestProblemGeneration:
+    def test_deterministic_for_same_seed(self):
+        config = RandomWorkloadConfig(operations=15, ccr=1.0, seed=9)
+        first, second = generate_problem(config), generate_problem(config)
+        assert first.algorithm.dependencies() == second.algorithm.dependencies()
+        assert first.exec_times.entries() == second.exec_times.entries()
+        assert first.comm_times.entries() == second.comm_times.entries()
+
+    def test_different_seeds_differ(self):
+        base = RandomWorkloadConfig(operations=15, ccr=1.0, seed=1)
+        other = RandomWorkloadConfig(operations=15, ccr=1.0, seed=2)
+        assert (
+            generate_problem(base).exec_times.entries()
+            != generate_problem(other).exec_times.entries()
+        )
+
+    def test_homogeneous_tables_by_default(self):
+        problem = generate_problem(RandomWorkloadConfig(operations=10, ccr=1.0))
+        for op in problem.algorithm.operation_names():
+            durations = {
+                problem.exec_times.time_of(op, p)
+                for p in problem.architecture.processor_names()
+            }
+            assert len(durations) == 1
+
+    def test_heterogeneous_tables_on_demand(self):
+        problem = generate_problem(
+            RandomWorkloadConfig(operations=10, ccr=1.0, heterogeneous=True, seed=4)
+        )
+        varied = 0
+        for op in problem.algorithm.operation_names():
+            durations = {
+                problem.exec_times.time_of(op, p)
+                for p in problem.architecture.processor_names()
+            }
+            varied += len(durations) > 1
+        assert varied > 0
+
+    def test_durations_within_uniform_bounds(self):
+        config = RandomWorkloadConfig(
+            operations=20, ccr=2.0, mean_execution=10.0, seed=5
+        )
+        problem = generate_problem(config)
+        for (_, _), duration in problem.exec_times.entries().items():
+            assert 5.0 <= duration <= 15.0
+        for (_, _), duration in problem.comm_times.entries().items():
+            assert 10.0 <= duration <= 30.0
+
+    def test_generated_problem_validates_and_schedules(self):
+        problem = generate_problem(
+            RandomWorkloadConfig(operations=12, ccr=1.0, npf=1, seed=6)
+        )
+        problem.validate()
+        result = schedule_ftbar(problem)
+        assert result.makespan > 0
+
+    def test_processor_count_honored(self):
+        problem = generate_problem(
+            RandomWorkloadConfig(operations=10, ccr=1.0, processors=6)
+        )
+        assert len(problem.architecture) == 6

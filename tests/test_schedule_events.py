@@ -1,0 +1,66 @@
+"""Unit tests for the immutable scheduled events."""
+
+import pytest
+
+from repro.schedule.events import ScheduledComm, ScheduledOperation
+
+
+class TestScheduledOperation:
+    def test_duration(self):
+        event = ScheduledOperation(1.0, 3.5, "A", 0, "P1")
+        assert event.duration == 2.5
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="ends"):
+            ScheduledOperation(2.0, 1.0, "A", 0, "P1")
+
+    def test_rejects_negative_replica(self):
+        with pytest.raises(ValueError, match="replica"):
+            ScheduledOperation(0.0, 1.0, "A", -1, "P1")
+
+    def test_label(self):
+        assert ScheduledOperation(0.0, 1.0, "A", 1, "P3").label() == "A/1@P3"
+
+    def test_shifted(self):
+        event = ScheduledOperation(1.0, 2.0, "A", 0, "P1")
+        moved = event.shifted(3.0)
+        assert (moved.start, moved.end) == (4.0, 5.0)
+        assert event.start == 1.0
+
+    def test_ordering_by_start(self):
+        early = ScheduledOperation(0.0, 1.0, "B", 0, "P1")
+        late = ScheduledOperation(2.0, 3.0, "A", 0, "P1")
+        assert sorted([late, early]) == [early, late]
+
+    def test_duplicated_flag_defaults_false(self):
+        assert not ScheduledOperation(0.0, 1.0, "A", 0, "P1").duplicated
+
+
+class TestScheduledComm:
+    def make(self) -> ScheduledComm:
+        return ScheduledComm(
+            start=1.0,
+            end=2.0,
+            source="I",
+            target="A",
+            source_replica=0,
+            target_replica=1,
+            link="L1.3",
+            source_processor="P1",
+            target_processor="P3",
+        )
+
+    def test_duration_and_edge(self):
+        comm = self.make()
+        assert comm.duration == 1.0
+        assert comm.edge == ("I", "A")
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="ends"):
+            ScheduledComm(2.0, 1.0, "I", "A", 0, 0, "L", "P1", "P2")
+
+    def test_label(self):
+        assert self.make().label() == "I/0->A/1 on L1.3"
+
+    def test_hop_index_defaults_to_zero(self):
+        assert self.make().hop_index == 0

@@ -1,0 +1,225 @@
+"""Unit tests for the independent schedule validator."""
+
+import pytest
+
+from repro.exceptions import ScheduleValidationError
+from repro.graphs.algorithm import from_dependencies
+from repro.hardware.topologies import fully_connected
+from repro.schedule.schedule import Schedule
+from repro.schedule.validation import assert_valid_schedule, validate_schedule
+from repro.timing.comm_times import CommunicationTimes
+from repro.timing.exec_times import ExecutionTimes
+
+
+def tiny_setup():
+    algorithm = from_dependencies([("A", "B")])
+    architecture = fully_connected(3)
+    exec_times = ExecutionTimes.uniform(["A", "B"], architecture.processor_names(), 1.0)
+    comm_times = CommunicationTimes.uniform(
+        [("A", "B")], architecture.link_names(), 0.5
+    )
+    return algorithm, architecture, exec_times, comm_times
+
+
+def valid_npf1_schedule() -> Schedule:
+    """A hand-built correct Npf=1 schedule of A -> B."""
+    schedule = Schedule(
+        processors=["P1", "P2", "P3"],
+        links=["L1.2", "L1.3", "L2.3"],
+        npf=1,
+    )
+    schedule.place_operation("A", "P1", 0.0, 1.0)
+    schedule.place_operation("A", "P2", 0.0, 1.0)
+    # B on P1 is fed by the local A replica; B on P3 receives from both.
+    schedule.place_operation("B", "P1", 1.0, 1.0)
+    schedule.place_comm("A", "B", 0, 1, "L1.3", 1.0, 0.5, "P1", "P3")
+    schedule.place_comm("A", "B", 1, 1, "L2.3", 1.0, 0.5, "P2", "P3")
+    schedule.place_operation("B", "P3", 1.5, 1.0)
+    return schedule
+
+
+class TestValidSchedule:
+    def test_hand_built_schedule_passes(self):
+        report = validate_schedule(valid_npf1_schedule(), *tiny_setup())
+        assert report.ok, str(report)
+
+    def test_assert_valid_does_not_raise(self):
+        assert_valid_schedule(valid_npf1_schedule(), *tiny_setup())
+
+    def test_report_str_when_ok(self):
+        report = validate_schedule(valid_npf1_schedule(), *tiny_setup())
+        assert str(report) == "schedule valid"
+
+
+class TestCompleteness:
+    def test_missing_operation_detected(self):
+        schedule = valid_npf1_schedule()
+        algorithm = from_dependencies([("A", "B"), ("A", "C")])
+        _, architecture, exec_times, comm_times = tiny_setup()
+        exec_times.set("C", "P1", 1.0)
+        report = validate_schedule(
+            schedule, algorithm, architecture, exec_times, comm_times
+        )
+        assert any("'C' is not scheduled" in issue for issue in report.issues)
+
+    def test_under_replication_detected(self):
+        schedule = Schedule(processors=["P1", "P2", "P3"], links=["L1.2"], npf=1)
+        schedule.place_operation("A", "P1", 0.0, 1.0)
+        schedule.place_operation("B", "P1", 1.0, 1.0)
+        schedule.place_operation("B", "P2", 1.5, 1.0)
+        report = validate_schedule(schedule, *tiny_setup())
+        assert any("needs at least 2" in issue for issue in report.issues)
+
+    def test_replication_not_required_mode(self):
+        schedule = Schedule(processors=["P1", "P2", "P3"], links=[], npf=0)
+        schedule.place_operation("A", "P1", 0.0, 1.0)
+        schedule.place_operation("B", "P1", 1.0, 1.0)
+        report = validate_schedule(schedule, *tiny_setup(), require_replication=False)
+        assert report.ok, str(report)
+
+    def test_alien_operation_detected(self):
+        schedule = valid_npf1_schedule()
+        schedule.place_operation("Z", "P2", 5.0, 1.0)
+        algorithm, architecture, exec_times, comm_times = tiny_setup()
+        exec_times.set("Z", "P2", 1.0)
+        report = validate_schedule(
+            schedule, algorithm, architecture, exec_times, comm_times
+        )
+        assert any("not in the algorithm" in issue for issue in report.issues)
+
+
+class TestTimingFaithfulness:
+    def test_wrong_duration_detected(self):
+        schedule = valid_npf1_schedule()
+        algorithm, architecture, exec_times, comm_times = tiny_setup()
+        exec_times.set("A", "P1", 2.0)  # table now disagrees
+        report = validate_schedule(
+            schedule, algorithm, architecture, exec_times, comm_times
+        )
+        assert any("table says 2" in issue for issue in report.issues)
+
+    def test_forbidden_placement_detected(self):
+        schedule = valid_npf1_schedule()
+        algorithm, architecture, exec_times, comm_times = tiny_setup()
+        exec_times.forbid("A", "P1")
+        report = validate_schedule(
+            schedule, algorithm, architecture, exec_times, comm_times
+        )
+        assert any("distribution constraint" in issue for issue in report.issues)
+
+    def test_wrong_comm_duration_detected(self):
+        schedule = valid_npf1_schedule()
+        algorithm, architecture, exec_times, comm_times = tiny_setup()
+        comm_times.set(("A", "B"), "L1.3", 2.0)
+        report = validate_schedule(
+            schedule, algorithm, architecture, exec_times, comm_times
+        )
+        assert any("table says 2" in issue for issue in report.issues)
+
+
+class TestDataCoverage:
+    def test_comm_before_producer_detected(self):
+        schedule = Schedule(
+            processors=["P1", "P2", "P3"], links=["L1.2", "L1.3", "L2.3"], npf=1
+        )
+        schedule.place_operation("A", "P1", 0.0, 1.0)
+        schedule.place_operation("A", "P2", 0.0, 1.0)
+        schedule.place_operation("B", "P1", 1.0, 1.0)
+        schedule.place_comm("A", "B", 0, 1, "L1.3", 0.5, 0.5, "P1", "P3")
+        schedule.place_comm("A", "B", 1, 1, "L2.3", 1.0, 0.5, "P2", "P3")
+        schedule.place_operation("B", "P3", 1.5, 1.0)
+        report = validate_schedule(schedule, *tiny_setup())
+        assert any("before its producer" in issue for issue in report.issues)
+
+    def test_missing_input_detected(self):
+        schedule = Schedule(
+            processors=["P1", "P2", "P3"], links=["L1.2", "L1.3", "L2.3"], npf=1
+        )
+        schedule.place_operation("A", "P1", 0.0, 1.0)
+        schedule.place_operation("A", "P2", 0.0, 1.0)
+        schedule.place_operation("B", "P1", 1.0, 1.0)
+        schedule.place_operation("B", "P3", 1.5, 1.0)  # no comms toward it
+        report = validate_schedule(schedule, *tiny_setup())
+        assert any("receives nothing" in issue for issue in report.issues)
+
+    def test_single_source_insufficient_for_npf1(self):
+        schedule = Schedule(
+            processors=["P1", "P2", "P3"], links=["L1.2", "L1.3", "L2.3"], npf=1
+        )
+        schedule.place_operation("A", "P1", 0.0, 1.0)
+        schedule.place_operation("A", "P2", 0.0, 1.0)
+        schedule.place_operation("B", "P1", 1.0, 1.0)
+        schedule.place_comm("A", "B", 0, 1, "L1.3", 1.0, 0.5, "P1", "P3")
+        schedule.place_operation("B", "P3", 1.5, 1.0)
+        report = validate_schedule(schedule, *tiny_setup())
+        assert any("comes from only 1" in issue for issue in report.issues)
+
+    def test_start_before_first_input_set_detected(self):
+        schedule = Schedule(
+            processors=["P1", "P2", "P3"], links=["L1.2", "L1.3", "L2.3"], npf=1
+        )
+        schedule.place_operation("A", "P1", 0.0, 1.0)
+        schedule.place_operation("A", "P2", 0.0, 1.0)
+        schedule.place_operation("B", "P1", 1.0, 1.0)
+        schedule.place_comm("A", "B", 0, 1, "L1.3", 1.0, 0.5, "P1", "P3")
+        schedule.place_comm("A", "B", 1, 1, "L2.3", 1.0, 0.5, "P2", "P3")
+        schedule.place_operation("B", "P3", 1.2, 1.0)  # first arrival is 1.5
+        report = validate_schedule(schedule, *tiny_setup())
+        assert any("first complete input set" in issue for issue in report.issues)
+
+    def test_local_predecessor_is_enough(self):
+        # B on P1 has A locally: no comms needed, no issue reported.
+        report = validate_schedule(valid_npf1_schedule(), *tiny_setup())
+        assert report.ok
+
+
+class TestCommChecks:
+    def test_comm_without_dependency_detected(self):
+        schedule = valid_npf1_schedule()
+        schedule.place_comm("B", "A", 0, 0, "L1.2", 3.0, 0.5, "P1", "P2")
+        report = validate_schedule(schedule, *tiny_setup())
+        assert any("no matching data-dependency" in issue for issue in report.issues)
+
+    def test_comm_on_detached_link_detected(self):
+        schedule = Schedule(
+            processors=["P1", "P2", "P3"], links=["L1.2", "L1.3", "L2.3"], npf=1
+        )
+        schedule.place_operation("A", "P1", 0.0, 1.0)
+        schedule.place_operation("A", "P2", 0.0, 1.0)
+        schedule.place_operation("B", "P1", 1.0, 1.0)
+        # L2.3 does not attach P1: the comm below is physically impossible.
+        schedule.place_comm("A", "B", 0, 1, "L2.3", 1.0, 0.5, "P1", "P3")
+        schedule.place_comm("A", "B", 1, 1, "L1.3", 1.0, 0.5, "P2", "P3")
+        schedule.place_operation("B", "P3", 1.5, 1.0)
+        report = validate_schedule(schedule, *tiny_setup())
+        assert any("is not on link" in issue for issue in report.issues)
+
+    def test_phantom_sender_detected(self):
+        schedule = valid_npf1_schedule()
+        # A comm claiming to come from P3 where no replica of A lives.
+        schedule.place_comm("A", "B", 0, 0, "L1.3", 5.0, 0.5, "P3", "P1")
+        report = validate_schedule(schedule, *tiny_setup())
+        assert any("no replica of" in issue for issue in report.issues)
+
+    def test_multi_hop_rejected_when_direct_required(self):
+        schedule = valid_npf1_schedule()
+        algorithm, architecture, exec_times, comm_times = tiny_setup()
+        report = validate_schedule(
+            schedule,
+            algorithm,
+            architecture,
+            exec_times,
+            comm_times,
+            require_direct_links=True,
+        )
+        assert report.ok  # all comms in the fixture are single-hop
+
+    def test_assert_raises_with_issue_list(self):
+        schedule = valid_npf1_schedule()
+        algorithm = from_dependencies([("A", "B"), ("A", "C")])
+        _, architecture, exec_times, comm_times = tiny_setup()
+        exec_times.set("C", "P1", 1.0)
+        with pytest.raises(ScheduleValidationError, match="not scheduled"):
+            assert_valid_schedule(
+                schedule, algorithm, architecture, exec_times, comm_times
+            )

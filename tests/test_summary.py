@@ -1,0 +1,71 @@
+"""Tests for the one-call schedule audit (analysis.summary)."""
+
+import pytest
+
+from repro.analysis.summary import audit_schedule, format_schedule_report
+from repro.core.ftbar import schedule_ftbar
+from repro.graphs.builder import diamond
+from repro.timing.constraints import RealTimeConstraints
+
+from tests.util import uniform_problem
+
+
+class TestAudit:
+    def make_report(self, deadline=None):
+        rtc = RealTimeConstraints(global_deadline=deadline) if deadline else None
+        problem = uniform_problem(diamond(), processors=3, npf=1, rtc=rtc)
+        return audit_schedule(schedule_ftbar(problem))
+
+    def test_report_fields(self):
+        report = self.make_report()
+        assert report.npf == 1
+        assert report.makespan > 0
+        assert report.replication.operations == 4
+        assert set(report.latencies) == {"D"}
+        assert report.certificate.certified
+
+    def test_healthy_when_rtc_holds_and_certified(self):
+        assert self.make_report(deadline=1000.0).healthy
+
+    def test_unhealthy_when_rtc_missed(self):
+        report = self.make_report(deadline=0.5)
+        assert not report.rtc.satisfied
+        assert not report.healthy
+
+    def test_paper_example_report(self, paper_result):
+        report = audit_schedule(paper_result)
+        assert report.makespan == pytest.approx(15.05)
+        assert report.healthy
+
+
+class TestFormatting:
+    def test_rendering_sections(self, paper_result):
+        text = format_schedule_report(audit_schedule(paper_result))
+        assert "processor load:" in text
+        assert "link load:" in text
+        assert "output latencies" in text
+        assert "CERTIFIED" in text
+        assert "verdict: HEALTHY" in text
+
+    def test_unhealthy_verdict_rendered(self):
+        problem = uniform_problem(
+            diamond(),
+            processors=3,
+            npf=1,
+            rtc=RealTimeConstraints(global_deadline=0.5),
+        )
+        text = format_schedule_report(audit_schedule(schedule_ftbar(problem)))
+        assert "NEEDS ATTENTION" in text
+
+
+class TestCli:
+    def test_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        problem = tmp_path / "problem.json"
+        main(["generate", str(problem), "--operations", "6", "--seed", "3",
+              "--processors", "3"])
+        capsys.readouterr()
+        assert main(["report", str(problem)]) == 0
+        output = capsys.readouterr().out
+        assert "verdict: HEALTHY" in output

@@ -1,0 +1,47 @@
+"""Tests for the public hypothesis strategies (repro.testing)."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.ftbar import schedule_ftbar
+from repro.graphs.algorithm import AlgorithmGraph
+from repro.problem import ProblemSpec
+from repro.testing import algorithm_graphs, problems, workload_configs
+from repro.workloads.random_dag import RandomWorkloadConfig
+
+_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(config=workload_configs(max_operations=8))
+@_SETTINGS
+def test_workload_configs_produce_valid_configs(config):
+    assert isinstance(config, RandomWorkloadConfig)
+    assert 1 <= config.operations <= 8
+    assert config.ccr > 0
+
+
+@given(problem=problems(max_operations=8))
+@_SETTINGS
+def test_problems_are_feasible_and_schedulable(problem):
+    assert isinstance(problem, ProblemSpec)
+    problem.validate()
+    result = schedule_ftbar(problem)
+    assert result.makespan >= 0
+
+
+@given(graph=algorithm_graphs(max_operations=8))
+@_SETTINGS
+def test_algorithm_graphs_are_dags(graph):
+    assert isinstance(graph, AlgorithmGraph)
+    assert graph.is_acyclic()
+    assert len(graph) >= 1
+
+
+def test_strategies_importable_without_use():
+    # The module exposes exactly its documented names.
+    import repro.testing as testing
+
+    assert testing.__all__ == ["algorithm_graphs", "problems", "workload_configs"]

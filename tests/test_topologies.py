@@ -1,0 +1,86 @@
+"""Unit tests for the canned architecture topologies."""
+
+import pytest
+
+from repro.exceptions import ArchitectureError
+from repro.hardware.topologies import fully_connected, ring, single_bus, star
+
+
+class TestFullyConnected:
+    def test_paper_naming(self):
+        arc = fully_connected(3)
+        assert arc.processor_names() == ("P1", "P2", "P3")
+        assert arc.link_names() == ("L1.2", "L1.3", "L2.3")
+
+    def test_link_count(self):
+        arc = fully_connected(5)
+        assert len(arc.link_names()) == 10
+
+    def test_is_fully_connected(self):
+        assert fully_connected(4).is_fully_connected()
+
+    def test_single_processor(self):
+        arc = fully_connected(1)
+        assert arc.link_names() == ()
+        arc.validate()
+
+    def test_zero_rejected(self):
+        with pytest.raises(ArchitectureError):
+            fully_connected(0)
+
+    def test_custom_prefixes(self):
+        arc = fully_connected(2, prefix="N", link_prefix="W")
+        assert arc.processor_names() == ("N1", "N2")
+        assert arc.link_names() == ("W1.2",)
+
+
+class TestSingleBus:
+    def test_shape(self):
+        arc = single_bus(4)
+        assert len(arc.link_names()) == 1
+        assert arc.link("BUS").is_bus()
+        assert len(arc.link("BUS").endpoints) == 4
+
+    def test_every_pair_connected_by_bus(self):
+        arc = single_bus(3)
+        assert arc.is_fully_connected()
+
+    def test_single_processor_has_no_bus(self):
+        assert single_bus(1).link_names() == ()
+
+
+class TestRing:
+    def test_shape(self):
+        arc = ring(4)
+        assert len(arc.link_names()) == 4
+        assert arc.neighbors("P1") == ("P2", "P4")
+
+    def test_two_processors_single_link(self):
+        arc = ring(2)
+        assert arc.link_names() == ("L1.2",)
+
+    def test_routes_around_ring(self):
+        arc = ring(5)
+        assert arc.hop_count("P1", "P3") == 2
+
+    def test_validates(self):
+        ring(6).validate()
+
+
+class TestStar:
+    def test_default_hub(self):
+        arc = star(4)
+        assert arc.neighbors("P1") == ("P2", "P3", "P4")
+        assert arc.neighbors("P2") == ("P1",)
+
+    def test_custom_hub(self):
+        arc = star(3, hub="P2")
+        assert arc.neighbors("P2") == ("P1", "P3")
+
+    def test_unknown_hub_rejected(self):
+        with pytest.raises(ArchitectureError, match="hub"):
+            star(3, hub="P9")
+
+    def test_leaf_to_leaf_routes_via_hub(self):
+        arc = star(4)
+        assert arc.hop_count("P2", "P3") == 2

@@ -1,0 +1,104 @@
+"""Tests for the ExecutionTrace accessors."""
+
+import pytest
+
+from repro.graphs.algorithm import from_dependencies
+from repro.simulation.trace import (
+    EventStatus,
+    ExecutionTrace,
+    SimulatedComm,
+    SimulatedOperation,
+)
+from repro.timing.constraints import RealTimeConstraints
+
+
+def completed_op(name, replica, processor, start, end):
+    return SimulatedOperation(
+        name, replica, processor, EventStatus.COMPLETED, start, end
+    )
+
+
+def make_trace() -> ExecutionTrace:
+    operations = [
+        completed_op("A", 0, "P1", 0.0, 1.0),
+        completed_op("A", 1, "P2", 0.0, 2.0),
+        completed_op("B", 0, "P1", 1.0, 3.0),
+        SimulatedOperation("B", 1, "P3", EventStatus.STARVED),
+    ]
+    comms = [
+        SimulatedComm(
+            "A", "B", 0, 1, "L1.3", "P1", "P3", 0,
+            EventStatus.COMPLETED, 1.0, 1.5, delivered=True,
+        ),
+        SimulatedComm(
+            "A", "B", 1, 1, "L2.3", "P2", "P3", 0, EventStatus.SKIPPED
+        ),
+    ]
+    return ExecutionTrace(operations, comms)
+
+
+class TestAccessors:
+    def test_operation_outcome(self):
+        trace = make_trace()
+        assert trace.operation_outcome("A", 1).processor == "P2"
+
+    def test_outcomes_of(self):
+        assert len(make_trace().outcomes_of("B")) == 2
+
+    def test_completed_filters(self):
+        trace = make_trace()
+        assert len(trace.completed_operations()) == 3
+        assert len(trace.completed_comms()) == 1
+
+    def test_starved_operations(self):
+        starved = make_trace().starved_operations()
+        assert [o.label() for o in starved] == ["B/1@P3=starved"]
+
+
+class TestMeasures:
+    def test_makespan_over_completed_events(self):
+        assert make_trace().makespan() == 3.0
+
+    def test_makespan_empty(self):
+        assert ExecutionTrace([], []).makespan() == 0.0
+
+    def test_first_completion(self):
+        trace = make_trace()
+        assert trace.first_completion("A") == 1.0
+        assert trace.first_completion("B") == 3.0
+
+    def test_first_completion_none_when_all_failed(self):
+        trace = ExecutionTrace(
+            [SimulatedOperation("A", 0, "P1", EventStatus.LOST)], []
+        )
+        assert trace.first_completion("A") is None
+
+    def test_outputs_completion(self):
+        algorithm = from_dependencies([("A", "B")])
+        assert make_trace().outputs_completion(algorithm) == 3.0
+
+    def test_outputs_completion_none_when_sink_dead(self):
+        algorithm = from_dependencies([("A", "B")])
+        trace = ExecutionTrace(
+            [
+                completed_op("A", 0, "P1", 0.0, 1.0),
+                SimulatedOperation("B", 0, "P1", EventStatus.LOST),
+            ],
+            [],
+        )
+        assert trace.outputs_completion(algorithm) is None
+
+    def test_all_operations_delivered(self):
+        algorithm = from_dependencies([("A", "B")])
+        assert make_trace().all_operations_delivered(algorithm)
+
+    def test_rtc_satisfied(self):
+        trace = make_trace()
+        assert trace.rtc_satisfied(RealTimeConstraints(global_deadline=5.0))
+        assert not trace.rtc_satisfied(RealTimeConstraints(global_deadline=2.0))
+
+    def test_summary_counts_statuses(self):
+        summary = make_trace().summary()
+        assert "completed=4" in summary
+        assert "starved=1" in summary
+        assert "skipped=1" in summary
