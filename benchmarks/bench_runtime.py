@@ -8,18 +8,128 @@ operation" — HBP evaluates every ordered processor *pair* per candidate
 
 Two timed bodies (one per scheduler) let pytest-benchmark print the
 direct comparison; the recorded table adds a small N sweep.
+
+The module also measures the incremental engine against its legacy
+full-recompute path (``SchedulerOptions(incremental=False)``) over an N
+sweep — N in {40, 100} by default, {40, 100, 200, 500} under
+``REPRO_BENCH_FULL=1`` — and records the result in ``BENCH_runtime.json``
+at the repository root so the perf trajectory is tracked PR-over-PR.
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py [--full]
 """
 
-from benchmarks.conftest import full_scale, graphs_per_point
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    from benchmarks.conftest import full_scale, graphs_per_point
+except ModuleNotFoundError:  # invoked as `python benchmarks/bench_runtime.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.conftest import full_scale, graphs_per_point
 from repro.analysis.experiments import run_runtime_comparison
 from repro.analysis.reporting import format_runtime_comparison
 from repro.baselines.hbp import schedule_hbp
 from repro.core.ftbar import schedule_ftbar
+from repro.core.options import SchedulerOptions
 from repro.workloads.random_dag import RandomWorkloadConfig, generate_problem
 
 _PROBLEM = generate_problem(
     RandomWorkloadConfig(operations=40, ccr=1.0, processors=4, npf=1, seed=2003)
 )
+
+_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+_LEGACY = SchedulerOptions(incremental=False)
+
+
+def _best_of(function, problem, options, repeats: int) -> tuple[float, object]:
+    """Min-of-``repeats`` wall time, with a warmup run and quiesced GC.
+
+    Without the collect, the garbage of the *previous* measured
+    configuration gets collected inside this one's timed region.
+    """
+    call = (
+        (lambda: function(problem, options))
+        if options is not None
+        else (lambda: function(problem))
+    )
+    result = call()  # warmup, untimed
+    best = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        started = time.perf_counter()
+        result = call()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def run_incremental_sweep(full: bool = False, repeats: int = 5) -> dict:
+    """Time FTBAR's incremental engine against the legacy path per N."""
+    counts = (40, 100, 200, 500) if full else (40, 100)
+    sweep: dict[str, dict] = {}
+    for n in counts:
+        problem = generate_problem(
+            RandomWorkloadConfig(
+                operations=n, ccr=1.0, processors=4, npf=1, seed=2003
+            )
+        )
+        incremental_s, incremental = _best_of(
+            schedule_ftbar, problem, SchedulerOptions(), repeats
+        )
+        legacy_s, legacy = _best_of(schedule_ftbar, problem, _LEGACY, repeats)
+        assert incremental.makespan == legacy.makespan, (
+            f"engines diverge at N={n}"
+        )
+        sweep[str(n)] = {
+            "incremental_s": incremental_s,
+            "legacy_s": legacy_s,
+            "speedup": legacy_s / incremental_s,
+            "incremental_pressure_evaluations":
+                incremental.stats.pressure_evaluations,
+            "legacy_pressure_evaluations": legacy.stats.pressure_evaluations,
+            "cache_hits": incremental.stats.cache_hits,
+            "makespan": incremental.makespan,
+        }
+    return sweep
+
+
+def run_hbp_sweep(full: bool = False, repeats: int = 3) -> dict:
+    """FTBAR vs HBP wall time on the shared E6 problems."""
+    counts = (40, 80) if full else (40,)
+    sweep: dict[str, dict] = {}
+    for n in counts:
+        problem = generate_problem(
+            RandomWorkloadConfig(
+                operations=n, ccr=1.0, processors=4, npf=1, seed=2003
+            )
+        )
+        ftbar_s, _ = _best_of(schedule_ftbar, problem, None, repeats)
+        hbp_s, hbp = _best_of(schedule_hbp, problem, None, repeats)
+        sweep[str(n)] = {
+            "ftbar_s": ftbar_s,
+            "hbp_s": hbp_s,
+            "hbp_pair_evaluations": hbp.stats.pair_evaluations,
+            "hbp_pair_cache_hits": hbp.stats.pair_cache_hits,
+        }
+    return sweep
+
+
+def write_bench_json(full: bool = False, repeats: int = 5) -> dict:
+    """Run both sweeps and record them in ``BENCH_runtime.json``."""
+    payload = {
+        "generated_by": "benchmarks/bench_runtime.py",
+        "config": {
+            "ccr": 1.0, "processors": 4, "npf": 1, "seed": 2003,
+            "repeats": repeats, "full": full,
+        },
+        "ftbar_incremental_vs_legacy": run_incremental_sweep(full, repeats),
+        "ftbar_vs_hbp": run_hbp_sweep(full, repeats),
+    }
+    _RESULT_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return payload
 
 
 def bench_runtime_ftbar(benchmark):
@@ -47,3 +157,40 @@ def bench_runtime_hbp(benchmark, record_result):
     # The headline claim: FTBAR schedules faster than HBP.
     for point in points:
         assert point.ftbar_seconds < point.hbp_seconds, point
+
+
+def bench_runtime_incremental_vs_legacy(benchmark, record_result):
+    """Time the incremental engine and record the JSON perf trajectory."""
+    result = benchmark(schedule_ftbar, _PROBLEM)
+    assert result.makespan > 0
+
+    payload = write_bench_json(full=full_scale())
+    lines = ["incremental engine vs legacy full-recompute path"]
+    for n, point in sorted(
+        payload["ftbar_incremental_vs_legacy"].items(), key=lambda kv: int(kv[0])
+    ):
+        lines.append(
+            f"  N={n:>4}: {point['incremental_s']*1e3:8.1f} ms vs "
+            f"{point['legacy_s']*1e3:8.1f} ms  ({point['speedup']:.2f}x, "
+            f"{point['incremental_pressure_evaluations']} vs "
+            f"{point['legacy_pressure_evaluations']} plans computed)"
+        )
+    record_result("runtime_incremental", "\n".join(lines))
+
+
+def main(argv: list[str]) -> int:
+    full = full_scale() or "--full" in argv
+    payload = write_bench_json(full=full)
+    print(json.dumps(payload, indent=1, sort_keys=True))
+    n100 = payload["ftbar_incremental_vs_legacy"].get("100")
+    if n100 is not None:
+        print(
+            f"\nFTBAR N=100 speedup over non-incremental path: "
+            f"{n100['speedup']:.2f}x",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

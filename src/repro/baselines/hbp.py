@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.exceptions import InfeasibleReplicationError, SchedulingError
+from repro.core.incremental import MutationTracker, PlanCache
 from repro.core.placement import PlacementPlanner, commit_plan
 from repro.problem import ProblemSpec
 from repro.schedule.schedule import Schedule
@@ -42,10 +43,17 @@ HBP_REPLICAS = 2
 
 @dataclass
 class HBPStats:
-    """Run statistics, used by the complexity experiment (E6)."""
+    """Run statistics, used by the complexity experiment (E6).
+
+    ``pair_evaluations`` counts *computed* pair costs; the incremental
+    pair-cost cache (the same :class:`~repro.core.incremental.PlanCache`
+    machinery the FTBAR engine uses, so the E6 runtime comparison stays
+    apples-to-apples) serves the rest as ``pair_cache_hits``.
+    """
 
     steps: int = 0
     pair_evaluations: int = 0
+    pair_cache_hits: int = 0
     wall_time_s: float = 0.0
 
 
@@ -89,6 +97,7 @@ class HBPScheduler:
             self._comm_times,
             npf=HBP_REPLICAS - 1,
         )
+        self._cache = PlanCache()
 
     def run(self) -> HBPResult:
         """Schedule the height groups from the highest down.
@@ -108,13 +117,19 @@ class HBPScheduler:
             npf=HBP_REPLICAS - 1,
             name=f"{self._problem.name}-hbp",
         )
+        self._cache = PlanCache()
+        tracker = MutationTracker(schedule)
         for group in self._height_groups():
             remaining = list(group)
             while remaining:
                 stats.steps += 1
                 task, first, second = self._select(remaining, schedule, stats)
+                tracker.begin()
                 self._commit_pair(task, first, second, schedule)
+                self._cache.drop_operation(task)
+                self._cache.invalidate(tracker.delta())
                 remaining.remove(task)
+        stats.pair_cache_hits = self._cache.hits
         stats.wall_time_s = time.perf_counter() - started
         rtc_report = self._problem.rtc.check(schedule)
         return HBPResult(schedule=schedule, rtc_report=rtc_report, stats=stats)
@@ -155,8 +170,7 @@ class HBPScheduler:
                 for second in processors:
                     if first == second:
                         continue
-                    stats.pair_evaluations += 1
-                    cost = self._pair_cost(task, first, second, schedule)
+                    cost = self._pair_cost(task, first, second, schedule, stats)
                     if cost is None:
                         continue
                     key = (cost, task, first, second)
@@ -180,21 +194,74 @@ class HBPScheduler:
             commit_plan(plan, schedule)
 
     def _pair_cost(
-        self, task: str, first: str, second: str, schedule: Schedule
+        self,
+        task: str,
+        first: str,
+        second: str,
+        schedule: Schedule,
+        stats: HBPStats,
     ) -> float | None:
         """Later completion time of the two replicas, or None if infeasible.
 
         Both replicas are planned against one shared link-state overlay
         so their feeding comms contend for the same links, exactly as
         they will once committed.
+
+        Costs are cached per ``(task, first, second)`` with the same
+        dirty-set machinery as the FTBAR engine: an entry's feeds stay
+        valid while its predecessors' replica sets are untouched and no
+        reserved link's availability has grown past the first planned
+        start (append-mode threshold rule); ``processor_ready`` of both
+        targets is refreshed in O(1) on every hit.
         """
+        cache = self._cache
+        key = (task, first, second)
+        entry = cache.entries.get(key)
+        if entry is not None:
+            # Same append-mode staleness rule as PressureCalculator.
+            # cached_pressure (kept inline there for the hot path);
+            # change both together.
+            stale = False
+            for link, start in entry.link_thresholds:
+                if schedule.link_available(link) > start:
+                    stale = True
+                    break
+            if not stale:
+                cache.hits += 1
+                plans = entry.value
+                if plans is None:
+                    return None
+                first_plan, second_plan = plans
+                first_plan.processor_ready = schedule.processor_available(first)
+                second_plan.processor_ready = schedule.processor_available(second)
+                first_end = first_plan.s_best + first_plan.duration
+                second_end = second_plan.s_best + second_plan.duration
+                return max(first_end, second_end)
+            cache.discard(key)
+        cache.misses += 1
+        stats.pair_evaluations += 1
+        dependencies = frozenset(self._algorithm.predecessors(task))
         state = self._planner.fresh_link_state(schedule)
         first_plan = self._planner.plan(task, first, schedule, state)
         if first_plan is None:
+            cache.put(key, None, operations=dependencies)
             return None
         second_plan = self._planner.plan(task, second, schedule, state)
         if second_plan is None:
+            cache.put(key, None, operations=dependencies)
             return None
+        thresholds: dict[str, float] = {}
+        for plan in (first_plan, second_plan):
+            for link, start in plan.link_thresholds():
+                current = thresholds.get(link)
+                if current is None or start < current:
+                    thresholds[link] = start
+        cache.put(
+            key,
+            (first_plan, second_plan),
+            operations=dependencies,
+            link_thresholds=tuple(thresholds.items()),
+        )
         first_end = first_plan.s_best + first_plan.duration
         second_end = second_plan.s_best + second_plan.duration
         return max(first_end, second_end)

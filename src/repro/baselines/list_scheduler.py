@@ -8,6 +8,12 @@ Section 4.4 additionally quotes the schedule length of "a basic
 scheduling heuristic (for instance the one of SynDEx)" on the worked
 example; :func:`schedule_basic` is that variant — the same pressure-based
 list scheduling with neither replication nor LIP duplication.
+
+Both baselines delegate to :class:`~repro.core.ftbar.FTBARScheduler`, so
+they run on the same incremental engine (ready-set maintenance, dirty-set
+pressure cache, indexed schedule state) as the fault-tolerant runs they
+are compared against; pass ``SchedulerOptions(incremental=False)`` to
+time the legacy full-recompute path instead.
 """
 
 from __future__ import annotations

@@ -7,6 +7,12 @@ from repro.core.ftbar import (
     StepRecord,
     schedule_ftbar,
 )
+from repro.core.incremental import (
+    MutationTracker,
+    PlanCache,
+    ReadySet,
+    StepDelta,
+)
 from repro.core.minimize import DuplicationStats, StartTimeMinimizer
 from repro.core.options import SchedulerOptions
 from repro.core.placement import (
@@ -25,13 +31,17 @@ __all__ = [
     "FTBARScheduler",
     "FTBARStats",
     "LinkState",
+    "MutationTracker",
     "PlacementPlan",
     "PlacementPlanner",
+    "PlanCache",
     "PlannedComm",
     "PredecessorFeed",
     "PressureCalculator",
+    "ReadySet",
     "SchedulerOptions",
     "StartTimeMinimizer",
+    "StepDelta",
     "StepRecord",
     "commit_plan",
     "schedule_ftbar",

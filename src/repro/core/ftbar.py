@@ -24,6 +24,40 @@ scheduling (see :meth:`repro.graphs.AlgorithmGraph.expand_memories`), and
 the real-time constraints are checked on the finished schedule — the
 scheduler reports ``Rtc`` satisfaction rather than failing, so the
 designer can decide to add hardware or relax the constraints.
+
+Incremental engine invariants
+-----------------------------
+The default engine (``SchedulerOptions.incremental``) avoids the naive
+O(steps x candidates x processors) replanning of macro-step À by caching
+every trial plan and only recomputing the ones a placement could have
+changed.  Its correctness rests on two invariants of the paper's
+append-only list scheduling:
+
+1. **Ready-set maintenance.**  An operation becomes a candidate exactly
+   when its last unscheduled predecessor (or, for a pinned memory half,
+   its anchor half) is placed.  Indegree counters decremented on each
+   placement therefore reproduce the full rescan, including its sorted
+   candidate order (tie-breaks are order-sensitive).
+
+2. **Dirty-set rule.**  A cached plan for ``(o, p)`` reads only: the
+   timeline of ``p`` (``processor_ready``, co-located predecessor
+   replicas), the busy intervals of the links it consulted while routing
+   feeds, and the replica sets of ``o``'s predecessors.  Committing a
+   macro-step mutates only: the timelines of the processors that
+   received replicas (the selected operation's ``Npf + 1`` hosts, which
+   also host every LIP duplicate), the links its comms landed on, and
+   the replica sets of the operations that gained replicas (the selected
+   operation and any duplicated LIP ancestors).  Hence a cached plan
+   whose dependency sets are disjoint from the step's dirty set would be
+   recomputed *identically* — serving it from cache is exact, not
+   approximate, and the produced schedules, tie-breaks and
+   :class:`StepRecord` streams are bit-identical to the legacy path
+   (enforced by ``tests/test_engine_equivalence.py`` against recorded
+   seed-engine fingerprints).
+
+Rollbacks inside ``Minimize_start_time`` cannot poison the cache: the
+dirty set is diffed on the *committed* post-step state, and a rolled
+back trial restores the exact pre-trial timelines.
 """
 
 from __future__ import annotations
@@ -35,6 +69,7 @@ from typing import Callable, Mapping
 
 from repro.exceptions import InfeasibleReplicationError, SchedulingError
 from repro.graphs.algorithm import AlgorithmGraph
+from repro.core.incremental import MutationTracker, ReadySet
 from repro.core.minimize import DuplicationStats, StartTimeMinimizer
 from repro.core.options import SchedulerOptions
 from repro.core.placement import PlacementPlanner, commit_plan
@@ -48,10 +83,16 @@ from repro.timing.exec_times import ExecutionTimes
 
 @dataclass
 class FTBARStats:
-    """Run statistics, used by the complexity experiment (E6)."""
+    """Run statistics, used by the complexity experiment (E6).
+
+    ``pressure_evaluations`` counts *computed* trial plans; with the
+    incremental engine the cache serves the rest (``cache_hits``), which
+    is exactly the saving the refactor buys.
+    """
 
     steps: int = 0
     pressure_evaluations: int = 0
+    cache_hits: int = 0
     duplication: DuplicationStats = field(default_factory=DuplicationStats)
     wall_time_s: float = 0.0
 
@@ -156,17 +197,33 @@ class FTBARScheduler:
         )
         stats = FTBARStats()
         scheduled: set[str] = set()
+        incremental = self._options.incremental
+        ready: ReadySet | None = None
+        tracker: MutationTracker | None = None
+        if incremental:
+            ready = ReadySet(self._algorithm, self._pins)
+            tracker = MutationTracker(schedule)
+            self._pressure.attach(schedule)
         while True:
-            candidates = self._candidates(scheduled)
+            candidates = (
+                list(ready.candidates()) if incremental
+                else self._candidates(scheduled)
+            )
             if not candidates:
                 break
             stats.steps += 1
             operation, processors, urgency, pressures = self._select(
                 candidates, schedule
             )
+            if incremental:
+                tracker.begin()
             for processor in processors:
                 self._place(operation, processor, schedule)
             scheduled.add(operation)
+            if incremental:
+                ready.mark_scheduled(operation)
+                self._pressure.forget_operation(operation)
+                self._pressure.invalidate(tracker.delta())
             if self._observer is not None:
                 self._observer(
                     StepRecord(
@@ -185,6 +242,7 @@ class FTBARScheduler:
                 f"scheduling stalled; unplaced operations: {missing}"
             )
         stats.pressure_evaluations = self._pressure.evaluations
+        stats.cache_hits = self._pressure.cache_stats[0]
         stats.duplication = self._minimizer.stats
         stats.wall_time_s = time.perf_counter() - started
         rtc_report = self._expanded_rtc().check(schedule)
@@ -223,13 +281,19 @@ class FTBARScheduler:
         """Pick the most urgent candidate and its ``Npf + 1`` processors."""
         best_choice: tuple[float, str, tuple[str, ...]] | None = None
         pressures: dict[tuple[str, str], float] = {}
+        evaluate = (
+            self._pressure.cached_pressure
+            if self._options.incremental
+            else self._pressure.pressure
+        )
+        infinity = math.inf
         for operation in candidates:
             processors = self._processor_pool(operation, schedule)
             ranked: list[tuple[float, str]] = []
             for processor in processors:
-                sigma = self._pressure.pressure(operation, processor, schedule)
+                sigma = evaluate(operation, processor, schedule)
                 pressures[(operation, processor)] = sigma
-                if not math.isinf(sigma):
+                if sigma != infinity:
                     ranked.append((sigma, processor))
             ranked.sort()
             required = self._npf + 1

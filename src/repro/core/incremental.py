@@ -1,0 +1,279 @@
+"""Shared machinery of the incremental scheduling engine.
+
+The FTBAR main loop (and the HBP baseline, for an apples-to-apples E6
+runtime comparison) exploits the key invariant of append-only list
+scheduling: committing one placement only changes
+
+* the timelines of the processors that received new replicas,
+* the timelines of the links that carried the new comms, and
+* the replica sets of the operations that gained replicas.
+
+Every other resource is untouched, so every trial plan that did not
+depend on a touched resource is still exactly valid.  Three pieces make
+that exploitable:
+
+:class:`ReadySet`
+    Indegree-counter candidate maintenance: O(out-degree) per placement
+    instead of a full rescan of the operation list.
+
+:class:`MutationTracker`
+    Computes the :class:`StepDelta` (touched processors, touched links,
+    operations with new replicas) of one macro-step by diffing cheap
+    per-resource counters before and after the placements.
+
+:class:`PlanCache`
+    A key -> value cache where every entry declares the resources it
+    depends on; :meth:`PlanCache.invalidate` drops exactly the entries
+    whose dependencies intersect a :class:`StepDelta`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graphs.algorithm import AlgorithmGraph
+    from repro.schedule.schedule import Schedule
+
+_EMPTY: frozenset[str] = frozenset()
+
+
+class ReadySet:
+    """O(1)-amortised maintenance of the list-scheduling candidate set.
+
+    Each unscheduled operation carries a counter of unmet requirements:
+    its unscheduled predecessors plus, for pinned memory halves, the
+    anchor operation whose replicas define the allowed processors.  When
+    an operation is scheduled, the counters of its successors (and pin
+    dependents) are decremented; an operation becomes a candidate when
+    its counter reaches zero.  Candidate *order* is the sorted order the
+    full-rescan implementation produced, so selection tie-breaks are
+    unchanged.
+    """
+
+    def __init__(
+        self,
+        algorithm: "AlgorithmGraph",
+        pins: Mapping[str, str] | None = None,
+    ) -> None:
+        self._algorithm = algorithm
+        self._pin_dependents: dict[str, list[str]] = {}
+        self._waiting: dict[str, int] = {}
+        self._ready: set[str] = set()
+        for operation in algorithm.operation_names():
+            count = len(algorithm.predecessors(operation))
+            anchor = (pins or {}).get(operation)
+            if anchor is not None and anchor not in algorithm.predecessors(operation):
+                count += 1
+                self._pin_dependents.setdefault(anchor, []).append(operation)
+            if count == 0:
+                self._ready.add(operation)
+            else:
+                self._waiting[operation] = count
+
+    def candidates(self) -> tuple[str, ...]:
+        """The current candidates, sorted (the legacy rescan order)."""
+        return tuple(sorted(self._ready))
+
+    def mark_scheduled(self, operation: str) -> None:
+        """Retire a scheduled operation and release its dependents."""
+        self._ready.discard(operation)
+        for successor in self._algorithm.successors(operation):
+            self._release(successor)
+        for dependent in self._pin_dependents.get(operation, ()):
+            self._release(dependent)
+
+    def _release(self, operation: str) -> None:
+        remaining = self._waiting[operation] - 1
+        if remaining == 0:
+            del self._waiting[operation]
+            self._ready.add(operation)
+        else:
+            self._waiting[operation] = remaining
+
+
+@dataclass(frozen=True)
+class StepDelta:
+    """The resources one macro-step touched (the dirty set)."""
+
+    processors: frozenset[str]
+    links: frozenset[str]
+    replicated: frozenset[str]
+
+    def __bool__(self) -> bool:
+        return bool(self.processors or self.links or self.replicated)
+
+
+class MutationTracker:
+    """Diffs a schedule across one macro-step to produce its delta.
+
+    The schedule's mutation log records every surviving placement
+    (rollbacks inside the step pop their entries), so the dirty set is
+    read off the log suffix in O(changes) — it is exact, not
+    conservative.
+    """
+
+    def __init__(self, schedule: "Schedule") -> None:
+        self._schedule = schedule
+        self._mark = 0
+
+    def begin(self) -> None:
+        """Remember the log position before the placements."""
+        self._mark = self._schedule.mark()
+
+    def delta(self) -> StepDelta:
+        """The dirty set accumulated since :meth:`begin`."""
+        processors: set[str] = set()
+        links: set[str] = set()
+        replicated: set[str] = set()
+        for entry in self._schedule.mutations_since(self._mark):
+            if entry[0] == "op":
+                processors.add(entry[1])
+                replicated.add(entry[3])
+            else:
+                links.add(entry[1])
+        return StepDelta(
+            frozenset(processors), frozenset(links), frozenset(replicated)
+        )
+
+
+@dataclass
+class _Entry:
+    value: Any
+    links: frozenset[str]
+    operations: frozenset[str]
+    link_thresholds: tuple[tuple[str, float], ...]
+
+
+class PlanCache:
+    """Dependency-tracked cache with dirty-set invalidation.
+
+    Keys are tuples whose first element is the candidate operation
+    (``(operation, processor)`` for FTBAR, ``(task, p1, p2)`` for HBP).
+    Each entry declares the links it consulted while planning comms
+    (insertion-mode set rule) and the operations whose replica sets it
+    enumerated; :meth:`invalidate` drops an entry only when one of
+    those dependencies was touched.
+
+    Append-mode link dependencies are best expressed as *thresholds*
+    instead of sets: a trial comm planned to start at ``s`` on link ``l``
+    replans identically as long as ``l``'s availability has not grown
+    past ``s`` (availability is monotone across committed steps, and a
+    free instant at or below the planned start cannot move the planned
+    slot, nor flip the min-end choice among parallel links).  Entries
+    carrying ``link_thresholds`` are therefore left alone by
+    :meth:`invalidate`; the calling engine checks them value-wise at
+    lookup time (and flags candidates via :meth:`suspects_for`).
+
+    Invalidation is reverse-indexed so one macro-step costs O(touched),
+    not O(cache size): every entry is registered under its candidate
+    operation (``key[0]``), under each operation it depends on, and
+    under each link of its set dependencies (the insertion-mode
+    fallback) and thresholds.
+    """
+
+    def __init__(self) -> None:
+        self.entries: dict[tuple, _Entry] = {}
+        self._by_candidate: dict[str, set[tuple]] = {}
+        self._by_dependency: dict[str, set[tuple]] = {}
+        self._by_threshold_link: dict[str, set[tuple]] = {}
+        self._by_set_link: dict[str, set[tuple]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def put(
+        self,
+        key: tuple,
+        value: Any,
+        links: frozenset[str] = _EMPTY,
+        operations: frozenset[str] = _EMPTY,
+        link_thresholds: tuple[tuple[str, float], ...] = (),
+    ) -> None:
+        """Store ``value`` with its resource dependencies.
+
+        Callers read ``entries`` directly on the hot path (and keep the
+        ``hits``/``misses`` counters themselves); ``put`` exists to keep
+        the reverse indexes consistent.
+        """
+        old = self.entries.get(key)
+        if old is not None:
+            self._unindex(key, old)
+        self.entries[key] = _Entry(value, links, operations, link_thresholds)
+        self._by_candidate.setdefault(key[0], set()).add(key)
+        for operation in operations:
+            self._by_dependency.setdefault(operation, set()).add(key)
+        for threshold in link_thresholds:
+            self._by_threshold_link.setdefault(threshold[0], set()).add(key)
+        for link in links:
+            self._by_set_link.setdefault(link, set()).add(key)
+
+    def _unindex(self, key: tuple, entry: _Entry) -> None:
+        candidates = self._by_candidate.get(key[0])
+        if candidates is not None:
+            candidates.discard(key)
+        for operation in entry.operations:
+            dependents = self._by_dependency.get(operation)
+            if dependents is not None:
+                dependents.discard(key)
+        for threshold in entry.link_thresholds:
+            watchers = self._by_threshold_link.get(threshold[0])
+            if watchers is not None:
+                watchers.discard(key)
+        for link in entry.links:
+            watchers = self._by_set_link.get(link)
+            if watchers is not None:
+                watchers.discard(key)
+
+    def suspects_for(self, links: frozenset[str]) -> set[tuple]:
+        """Keys whose thresholds watch one of the just-touched links.
+
+        Only these entries can have gone stale: availability of every
+        other link is unchanged, so the per-lookup threshold check can
+        be skipped for everything else.
+        """
+        suspects: set[tuple] = set()
+        for link in links:
+            watchers = self._by_threshold_link.get(link)
+            if watchers:
+                suspects |= watchers
+        return suspects
+
+    def discard(self, key: tuple) -> None:
+        """Drop one entry (used when a lookup finds it stale)."""
+        entry = self.entries.pop(key, None)
+        if entry is not None:
+            self._unindex(key, entry)
+
+    def invalidate(self, delta: StepDelta) -> int:
+        """Drop the entries whose dependencies intersect ``delta``."""
+        if not delta or not self.entries:
+            return 0
+        dead: set[tuple] = set()
+        for operation in delta.replicated:
+            dependents = self._by_dependency.get(operation)
+            if dependents:
+                dead |= dependents
+        for link in delta.links:
+            watchers = self._by_set_link.get(link)
+            if watchers:
+                dead |= watchers
+        for key in dead:
+            self.discard(key)
+        return len(dead)
+
+    def drop_operation(self, operation: str) -> None:
+        """Forget every entry of one candidate (it has been placed)."""
+        for key in tuple(self._by_candidate.get(operation, ())):
+            self.discard(key)
+
+    def clear(self) -> None:
+        """Empty the cache (counters are preserved)."""
+        self.entries.clear()
+        self._by_candidate.clear()
+        self._by_dependency.clear()
+        self._by_threshold_link.clear()
+        self._by_set_link.clear()

@@ -7,7 +7,8 @@ the worst case — onto ``p`` itself.  A co-located predecessor feeds the
 replica through a zero-cost intra-processor communication, so a
 successful duplication removes the critical comm.  Duplications are kept
 only while ``S_worst(o, p)`` strictly improves; otherwise they are rolled
-back via schedule snapshots (step Ð).  The procedure recurses: the
+back via the schedule's O(changes) mutation log (step Ð).  The procedure
+recurses: the
 duplicated LIP's own start is minimised the same way (step Í), following
 Ahmad & Kwok's duplication-based scheduling.
 """
@@ -87,19 +88,19 @@ class StartTimeMinimizer:
             if lip is None:
                 return plan
             self.stats.attempts += 1
-            saved = schedule.snapshot()
+            saved = schedule.mark()
             try:
                 # Step Í: recursively minimise the LIP's start on p, which
                 # places an extra (duplicated) replica of the LIP there.
                 self.place(lip, processor, schedule, duplicated=True)
             except SchedulingError:
-                schedule.restore(saved)
+                schedule.undo_to(saved)
                 self.stats.rolled_back += 1
                 return plan
             new_plan = self.planner.plan(operation, processor, schedule)
             if new_plan is None or new_plan.s_worst >= best_worst - _EPSILON:
                 # Step Ð: the replication does not pay off — undo it all.
-                schedule.restore(saved)
+                schedule.undo_to(saved)
                 self.stats.rolled_back += 1
                 return plan
             # Step Ñ: improvement kept; hunt for the new LIP.

@@ -34,8 +34,17 @@ class SchedulerOptions:
         numbers exactly (the worked example lands on 15.05 with it); the
         aware variant is an improvement measured by the ablation bench
         (it finds 12.05 on the same example).
+    incremental:
+        Run the incremental engine: indegree-counter candidate
+        maintenance plus the dirty-set pressure cache (see
+        :mod:`repro.core.ftbar`).  The produced schedules and observer
+        streams are bit-identical to the legacy full-recompute path —
+        the flag is a pure-performance escape hatch kept so the E6
+        runtime bench can measure the speedup in-repo and so a
+        regression can be bisected to the caching layer.
     """
 
     duplication: bool = True
     link_insertion: bool = False
     processor_aware_pressure: bool = False
+    incremental: bool = True

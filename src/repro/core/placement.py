@@ -16,6 +16,7 @@ with :func:`commit_plan`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -39,27 +40,51 @@ class LinkState:
     comm (real or trial); in insertion mode idle gaps between real comms
     can also be used.  Trial reservations live only in this object, so a
     fresh ``LinkState`` per evaluation gives side-effect-free planning.
+
+    The overlay never rebuilds interval lists from the schedule: append
+    mode only tracks one running free instant per link (seeded from the
+    O(1) ``link_available``), and insertion mode copies the schedule's
+    maintained ``link_busy_intervals`` list lazily on first reservation.
+    Every link whose availability was read is recorded, so the planner
+    can report the exact link dependencies of each plan.
     """
 
     def __init__(self, schedule: Schedule, insertion: bool = False) -> None:
         self._schedule = schedule
         self._insertion = insertion
-        self._busy: dict[str, list[tuple[float, float]]] = {}
+        self._free: dict[str, float] = {}
+        self._overlay: dict[str, list[tuple[float, float]]] = {}
+        self._consulted: list[str] = []
+
+    def mark(self) -> int:
+        """Cursor into the consultation log (for per-plan attribution)."""
+        return len(self._consulted)
+
+    def consulted_since(self, mark: int) -> frozenset[str]:
+        """The links whose availability was read since ``mark``."""
+        return frozenset(self._consulted[mark:])
 
     def _intervals(self, link: str) -> list[tuple[float, float]]:
-        if link not in self._busy:
-            self._busy[link] = [
-                (c.start, c.end) for c in self._schedule.comms_on(link)
-            ]
-        return self._busy[link]
+        intervals = self._overlay.get(link)
+        if intervals is None:
+            # Copy-on-write: trial reservations must not leak into the
+            # schedule's maintained busy list.
+            intervals = list(self._schedule.link_busy_intervals(link))
+            self._overlay[link] = intervals
+        return intervals
 
     def preview(self, link: str, ready: float, duration: float) -> tuple[float, float]:
         """The slot a reservation would take, without reserving it."""
-        intervals = self._intervals(link)
+        self._consulted.append(link)
         if not self._insertion:
-            free = intervals[-1][1] if intervals else 0.0
+            free = self._free.get(link)
+            if free is None:
+                free = self._schedule.link_available(link)
             start = max(ready, free)
             return start, start + duration
+        intervals = self._overlay.get(link)
+        if intervals is None:
+            intervals = self._schedule.link_busy_intervals(link)
         cursor = max(ready, 0.0)
         for begin, end in intervals:
             if cursor + duration <= begin + _EPSILON:
@@ -70,6 +95,9 @@ class LinkState:
     def reserve(self, link: str, ready: float, duration: float) -> tuple[float, float]:
         """Pick a slot with :meth:`preview` and mark it busy."""
         start, end = self.preview(link, ready, duration)
+        if not self._insertion:
+            self._free[link] = end
+            return start, end
         intervals = self._intervals(link)
         position = 0
         while position < len(intervals) and intervals[position][0] < start:
@@ -133,7 +161,15 @@ class PredecessorFeed:
 
 @dataclass
 class PlacementPlan:
-    """The full consequence of placing one replica on one processor."""
+    """The full consequence of placing one replica on one processor.
+
+    ``consulted_links`` lists every link whose availability the planner
+    read while building the plan (including links it previewed but did
+    not pick); the incremental engine uses it as the set-based cache
+    dependency in link-insertion mode, and ``link_thresholds`` /
+    ``reserved_links`` report the links the plan would actually occupy
+    (the append-mode dependency).
+    """
 
     operation: str
     processor: str
@@ -141,22 +177,74 @@ class PlacementPlan:
     processor_ready: float
     feeds: list[PredecessorFeed]
     npf: int
+    consulted_links: frozenset[str] = frozenset()
+    repairable: bool = False
+    _feeds_earliest: float | None = field(default=None, init=False, repr=False)
+    _feeds_worst: float | None = field(default=None, init=False, repr=False)
+
+    def invalidate_feed_aggregates(self) -> None:
+        """Force recomputation after an in-place arrival repair."""
+        self._feeds_earliest = None
+        self._feeds_worst = None
+
+    @property
+    def reserved_links(self) -> frozenset[str]:
+        """The links this plan's comms would actually occupy."""
+        return frozenset(
+            comm.link for feed in self.feeds for comm in feed.comms
+        )
+
+    def link_thresholds(self) -> tuple[tuple[str, float], ...]:
+        """Per reserved link, the start of this plan's first trial comm.
+
+        In append mode the plan replans identically while every reserved
+        link's availability stays at or below this threshold (later
+        trial comms of the same plan queue behind the first, and
+        previewed-but-unchosen parallel links can only get worse), so
+        the incremental cache revalidates entries with one O(1)
+        ``link_available`` read per link instead of evicting them.
+        """
+        first: dict[str, float] = {}
+        for feed in self.feeds:
+            for comm in feed.comms:
+                current = first.get(comm.link)
+                if current is None or comm.start < current:
+                    first[comm.link] = comm.start
+        return tuple(first.items())
+
+    @property
+    def feeds_earliest(self) -> float:
+        """Latest over feeds of the first possible arrival (−inf if none).
+
+        Feeds are fixed at planning time, so both aggregates are
+        computed once; only ``processor_ready`` varies while a cached
+        plan stays valid (the incremental engine refreshes it in O(1)).
+        """
+        if self._feeds_earliest is None:
+            self._feeds_earliest = max(
+                (feed.earliest() for feed in self.feeds), default=-math.inf
+            )
+        return self._feeds_earliest
+
+    @property
+    def feeds_worst(self) -> float:
+        """Latest over feeds of the worst-case arrival (−inf if none)."""
+        if self._feeds_worst is None:
+            self._feeds_worst = max(
+                (feed.worst_case(self.npf) for feed in self.feeds),
+                default=-math.inf,
+            )
+        return self._feeds_worst
 
     @property
     def s_best(self) -> float:
         """Earliest start (first complete input set — paper's S_best)."""
-        ready = self.processor_ready
-        for feed in self.feeds:
-            ready = max(ready, feed.earliest())
-        return ready
+        return max(self.processor_ready, self.feeds_earliest)
 
     @property
     def s_worst(self) -> float:
         """Earliest start in the worst failure case (paper's S_worst)."""
-        ready = self.processor_ready
-        for feed in self.feeds:
-            ready = max(ready, feed.worst_case(self.npf))
-        return ready
+        return max(self.processor_ready, self.feeds_worst)
 
     def critical_feed(self) -> PredecessorFeed | None:
         """The feed that determines ``s_worst`` (the LIP's feed).
@@ -205,6 +293,12 @@ class PlacementPlanner:
         self._comm_times = comm_times
         self._npf = npf
         self._link_insertion = link_insertion
+        self._plan_simple = False
+
+    @property
+    def link_insertion(self) -> bool:
+        """True when comms may be inserted into idle link gaps."""
+        return self._link_insertion
 
     def fresh_link_state(self, schedule: Schedule) -> LinkState:
         """A side-effect-free reservation overlay for trial planning."""
@@ -230,6 +324,12 @@ class PlacementPlanner:
         if schedule.replica_on(operation, processor) is not None:
             return None
         state = link_state if link_state is not None else self.fresh_link_state(schedule)
+        mark = state.mark()
+        # ``_plan_simple`` stays True while every transfer reserves the
+        # unique direct link of its processor pair in one hop — the
+        # condition under which a cached plan can be *repaired* per link
+        # instead of replanned (plan() is not re-entrant).
+        self._plan_simple = not self._link_insertion
         feeds: list[PredecessorFeed] = []
         for predecessor in self._algorithm.predecessors(operation):
             feeds.append(
@@ -242,6 +342,8 @@ class PlacementPlanner:
             processor_ready=schedule.processor_available(processor),
             feeds=feeds,
             npf=self._npf,
+            consulted_links=state.consulted_since(mark),
+            repairable=self._plan_simple,
         )
 
     def _plan_feed(
@@ -282,6 +384,8 @@ class PlacementPlanner:
         """Plan the comms carrying ``edge`` from one replica to ``processor``."""
         direct = self._architecture.links_between(producer.processor, processor)
         if direct:
+            if len(direct) != 1:
+                self._plan_simple = False
             best: tuple[float, float, str] | None = None
             for link in direct:
                 duration = self._comm_times.time_of(edge, link.name)
@@ -303,6 +407,7 @@ class PlacementPlanner:
             )
             return end, [comm]
         # Multi-hop route: store-and-forward over the shortest hop path.
+        self._plan_simple = False
         hops = self._architecture.route_hops(producer.processor, processor)
         ready = producer.end
         comms: list[PlannedComm] = []

@@ -45,6 +45,10 @@ class AlgorithmGraph:
     def __init__(self, name: str = "algorithm") -> None:
         self.name = name
         self._graph = nx.DiGraph()
+        # Memoized adjacency views: the scheduler asks for the (sorted)
+        # predecessors/successors of an operation on every trial plan.
+        self._pred_view: dict[str, tuple[str, ...]] = {}
+        self._succ_view: dict[str, tuple[str, ...]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -90,6 +94,8 @@ class AlgorithmGraph:
         if data_size <= 0:
             raise GraphError(f"data_size must be positive, got {data_size!r}")
         self._graph.add_edge(source, target, data_size=float(data_size))
+        self._pred_view.pop(target, None)
+        self._succ_view.pop(source, None)
 
     # ------------------------------------------------------------------
     # queries
@@ -135,15 +141,25 @@ class AlgorithmGraph:
 
     def predecessors(self, name: str) -> tuple[str, ...]:
         """Direct predecessors of ``name``, sorted."""
+        cached = self._pred_view.get(name)
+        if cached is not None:
+            return cached
         if name not in self._graph:
             raise GraphError(f"unknown operation {name!r}")
-        return tuple(sorted(self._graph.predecessors(name)))
+        result = tuple(sorted(self._graph.predecessors(name)))
+        self._pred_view[name] = result
+        return result
 
     def successors(self, name: str) -> tuple[str, ...]:
         """Direct successors of ``name``, sorted."""
+        cached = self._succ_view.get(name)
+        if cached is not None:
+            return cached
         if name not in self._graph:
             raise GraphError(f"unknown operation {name!r}")
-        return tuple(sorted(self._graph.successors(name)))
+        result = tuple(sorted(self._graph.successors(name)))
+        self._succ_view[name] = result
+        return result
 
     def sources(self) -> tuple[str, ...]:
         """Operations without predecessors (the external input interfaces)."""

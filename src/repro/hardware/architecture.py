@@ -36,6 +36,12 @@ class Architecture:
         self._processors: dict[str, Processor] = {}
         self._links: dict[str, Link] = {}
         self._routes: dict[tuple[str, str], tuple[Link, ...]] = {}
+        # Memoized views; the scheduler calls these once per trial plan,
+        # so rebuilding them from the dicts each time shows up in E6.
+        self._links_view: tuple[Link, ...] | None = None
+        self._link_names_view: tuple[str, ...] | None = None
+        self._processor_names_view: tuple[str, ...] | None = None
+        self._between: dict[tuple[str, str], tuple[Link, ...]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -48,6 +54,8 @@ class Architecture:
             return existing
         self._processors[proc.name] = proc
         self._routes.clear()
+        self._between.clear()
+        self._processor_names_view = None
         return proc
 
     def add_link(
@@ -82,6 +90,9 @@ class Architecture:
             raise ArchitectureError(f"duplicate link name {built.name!r}")
         self._links[built.name] = built
         self._routes.clear()
+        self._links_view = None
+        self._link_names_view = None
+        self._between.clear()
         return built
 
     # ------------------------------------------------------------------
@@ -105,7 +116,9 @@ class Architecture:
 
     def processor_names(self) -> tuple[str, ...]:
         """All processor names, sorted for determinism."""
-        return tuple(sorted(self._processors))
+        if self._processor_names_view is None:
+            self._processor_names_view = tuple(sorted(self._processors))
+        return self._processor_names_view
 
     def processors(self) -> tuple[Processor, ...]:
         """All processors, sorted by name."""
@@ -120,11 +133,15 @@ class Architecture:
 
     def link_names(self) -> tuple[str, ...]:
         """All link names, sorted for determinism."""
-        return tuple(sorted(self._links))
+        if self._link_names_view is None:
+            self._link_names_view = tuple(sorted(self._links))
+        return self._link_names_view
 
     def links(self) -> tuple[Link, ...]:
         """All links, sorted by name."""
-        return tuple(self._links[n] for n in self.link_names())
+        if self._links_view is None:
+            self._links_view = tuple(self._links[n] for n in self.link_names())
+        return self._links_view
 
     def links_of(self, processor: str) -> tuple[Link, ...]:
         """Links on which ``processor`` has a communication unit."""
@@ -133,11 +150,17 @@ class Architecture:
 
     def links_between(self, first: str, second: str) -> tuple[Link, ...]:
         """All direct links joining two distinct processors, sorted."""
+        cached = self._between.get((first, second))
+        if cached is not None:
+            return cached
         self.processor(first)
         self.processor(second)
         if first == second:
-            return ()
-        return tuple(l for l in self.links() if l.connects(first, second))
+            result: tuple[Link, ...] = ()
+        else:
+            result = tuple(l for l in self.links() if l.connects(first, second))
+        self._between[(first, second)] = result
+        return result
 
     def neighbors(self, processor: str) -> tuple[str, ...]:
         """Processors directly reachable from ``processor``."""

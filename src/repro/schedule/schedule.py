@@ -8,6 +8,16 @@ makes the execution deadlock-free on order-preserving networks).
 The class supports cheap snapshot/restore so ``Minimize_start_time`` can
 speculatively replicate predecessors and roll back when the replication
 does not pay off (step Ð of the paper's procedure).
+
+Hot queries are backed by indexes maintained on every placement (and
+captured/restored by snapshots) instead of per-query scans:
+
+* ``makespan`` is a running aggregate (placements only extend it);
+* ``replica_on`` reads a per-``(operation, processor)`` map;
+* ``comms_toward`` / ``comms_for_edge`` read per-target and per-edge
+  comm lists kept in event order;
+* ``link_busy_intervals`` exposes the per-link busy list the planner's
+  :class:`~repro.core.placement.LinkState` overlays without rebuilding.
 """
 
 from __future__ import annotations
@@ -29,6 +39,11 @@ class ScheduleSnapshot:
     processor_timelines: Mapping[str, tuple[ScheduledOperation, ...]]
     link_timelines: Mapping[str, tuple[ScheduledComm, ...]]
     replicas: Mapping[str, tuple[ScheduledOperation, ...]]
+    makespan: float
+    replica_index: Mapping[tuple[str, str], ScheduledOperation]
+    inbound_comms: Mapping[tuple[str, int], tuple[ScheduledComm, ...]]
+    edge_comms: Mapping[tuple[str, str], tuple[ScheduledComm, ...]]
+    link_busy: Mapping[str, tuple[tuple[float, float], ...]]
 
 
 class Schedule:
@@ -59,6 +74,24 @@ class Schedule:
         }
         self._link_timelines: dict[str, list[ScheduledComm]] = {l: [] for l in links}
         self._replicas: dict[str, list[ScheduledOperation]] = {}
+        self._makespan = 0.0
+        self._replica_index: dict[tuple[str, str], ScheduledOperation] = {}
+        self._inbound_comms: dict[tuple[str, int], list[ScheduledComm]] = {}
+        self._edge_comms: dict[tuple[str, str], list[ScheduledComm]] = {}
+        self._link_busy: dict[str, list[tuple[float, float]]] = {
+            l: [] for l in self._link_timelines
+        }
+        # Mutation log: one tuple per placement, enough to undo it in
+        # LIFO order (``mark``/``undo_to``) and to diff a macro-step's
+        # dirty set in O(changes) (``mutations_since``).
+        self._log: list[tuple] = []
+        # Monotone change counter: bumped by every placement, undo and
+        # restore, never reused — safe as a memoization key.
+        self._version = 0
+        # The resource sets are fixed at construction; memoize the
+        # sorted name views.
+        self._processor_names_view: tuple[str, ...] | None = None
+        self._link_names_view: tuple[str, ...] | None = None
         if not self._processor_timelines:
             raise ScheduleValidationError("a schedule needs at least one processor")
 
@@ -82,7 +115,7 @@ class Schedule:
         """
         if processor not in self._processor_timelines:
             raise ScheduleValidationError(f"unknown processor {processor!r}")
-        if any(r.processor == processor for r in self._replicas.get(operation, ())):
+        if (operation, processor) in self._replica_index:
             raise ScheduleValidationError(
                 f"operation {operation!r} already has a replica on {processor!r}"
             )
@@ -96,8 +129,13 @@ class Schedule:
             duplicated=duplicated,
         )
         timeline = self._processor_timelines[processor]
-        self._insert(timeline, event, f"processor {processor!r}")
+        index = self._insert(timeline, event, f"processor {processor!r}")
         self._replicas.setdefault(operation, []).append(event)
+        self._replica_index[(operation, processor)] = event
+        self._log.append(("op", processor, index, operation, self._makespan))
+        self._version += 1
+        if event.end > self._makespan:
+            self._makespan = event.end
         return event
 
     def place_comm(
@@ -128,11 +166,27 @@ class Schedule:
             target_processor=target_processor,
             hop_index=hop_index,
         )
-        self._insert(self._link_timelines[link], event, f"link {link!r}")
+        index = self._insert(self._link_timelines[link], event, f"link {link!r}")
+        self._link_busy[link].insert(index, (event.start, event.end))
+        inbound_key = (target, target_replica)
+        inbound = self._inbound_comms.setdefault(inbound_key, [])
+        inbound_idx = bisect.bisect_left(inbound, event)
+        inbound.insert(inbound_idx, event)
+        edge_key = (source, target)
+        edge = self._edge_comms.setdefault(edge_key, [])
+        edge_idx = bisect.bisect_left(edge, event)
+        edge.insert(edge_idx, event)
+        self._log.append(
+            ("comm", link, index, inbound_key, inbound_idx, edge_key, edge_idx,
+             self._makespan)
+        )
+        self._version += 1
+        if event.end > self._makespan:
+            self._makespan = event.end
         return event
 
     @staticmethod
-    def _insert(timeline: list, event, resource: str) -> None:
+    def _insert(timeline: list, event, resource: str) -> int:
         index = bisect.bisect_left(timeline, event)
         before = timeline[index - 1] if index > 0 else None
         after = timeline[index] if index < len(timeline) else None
@@ -145,6 +199,51 @@ class Schedule:
                 f"{event!r} overlaps {after!r} on {resource}"
             )
         timeline.insert(index, event)
+        return index
+
+    # ------------------------------------------------------------------
+    # mutation log: O(changes) rollback and dirty-set diffing
+    # ------------------------------------------------------------------
+    def mark(self) -> int:
+        """An O(1) rollback point for :meth:`undo_to` (LIFO only).
+
+        Marks index the mutation log, so they are cheaper than
+        :meth:`snapshot` by the full size of the schedule; in exchange
+        they must be unwound in LIFO order and become invalid after a
+        :meth:`restore` (which resets the log).
+        """
+        return len(self._log)
+
+    def version(self) -> int:
+        """Monotone mutation counter (never reused across undo/restore)."""
+        return self._version
+
+    def undo_to(self, mark: int) -> None:
+        """Unwind every placement made since ``mark``, newest first."""
+        while len(self._log) > mark:
+            self._version += 1
+            entry = self._log.pop()
+            if entry[0] == "op":
+                _, processor, index, operation, makespan = entry
+                del self._processor_timelines[processor][index]
+                replicas = self._replicas[operation]
+                replicas.pop()
+                if not replicas:
+                    del self._replicas[operation]
+                del self._replica_index[(operation, processor)]
+                self._makespan = makespan
+            else:
+                _, link, index, inbound_key, inbound_idx, edge_key, edge_idx, \
+                    makespan = entry
+                del self._link_timelines[link][index]
+                del self._link_busy[link][index]
+                del self._inbound_comms[inbound_key][inbound_idx]
+                del self._edge_comms[edge_key][edge_idx]
+                self._makespan = makespan
+
+    def mutations_since(self, mark: int) -> tuple[tuple, ...]:
+        """The raw log entries appended since ``mark`` (net of undos)."""
+        return tuple(self._log[mark:])
 
     # ------------------------------------------------------------------
     # snapshot / rollback
@@ -157,26 +256,46 @@ class Schedule:
             },
             link_timelines={l: tuple(t) for l, t in self._link_timelines.items()},
             replicas={o: tuple(r) for o, r in self._replicas.items()},
+            makespan=self._makespan,
+            replica_index=dict(self._replica_index),
+            inbound_comms={k: tuple(v) for k, v in self._inbound_comms.items()},
+            edge_comms={k: tuple(v) for k, v in self._edge_comms.items()},
+            link_busy={l: tuple(v) for l, v in self._link_busy.items()},
         )
 
     def restore(self, saved: ScheduleSnapshot) -> None:
-        """Roll the schedule back to a previously captured snapshot."""
+        """Roll the schedule back to a previously captured snapshot.
+
+        Resets the mutation log: :meth:`mark` cookies taken before a
+        restore must not be passed to :meth:`undo_to` afterwards.
+        """
+        self._log.clear()
+        self._version += 1
         self._processor_timelines = {
             p: list(t) for p, t in saved.processor_timelines.items()
         }
         self._link_timelines = {l: list(t) for l, t in saved.link_timelines.items()}
         self._replicas = {o: list(r) for o, r in saved.replicas.items()}
+        self._makespan = saved.makespan
+        self._replica_index = dict(saved.replica_index)
+        self._inbound_comms = {k: list(v) for k, v in saved.inbound_comms.items()}
+        self._edge_comms = {k: list(v) for k, v in saved.edge_comms.items()}
+        self._link_busy = {l: list(v) for l, v in saved.link_busy.items()}
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def processor_names(self) -> tuple[str, ...]:
         """Processors of the schedule, sorted."""
-        return tuple(sorted(self._processor_timelines))
+        if self._processor_names_view is None:
+            self._processor_names_view = tuple(sorted(self._processor_timelines))
+        return self._processor_names_view
 
     def link_names(self) -> tuple[str, ...]:
         """Links of the schedule, sorted."""
-        return tuple(sorted(self._link_timelines))
+        if self._link_names_view is None:
+            self._link_names_view = tuple(sorted(self._link_timelines))
+        return self._link_names_view
 
     def operations_on(self, processor: str) -> tuple[ScheduledOperation, ...]:
         """The static execution order of ``processor``."""
@@ -207,10 +326,7 @@ class Schedule:
 
     def replica_on(self, operation: str, processor: str) -> ScheduledOperation | None:
         """The replica of ``operation`` hosted by ``processor``, if any."""
-        for event in self._replicas.get(operation, ()):
-            if event.processor == processor:
-                return event
-        return None
+        return self._replica_index.get((operation, processor))
 
     def scheduled_operations(self) -> tuple[str, ...]:
         """Names of all operations having at least one replica, sorted."""
@@ -236,16 +352,11 @@ class Schedule:
 
     def comms_toward(self, operation: str, replica: int) -> tuple[ScheduledComm, ...]:
         """All final-hop comms delivering data to one operation replica."""
-        result = [
-            c
-            for c in self.all_comms()
-            if c.target == operation and c.target_replica == replica
-        ]
-        return tuple(result)
+        return tuple(self._inbound_comms.get((operation, replica), ()))
 
     def comms_for_edge(self, source: str, target: str) -> tuple[ScheduledComm, ...]:
         """All comms implementing the data-dependency ``source . target``."""
-        return tuple(c for c in self.all_comms() if c.edge == (source, target))
+        return tuple(self._edge_comms.get((source, target), ()))
 
     # ------------------------------------------------------------------
     # resource availability (append-only list scheduling)
@@ -263,6 +374,31 @@ class Schedule:
         if timeline is None:
             raise ScheduleValidationError(f"unknown link {link!r}")
         return timeline[-1].end if timeline else 0.0
+
+    def processor_availabilities(self) -> dict[str, float]:
+        """``processor_available`` for every processor, in one pass."""
+        return {
+            p: (t[-1].end if t else 0.0)
+            for p, t in self._processor_timelines.items()
+        }
+
+    def link_availabilities(self) -> dict[str, float]:
+        """``link_available`` for every link, in one pass."""
+        return {
+            l: (t[-1].end if t else 0.0)
+            for l, t in self._link_timelines.items()
+        }
+
+    def link_busy_intervals(self, link: str) -> list[tuple[float, float]]:
+        """The maintained ``(start, end)`` busy list of ``link``.
+
+        The returned list is the live index — callers must treat it as
+        read-only (the planner's ``LinkState`` copies it on first write).
+        """
+        intervals = self._link_busy.get(link)
+        if intervals is None:
+            raise ScheduleValidationError(f"unknown link {link!r}")
+        return intervals
 
     def link_gaps(self, link: str) -> tuple[tuple[float, float], ...]:
         """Idle intervals of ``link`` before its last comm (for insertion)."""
@@ -282,22 +418,23 @@ class Schedule:
     # ------------------------------------------------------------------
     def makespan(self) -> float:
         """Completion date of the whole schedule (0 when empty)."""
-        latest = 0.0
-        for timeline in self._processor_timelines.values():
-            if timeline:
-                latest = max(latest, timeline[-1].end)
-        for timeline in self._link_timelines.values():
-            if timeline:
-                latest = max(latest, timeline[-1].end)
-        return latest
+        return self._makespan
 
     def replica_count(self) -> int:
         """Total number of placed operation replicas."""
-        return sum(len(r) for r in self._replicas.values())
+        return len(self._replica_index)
+
+    def replica_counts(self) -> dict[str, int]:
+        """Replica count per operation (used for dirty-set diffing)."""
+        return {o: len(r) for o, r in self._replicas.items()}
 
     def comm_count(self) -> int:
         """Total number of placed comms."""
         return sum(len(t) for t in self._link_timelines.values())
+
+    def link_comm_counts(self) -> dict[str, int]:
+        """Comm count per link (used for dirty-set diffing)."""
+        return {l: len(t) for l, t in self._link_timelines.items()}
 
     def duplicated_count(self) -> int:
         """Number of extra replicas created by LIP duplication."""

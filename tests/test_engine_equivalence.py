@@ -1,0 +1,211 @@
+"""Seed-equivalence corpus for the incremental scheduling engine.
+
+The incremental engine (dirty-set pressure caching, O(1) ready-set
+maintenance, indexed schedule state) must be a pure-performance change:
+bit-identical replica placements, comm orders and observer
+``StepRecord`` streams.  Two layers of protection:
+
+* ``golden_engine_corpus.json`` stores SHA-256 fingerprints recorded
+  with the *seed* (pre-refactor) engine over a corpus of random-DAG
+  problems (seeds x npf in {0, 1, 2} x point-to-point/bus topologies);
+  both the incremental and the legacy (``incremental=False``) paths
+  must still land on them exactly;
+* old-vs-new comparisons re-run both paths in-process over the corpus,
+  the option variants and the paper example, comparing full event
+  streams rather than hashes so a failure names the diverging step.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import _bus_variant
+from repro.baselines.hbp import schedule_hbp
+from repro.core.ftbar import schedule_ftbar
+from repro.core.options import SchedulerOptions
+from repro.workloads.random_dag import RandomWorkloadConfig, generate_problem
+
+GOLDENS = json.loads(
+    (Path(__file__).parent / "golden_engine_corpus.json").read_text()
+)
+
+LEGACY = SchedulerOptions(incremental=False)
+
+
+def corpus_problem(seed: int, npf: int, topology: str):
+    problem = generate_problem(
+        RandomWorkloadConfig(
+            operations=18, ccr=1.0, processors=4, npf=npf, seed=seed
+        )
+    )
+    return problem if topology == "p2p" else _bus_variant(problem)
+
+
+def ftbar_trace(problem, options=None):
+    """Every engine decision: events, comms and the StepRecord stream."""
+    records = []
+    result = schedule_ftbar(problem, options, observer=records.append)
+    events = [
+        (e.operation, e.replica, e.processor, e.start, e.end, e.duplicated)
+        for e in result.schedule.all_operations()
+    ]
+    comms = [
+        (c.source, c.target, c.source_replica, c.target_replica, c.link,
+         c.start, c.end, c.source_processor, c.target_processor, c.hop_index)
+        for c in result.schedule.all_comms()
+    ]
+    steps = [
+        (r.step, r.candidates, r.operation, r.processors, r.urgency,
+         sorted(r.pressures.items()), r.makespan)
+        for r in records
+    ]
+    return events, comms, steps
+
+
+def ftbar_fingerprint(trace) -> str:
+    events, comms, steps = trace
+    digest = hashlib.sha256()
+    for item in (*events, *comms, *steps):
+        digest.update(repr(item).encode())
+    return digest.hexdigest()
+
+
+def hbp_fingerprint(problem) -> str:
+    result = schedule_hbp(problem)
+    digest = hashlib.sha256()
+    for e in result.schedule.all_operations():
+        digest.update(
+            repr((e.operation, e.replica, e.processor, e.start, e.end)).encode()
+        )
+    for c in result.schedule.all_comms():
+        digest.update(
+            repr((c.source, c.target, c.source_replica, c.target_replica,
+                  c.link, c.start, c.end, c.source_processor,
+                  c.target_processor, c.hop_index)).encode()
+        )
+    return digest.hexdigest()
+
+
+CORPUS = [
+    (seed, npf, topology)
+    for seed in (1, 2, 3)
+    for npf in (0, 1, 2)
+    for topology in ("p2p", "bus")
+]
+
+
+class TestSeedGoldens:
+    """Both paths still land exactly on the recorded seed fingerprints."""
+
+    @pytest.mark.parametrize("seed,npf,topology", CORPUS)
+    def test_incremental_matches_seed_golden(self, seed, npf, topology):
+        problem = corpus_problem(seed, npf, topology)
+        golden = GOLDENS[f"N18-seed{seed}-npf{npf}-{topology}"]
+        trace = ftbar_trace(problem)
+        assert ftbar_fingerprint(trace) == golden["sha256"]
+
+    @pytest.mark.parametrize("seed,npf,topology", CORPUS)
+    def test_legacy_matches_seed_golden(self, seed, npf, topology):
+        problem = corpus_problem(seed, npf, topology)
+        golden = GOLDENS[f"N18-seed{seed}-npf{npf}-{topology}"]
+        trace = ftbar_trace(problem, LEGACY)
+        assert ftbar_fingerprint(trace) == golden["sha256"]
+
+    @pytest.mark.parametrize("seed", (1, 2, 3))
+    @pytest.mark.parametrize("topology", ("p2p", "bus"))
+    def test_hbp_matches_seed_golden(self, seed, topology):
+        problem = corpus_problem(seed, 1, topology)
+        golden = GOLDENS[f"hbp-N18-seed{seed}-{topology}"]
+        assert hbp_fingerprint(problem) == golden["sha256"]
+
+
+class TestOldVsNew:
+    """Incremental vs legacy compared step-by-step, not just by hash."""
+
+    def assert_identical(self, problem, options_kwargs=None):
+        kwargs = options_kwargs or {}
+        new = ftbar_trace(problem, SchedulerOptions(**kwargs))
+        old = ftbar_trace(
+            problem, SchedulerOptions(**kwargs, incremental=False)
+        )
+        assert new[0] == old[0], "replica placements diverge"
+        assert new[1] == old[1], "comm orders diverge"
+        for new_step, old_step in zip(new[2], old[2]):
+            assert new_step == old_step, f"StepRecord diverges: {new_step[0]}"
+        assert len(new[2]) == len(old[2])
+
+    @pytest.mark.parametrize("seed,npf,topology", CORPUS)
+    def test_corpus(self, seed, npf, topology):
+        self.assert_identical(corpus_problem(seed, npf, topology))
+
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            {"link_insertion": True},
+            {"processor_aware_pressure": True},
+            {"duplication": False},
+        ],
+        ids=lambda v: next(iter(v)),
+    )
+    def test_option_variants(self, variant):
+        self.assert_identical(corpus_problem(2, 1, "p2p"), variant)
+        self.assert_identical(corpus_problem(2, 1, "bus"), variant)
+
+    def test_paper_example(self, paper_problem):
+        self.assert_identical(paper_problem)
+        result = schedule_ftbar(paper_problem)
+        assert result.makespan == pytest.approx(15.05)
+
+    def test_heterogeneous_tables(self):
+        problem = generate_problem(
+            RandomWorkloadConfig(
+                operations=14, ccr=1.0, processors=4, npf=1, seed=7,
+                heterogeneous=True,
+            )
+        )
+        self.assert_identical(problem)
+
+    def test_multi_hop_ring(self):
+        # A ring forces store-and-forward routes, exercising the
+        # non-repairable plan path of the cache.
+        from repro.hardware.topologies import ring
+        from repro.problem import ProblemSpec
+        from repro.timing.comm_times import CommunicationTimes
+        from repro.timing.exec_times import ExecutionTimes
+
+        base = generate_problem(
+            RandomWorkloadConfig(operations=12, ccr=1.0, processors=4,
+                                 npf=1, seed=9)
+        )
+        architecture = ring(4)
+        comm_times = CommunicationTimes()
+        for edge in base.algorithm.dependencies():
+            for link in architecture.link_names():
+                comm_times.set(edge, link, 3.0)
+        exec_times = ExecutionTimes()
+        for operation in base.algorithm.operation_names():
+            for processor in architecture.processor_names():
+                exec_times.set(operation, processor, 10.0)
+        problem = ProblemSpec(
+            algorithm=base.algorithm,
+            architecture=architecture,
+            exec_times=exec_times,
+            comm_times=comm_times,
+            npf=1,
+            name="ring-equivalence",
+        )
+        self.assert_identical(problem)
+
+    def test_cache_actually_serves_hits(self):
+        result = schedule_ftbar(corpus_problem(1, 1, "p2p"))
+        assert result.stats.cache_hits > 0
+        legacy = schedule_ftbar(corpus_problem(1, 1, "p2p"), LEGACY)
+        assert legacy.stats.cache_hits == 0
+        assert (
+            result.stats.pressure_evaluations
+            < legacy.stats.pressure_evaluations
+        )

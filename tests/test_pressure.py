@@ -151,3 +151,50 @@ class TestPressure:
         calculator, schedule = setup_chain()
         estimate = calculator.critical_path_estimate(["A"], schedule)
         assert estimate == pytest.approx(calculator.sbar("A"))
+
+
+class TestCriticalPathEstimateRegression:
+    """Pin ``R(n)`` on the paper example (it now reuses cached plans)."""
+
+    def build(self, paper_problem):
+        from repro.core.ftbar import FTBARScheduler
+
+        scheduler = FTBARScheduler(paper_problem)
+        schedule = Schedule(
+            processors=paper_problem.architecture.processor_names(),
+            links=paper_problem.architecture.link_names(),
+            npf=paper_problem.npf,
+        )
+        return scheduler, schedule
+
+    def test_initial_estimate_on_paper_example(self, paper_problem):
+        # Seed-recorded value: R(0) with the single candidate 'I' on the
+        # empty schedule is the best achievable S_worst + sbar = sbar(I).
+        scheduler, schedule = self.build(paper_problem)
+        estimate = scheduler._pressure.critical_path_estimate(["I"], schedule)
+        assert estimate == pytest.approx(13.866666666666665)
+        assert estimate == pytest.approx(scheduler._pressure.sbar("I"))
+
+    def test_final_estimate_equals_makespan(self, paper_problem, paper_result):
+        # With no candidates left, R(n) is the finished makespan: 15.05
+        # on the paper example (seed-recorded).
+        scheduler, _ = self.build(paper_problem)
+        estimate = scheduler._pressure.critical_path_estimate(
+            [], paper_result.schedule
+        )
+        assert estimate == pytest.approx(15.05)
+
+    def test_estimate_identical_with_and_without_cache(self, paper_problem):
+        # Attached (cache-serving) and detached calculators must agree.
+        from repro.core.ftbar import schedule_ftbar
+
+        scheduler, schedule = self.build(paper_problem)
+        detached = scheduler._pressure.critical_path_estimate(["I"], schedule)
+        scheduler._pressure.attach(schedule)
+        attached = scheduler._pressure.critical_path_estimate(["I"], schedule)
+        assert attached == detached
+        # Second call is served entirely from the cache.
+        evaluations = scheduler._pressure.evaluations
+        again = scheduler._pressure.critical_path_estimate(["I"], schedule)
+        assert again == detached
+        assert scheduler._pressure.evaluations == evaluations
