@@ -14,6 +14,9 @@ full-recompute path (``SchedulerOptions(incremental=False)``) over an N
 sweep — N in {40, 100} by default, {40, 100, 200, 500} under
 ``REPRO_BENCH_FULL=1`` — and records the result in ``BENCH_runtime.json``
 at the repository root so the perf trajectory is tracked PR-over-PR.
+The same file records the campaign subsystem's throughput: the wall
+clock of one multi-graph campaign at ``jobs=1`` versus one worker per
+CPU (``campaign_jobs1_vs_cpu``).
 Run it directly::
 
     PYTHONPATH=src python benchmarks/bench_runtime.py [--full]
@@ -21,6 +24,7 @@ Run it directly::
 
 import gc
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -33,6 +37,8 @@ except ModuleNotFoundError:  # invoked as `python benchmarks/bench_runtime.py`
 from repro.analysis.experiments import run_runtime_comparison
 from repro.analysis.reporting import format_runtime_comparison
 from repro.baselines.hbp import schedule_hbp
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec, WorkloadSpec
 from repro.core.ftbar import schedule_ftbar
 from repro.core.options import SchedulerOptions
 from repro.workloads.random_dag import RandomWorkloadConfig, generate_problem
@@ -117,8 +123,45 @@ def run_hbp_sweep(full: bool = False, repeats: int = 3) -> dict:
     return sweep
 
 
+def run_campaign_jobs_sweep(full: bool = False) -> dict:
+    """Wall-clock of one campaign at jobs=1 versus jobs=cpu.
+
+    The campaign schedules ``graphs`` independent random problems —
+    embarrassingly parallel work, so the worker pool's scaling shows up
+    directly.  Both runs verify they produce identical record sets.
+    """
+    operations = 60 if full else 30
+    graphs = 16 if full else 8
+    workers = os.cpu_count() or 1
+    spec = CampaignSpec(
+        name="bench-campaign",
+        workloads=(WorkloadSpec(family="random", size=operations),),
+        seeds=tuple(2003 + 1000 * index for index in range(graphs)),
+        measures=("ftbar", "non_ft"),
+    )
+    started = time.perf_counter()
+    serial = run_campaign(spec, jobs=1)
+    jobs1_s = time.perf_counter() - started
+    started = time.perf_counter()
+    parallel = run_campaign(spec, jobs=workers)
+    jobs_cpu_s = time.perf_counter() - started
+    assert serial.records == parallel.records, "worker counts diverge"
+    return {
+        "operations": operations,
+        "graphs": graphs,
+        "workers": workers,
+        "jobs1_s": jobs1_s,
+        "jobs_cpu_s": jobs_cpu_s,
+        # On a single-CPU host both runs take the sequential path, so a
+        # ratio would be warm-cache noise, not a pool measurement.
+        "speedup": (
+            jobs1_s / jobs_cpu_s if workers > 1 and jobs_cpu_s else None
+        ),
+    }
+
+
 def write_bench_json(full: bool = False, repeats: int = 5) -> dict:
-    """Run both sweeps and record them in ``BENCH_runtime.json``."""
+    """Run the sweeps and record them in ``BENCH_runtime.json``."""
     payload = {
         "generated_by": "benchmarks/bench_runtime.py",
         "config": {
@@ -127,6 +170,7 @@ def write_bench_json(full: bool = False, repeats: int = 5) -> dict:
         },
         "ftbar_incremental_vs_legacy": run_incremental_sweep(full, repeats),
         "ftbar_vs_hbp": run_hbp_sweep(full, repeats),
+        "campaign_jobs1_vs_cpu": run_campaign_jobs_sweep(full),
     }
     _RESULT_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
     return payload
@@ -189,6 +233,14 @@ def main(argv: list[str]) -> int:
             f"{n100['speedup']:.2f}x",
             file=sys.stderr,
         )
+    campaign = payload["campaign_jobs1_vs_cpu"]
+    speedup = campaign["speedup"]
+    print(
+        f"campaign {campaign['graphs']}xN={campaign['operations']} "
+        f"jobs=1 vs jobs={campaign['workers']}: "
+        + (f"{speedup:.2f}x" if speedup else "n/a (single CPU)"),
+        file=sys.stderr,
+    )
     return 0
 
 

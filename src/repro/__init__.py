@@ -19,6 +19,7 @@ True
 from repro import (
     analysis,
     baselines,
+    campaign,
     graphs,
     hardware,
     schedule,
@@ -126,6 +127,7 @@ __all__ = [
     "analysis",
     "assert_valid_schedule",
     "baselines",
+    "campaign",
     "graphs",
     "hardware",
     "render_gantt",

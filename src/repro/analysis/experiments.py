@@ -3,6 +3,15 @@
 Every function returns plain dataclasses so the benchmarks, the CLI and
 the tests can all print or assert on the same structures.  All sweeps
 are seeded and deterministic.
+
+The large statistical sweeps (Figures 9 and 10) run *through* the
+campaign subsystem (:mod:`repro.campaign`): each sweep point becomes a
+campaign over the point's random-graph seeds, so the sweeps share the
+worker pool, the result store and the content-addressed schedule cache.
+``jobs=1`` (the default) executes sequentially in-process and produces
+bit-identical numbers to the pre-campaign harness; ``jobs=N`` fans the
+graphs out over ``N`` worker processes without changing any result
+(each graph's measurements are independent and deterministic).
 """
 
 from __future__ import annotations
@@ -87,6 +96,60 @@ def _overheads_for_problem(problem: ProblemSpec) -> _GraphOverheads:
     )
 
 
+def _overheads_from_record(record: dict) -> _GraphOverheads:
+    """Map one campaign record onto :class:`_GraphOverheads`.
+
+    The campaign executor measures exactly what
+    :func:`_overheads_for_problem` measures (same scheduler calls, same
+    defaults), so the derived overheads are bit-identical.
+    """
+    non_ft_length = record["non_ft"]["makespan"]
+    return _GraphOverheads(
+        ftbar_absence=overhead_percent(record["ftbar"]["makespan"], non_ft_length),
+        hbp_absence=overhead_percent(record["hbp"]["makespan"], non_ft_length),
+        ftbar_presence={
+            processor: overhead_percent(length, non_ft_length)
+            for processor, length in record["degraded"]["ftbar"].items()
+        },
+        hbp_presence={
+            processor: overhead_percent(length, non_ft_length)
+            for processor, length in record["degraded"]["hbp"].items()
+        },
+    )
+
+
+def _sweep_point_measurements(
+    name: str,
+    operations: int,
+    ccr: float,
+    processors: int,
+    seeds: tuple[int, ...],
+    jobs: int,
+) -> list[_GraphOverheads]:
+    """Measure one sweep point's graphs through the campaign runner."""
+    # Imported lazily: repro.campaign imports repro.analysis.metrics, so a
+    # module-level import here would be circular.
+    from repro.campaign.runner import run_campaign
+    from repro.campaign.spec import CampaignSpec, WorkloadSpec
+
+    spec = CampaignSpec(
+        name=name,
+        workloads=(WorkloadSpec(family="random", size=operations),),
+        topologies=("fully_connected",),
+        processors=(processors,),
+        npfs=(1,),
+        ccrs=(ccr,),
+        seeds=seeds,
+        measures=("ftbar", "non_ft", "hbp", "degraded"),
+    )
+    report = run_campaign(spec, jobs=jobs)
+    if report.interrupted:
+        # Propagate the Ctrl-C the runner absorbed: a partial point must
+        # abort the sweep, not be silently averaged into the figure.
+        raise KeyboardInterrupt
+    return [_overheads_from_record(r) for r in report.records_in_order()]
+
+
 def _presence_max_of_averages(per_graph: list[dict[str, float]]) -> float:
     """Average each processor's overhead over the graphs, keep the max."""
     processors = per_graph[0].keys() if per_graph else ()
@@ -102,24 +165,21 @@ def run_overhead_vs_operations(
     processors: int = 4,
     graphs_per_point: int = 60,
     seed: int = 2003,
+    jobs: int = 1,
 ) -> OverheadSweep:
     """Figure 9: average overhead as a function of ``N`` (``CCR = 5``)."""
     sweep = OverheadSweep(parameter="N")
     for n in operation_counts:
-        measurements = [
-            _overheads_for_problem(
-                generate_problem(
-                    RandomWorkloadConfig(
-                        operations=n,
-                        ccr=ccr,
-                        processors=processors,
-                        npf=1,
-                        seed=seed + 1000 * index + n,
-                    )
-                )
-            )
-            for index in range(graphs_per_point)
-        ]
+        measurements = _sweep_point_measurements(
+            name=f"figure9-N{n}",
+            operations=n,
+            ccr=ccr,
+            processors=processors,
+            seeds=tuple(
+                seed + 1000 * index + n for index in range(graphs_per_point)
+            ),
+            jobs=jobs,
+        )
         sweep.points.append(
             OverheadPoint(
                 x=float(n),
@@ -143,24 +203,22 @@ def run_overhead_vs_ccr(
     processors: int = 4,
     graphs_per_point: int = 60,
     seed: int = 2003,
+    jobs: int = 1,
 ) -> OverheadSweep:
     """Figure 10: average overhead as a function of ``CCR`` (``N = 50``)."""
     sweep = OverheadSweep(parameter="CCR")
     for ccr in ccrs:
-        measurements = [
-            _overheads_for_problem(
-                generate_problem(
-                    RandomWorkloadConfig(
-                        operations=operations,
-                        ccr=ccr,
-                        processors=processors,
-                        npf=1,
-                        seed=seed + 1000 * index + int(10 * ccr),
-                    )
-                )
-            )
-            for index in range(graphs_per_point)
-        ]
+        measurements = _sweep_point_measurements(
+            name=f"figure10-ccr{ccr:g}",
+            operations=operations,
+            ccr=ccr,
+            processors=processors,
+            seeds=tuple(
+                seed + 1000 * index + int(10 * ccr)
+                for index in range(graphs_per_point)
+            ),
+            jobs=jobs,
+        )
         sweep.points.append(
             OverheadPoint(
                 x=ccr,

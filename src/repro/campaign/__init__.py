@@ -1,0 +1,64 @@
+"""Batch experiment orchestration: specs, jobs, cache, pool, store.
+
+The campaign subsystem turns the one-shot scheduler into a batch
+service: declarative :class:`CampaignSpec` grids expand into
+content-hashed :class:`Job` units, executed on a ``multiprocessing``
+pool, persisted to an append-only JSONL :class:`ResultStore` (making
+every campaign resumable) and memoized in a content-addressed
+:class:`ScheduleCache` shared across campaigns.
+"""
+
+from repro.campaign.cache import ScheduleCache
+from repro.campaign.jobs import (
+    Job,
+    build_architecture,
+    build_problem,
+    execute_job,
+    expand_jobs,
+    job_digest,
+    job_problem,
+)
+from repro.campaign.pool import default_worker_count, execute_jobs
+from repro.campaign.runner import (
+    CampaignReport,
+    CampaignStatus,
+    campaign_report,
+    campaign_status,
+    run_campaign,
+)
+from repro.campaign.spec import (
+    CampaignSpec,
+    FailureSpec,
+    WorkloadSpec,
+    campaign_from_dict,
+    campaign_to_dict,
+    load_campaign,
+    save_campaign,
+)
+from repro.campaign.store import ResultStore
+
+__all__ = [
+    "CampaignReport",
+    "CampaignSpec",
+    "CampaignStatus",
+    "FailureSpec",
+    "Job",
+    "ResultStore",
+    "ScheduleCache",
+    "WorkloadSpec",
+    "build_architecture",
+    "build_problem",
+    "campaign_from_dict",
+    "campaign_report",
+    "campaign_status",
+    "campaign_to_dict",
+    "default_worker_count",
+    "execute_job",
+    "execute_jobs",
+    "expand_jobs",
+    "job_digest",
+    "job_problem",
+    "load_campaign",
+    "run_campaign",
+    "save_campaign",
+]

@@ -1,0 +1,67 @@
+"""Content-addressed on-disk store of computed schedules.
+
+The cache maps a job digest (see :func:`repro.campaign.jobs.job_digest`)
+to the job's full execution document: the deterministic measurement
+record plus the serialized FTBAR schedule.  Because the key is a content
+hash of the problem and configuration, the cache is shared *across*
+campaigns — any campaign that expands to an already-solved problem reads
+the schedule back instead of recomputing it.
+
+Entries are sharded two-hex-characters deep (``ab/abcdef....json``) so
+directories stay small on large corpora, and written atomically
+(temp file + ``os.replace``) so a killed campaign never leaves a torn
+entry behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.exceptions import SerializationError
+
+
+class ScheduleCache:
+    """A content-addressed directory of executed-job documents."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, digest: str) -> Path:
+        """Where the entry of one digest lives (sharded by prefix)."""
+        if len(digest) < 3:
+            raise SerializationError(f"invalid cache digest {digest!r}")
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def __contains__(self, digest: str) -> bool:
+        return self.path_for(digest).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def get(self, digest: str) -> dict | None:
+        """Read one entry, or ``None`` when absent or unreadable.
+
+        A corrupt entry (torn write from a hard kill predating the
+        atomic-rename path, manual tampering) is treated as a miss so
+        the job is simply recomputed.
+        """
+        path = self.path_for(digest)
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if document.get("digest") != digest:
+            return None
+        return document
+
+    def put(self, digest: str, document: dict) -> Path:
+        """Atomically write one entry; last writer wins."""
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = path.parent / f".{path.name}.{os.getpid()}.tmp"
+        temporary.write_text(json.dumps(document, sort_keys=True))
+        os.replace(temporary, path)
+        return path

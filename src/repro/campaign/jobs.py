@@ -1,0 +1,331 @@
+"""Deterministic expansion of a campaign spec into content-hashed jobs.
+
+Every grid point of a :class:`~repro.campaign.spec.CampaignSpec` becomes
+one :class:`Job`.  A job's ``digest`` is the SHA-256 of the canonical
+JSON of the *problem it builds* plus the scheduler options, measures and
+failure scenarios — so two jobs that would schedule the same problem the
+same way share a digest, are deduplicated at expansion time, and hit the
+same entry of the content-addressed cache across campaigns.
+
+Jobs are plain picklable dataclasses: the worker pool ships the
+coordinate, not the built problem, and rebuilds it deterministically in
+the worker process.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import asdict, dataclass
+from typing import Mapping
+
+from repro.baselines.hbp import schedule_hbp
+from repro.baselines.list_scheduler import schedule_non_fault_tolerant
+from repro.core.ftbar import schedule_ftbar
+from repro.core.options import SchedulerOptions
+from repro.campaign.spec import CampaignSpec, FailureSpec, WorkloadSpec
+from repro.exceptions import SerializationError
+from repro.analysis.metrics import degraded_lengths
+from repro.hardware.architecture import Architecture
+from repro.hardware.topologies import fully_connected, ring, single_bus, star
+from repro.problem import ProblemSpec
+from repro.schedule.serialization import (
+    content_hash,
+    problem_to_dict,
+    schedule_to_dict,
+)
+from repro.simulation.executor import DetectionPolicy, simulate
+from repro.simulation.failures import FailureScenario
+from repro.workloads import families
+from repro.workloads.random_dag import (
+    RandomWorkloadConfig,
+    generate_algorithm,
+    generate_comm_times,
+    generate_exec_times,
+    generate_problem,
+)
+
+_TOPOLOGY_BUILDERS = {
+    "fully_connected": fully_connected,
+    "single_bus": single_bus,
+    "ring": ring,
+    "star": star,
+}
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of campaign work: a problem coordinate plus its digest."""
+
+    index: int
+    campaign: str
+    workload: WorkloadSpec
+    topology: str
+    processors: int
+    npf: int
+    ccr: float
+    seed: int
+    failures: tuple[FailureSpec, ...]
+    measures: tuple[str, ...]
+    options: Mapping[str, bool]
+    mean_execution: float
+    digest: str
+
+    def coordinate(self) -> dict:
+        """The grid coordinate of this job as a JSON-compatible dict."""
+        return {
+            "workload": asdict(self.workload),
+            "topology": self.topology,
+            "processors": self.processors,
+            "npf": self.npf,
+            "ccr": self.ccr,
+            "seed": self.seed,
+        }
+
+    def scheduler_options(self) -> SchedulerOptions:
+        """Scheduler configuration this job runs with."""
+        return SchedulerOptions(**dict(self.options))
+
+
+def build_architecture(topology: str, processors: int) -> Architecture:
+    """Build the named architecture topology."""
+    try:
+        builder = _TOPOLOGY_BUILDERS[topology]
+    except KeyError:
+        raise SerializationError(f"unknown topology {topology!r}") from None
+    return builder(processors)
+
+
+def _family_graph(workload: WorkloadSpec):
+    if workload.family == "in_tree":
+        return families.in_tree(workload.size, workload.arity)
+    if workload.family == "out_tree":
+        return families.out_tree(workload.size, workload.arity)
+    if workload.family == "butterfly":
+        return families.butterfly(workload.size)
+    if workload.family == "gauss":
+        return families.gaussian_elimination(workload.size)
+    if workload.family == "pipeline":
+        return families.pipeline(workload.size, workload.arity)
+    raise SerializationError(f"unknown workload family {workload.family!r}")
+
+
+def build_problem(
+    workload: WorkloadSpec,
+    topology: str,
+    processors: int,
+    npf: int,
+    ccr: float,
+    seed: int,
+    mean_execution: float = 10.0,
+) -> ProblemSpec:
+    """Deterministically build the problem of one grid coordinate.
+
+    ``random`` workloads on the ``fully_connected`` topology go through
+    :func:`~repro.workloads.random_dag.generate_problem` verbatim, so a
+    campaign over the paper's setting produces *bit-identical* problems
+    to the legacy Figure-9/10 sweeps.  Every other coordinate draws its
+    timing tables from the same seeded uniform distributions, which
+    makes the ``seeds`` axis meaningful for the structured families too.
+    """
+    if workload.family == "random" and topology == "fully_connected":
+        return generate_problem(
+            RandomWorkloadConfig(
+                operations=workload.size,
+                ccr=ccr,
+                processors=processors,
+                npf=npf,
+                mean_execution=mean_execution,
+                heterogeneous=workload.heterogeneous,
+                max_predecessors=workload.max_predecessors,
+                seed=seed,
+            )
+        )
+    rng = random.Random(seed)
+    if workload.family == "random":
+        algorithm = generate_algorithm(
+            rng,
+            workload.size,
+            workload.max_predecessors,
+            name=f"random-N{workload.size}-seed{seed}",
+        )
+    else:
+        algorithm = _family_graph(workload)
+    architecture = build_architecture(topology, processors)
+    exec_times = generate_exec_times(
+        rng,
+        algorithm,
+        architecture.processor_names(),
+        mean_execution,
+        workload.heterogeneous,
+    )
+    comm_times = generate_comm_times(
+        rng,
+        algorithm,
+        architecture.link_names(),
+        ccr * mean_execution,
+        workload.heterogeneous,
+    )
+    return ProblemSpec(
+        algorithm=algorithm,
+        architecture=architecture,
+        exec_times=exec_times,
+        comm_times=comm_times,
+        npf=npf,
+        name=(
+            f"{algorithm.name}-{topology}-p{processors}"
+            f"-npf{npf}-ccr{ccr:g}-seed{seed}"
+        ),
+    )
+
+
+def job_problem(job: Job) -> ProblemSpec:
+    """Rebuild the problem a job schedules (deterministic)."""
+    return build_problem(
+        job.workload,
+        job.topology,
+        job.processors,
+        job.npf,
+        job.ccr,
+        job.seed,
+        job.mean_execution,
+    )
+
+
+def job_digest(
+    problem: ProblemSpec,
+    options: Mapping[str, bool],
+    measures: tuple[str, ...],
+    failures: tuple[FailureSpec, ...],
+) -> str:
+    """Content hash identifying a job: problem + configuration."""
+    return content_hash(
+        "job",
+        {
+            "problem": problem_to_dict(problem),
+            "options": dict(options),
+            "measures": list(measures),
+            "failures": [asdict(f) for f in failures],
+        },
+    )
+
+
+def expand_jobs(spec: CampaignSpec) -> list[Job]:
+    """Expand a spec into its deduplicated, deterministically-ordered jobs.
+
+    Grid points whose problems (and configuration) hash identically are
+    collapsed onto the first occurrence — identical work is never
+    scheduled twice, the content-addressed guarantee of the subsystem.
+    """
+    jobs: list[Job] = []
+    seen: set[str] = set()
+    for index, coordinate in enumerate(spec.coordinates()):
+        workload, topology, processors, npf, ccr, seed = coordinate
+        problem = build_problem(
+            workload, topology, processors, npf, ccr, seed, spec.mean_execution
+        )
+        digest = job_digest(problem, spec.options, spec.measures, spec.failures)
+        if digest in seen:
+            continue
+        seen.add(digest)
+        jobs.append(
+            Job(
+                index=index,
+                campaign=spec.name,
+                workload=workload,
+                topology=topology,
+                processors=processors,
+                npf=npf,
+                ccr=ccr,
+                seed=seed,
+                failures=spec.failures,
+                measures=spec.measures,
+                options=dict(spec.options),
+                mean_execution=spec.mean_execution,
+                digest=digest,
+            )
+        )
+    return jobs
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+
+def execute_job(job: Job) -> dict:
+    """Run one job and return its cacheable document.
+
+    The returned document has two parts: ``record`` — the deterministic
+    measurement record written to the result store (identical across
+    runs, machines and worker counts) — and ``schedule`` / ``timing`` —
+    the serialized FTBAR schedule and the run's volatile wall-clock
+    numbers.
+    """
+    started = time.perf_counter()
+    problem = job_problem(job)
+    options = job.scheduler_options()
+    measures = set(job.measures)
+
+    ftbar = schedule_ftbar(problem, options)
+    record: dict = {
+        "problem": problem.name,
+        "coordinate": job.coordinate(),
+        "ftbar": {
+            "makespan": ftbar.makespan,
+            "rtc_satisfied": ftbar.rtc_satisfied,
+            "replicas": ftbar.schedule.replica_count(),
+            "comms": ftbar.schedule.comm_count(),
+            "pressure_evaluations": ftbar.stats.pressure_evaluations,
+        },
+    }
+    if "non_ft" in measures:
+        record["non_ft"] = {
+            "makespan": schedule_non_fault_tolerant(problem, options).makespan
+        }
+    hbp = None
+    if "hbp" in measures:
+        hbp = schedule_hbp(problem)
+        record["hbp"] = {"makespan": hbp.makespan}
+    if "degraded" in measures and job.npf >= 1:
+        degraded: dict = {
+            "ftbar": degraded_lengths(ftbar.schedule, ftbar.expanded_algorithm)
+        }
+        if hbp is not None:
+            degraded["hbp"] = degraded_lengths(hbp.schedule, problem.algorithm)
+        record["degraded"] = degraded
+    if job.failures:
+        record["failures"] = [
+            _inject(job, failure, ftbar, problem) for failure in job.failures
+        ]
+    return {
+        "digest": job.digest,
+        "record": record,
+        "schedule": schedule_to_dict(ftbar.schedule),
+        "timing": {"elapsed_s": time.perf_counter() - started},
+    }
+
+
+def _inject(
+    job: Job, failure: FailureSpec, ftbar, problem: ProblemSpec
+) -> dict:
+    """Simulate one failure scenario against the job's FTBAR schedule."""
+    names = problem.architecture.processor_names()
+    if any(i >= len(names) for i in failure.processors) or not failure.processors:
+        # The architecture is too small for this scenario: skip it
+        # rather than silently simulating a weaker crash set.
+        entry = {"processors": [], "at": failure.at}
+        entry.update(delivered=None, makespan=None, skipped=True)
+        return entry
+    processors = [names[i] for i in failure.processors]
+    entry = {"processors": processors, "at": failure.at}
+    scenario = FailureScenario.crashes(processors, failure.at)
+    trace = simulate(
+        ftbar.schedule, ftbar.expanded_algorithm, scenario, DetectionPolicy.NONE
+    )
+    completion = trace.outputs_completion(ftbar.expanded_algorithm)
+    entry.update(
+        delivered=completion is not None,
+        makespan=trace.makespan(),
+        outputs_at=completion,
+    )
+    return entry

@@ -1,0 +1,274 @@
+"""Campaign orchestration: expand, dispatch, persist, resume, report.
+
+:func:`run_campaign` is the one entry point everything routes through —
+the ``campaign`` CLI, the Figure-9/10 experiment harness and the
+benchmarks.  The flow per run:
+
+1. expand the spec into deduplicated, content-hashed jobs;
+2. with ``resume=True``, skip every job whose digest the result store
+   already records (a killed campaign continues where it stopped);
+3. serve the remaining jobs from the content-addressed schedule cache
+   when possible, dispatching only genuinely new work to the pool;
+4. persist every completed result to the store the moment it arrives.
+
+A ``KeyboardInterrupt`` mid-run is caught after the flush of every
+completed result: the returned report is marked ``interrupted`` and the
+store is ready for ``--resume``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.campaign.cache import ScheduleCache
+from repro.campaign.jobs import Job, expand_jobs
+from repro.campaign.pool import execute_jobs
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+
+
+@dataclass
+class CampaignReport:
+    """What one :func:`run_campaign` invocation did."""
+
+    name: str
+    grid_size: int
+    total_jobs: int
+    executed: int = 0
+    cache_hits: int = 0
+    resumed: int = 0
+    interrupted: bool = False
+    elapsed_s: float = 0.0
+    records: dict[str, dict] = field(default_factory=dict)
+    jobs: list[Job] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        """Jobs accounted for by this run (executed, cached or resumed)."""
+        return self.executed + self.cache_hits + self.resumed
+
+    def records_in_order(self) -> list[dict]:
+        """The deterministic records in canonical grid order."""
+        return [
+            self.records[job.digest]
+            for job in self.jobs
+            if job.digest in self.records
+        ]
+
+    def summary(self) -> str:
+        """One-paragraph human-readable outcome."""
+        state = "interrupted" if self.interrupted else "completed"
+        return (
+            f"campaign {self.name!r} {state}: "
+            f"{self.completed}/{self.total_jobs} jobs "
+            f"({self.grid_size} grid points, "
+            f"{self.grid_size - self.total_jobs} deduplicated) — "
+            f"{self.executed} executed, "
+            f"cache hits: {self.cache_hits}/{self.total_jobs}, "
+            f"resumed: {self.resumed}, "
+            f"elapsed {self.elapsed_s:.2f}s"
+        )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    jobs: int = 1,
+    store: ResultStore | str | Path | None = None,
+    cache: ScheduleCache | str | Path | None = None,
+    resume: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignReport:
+    """Run a campaign and return its report.
+
+    ``jobs`` is the worker count (``1`` = sequential in-process, the
+    bit-exact legacy path; ``0`` = one worker per CPU).  ``store`` and
+    ``cache`` are optional: without a store the records only live in
+    the report; without a cache every pending job is computed.
+    """
+    started = time.perf_counter()
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    if cache is not None and not isinstance(cache, ScheduleCache):
+        cache = ScheduleCache(cache)
+    say = progress or (lambda message: None)
+
+    expanded = expand_jobs(spec)
+    report = CampaignReport(
+        name=spec.name,
+        grid_size=spec.grid_size,
+        total_jobs=len(expanded),
+        jobs=expanded,
+    )
+    by_digest = {job.digest: job for job in expanded}
+
+    pending = expanded
+    recorded = (
+        store.load() if store is not None and store.exists() else {}
+    )
+    stored_digests = set(recorded)
+    if resume and recorded:
+        for job in expanded:
+            if job.digest in recorded:
+                report.records[job.digest] = recorded[job.digest]
+                report.resumed += 1
+        pending = [job for job in expanded if job.digest not in report.records]
+        if report.resumed:
+            say(f"resume: {report.resumed} jobs already recorded")
+
+    try:
+        to_compute: list[Job] = []
+        for job in pending:
+            entry = cache.get(job.digest) if cache is not None else None
+            if entry is not None:
+                report.records[job.digest] = entry["record"]
+                report.cache_hits += 1
+                # Don't re-append a line the store already carries —
+                # repeated cache-served reruns must not grow the store.
+                if store is not None and job.digest not in stored_digests:
+                    store.append(job.digest, entry["record"], source="cache")
+            else:
+                to_compute.append(job)
+        if report.cache_hits:
+            say(f"cache: {report.cache_hits} jobs served from {cache.root}")
+
+        for document in execute_jobs(to_compute, worker_count=jobs):
+            digest = document["digest"]
+            record = document["record"]
+            report.records[digest] = record
+            report.executed += 1
+            if cache is not None:
+                cache.put(digest, document)
+            if store is not None:
+                store.append(
+                    digest,
+                    record,
+                    elapsed_s=document["timing"]["elapsed_s"],
+                    source="computed",
+                )
+            say(
+                f"[{report.completed}/{report.total_jobs}] "
+                f"{by_digest[digest].index}: {record['problem']}"
+            )
+    except KeyboardInterrupt:
+        report.interrupted = True
+        say("interrupted — every completed job is persisted; rerun with --resume")
+
+    report.elapsed_s = time.perf_counter() - started
+    return report
+
+
+# ----------------------------------------------------------------------
+# status / report
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Progress of a campaign against its result store."""
+
+    name: str
+    total_jobs: int
+    done: int
+
+    @property
+    def pending(self) -> int:
+        """Jobs not yet recorded."""
+        return self.total_jobs - self.done
+
+    @property
+    def percent(self) -> float:
+        """Completion percentage."""
+        return 100.0 * self.done / self.total_jobs if self.total_jobs else 100.0
+
+    def summary(self) -> str:
+        """One-line progress report."""
+        return (
+            f"campaign {self.name!r}: {self.done}/{self.total_jobs} jobs done "
+            f"({self.percent:.0f}%), {self.pending} pending"
+        )
+
+
+def campaign_status(spec: CampaignSpec, store: ResultStore) -> CampaignStatus:
+    """How far a campaign has progressed in a result store."""
+    expanded = expand_jobs(spec)
+    recorded = store.digests()
+    done = sum(1 for job in expanded if job.digest in recorded)
+    return CampaignStatus(name=spec.name, total_jobs=len(expanded), done=done)
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def campaign_report(spec: CampaignSpec, store: ResultStore) -> str:
+    """Aggregate a campaign's recorded results into a text table.
+
+    Rows group by (workload family, topology, npf): job counts, mean
+    FTBAR makespan, mean overhead versus the non-fault-tolerant baseline
+    (when measured) and the fraction of injected failure scenarios whose
+    outputs were delivered.
+    """
+    expanded = expand_jobs(spec)
+    recorded = store.load()
+    groups: dict[tuple[str, str, int], list[dict]] = {}
+    for job in expanded:
+        record = recorded.get(job.digest)
+        if record is not None:
+            key = (job.workload.family, job.topology, job.npf)
+            groups.setdefault(key, []).append(record)
+
+    headers = ["family", "topology", "npf", "jobs", "makespan", "overhead%", "delivered"]
+    rows: list[list[str]] = []
+    for (family, topology, npf), records in sorted(groups.items()):
+        makespans = [r["ftbar"]["makespan"] for r in records]
+        overheads = [
+            (r["ftbar"]["makespan"] - r["non_ft"]["makespan"])
+            / r["ftbar"]["makespan"]
+            * 100.0
+            for r in records
+            if "non_ft" in r and r["ftbar"]["makespan"] > 0
+        ]
+        injections = [
+            entry
+            for r in records
+            for entry in r.get("failures", [])
+            if entry.get("delivered") is not None
+        ]
+        delivered = (
+            f"{sum(1 for e in injections if e['delivered'])}/{len(injections)}"
+            if injections
+            else "-"
+        )
+        rows.append(
+            [
+                family,
+                topology,
+                str(npf),
+                str(len(records)),
+                f"{_mean(makespans):.2f}",
+                f"{_mean(overheads):.1f}" if overheads else "-",
+                delivered,
+            ]
+        )
+    if not rows:
+        return f"campaign {spec.name!r}: no recorded results in {store.path}"
+
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    lines += [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in rows
+    ]
+    missing = len(expanded) - sum(len(records) for records in groups.values())
+    if missing:
+        lines.append(f"({missing} jobs not yet recorded)")
+    return "\n".join(lines)

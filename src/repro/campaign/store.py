@@ -1,0 +1,121 @@
+"""Append-only JSONL result store making campaigns resumable.
+
+Every completed job appends exactly one line; a line is written with a
+single ``write()`` call and flushed (``fsync``) before the runner moves
+on, so a killed campaign loses at most the line being written when the
+signal landed.  ``load()`` tolerates that torn tail by skipping the
+final line when it is not valid JSON.
+
+Each line separates the *deterministic* measurement record (identical
+across runs, worker counts and machines) from the volatile envelope
+(wall-clock timing, cache provenance, completion timestamp) so stores
+from different runs of the same campaign can be compared byte-for-byte
+modulo the envelope.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Iterator
+
+#: Envelope keys that legitimately differ between two runs of the same
+#: campaign (used by tests and ``diffable_lines``).
+VOLATILE_KEYS = ("elapsed_s", "finished_at", "source")
+
+
+class ResultStore:
+    """An append-only JSONL file of per-job results, keyed by digest."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def exists(self) -> bool:
+        """True when the store file is present on disk."""
+        return self.path.exists()
+
+    def _drop_torn_tail(self) -> None:
+        """Truncate a trailing half-written line left by a hard kill.
+
+        Without this, appending to a file whose last write was torn
+        would glue the new line onto the fragment, losing both — the
+        fragment carries no recoverable result, so cutting it back to
+        the last complete line is safe.
+        """
+        try:
+            with open(self.path, "r+b") as handle:
+                size = handle.seek(0, os.SEEK_END)
+                if size == 0:
+                    return
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) == b"\n":
+                    return
+                handle.seek(0)
+                content = handle.read()
+                handle.truncate(content.rfind(b"\n") + 1)
+        except OSError:  # no store file yet
+            return
+
+    def append(
+        self,
+        digest: str,
+        record: dict,
+        *,
+        elapsed_s: float = 0.0,
+        source: str = "computed",
+    ) -> None:
+        """Durably append one result line (repairing any torn tail)."""
+        line = json.dumps(
+            {
+                "digest": digest,
+                "record": record,
+                "elapsed_s": elapsed_s,
+                "source": source,
+                "finished_at": time.time(),
+            },
+            sort_keys=True,
+        )
+        self._drop_torn_tail()
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def lines(self) -> Iterator[dict]:
+        """Iterate the recorded lines, skipping a torn final line."""
+        if not self.path.exists():
+            return
+        raw = self.path.read_text(encoding="utf-8").splitlines()
+        for number, text in enumerate(raw):
+            if not text.strip():
+                continue
+            try:
+                yield json.loads(text)
+            except json.JSONDecodeError:
+                if number == len(raw) - 1:
+                    return  # torn tail of a killed run
+                raise
+
+    def load(self) -> dict[str, dict]:
+        """Map digest -> deterministic record (last occurrence wins)."""
+        return {line["digest"]: line["record"] for line in self.lines()}
+
+    def digests(self) -> set[str]:
+        """The set of digests already recorded (the resume skip-list)."""
+        return {line["digest"] for line in self.lines()}
+
+    def diffable_lines(self) -> list[dict]:
+        """The recorded lines with the volatile envelope stripped.
+
+        Two runs of the same campaign (uninterrupted vs killed+resumed,
+        computed vs cache-served) agree on this view exactly.
+        """
+        stripped = []
+        for line in self.lines():
+            stripped.append(
+                {k: v for k, v in line.items() if k not in VOLATILE_KEYS}
+            )
+        return stripped

@@ -7,6 +7,7 @@ Sub-commands::
     ftbar simulate  problem.json     schedule then crash processors
     ftbar generate  out.json         emit a random problem file
     ftbar bench     figure9|figure10|npf|runtime|ablation
+    ftbar campaign  run|status|report spec.json
 """
 
 from __future__ import annotations
@@ -181,6 +182,62 @@ def _build_parser() -> argparse.ArgumentParser:
         ],
     )
     bench.add_argument("--graphs", type=int, default=10, help="graphs per point")
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the overhead sweeps (0 = one per CPU); "
+        "routes figure9/figure10 through the campaign pool",
+    )
+
+    campaign = commands.add_parser(
+        "campaign", help="run, inspect or aggregate an experiment campaign"
+    )
+    campaign_commands = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def _campaign_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("spec", type=Path, help="campaign spec JSON file")
+        sub.add_argument(
+            "--store",
+            type=Path,
+            default=None,
+            help="result store JSONL (default: <spec stem>-results.jsonl)",
+        )
+
+    campaign_run = campaign_commands.add_parser("run", help="execute a campaign spec")
+    _campaign_common(campaign_run)
+    campaign_run.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (0 = one per CPU)"
+    )
+    campaign_run.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        help="content-addressed schedule cache dir "
+        "(default: <spec dir>/.schedule-cache)",
+    )
+    campaign_run.add_argument(
+        "--no-cache", action="store_true", help="disable the cache"
+    )
+    campaign_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip jobs whose results the store already records",
+    )
+    campaign_run.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress lines"
+    )
+
+    _campaign_common(
+        campaign_commands.add_parser(
+            "status", help="progress of a campaign against its result store"
+        )
+    )
+    _campaign_common(
+        campaign_commands.add_parser(
+            "report", help="aggregate a campaign's recorded results"
+        )
+    )
     return parser
 
 
@@ -360,11 +417,12 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     graphs = args.graphs
+    jobs = args.jobs  # 0 = one per CPU, resolved by the campaign pool
     if args.figure == "figure9":
-        sweep = run_overhead_vs_operations(graphs_per_point=graphs)
+        sweep = run_overhead_vs_operations(graphs_per_point=graphs, jobs=jobs)
         print(format_overhead_sweep(sweep, "Figure 9 — overhead vs N (CCR=5, P=4)"))
     elif args.figure == "figure10":
-        sweep = run_overhead_vs_ccr(graphs_per_point=graphs)
+        sweep = run_overhead_vs_ccr(graphs_per_point=graphs, jobs=jobs)
         print(format_overhead_sweep(sweep, "Figure 10 — overhead vs CCR (N=50, P=4)"))
     elif args.figure == "npf":
         print(format_npf_sweep(run_npf_sweep(graphs_per_point=graphs)))
@@ -379,6 +437,53 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_paths(args: argparse.Namespace) -> tuple:
+    """Resolve the spec, store and default cache paths of a campaign."""
+    from repro.campaign.spec import load_campaign
+
+    spec = load_campaign(args.spec)
+    store_path = (
+        args.store
+        if args.store is not None
+        else args.spec.with_name(f"{args.spec.stem}-results.jsonl")
+    )
+    return spec, store_path
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign.runner import campaign_report, campaign_status, run_campaign
+    from repro.campaign.store import ResultStore
+
+    spec, store_path = _campaign_paths(args)
+    if args.campaign_command == "status":
+        print(campaign_status(spec, ResultStore(store_path)).summary())
+        return 0
+    if args.campaign_command == "report":
+        print(campaign_report(spec, ResultStore(store_path)))
+        return 0
+
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = (
+            args.cache
+            if args.cache is not None
+            else args.spec.parent / ".schedule-cache"
+        )
+    report = run_campaign(
+        spec,
+        jobs=args.jobs,  # 0 = one per CPU, resolved by the campaign pool
+        store=store_path,
+        cache=cache_dir,
+        resume=args.resume,
+        progress=None if args.quiet else print,
+    )
+    print(report.summary())
+    print(f"results: {store_path}")
+    if cache_dir is not None:
+        print(f"cache: {cache_dir}")
+    return 0 if not report.interrupted else 1
+
+
 _COMMANDS = {
     "example": _cmd_example,
     "schedule": _cmd_schedule,
@@ -389,6 +494,7 @@ _COMMANDS = {
     "reliability": _cmd_reliability,
     "generate": _cmd_generate,
     "bench": _cmd_bench,
+    "campaign": _cmd_campaign,
 }
 
 

@@ -8,6 +8,7 @@ because strict JSON has no infinity literal.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 from pathlib import Path
@@ -308,6 +309,65 @@ def schedule_from_dict(document: Mapping) -> Schedule:
         return schedule
     except (KeyError, TypeError) as error:
         raise SerializationError(f"invalid schedule document: {error}") from error
+
+
+# ----------------------------------------------------------------------
+# content hashing
+# ----------------------------------------------------------------------
+
+CONTENT_HASH_VERSION = 1
+
+
+def _canonical_value(value: Any) -> Any:
+    """Normalize a document so logically-equal documents compare equal.
+
+    Dict keys are sorted by the JSON encoder; lists are sorted by the
+    canonical dump of their elements because every list in our documents
+    (operations, dependencies, timing entries, links, events) is a *set*
+    whose dump order depends on insertion order — the source of the
+    byte-level flakiness between equal problems built in different
+    orders.
+    """
+    if isinstance(value, Mapping):
+        return {key: _canonical_value(value[key]) for key in sorted(value)}
+    if isinstance(value, (list, tuple)):
+        normalized = [_canonical_value(item) for item in value]
+        return sorted(normalized, key=lambda item: canonical_json(item))
+    if isinstance(value, float) and value.is_integer() and not math.isinf(value):
+        return int(value)  # 3.0 and 3 hash identically
+    return value
+
+
+def canonical_json(document: Any) -> str:
+    """Dump a document to its canonical JSON string (stable byte-wise)."""
+    return json.dumps(
+        document, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def content_hash(kind: str, document: Mapping) -> str:
+    """SHA-256 of the version-tagged canonical form of a document."""
+    payload = (
+        f"repro:{kind}:v{CONTENT_HASH_VERSION}:"
+        + canonical_json(_canonical_value(document))
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def problem_content_hash(problem: ProblemSpec) -> str:
+    """Stable identity of a scheduling problem.
+
+    Two :class:`~repro.problem.ProblemSpec` instances describing the
+    same problem hash identically regardless of the order operations,
+    dependencies or timing entries were inserted in.  The campaign cache
+    uses this as its key.
+    """
+    return content_hash("problem", problem_to_dict(problem))
+
+
+def schedule_content_hash(schedule: Schedule) -> str:
+    """Stable identity of a static schedule (event order insensitive)."""
+    return content_hash("schedule", schedule_to_dict(schedule))
 
 
 # ----------------------------------------------------------------------

@@ -11,6 +11,7 @@ import pytest
 import repro
 import repro.analysis
 import repro.baselines
+import repro.campaign
 import repro.core
 import repro.graphs
 import repro.hardware
@@ -23,6 +24,7 @@ _PACKAGES = [
     repro,
     repro.analysis,
     repro.baselines,
+    repro.campaign,
     repro.core,
     repro.graphs,
     repro.hardware,
