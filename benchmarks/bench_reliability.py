@@ -1,0 +1,173 @@
+"""Reliability-certification throughput: batched vs per-scenario engine.
+
+The section-5 guarantee is machine-checked by replaying every crash
+subset; the batched engine (compile-once arrays, dirty-cone
+re-decision, footprint-equivalence pruning) must give *bit-identical*
+verdicts to the per-scenario executor while replaying far fewer (and
+far cheaper) events.  This bench times ``fault_tolerance_certificate``
+at t = 0 with both engines over P ∈ {4, 6, 8} processors (Npf = 1,
+N = 20 operations, CCR = 1, seed 2003), records scenarios/sec and the
+event-decision counts of both engines in ``BENCH_runtime.json``
+(merging with the sweeps written by ``bench_runtime.py``), and asserts
+the verdicts agree.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_reliability.py [--smoke]
+
+``--smoke`` runs a reduced configuration (P = 4 only), checks the
+engines agree, and does not touch ``BENCH_runtime.json`` — the CI
+guard that keeps the batch path exercised.
+"""
+
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    from benchmarks.conftest import full_scale
+except ModuleNotFoundError:  # invoked as `python benchmarks/bench_reliability.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from benchmarks.conftest import full_scale
+from repro.analysis.reliability import fault_tolerance_certificate
+from repro.core.ftbar import schedule_ftbar
+from repro.simulation.batch import BatchScenarioEngine
+from repro.simulation.executor import ScheduleSimulator
+from repro.workloads.random_dag import RandomWorkloadConfig, generate_problem
+
+_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+_OPERATIONS = 20
+_NPF = 1
+_SEED = 2003
+
+
+def _certificate_problem(processors: int):
+    problem = generate_problem(
+        RandomWorkloadConfig(
+            operations=_OPERATIONS,
+            ccr=1.0,
+            processors=processors,
+            npf=_NPF,
+            seed=_SEED,
+        )
+    )
+    result = schedule_ftbar(problem)
+    return result.schedule, result.expanded_algorithm
+
+
+def _levels(certificate) -> list[tuple[int, int, int]]:
+    return [
+        (level.failures, level.masked_subsets, level.total_subsets)
+        for level in certificate.levels
+    ]
+
+
+def bench_certificate(processors: int, repeats: int = 5) -> dict:
+    """Time both engines on one schedule; verify identical verdicts.
+
+    Each repeat rebuilds its engine, so the batched time honestly
+    includes the compile-once cost the engine amortizes per schedule.
+    The work counters (scenarios replayed, event decisions) come from
+    one dedicated fresh run per engine.
+    """
+    schedule, algorithm = _certificate_problem(processors)
+
+    legacy_s = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        started = time.perf_counter()
+        legacy = fault_tolerance_certificate(schedule, algorithm, batched=False)
+        legacy_s = min(legacy_s, time.perf_counter() - started)
+    simulator = ScheduleSimulator(schedule, algorithm)
+    fault_tolerance_certificate(
+        schedule, algorithm, batched=False, engine=simulator
+    )
+
+    batched_s = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        started = time.perf_counter()
+        batched = fault_tolerance_certificate(schedule, algorithm)
+        batched_s = min(batched_s, time.perf_counter() - started)
+    engine = BatchScenarioEngine(schedule, algorithm)
+    fault_tolerance_certificate(schedule, algorithm, engine=engine)
+
+    assert _levels(legacy) == _levels(batched), (
+        f"engines diverge at P={processors}"
+    )
+    assert legacy.breaking_subsets == batched.breaking_subsets
+    stats = engine.stats
+    return {
+        "legacy_s": legacy_s,
+        "batched_s": batched_s,
+        "speedup": legacy_s / batched_s,
+        "legacy_scenarios": simulator.runs,
+        "legacy_scenarios_per_s": simulator.runs / legacy_s,
+        "batched_scenarios": stats.scenarios,
+        "batched_scenarios_per_s": stats.scenarios / batched_s,
+        "batched_simulated": stats.simulated,
+        "batched_pruned_nominal": stats.pruned_nominal,
+        "batched_memo_hits": stats.memo_hits,
+        "legacy_decisions": simulator.decisions,
+        "batched_decisions": stats.decisions,
+        "batched_copied": stats.copied,
+        "certified": batched.certified,
+    }
+
+
+def run_reliability_sweep(
+    processor_counts=(4, 6, 8), repeats: int = 5
+) -> dict:
+    """The recorded table: one certificate comparison per P."""
+    sweep = {
+        "operations": _OPERATIONS,
+        "npf": _NPF,
+        "seed": _SEED,
+        "crash_times": 1,
+    }
+    for processors in processor_counts:
+        sweep[str(processors)] = bench_certificate(processors, repeats)
+    return sweep
+
+
+def write_bench_json(repeats: int = 5) -> dict:
+    """Merge the reliability sweep into ``BENCH_runtime.json``."""
+    payload = (
+        json.loads(_RESULT_PATH.read_text()) if _RESULT_PATH.exists() else {}
+    )
+    payload["reliability_certificate_batched_vs_scenario"] = (
+        run_reliability_sweep(repeats=repeats)
+    )
+    _RESULT_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return payload
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv and not full_scale()
+    if smoke:
+        sweep = run_reliability_sweep(processor_counts=(4,), repeats=2)
+    else:
+        sweep = write_bench_json()[
+            "reliability_certificate_batched_vs_scenario"
+        ]
+    for key in sorted((k for k in sweep if k.isdigit()), key=int):
+        point = sweep[key]
+        print(
+            f"P={key}: certificate {point['legacy_s']*1e3:8.2f} ms -> "
+            f"{point['batched_s']*1e3:8.2f} ms  ({point['speedup']:.2f}x, "
+            f"{point['legacy_scenarios_per_s']:.0f} -> "
+            f"{point['batched_scenarios_per_s']:.0f} scenarios/s, "
+            f"{point['legacy_decisions']} -> {point['batched_decisions']} "
+            f"event decisions)"
+        )
+    if smoke:
+        print("smoke ok: batched and per-scenario certificates bit-identical")
+    else:
+        print(f"recorded in {_RESULT_PATH}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -24,7 +24,6 @@ Run it directly::
 
 import gc
 import json
-import os
 import sys
 import time
 from pathlib import Path
@@ -37,6 +36,7 @@ except ModuleNotFoundError:  # invoked as `python benchmarks/bench_runtime.py`
 from repro.analysis.experiments import run_runtime_comparison
 from repro.analysis.reporting import format_runtime_comparison
 from repro.baselines.hbp import schedule_hbp
+from repro.campaign.pool import default_worker_count
 from repro.campaign.runner import run_campaign
 from repro.campaign.spec import CampaignSpec, WorkloadSpec
 from repro.core.ftbar import schedule_ftbar
@@ -124,15 +124,27 @@ def run_hbp_sweep(full: bool = False, repeats: int = 3) -> dict:
 
 
 def run_campaign_jobs_sweep(full: bool = False) -> dict:
-    """Wall-clock of one campaign at jobs=1 versus jobs=cpu.
+    """Wall-clock of one campaign at jobs=1 versus one worker per CPU.
 
     The campaign schedules ``graphs`` independent random problems —
     embarrassingly parallel work, so the worker pool's scaling shows up
-    directly.  Both runs verify they produce identical record sets.
+    directly.  Both runs verify they produce identical record sets.  On
+    a single-CPU host both legs would take the same sequential path, so
+    the entry is marked ``skipped`` with the reason instead of recording
+    a warm-cache ratio as if it measured the pool.
     """
     operations = 60 if full else 30
     graphs = 16 if full else 8
-    workers = os.cpu_count() or 1
+    workers = default_worker_count()
+    if workers <= 1:
+        return {
+            "operations": operations,
+            "graphs": graphs,
+            "workers": workers,
+            "skipped": True,
+            "reason": "only one CPU available — jobs=1 and jobs=cpu would "
+            "run the same sequential path",
+        }
     spec = CampaignSpec(
         name="bench-campaign",
         workloads=(WorkloadSpec(family="random", size=operations),),
@@ -152,26 +164,33 @@ def run_campaign_jobs_sweep(full: bool = False) -> dict:
         "workers": workers,
         "jobs1_s": jobs1_s,
         "jobs_cpu_s": jobs_cpu_s,
-        # On a single-CPU host both runs take the sequential path, so a
-        # ratio would be warm-cache noise, not a pool measurement.
-        "speedup": (
-            jobs1_s / jobs_cpu_s if workers > 1 and jobs_cpu_s else None
-        ),
+        "speedup": jobs1_s / jobs_cpu_s,
+        "skipped": False,
     }
 
 
 def write_bench_json(full: bool = False, repeats: int = 5) -> dict:
-    """Run the sweeps and record them in ``BENCH_runtime.json``."""
-    payload = {
-        "generated_by": "benchmarks/bench_runtime.py",
-        "config": {
-            "ccr": 1.0, "processors": 4, "npf": 1, "seed": 2003,
-            "repeats": repeats, "full": full,
-        },
-        "ftbar_incremental_vs_legacy": run_incremental_sweep(full, repeats),
-        "ftbar_vs_hbp": run_hbp_sweep(full, repeats),
-        "campaign_jobs1_vs_cpu": run_campaign_jobs_sweep(full),
-    }
+    """Run the sweeps and record them in ``BENCH_runtime.json``.
+
+    Keys owned by other benches (e.g. ``bench_reliability.py``'s
+    certificate sweep) are preserved, so the file accumulates the whole
+    perf trajectory regardless of which bench ran last.
+    """
+    payload = (
+        json.loads(_RESULT_PATH.read_text()) if _RESULT_PATH.exists() else {}
+    )
+    payload.update(
+        {
+            "generated_by": "benchmarks/bench_runtime.py",
+            "config": {
+                "ccr": 1.0, "processors": 4, "npf": 1, "seed": 2003,
+                "repeats": repeats, "full": full,
+            },
+            "ftbar_incremental_vs_legacy": run_incremental_sweep(full, repeats),
+            "ftbar_vs_hbp": run_hbp_sweep(full, repeats),
+            "campaign_jobs1_vs_cpu": run_campaign_jobs_sweep(full),
+        }
+    )
     _RESULT_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
     return payload
 
@@ -234,13 +253,15 @@ def main(argv: list[str]) -> int:
             file=sys.stderr,
         )
     campaign = payload["campaign_jobs1_vs_cpu"]
-    speedup = campaign["speedup"]
-    print(
-        f"campaign {campaign['graphs']}xN={campaign['operations']} "
-        f"jobs=1 vs jobs={campaign['workers']}: "
-        + (f"{speedup:.2f}x" if speedup else "n/a (single CPU)"),
-        file=sys.stderr,
-    )
+    if campaign.get("skipped"):
+        print(f"campaign pool bench skipped: {campaign['reason']}", file=sys.stderr)
+    else:
+        print(
+            f"campaign {campaign['graphs']}xN={campaign['operations']} "
+            f"jobs=1 vs jobs={campaign['workers']}: "
+            f"{campaign['speedup']:.2f}x",
+            file=sys.stderr,
+        )
     return 0
 
 

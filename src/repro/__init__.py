@@ -66,6 +66,7 @@ from repro.schedule import (
     validate_schedule,
 )
 from repro.simulation import (
+    BatchScenarioEngine,
     DetectionPolicy,
     EventStatus,
     ExecutionTrace,
@@ -89,6 +90,7 @@ __all__ = [
     "AlgorithmGraphBuilder",
     "Architecture",
     "ArchitectureError",
+    "BatchScenarioEngine",
     "CommunicationTimes",
     "ConstraintError",
     "DetectionPolicy",

@@ -13,6 +13,12 @@ module quantifies both:
 * :func:`schedule_reliability` turns per-processor failure
   probabilities into the probability that one iteration delivers all
   its outputs, by exact enumeration over the ``2^P`` crash subsets.
+
+Both run on the batched scenario engine by default
+(:class:`~repro.simulation.batch.BatchScenarioEngine`: compile-once
+replay, dirty-cone re-decision, footprint-equivalence pruning) and are
+bit-identical to the legacy one-simulation-per-scenario path, which
+``batched=False`` keeps available as the independent cross-check.
 """
 
 from __future__ import annotations
@@ -20,11 +26,12 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Callable, Iterable, Mapping
 
 from repro.exceptions import SimulationError
 from repro.graphs.algorithm import AlgorithmGraph
 from repro.schedule.schedule import Schedule
+from repro.simulation.batch import BatchScenarioEngine
 from repro.simulation.executor import DetectionPolicy, ScheduleSimulator
 from repro.simulation.failures import FailureScenario
 
@@ -103,12 +110,53 @@ def _masked(
     return True
 
 
+def _subset_verdicts(
+    schedule: Schedule,
+    algorithm: AlgorithmGraph,
+    detection: DetectionPolicy,
+    batched: bool,
+    engine: BatchScenarioEngine | ScheduleSimulator | None,
+) -> Callable[[tuple[str, ...], tuple[float, ...]], bool]:
+    """The masking oracle both analyses enumerate with.
+
+    ``batched=True`` routes every verdict through one (possibly shared)
+    :class:`BatchScenarioEngine`; ``batched=False`` is the legacy
+    one-full-simulation-per-scenario path the batched verdicts are
+    pinned against (``engine`` may then be a prebuilt
+    :class:`ScheduleSimulator`, e.g. to read its work counters).
+    """
+    if not batched:
+        simulator = (
+            engine
+            if isinstance(engine, ScheduleSimulator)
+            else ScheduleSimulator(schedule, algorithm, detection)
+        )
+        return lambda subset, times: _masked(simulator, algorithm, subset, times)
+    if engine is None or isinstance(engine, ScheduleSimulator):
+        engine = BatchScenarioEngine(schedule, algorithm, detection)
+    elif engine.detection is not DetectionPolicy(detection):
+        raise SimulationError(
+            f"engine was built with detection={engine.detection}, "
+            f"requested {DetectionPolicy(detection)}"
+        )
+    elif engine.schedule is not schedule or engine.algorithm is not algorithm:
+        # A mismatched engine would silently return the *other*
+        # schedule's verdicts — the compiled arrays ignore these
+        # arguments entirely.
+        raise SimulationError(
+            "engine was compiled for a different schedule/algorithm"
+        )
+    return engine.crash_subset_masked
+
+
 def fault_tolerance_certificate(
     schedule: Schedule,
     algorithm: AlgorithmGraph,
     max_failures: int | None = None,
     crash_times: Iterable[float] = (0.0,),
     detection: DetectionPolicy = DetectionPolicy.NONE,
+    batched: bool = True,
+    engine: BatchScenarioEngine | ScheduleSimulator | None = None,
 ) -> FaultToleranceCertificate:
     """Exhaustively check masking of every crash subset up to a size.
 
@@ -117,8 +165,13 @@ def fault_tolerance_certificate(
     ``crash_times`` are the instants at which all processors of a subset
     crash simultaneously (the paper's experiment uses t = 0, the worst
     case for active replication since nothing has been sent yet).
+
+    ``batched`` selects the compile-once batch engine (default) or the
+    legacy per-scenario replay; the verdicts are bit-identical.  Pass
+    ``engine`` to share one prebuilt engine (and its caches) across
+    calls — e.g. a certificate followed by a reliability sweep.
     """
-    simulator = ScheduleSimulator(schedule, algorithm, detection)
+    is_masked = _subset_verdicts(schedule, algorithm, detection, batched, engine)
     processors = schedule.processor_names()
     bound = schedule.npf + 1 if max_failures is None else max_failures
     bound = min(bound, len(processors))
@@ -129,7 +182,7 @@ def fault_tolerance_certificate(
         total = 0
         for subset in itertools.combinations(processors, size):
             total += 1
-            if _masked(simulator, algorithm, subset, times):
+            if is_masked(subset, times):
                 masked += 1
             elif size <= schedule.npf:
                 certificate.breaking_subsets.append(frozenset(subset))
@@ -178,6 +231,8 @@ def schedule_reliability(
     failure_probabilities: Mapping[str, float],
     crash_times: Iterable[float] = (0.0,),
     detection: DetectionPolicy = DetectionPolicy.NONE,
+    batched: bool = True,
+    engine: BatchScenarioEngine | ScheduleSimulator | None = None,
 ) -> ReliabilityReport:
     """Exact reliability by enumeration over all ``2^P`` crash subsets.
 
@@ -187,6 +242,12 @@ def schedule_reliability(
     instant of ``crash_times``.  The guaranteed lower bound is the
     probability that at most ``Npf`` processors fail — what the paper's
     theorem promises without looking at the schedule.
+
+    The probability sum always enumerates all ``2^P`` subsets in
+    canonical order (so ``batched=True`` and ``batched=False`` land on
+    bit-identical floats); batching changes only how each subset's
+    masking verdict is obtained.  ``engine`` shares a prebuilt batch
+    engine's caches, e.g. with a preceding certificate.
     """
     processors = schedule.processor_names()
     for processor in processors:
@@ -200,7 +261,7 @@ def schedule_reliability(
                 f"failure probability of {processor!r} must be in [0, 1], "
                 f"got {probability!r}"
             )
-    simulator = ScheduleSimulator(schedule, algorithm, detection)
+    is_masked = _subset_verdicts(schedule, algorithm, detection, batched, engine)
     times = tuple(crash_times)
     reliability = 0.0
     masked_mass = 0.0
@@ -217,7 +278,7 @@ def schedule_reliability(
                 continue
             if size <= schedule.npf:
                 guaranteed += mass
-            if size == 0 or _masked(simulator, algorithm, subset, times):
+            if size == 0 or is_masked(subset, times):
                 reliability += mass
                 if size > 0:
                     masked_mass += mass

@@ -24,11 +24,13 @@ from repro.campaign.runner import (
     CampaignStatus,
     campaign_report,
     campaign_status,
+    reliability_heatmap,
     run_campaign,
 )
 from repro.campaign.spec import (
     CampaignSpec,
     FailureSpec,
+    ReliabilitySpec,
     WorkloadSpec,
     campaign_from_dict,
     campaign_to_dict,
@@ -43,6 +45,7 @@ __all__ = [
     "CampaignStatus",
     "FailureSpec",
     "Job",
+    "ReliabilitySpec",
     "ResultStore",
     "ScheduleCache",
     "WorkloadSpec",
@@ -59,6 +62,7 @@ __all__ = [
     "job_digest",
     "job_problem",
     "load_campaign",
+    "reliability_heatmap",
     "run_campaign",
     "save_campaign",
 ]

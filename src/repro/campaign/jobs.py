@@ -14,6 +14,7 @@ the worker process.
 
 from __future__ import annotations
 
+import math
 import random
 import time
 from dataclasses import asdict, dataclass
@@ -23,9 +24,21 @@ from repro.baselines.hbp import schedule_hbp
 from repro.baselines.list_scheduler import schedule_non_fault_tolerant
 from repro.core.ftbar import schedule_ftbar
 from repro.core.options import SchedulerOptions
-from repro.campaign.spec import CampaignSpec, FailureSpec, WorkloadSpec
+from repro.campaign.spec import (
+    CampaignSpec,
+    FailureSpec,
+    ReliabilitySpec,
+    WorkloadSpec,
+)
 from repro.exceptions import SerializationError
 from repro.analysis.metrics import degraded_lengths
+from repro.analysis.reliability import (
+    event_boundary_times,
+    fault_tolerance_certificate,
+    mean_time_to_failure_iterations,
+    schedule_reliability,
+)
+from repro.simulation.batch import BatchScenarioEngine
 from repro.hardware.architecture import Architecture
 from repro.hardware.topologies import fully_connected, ring, single_bus, star
 from repro.problem import ProblemSpec
@@ -70,6 +83,7 @@ class Job:
     options: Mapping[str, bool]
     mean_execution: float
     digest: str
+    reliability: ReliabilitySpec | None = None
 
     def coordinate(self) -> dict:
         """The grid coordinate of this job as a JSON-compatible dict."""
@@ -197,17 +211,20 @@ def job_digest(
     options: Mapping[str, bool],
     measures: tuple[str, ...],
     failures: tuple[FailureSpec, ...],
+    reliability: ReliabilitySpec | None = None,
 ) -> str:
     """Content hash identifying a job: problem + configuration."""
-    return content_hash(
-        "job",
-        {
-            "problem": problem_to_dict(problem),
-            "options": dict(options),
-            "measures": list(measures),
-            "failures": [asdict(f) for f in failures],
-        },
-    )
+    document = {
+        "problem": problem_to_dict(problem),
+        "options": dict(options),
+        "measures": list(measures),
+        "failures": [asdict(f) for f in failures],
+    }
+    if reliability is not None:
+        # Only hashed when present so pre-existing digests (and their
+        # cache entries) stay valid for campaigns without the measure.
+        document["reliability"] = asdict(reliability)
+    return content_hash("job", document)
 
 
 def expand_jobs(spec: CampaignSpec) -> list[Job]:
@@ -219,12 +236,15 @@ def expand_jobs(spec: CampaignSpec) -> list[Job]:
     """
     jobs: list[Job] = []
     seen: set[str] = set()
+    reliability = spec.reliability if "reliability" in spec.measures else None
     for index, coordinate in enumerate(spec.coordinates()):
         workload, topology, processors, npf, ccr, seed = coordinate
         problem = build_problem(
             workload, topology, processors, npf, ccr, seed, spec.mean_execution
         )
-        digest = job_digest(problem, spec.options, spec.measures, spec.failures)
+        digest = job_digest(
+            problem, spec.options, spec.measures, spec.failures, reliability
+        )
         if digest in seen:
             continue
         seen.add(digest)
@@ -243,6 +263,7 @@ def expand_jobs(spec: CampaignSpec) -> list[Job]:
                 options=dict(spec.options),
                 mean_execution=spec.mean_execution,
                 digest=digest,
+                reliability=reliability,
             )
         )
     return jobs
@@ -293,6 +314,8 @@ def execute_job(job: Job) -> dict:
         if hbp is not None:
             degraded["hbp"] = degraded_lengths(hbp.schedule, problem.algorithm)
         record["degraded"] = degraded
+    if "reliability" in measures and job.reliability is not None:
+        record["reliability"] = _certify(job.reliability, ftbar)
     if job.failures:
         record["failures"] = [
             _inject(job, failure, ftbar, problem) for failure in job.failures
@@ -302,6 +325,67 @@ def execute_job(job: Job) -> dict:
         "record": record,
         "schedule": schedule_to_dict(ftbar.schedule),
         "timing": {"elapsed_s": time.perf_counter() - started},
+    }
+
+
+def _certify(spec: ReliabilitySpec, ftbar) -> dict:
+    """Certify one FTBAR schedule and sweep its failure probabilities.
+
+    One batched scenario engine serves the certificate and every point
+    of the probability sweep, so the crash-subset verdicts are simulated
+    once per equivalence class for the whole record.  The record is
+    deterministic: identical across runs, machines and worker counts.
+    """
+    schedule = ftbar.schedule
+    algorithm = ftbar.expanded_algorithm
+    times = (
+        event_boundary_times(schedule, limit=spec.boundary_limit)
+        if spec.crash_times == "boundaries"
+        else (0.0,)
+    )
+    engine = BatchScenarioEngine(schedule, algorithm, spec.detection)
+    certificate = fault_tolerance_certificate(
+        schedule,
+        algorithm,
+        max_failures=spec.max_failures,
+        crash_times=times,
+        detection=spec.detection,
+        engine=engine,
+    )
+    sweep = []
+    for probability in spec.probabilities:
+        report = schedule_reliability(
+            schedule,
+            algorithm,
+            {p: probability for p in schedule.processor_names()},
+            crash_times=times,
+            detection=spec.detection,
+            engine=engine,
+        )
+        mttf = mean_time_to_failure_iterations(report.reliability)
+        sweep.append(
+            {
+                "probability": probability,
+                "reliability": report.reliability,
+                "guaranteed_lower_bound": report.guaranteed_lower_bound,
+                # None instead of inf: the records must stay strict JSON.
+                "mttf_iterations": None if math.isinf(mttf) else mttf,
+            }
+        )
+    return {
+        "certified": certificate.certified,
+        "crash_times": len(times),
+        "levels": [
+            {
+                "failures": level.failures,
+                "masked": level.masked_subsets,
+                "total": level.total_subsets,
+            }
+            for level in certificate.levels
+        ],
+        "sweep": sweep,
+        "scenarios": engine.stats.scenarios,
+        "simulated": engine.stats.simulated,
     }
 
 

@@ -18,6 +18,7 @@ store is ready for ``--resume``.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -272,3 +273,83 @@ def campaign_report(spec: CampaignSpec, store: ResultStore) -> str:
     if missing:
         lines.append(f"({missing} jobs not yet recorded)")
     return "\n".join(lines)
+
+
+def reliability_heatmap(
+    spec: CampaignSpec, store: ResultStore, value: str = "reliability"
+) -> str:
+    """Render the campaign's reliability heatmap from its result store.
+
+    Rows are the grid's ``npfs`` axis, columns the reliability spec's
+    per-processor failure probabilities; each cell aggregates every
+    recorded job of that ``npf`` (mean across workloads, topologies,
+    CCRs and seeds).  ``value`` selects the cell quantity:
+
+    * ``"reliability"`` — mean probability that one iteration delivers
+      all outputs;
+    * ``"mttf"`` — mean iterations to the first unmasked failure
+      (``inf`` when every recorded job is fully reliable);
+    * ``"certified"`` — fraction of jobs whose certificate holds.
+    """
+    if value not in ("reliability", "mttf", "certified"):
+        raise ValueError(f"unknown heatmap value {value!r}")
+    if spec.reliability is None:
+        return (
+            f"campaign {spec.name!r} has no reliability spec — add "
+            f'"reliability" to its measures'
+        )
+    expanded = expand_jobs(spec)
+    recorded = store.load()
+    # cells[npf][probability] -> list of per-job values
+    cells: dict[int, dict[float, list[float]]] = {}
+    for job in expanded:
+        record = recorded.get(job.digest)
+        if record is None or "reliability" not in record:
+            continue
+        block = record["reliability"]
+        row = cells.setdefault(job.npf, {})
+        for point in block["sweep"]:
+            if value == "reliability":
+                cell = point["reliability"]
+            elif value == "mttf":
+                mttf = point["mttf_iterations"]
+                cell = math.inf if mttf is None else mttf
+            else:
+                cell = 1.0 if block["certified"] else 0.0
+            row.setdefault(point["probability"], []).append(cell)
+    if not cells:
+        return (
+            f"campaign {spec.name!r}: no reliability records in {store.path}"
+        )
+
+    probabilities = sorted({q for row in cells.values() for q in row})
+    headers = ["npf \\ q"] + [f"{q:g}" for q in probabilities]
+    rows = []
+    for npf in sorted(cells):
+        row = [str(npf)]
+        for q in probabilities:
+            values = cells[npf].get(q)
+            row.append(_format_cell(_mean(values), value) if values else "-")
+        rows.append(row)
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    lines = [
+        f"{value} heatmap — campaign {spec.name!r}",
+        "  ".join(h.rjust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * width for width in widths),
+    ]
+    lines += [
+        "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        for row in rows
+    ]
+    return "\n".join(lines)
+
+
+def _format_cell(mean: float, value: str) -> str:
+    if math.isinf(mean):
+        return "inf"
+    if value == "mttf":
+        return f"{mean:.3g}"
+    return f"{mean:.6f}"

@@ -33,7 +33,10 @@ FAMILIES = ("in_tree", "out_tree", "butterfly", "gauss", "pipeline", "random")
 TOPOLOGIES = ("fully_connected", "single_bus", "ring", "star")
 
 #: Quantities a job may compute (``ftbar`` is always measured).
-MEASURES = ("ftbar", "non_ft", "hbp", "degraded")
+MEASURES = ("ftbar", "non_ft", "hbp", "degraded", "reliability")
+
+#: Crash-instant policies of the ``reliability`` measure.
+CRASH_TIME_POLICIES = ("zero", "boundaries")
 
 
 @dataclass(frozen=True)
@@ -85,6 +88,51 @@ class FailureSpec:
 
 
 @dataclass(frozen=True)
+class ReliabilitySpec:
+    """Configuration of the ``reliability`` measure (certification jobs).
+
+    Every job certifies its FTBAR schedule with the batched scenario
+    engine and sweeps ``probabilities`` as the uniform per-processor
+    failure probability — one reliability/MTTF figure per probability,
+    the columns of a campaign heatmap (the ``npfs`` axis of the grid
+    provides the rows).  ``crash_times`` selects the crash instants:
+    ``"zero"`` is the paper's worst case (t = 0), ``"boundaries"``
+    crashes at up to ``boundary_limit`` static event start dates.
+    """
+
+    probabilities: tuple[float, ...] = (0.01,)
+    crash_times: str = "zero"
+    boundary_limit: int = 16
+    max_failures: int | None = None
+    detection: str = "none"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "probabilities", tuple(float(q) for q in self.probabilities)
+        )
+        if not self.probabilities:
+            raise SerializationError(
+                "a reliability spec needs at least one failure probability"
+            )
+        for probability in self.probabilities:
+            if not 0.0 <= probability <= 1.0:
+                raise SerializationError(
+                    f"failure probability must be in [0, 1], got {probability!r}"
+                )
+        if self.crash_times not in CRASH_TIME_POLICIES:
+            raise SerializationError(
+                f"unknown crash-time policy {self.crash_times!r}; "
+                f"expected one of {CRASH_TIME_POLICIES}"
+            )
+        if self.boundary_limit < 1:
+            raise SerializationError("boundary_limit must be >= 1")
+        if self.detection not in ("none", "timeout-array"):
+            raise SerializationError(
+                f"unknown detection policy {self.detection!r}"
+            )
+
+
+@dataclass(frozen=True)
 class CampaignSpec:
     """The full grid of one experiment campaign."""
 
@@ -99,6 +147,7 @@ class CampaignSpec:
     measures: tuple[str, ...] = ("ftbar", "non_ft")
     mean_execution: float = 10.0
     options: Mapping[str, bool] = field(default_factory=dict)
+    reliability: ReliabilitySpec | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workloads", tuple(self.workloads))
@@ -127,6 +176,8 @@ class CampaignSpec:
         }
         if unknown:
             raise SerializationError(f"unknown scheduler options: {sorted(unknown)}")
+        if "reliability" in self.measures and self.reliability is None:
+            object.__setattr__(self, "reliability", ReliabilitySpec())
 
     @property
     def grid_size(self) -> int:
@@ -166,6 +217,9 @@ def campaign_to_dict(spec: CampaignSpec) -> dict:
     document["format_version"] = SPEC_FORMAT_VERSION
     document["workloads"] = [asdict(w) for w in spec.workloads]
     document["failures"] = [asdict(f) for f in spec.failures]
+    document["reliability"] = (
+        asdict(spec.reliability) if spec.reliability is not None else None
+    )
     return document
 
 
@@ -192,8 +246,23 @@ def campaign_from_dict(document: Mapping) -> CampaignSpec:
             measures=tuple(document.get("measures", ("ftbar", "non_ft"))),
             mean_execution=float(document.get("mean_execution", 10.0)),
             options=dict(document.get("options", {})),
+            reliability=(
+                ReliabilitySpec(
+                    probabilities=tuple(
+                        document["reliability"].get("probabilities", (0.01,))
+                    ),
+                    crash_times=document["reliability"].get("crash_times", "zero"),
+                    boundary_limit=int(
+                        document["reliability"].get("boundary_limit", 16)
+                    ),
+                    max_failures=document["reliability"].get("max_failures"),
+                    detection=document["reliability"].get("detection", "none"),
+                )
+                if document.get("reliability") is not None
+                else None
+            ),
         )
-    except (KeyError, TypeError) as error:
+    except (KeyError, TypeError, AttributeError) as error:
         raise SerializationError(f"invalid campaign document: {error}") from error
 
 

@@ -7,7 +7,8 @@ Sub-commands::
     ftbar simulate  problem.json     schedule then crash processors
     ftbar generate  out.json         emit a random problem file
     ftbar bench     figure9|figure10|npf|runtime|ablation
-    ftbar campaign  run|status|report spec.json
+    ftbar certify   [problem.json]   batched reliability certificate
+    ftbar campaign  run|status|report|heatmap spec.json
 """
 
 from __future__ import annotations
@@ -159,6 +160,48 @@ def _build_parser() -> argparse.ArgumentParser:
         help="crash at every static event boundary instead of t=0 only",
     )
 
+    certify = commands.add_parser(
+        "certify",
+        help="fault-tolerance certificate through the batched scenario engine",
+    )
+    certify.add_argument(
+        "problem",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="problem JSON file (default: the paper's worked example)",
+    )
+    certify.add_argument(
+        "--detection",
+        choices=[p.value for p in DetectionPolicy],
+        default=DetectionPolicy.NONE.value,
+    )
+    certify.add_argument(
+        "--boundaries",
+        action="store_true",
+        help="crash at every static event boundary instead of t=0 only",
+    )
+    certify.add_argument(
+        "--probability",
+        type=float,
+        action="append",
+        default=[],
+        metavar="Q",
+        help="per-processor failure probability; repeatable, adds a "
+        "reliability figure per value",
+    )
+    certify.add_argument(
+        "--legacy",
+        action="store_true",
+        help="use the per-scenario engine instead of the batched one",
+    )
+    certify.add_argument(
+        "--compare",
+        action="store_true",
+        help="run both engines and fail unless their verdicts and "
+        "probabilities are bit-identical",
+    )
+
     gen = commands.add_parser("generate", help="emit a random problem JSON file")
     gen.add_argument("output", type=Path)
     gen.add_argument("--operations", type=int, default=20)
@@ -237,6 +280,16 @@ def _build_parser() -> argparse.ArgumentParser:
         campaign_commands.add_parser(
             "report", help="aggregate a campaign's recorded results"
         )
+    )
+    campaign_heatmap = campaign_commands.add_parser(
+        "heatmap", help="render the npf x failure-probability heatmap"
+    )
+    _campaign_common(campaign_heatmap)
+    campaign_heatmap.add_argument(
+        "--value",
+        choices=["reliability", "mttf", "certified"],
+        default="reliability",
+        help="cell quantity (default: reliability)",
     )
     return parser
 
@@ -379,8 +432,16 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
         if args.boundaries
         else (0.0,)
     )
+    # One engine serves the certificate and the reliability sum, so the
+    # schedule is compiled (and each scenario simulated) only once.
+    from repro.simulation.batch import BatchScenarioEngine
+
+    engine = BatchScenarioEngine(result.schedule, result.expanded_algorithm)
     certificate = fault_tolerance_certificate(
-        result.schedule, result.expanded_algorithm, crash_times=times
+        result.schedule,
+        result.expanded_algorithm,
+        crash_times=times,
+        engine=engine,
     )
     print(certificate)
     if args.failure_probability is not None:
@@ -392,10 +453,96 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
                 for p in result.schedule.processor_names()
             },
             crash_times=times,
+            engine=engine,
         )
         print(report)
         mttf = mean_time_to_failure_iterations(report.reliability)
         print(f"mean iterations to first unmasked failure: {mttf:g}")
+    return 0 if certificate.certified else 1
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from repro.simulation.batch import BatchScenarioEngine
+
+    if args.problem is not None:
+        problem = problem_from_dict(load_json(args.problem))
+    else:
+        problem = build_problem()
+        print("(no problem file given — certifying the paper's example)")
+    result = schedule_ftbar(problem)
+    schedule, algorithm = result.schedule, result.expanded_algorithm
+    print(schedule.summary())
+    detection = DetectionPolicy(args.detection)
+    times = event_boundary_times(schedule) if args.boundaries else (0.0,)
+    probabilities = args.probability
+
+    def certificate_and_reports(batched: bool):
+        engine = (
+            BatchScenarioEngine(schedule, algorithm, detection)
+            if batched
+            else None
+        )
+        certificate = fault_tolerance_certificate(
+            schedule,
+            algorithm,
+            crash_times=times,
+            detection=detection,
+            batched=batched,
+            engine=engine,
+        )
+        reports = [
+            schedule_reliability(
+                schedule,
+                algorithm,
+                {p: q for p in schedule.processor_names()},
+                crash_times=times,
+                detection=detection,
+                batched=batched,
+                engine=engine,
+            )
+            for q in probabilities
+        ]
+        return certificate, reports, engine
+
+    certificate, reports, engine = certificate_and_reports(not args.legacy)
+    print(certificate)
+    for probability, report in zip(probabilities, reports):
+        mttf = mean_time_to_failure_iterations(report.reliability)
+        print(f"q={probability:g}: {report}")
+        print(f"  mean iterations to first unmasked failure: {mttf:g}")
+    if engine is not None:
+        stats = engine.stats
+        print(
+            f"batch engine: {stats.scenarios} scenario verdicts — "
+            f"{stats.simulated} simulated ({stats.simulated_cone} dirty-cone, "
+            f"{stats.simulated_full} full), {stats.pruned_nominal} pruned as "
+            f"nominal-equivalent, {stats.memo_hits} memo hits, "
+            f"{stats.decisions} event decisions, {stats.copied} copied"
+        )
+    if args.compare:
+        other, other_reports, _ = certificate_and_reports(args.legacy)
+        mismatches = []
+        if [
+            (l.failures, l.masked_subsets, l.total_subsets)
+            for l in certificate.levels
+        ] != [
+            (l.failures, l.masked_subsets, l.total_subsets)
+            for l in other.levels
+        ]:
+            mismatches.append("tolerance levels")
+        if certificate.breaking_subsets != other.breaking_subsets:
+            mismatches.append("breaking subsets")
+        if certificate.certified != other.certified:
+            mismatches.append("certified verdict")
+        for probability, mine, theirs in zip(probabilities, reports, other_reports):
+            if (mine.reliability, mine.masked_probability_mass) != (
+                theirs.reliability, theirs.masked_probability_mass
+            ):
+                mismatches.append(f"reliability at q={probability:g}")
+        if mismatches:
+            print(f"ENGINE MISMATCH: {', '.join(mismatches)}")
+            return 1
+        print("engines agree: batched and per-scenario verdicts bit-identical")
     return 0 if certificate.certified else 1
 
 
@@ -451,7 +598,12 @@ def _campaign_paths(args: argparse.Namespace) -> tuple:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.campaign.runner import campaign_report, campaign_status, run_campaign
+    from repro.campaign.runner import (
+        campaign_report,
+        campaign_status,
+        reliability_heatmap,
+        run_campaign,
+    )
     from repro.campaign.store import ResultStore
 
     spec, store_path = _campaign_paths(args)
@@ -460,6 +612,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 0
     if args.campaign_command == "report":
         print(campaign_report(spec, ResultStore(store_path)))
+        return 0
+    if args.campaign_command == "heatmap":
+        print(reliability_heatmap(spec, ResultStore(store_path), args.value))
         return 0
 
     cache_dir = None
@@ -492,6 +647,7 @@ _COMMANDS = {
     "iterate": _cmd_iterate,
     "validate": _cmd_validate,
     "reliability": _cmd_reliability,
+    "certify": _cmd_certify,
     "generate": _cmd_generate,
     "bench": _cmd_bench,
     "campaign": _cmd_campaign,

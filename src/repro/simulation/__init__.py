@@ -1,5 +1,13 @@
 """Runtime behaviour: failure scenarios and schedule replay (section 5)."""
 
+from repro.simulation.batch import (
+    BatchScenarioEngine,
+    BatchStats,
+)
+from repro.simulation.compiled import (
+    CompiledSchedule,
+    CompiledTrace,
+)
 from repro.simulation.executor import (
     DetectionPolicy,
     ScheduleSimulator,
@@ -24,6 +32,10 @@ from repro.simulation.trace import (
 )
 
 __all__ = [
+    "BatchScenarioEngine",
+    "BatchStats",
+    "CompiledSchedule",
+    "CompiledTrace",
     "DetectionPolicy",
     "EventStatus",
     "ExecutionTrace",

@@ -1,0 +1,287 @@
+"""Batched failure-scenario simulation for reliability certification.
+
+:class:`BatchScenarioEngine` answers "is this crash subset masked?" for
+thousands of scenarios against one schedule.  It compiles the schedule
+once (:mod:`repro.simulation.compiled`), simulates the failure-free
+baseline once, and then spends per scenario only what the scenario
+actually requires:
+
+* **footprint-equivalence pruning** — crash subsets that silence no
+  scheduled event are grouped into the *nominal* equivalence class and
+  answered from the baseline without simulating: processors the
+  schedule never involves are dropped from every subset, and a crash
+  instant past a processor's last involvement (its final replica end,
+  last sent comm, last received comm) provably reproduces the baseline
+  trace.  The class membership test is O(|subset|), so the exact
+  probability sum over all ``2^P`` subsets stays exact while most of
+  the lattice is never simulated;
+* **shared-prefix dirty-cone re-decision** — a subset's dirty cone (the
+  events reachable from its silenced resources through data or
+  resource-order edges) is the union of its members' cones; member
+  cones are computed once and subset cones are assembled through a
+  prefix cache that mirrors the lexicographic enumeration order of
+  ``itertools.combinations``, so consecutive subsets reuse each other's
+  partial unions.  Events outside the cone are copied from the baseline
+  instead of re-decided;
+* **verdict memoization** — every simulated ``(subset, instant)``
+  verdict is cached under its canonical reduced form, so equivalent
+  scenarios across certificate levels, crash-instant sweeps and
+  reliability sums are simulated once per equivalence class.
+
+All answers are bit-identical to replaying
+:class:`~repro.simulation.executor.ScheduleSimulator` per scenario —
+the pruning rules are exact theorems about the worklist semantics, and
+the cone replay falls back to a full compiled replay whenever its
+order-independence argument does not apply (failure detection enabled,
+a baseline that needed the stalled-worklist relaxation, or a scenario
+whose cone replay stalls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.graphs.algorithm import AlgorithmGraph
+from repro.schedule.schedule import Schedule
+from repro.simulation.compiled import (
+    CompiledSchedule,
+    _CrashSetQueries,
+)
+from repro.simulation.executor import DetectionPolicy
+from repro.simulation.failures import FailureScenario
+from repro.simulation.trace import ExecutionTrace
+
+
+@dataclass
+class BatchStats:
+    """Work accounting of one :class:`BatchScenarioEngine`."""
+
+    #: Scenario verdicts requested (one per ``(subset, instant)`` pair).
+    scenarios: int = 0
+    #: Scenarios answered from the nominal equivalence class.
+    pruned_nominal: int = 0
+    #: Scenarios answered from the verdict memo.
+    memo_hits: int = 0
+    #: Scenarios replayed with dirty-cone baseline copying.
+    simulated_cone: int = 0
+    #: Scenarios replayed in full (detection on, or cone stalled).
+    simulated_full: int = 0
+    #: Cone replays that stalled and re-ran as full replays.
+    cone_fallbacks: int = 0
+    #: Event decisions made across all replays (baseline included).
+    decisions: int = 0
+    #: Event outcomes copied from the baseline instead of re-decided.
+    copied: int = 0
+
+    @property
+    def simulated(self) -> int:
+        """Scenarios that actually ran a replay."""
+        return self.simulated_cone + self.simulated_full
+
+
+class BatchScenarioEngine:
+    """Compile-once, replay-many scenario engine for one schedule.
+
+    Build once per ``(schedule, algorithm, detection)``; every query is
+    side-effect free apart from cache growth.  :meth:`run` yields full
+    executor-compatible traces for arbitrary scenarios;
+    :meth:`crash_subset_masked` is the hot verdict path used by the
+    reliability certificates.
+    """
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        algorithm: AlgorithmGraph,
+        detection: DetectionPolicy = DetectionPolicy.NONE,
+    ) -> None:
+        self._detection = DetectionPolicy(detection)
+        #: The schedule/algorithm this engine was compiled for — callers
+        #: sharing one engine across calls can (and should) check it
+        #: answers for the right schedule.
+        self.schedule = schedule
+        self.algorithm = algorithm
+        self._compiled = CompiledSchedule(schedule, algorithm)
+        self.stats = BatchStats()
+        self._baseline = self._compiled.replay(None, self._detection)
+        self.stats.decisions += self._baseline.decisions
+        self._baseline_delivered = self._baseline.delivered(self._compiled)
+        # The cone-copy and nominal-pruning arguments need a clean,
+        # relaxation-free baseline; detection knowledge additionally
+        # makes decisions order-dependent, so cones are NONE-only.
+        self._baseline_clean = self._baseline.clean
+        self._cone_ok = (
+            self._detection is DetectionPolicy.NONE and self._baseline_clean
+        )
+        compiled = self._compiled
+        n_procs = len(compiled.proc_names)
+        self._host_send_last = [0.0] * n_procs
+        self._recv_last = [-1.0] * n_procs
+        if self._baseline_clean:
+            for op, proc in enumerate(compiled.op_proc):
+                end = self._baseline.op_end[op]
+                if end > self._host_send_last[proc]:
+                    self._host_send_last[proc] = end
+            for comm in range(len(compiled.comm_events)):
+                end = self._baseline.comm_end[comm]
+                src = compiled.comm_src_proc[comm]
+                dst = compiled.comm_dst_proc[comm]
+                if end > self._host_send_last[src]:
+                    self._host_send_last[src] = end
+                if end > self._recv_last[dst]:
+                    self._recv_last[dst] = end
+        self._verdict_memo: dict[tuple, bool] = {}
+        self._cone_prefix: dict[tuple[int, ...], int] = {(): 0}
+        self._trace_memo: dict[tuple, ExecutionTrace] = {}
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def detection(self) -> DetectionPolicy:
+        """The failure-detection policy every replay runs with."""
+        return self._detection
+
+    @property
+    def baseline_delivered(self) -> bool:
+        """Whether the failure-free run delivers every operation."""
+        return self._baseline_delivered
+
+    def baseline_trace(self) -> ExecutionTrace:
+        """The failure-free trace (compiled replay, executor-identical)."""
+        return self._baseline.to_trace(self._compiled)
+
+    # ------------------------------------------------------------------
+    # generic scenarios (full traces)
+    # ------------------------------------------------------------------
+    def run(self, scenario: FailureScenario | None = None) -> ExecutionTrace:
+        """Simulate one arbitrary scenario, returning the full trace.
+
+        Bit-identical to ``simulate(schedule, algorithm, scenario,
+        detection)`` — the cone replay is used when its exactness
+        argument holds and silently falls back to the full compiled
+        replay otherwise.
+        """
+        if scenario is None or len(scenario) == 0:
+            return self.baseline_trace()
+        key = scenario.signature()
+        cached = self._trace_memo.get(key)
+        if cached is not None:
+            self.stats.memo_hits += 1
+            return cached
+        state = None
+        if self._cone_ok:
+            cone = self._compiled.scenario_cone(scenario)
+            state = self._compiled.replay(
+                scenario, self._detection, baseline=self._baseline, cone=cone
+            )
+            if state is None:
+                self.stats.cone_fallbacks += 1
+            else:
+                self.stats.simulated_cone += 1
+        if state is None:
+            state = self._compiled.replay(scenario, self._detection)
+            self.stats.simulated_full += 1
+        self.stats.decisions += state.decisions
+        self.stats.copied += state.copied
+        trace = state.to_trace(self._compiled)
+        self._trace_memo[key] = trace
+        return trace
+
+    # ------------------------------------------------------------------
+    # crash-subset verdicts (the certification hot path)
+    # ------------------------------------------------------------------
+    def crash_subset_masked(
+        self, processors: Iterable[str], crash_times: Iterable[float]
+    ) -> bool:
+        """True when the crash subset is masked at every instant.
+
+        Mirrors the per-scenario rule: every operation must complete on
+        at least one processor under simultaneous permanent crashes of
+        ``processors`` at each instant of ``crash_times`` (checked in
+        order, stopping at the first break — verdicts are memoized, so
+        the short-circuit never loses information).
+        """
+        proc_ids = self._compiled.proc_ids
+        involved = self._compiled.proc_involved
+        reduced = tuple(
+            sorted(
+                proc_ids[name]
+                for name in processors
+                if name in proc_ids and involved[proc_ids[name]]
+            )
+        )
+        for at in crash_times:
+            if not self._crash_masked(reduced, at):
+                return False
+        return True
+
+    def _crash_masked(self, reduced: tuple[int, ...], at: float) -> bool:
+        """Verdict for one reduced subset at one crash instant."""
+        self.stats.scenarios += 1
+        if not reduced:
+            return self._baseline_delivered
+        if self._baseline_clean and self._is_nominal_equivalent(reduced, at):
+            self.stats.pruned_nominal += 1
+            return self._baseline_delivered
+        key = (reduced, at)
+        cached = self._verdict_memo.get(key)
+        if cached is not None:
+            self.stats.memo_hits += 1
+            return cached
+        queries = _CrashSetQueries(frozenset(reduced), at)
+        state = None
+        if self._cone_ok:
+            state = self._compiled.replay(
+                baseline=self._baseline,
+                cone=self._subset_cone(reduced),
+                verdict_only=True,
+                queries=queries,
+            )
+            if state is None:
+                self.stats.cone_fallbacks += 1
+            else:
+                self.stats.simulated_cone += 1
+        if state is None:
+            state = self._compiled.replay(
+                detection=self._detection, verdict_only=True, queries=queries
+            )
+            self.stats.simulated_full += 1
+        self.stats.decisions += state.decisions
+        self.stats.copied += state.copied
+        verdict = state.truncated or state.delivered(self._compiled)
+        self._verdict_memo[key] = verdict
+        return verdict
+
+    def _is_nominal_equivalent(self, reduced: tuple[int, ...], at: float) -> bool:
+        """Exact test: the crash lands after every involvement of the subset.
+
+        A processor whose hosted operations and sent comms all end by
+        ``at`` (and whose received comms end strictly before ``at``)
+        answers every scenario query exactly as the nominal scenario
+        does, so the whole replay reproduces the baseline verbatim.
+        """
+        host_send = self._host_send_last
+        recv = self._recv_last
+        for proc in reduced:
+            if host_send[proc] > at or recv[proc] >= at:
+                return False
+        return True
+
+    def _subset_cone(self, reduced: tuple[int, ...]) -> int:
+        """Dirty cone of a subset via the shared-prefix union cache.
+
+        ``cone(p1..pk) = cone(p1..pk-1) | cone(pk)`` — with subsets
+        enumerated lexicographically (``itertools.combinations`` order)
+        the prefix is almost always already cached.
+        """
+        cached = self._cone_prefix.get(reduced)
+        if cached is not None:
+            return cached
+        cone = (
+            self._subset_cone(reduced[:-1])
+            | self._compiled.proc_cone(reduced[-1])
+        )
+        self._cone_prefix[reduced] = cone
+        return cone

@@ -1,0 +1,846 @@
+"""Compile-once schedule representation for batched failure simulation.
+
+:class:`~repro.simulation.executor.ScheduleSimulator` re-walks the
+object graph (frozen-dataclass dict keys, name-keyed resource tables,
+an O(comms) previous-hop scan) on every replay.  That cost is invisible
+for one scenario but dominates reliability certification, which replays
+the *same* schedule under thousands of crash subsets.
+
+:class:`CompiledSchedule` flattens one ``Schedule`` + ``AlgorithmGraph``
+into int-indexed struct-of-arrays — per-resource static orders,
+predecessor/arrival tables, replica→processor maps, previous/next-hop
+chains — compiled once and replayed many times with list indexing only.
+:meth:`CompiledSchedule.replay` reproduces the worklist semantics of the
+per-scenario executor *bit-identically* (same sweep order, same float
+expressions, same stalled-worklist relaxation) and supports three
+progressively cheaper modes:
+
+* a full replay (any scenario, any detection policy);
+* a *dirty-cone* replay that re-decides only the events reachable from
+  a scenario's silenced resources and copies every other outcome from a
+  baseline replay (exact: an event outside the cone has no data,
+  resource-order or failure-query dependence on any changed event);
+* a *verdict* replay that stops as soon as every algorithm operation
+  has one completed replica (exact for masking checks, which only ask
+  whether all operations were delivered).
+
+The cone replay is only attempted without failure detection and with a
+clean baseline: the timeout-array knowledge table makes decisions
+order-dependent, and a baseline that needed the stalled-worklist
+relaxation voids the order-independence argument.  A cone replay that
+stalls returns ``None`` and the caller falls back to the full replay —
+the executor would have needed the relaxation for that scenario too.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import SimulationError
+from repro.graphs.algorithm import AlgorithmGraph
+from repro.schedule.schedule import Schedule
+from repro.simulation.executor import DetectionPolicy
+from repro.simulation.failures import FailureScenario
+from repro.simulation.trace import (
+    EventStatus,
+    ExecutionTrace,
+    SimulatedComm,
+    SimulatedOperation,
+)
+
+#: Integer statuses of the array engine (index into ``_STATUS_VALUES``).
+UNDECIDED = -1
+COMPLETED = 0
+LOST = 1
+SKIPPED = 2
+STARVED = 3
+
+_STATUS_VALUES = (
+    EventStatus.COMPLETED,
+    EventStatus.LOST,
+    EventStatus.SKIPPED,
+    EventStatus.STARVED,
+)
+
+
+# ----------------------------------------------------------------------
+# scenario query adapters (index-based views over FailureScenario)
+# ----------------------------------------------------------------------
+
+class _NominalQueries:
+    """Every resource healthy forever — all queries are identities."""
+
+    __slots__ = ()
+
+    def next_window(self, proc: int, earliest: float, duration: float):
+        return earliest
+
+    def transmit_window(self, proc: int, link: int, earliest: float, duration: float):
+        return earliest
+
+    def is_up(self, proc: int, instant: float) -> bool:
+        return True
+
+
+class _CrashSetQueries:
+    """Uniform permanent crash subset at one instant — the hot path.
+
+    Replicates ``FailureScenario`` window arithmetic exactly for the
+    special case of permanent ``[at, inf)`` processor failures: a window
+    of ``duration`` fits at ``earliest`` iff it closes by ``at``.
+    """
+
+    __slots__ = ("_down", "_at")
+
+    def __init__(self, down: frozenset[int], at: float) -> None:
+        self._down = down
+        self._at = at
+
+    def next_window(self, proc: int, earliest: float, duration: float):
+        if proc not in self._down:
+            return earliest
+        return earliest if self._at >= earliest + duration else None
+
+    def transmit_window(self, proc: int, link: int, earliest: float, duration: float):
+        # No link failures in a crash set: the medium never blocks.
+        if proc not in self._down:
+            return earliest
+        return earliest if self._at >= earliest + duration else None
+
+    def is_up(self, proc: int, instant: float) -> bool:
+        return proc not in self._down or instant < self._at
+
+
+class _GenericQueries:
+    """Any :class:`FailureScenario` (intermittent, link failures, ...)."""
+
+    __slots__ = ("_scenario", "_procs", "_links")
+
+    def __init__(
+        self,
+        scenario: FailureScenario,
+        procs: tuple[str, ...],
+        links: tuple[str, ...],
+    ) -> None:
+        self._scenario = scenario
+        self._procs = procs
+        self._links = links
+
+    def next_window(self, proc: int, earliest: float, duration: float):
+        return self._scenario.next_window(self._procs[proc], earliest, duration)
+
+    def transmit_window(self, proc: int, link: int, earliest: float, duration: float):
+        # Same alternating search as the executor's ``_transmit_window``.
+        scenario = self._scenario
+        sender = self._procs[proc]
+        medium = self._links[link]
+        cursor = earliest
+        while True:
+            sender_ok = scenario.next_window(sender, cursor, duration)
+            if sender_ok is None:
+                return None
+            link_ok = scenario.link_next_window(medium, sender_ok, duration)
+            if link_ok is None:
+                return None
+            if link_ok == sender_ok:
+                return link_ok
+            cursor = link_ok
+
+    def is_up(self, proc: int, instant: float) -> bool:
+        return self._scenario.is_up(self._procs[proc], instant)
+
+
+def _queries(
+    compiled: "CompiledSchedule", scenario: FailureScenario | None
+):
+    """The cheapest query adapter that models ``scenario`` exactly."""
+    if scenario is None or len(scenario) == 0:
+        return _NominalQueries()
+    crash_set = scenario.permanent_crash_set()
+    if crash_set is not None:
+        processors, at = crash_set
+        down = frozenset(
+            compiled.proc_ids[name]
+            for name in processors
+            if name in compiled.proc_ids
+        )
+        return _CrashSetQueries(down, at)
+    return _GenericQueries(scenario, compiled.proc_names, compiled.link_names)
+
+
+# ----------------------------------------------------------------------
+# replay outcome
+# ----------------------------------------------------------------------
+
+@dataclass
+class CompiledTrace:
+    """Struct-of-arrays outcome of one compiled replay."""
+
+    op_status: list[int]
+    op_start: list[float | None]
+    op_end: list[float | None]
+    comm_status: list[int]
+    comm_start: list[float | None]
+    comm_end: list[float | None]
+    comm_delivered: list[bool]
+    #: ``(observer, faulty) -> detection time`` (timeout-array only).
+    knowledge: dict[tuple[int, int], float] = field(default_factory=dict)
+    #: Number of full event decisions made by this replay.
+    decisions: int = 0
+    #: Number of outcomes copied verbatim from the baseline (cone mode).
+    copied: int = 0
+    #: Number of stalled-worklist relaxations fired.
+    relaxed_fires: int = 0
+    #: True when the verdict-mode early exit truncated the replay.
+    truncated: bool = False
+
+    def delivered(self, compiled: "CompiledSchedule") -> bool:
+        """True when every algorithm operation completed somewhere."""
+        status = self.op_status
+        for group in compiled.operation_groups:
+            if not any(status[op] == COMPLETED for op in group):
+                return False
+        return True
+
+    def to_trace(self, compiled: "CompiledSchedule") -> ExecutionTrace:
+        """Rebuild the executor-compatible :class:`ExecutionTrace`."""
+        if self.truncated:
+            raise SimulationError(
+                "a verdict-mode replay is truncated; rerun without "
+                "verdict_only to obtain a full trace"
+            )
+        operations = []
+        for op in compiled.ops_trace_order:
+            event = compiled.op_events[op]
+            operations.append(
+                SimulatedOperation(
+                    event.operation,
+                    event.replica,
+                    event.processor,
+                    _STATUS_VALUES[self.op_status[op]],
+                    start=self.op_start[op],
+                    end=self.op_end[op],
+                )
+            )
+        comms = []
+        for comm in compiled.comms_trace_order:
+            event = compiled.comm_events[comm]
+            comms.append(
+                SimulatedComm(
+                    source=event.source,
+                    target=event.target,
+                    source_replica=event.source_replica,
+                    target_replica=event.target_replica,
+                    link=event.link,
+                    source_processor=event.source_processor,
+                    target_processor=event.target_processor,
+                    hop_index=event.hop_index,
+                    status=_STATUS_VALUES[self.comm_status[comm]],
+                    start=self.comm_start[comm],
+                    end=self.comm_end[comm],
+                    delivered=self.comm_delivered[comm],
+                )
+            )
+        detections: dict[str, dict[str, float]] = {}
+        for (observer, faulty), at in self.knowledge.items():
+            table = detections.setdefault(compiled.proc_names[observer], {})
+            table[compiled.proc_names[faulty]] = at
+        return ExecutionTrace(
+            operations=operations, comms=comms, detections=detections
+        )
+
+    @property
+    def clean(self) -> bool:
+        """True when every event completed without any relaxation."""
+        return (
+            self.relaxed_fires == 0
+            and not self.truncated
+            and all(s == COMPLETED for s in self.op_status)
+            and all(s == COMPLETED for s in self.comm_status)
+        )
+
+
+# ----------------------------------------------------------------------
+# the compiled schedule
+# ----------------------------------------------------------------------
+
+class CompiledSchedule:
+    """One schedule flattened into int-indexed arrays, replayable cheaply.
+
+    Build once with :meth:`compile`; every :meth:`replay` is independent.
+    Operation ids number the per-processor static orders back-to-back in
+    sorted processor order; comm ids do the same over links.  All event
+    attributes the replay needs are plain Python lists indexed by id.
+    """
+
+    def __init__(self, schedule: Schedule, algorithm: AlgorithmGraph) -> None:
+        for operation in algorithm.operation_names():
+            if not schedule.replicas_of(operation):
+                raise SimulationError(
+                    f"operation {operation!r} of the algorithm is not in the "
+                    f"schedule"
+                )
+        self.proc_names = schedule.processor_names()
+        self.link_names = schedule.link_names()
+        self.proc_ids = {name: i for i, name in enumerate(self.proc_names)}
+        self.link_ids = {name: i for i, name in enumerate(self.link_names)}
+
+        # --- operations -------------------------------------------------
+        self.op_events: list = []
+        self.proc_order: list[list[int]] = []
+        op_ids: dict = {}
+        for proc in self.proc_names:
+            order = []
+            for event in schedule.operations_on(proc):
+                op = len(self.op_events)
+                op_ids[event] = op
+                self.op_events.append(event)
+                order.append(op)
+            self.proc_order.append(order)
+        n_ops = len(self.op_events)
+        self.op_proc = [self.proc_ids[e.processor] for e in self.op_events]
+        self.op_duration = [e.end - e.start for e in self.op_events]
+        replica_ids = {
+            (e.operation, e.replica): op for op, e in enumerate(self.op_events)
+        }
+
+        # --- comms ------------------------------------------------------
+        self.comm_events: list = []
+        self.link_order: list[list[int]] = []
+        comm_ids: dict = {}
+        for link in self.link_names:
+            order = []
+            for event in schedule.comms_on(link):
+                comm = len(self.comm_events)
+                comm_ids[event] = comm
+                self.comm_events.append(event)
+                order.append(comm)
+            self.link_order.append(order)
+        self.comm_link = [self.link_ids[e.link] for e in self.comm_events]
+        self.comm_duration = [e.end - e.start for e in self.comm_events]
+        self.comm_static_end = [e.end for e in self.comm_events]
+        self.comm_src_proc = [
+            self.proc_ids[e.source_processor] for e in self.comm_events
+        ]
+        self.comm_dst_proc = [
+            self.proc_ids[e.target_processor] for e in self.comm_events
+        ]
+
+        # Hop chains: producer replica for hop 0, previous hop otherwise.
+        final_hop: dict[tuple, int] = {}
+        by_chain: dict[tuple, int] = {}
+        for comm, event in enumerate(self.comm_events):
+            chain = (
+                event.source, event.target,
+                event.source_replica, event.target_replica,
+            )
+            final_hop[chain] = max(final_hop.get(chain, 0), event.hop_index)
+            by_chain[(*chain, event.hop_index)] = comm
+        self.comm_producer = [-1] * len(self.comm_events)
+        self.comm_prev_hop = [-1] * len(self.comm_events)
+        self.comm_is_final = [False] * len(self.comm_events)
+        for comm, event in enumerate(self.comm_events):
+            chain = (
+                event.source, event.target,
+                event.source_replica, event.target_replica,
+            )
+            self.comm_is_final[comm] = event.hop_index == final_hop[chain]
+            if event.hop_index == 0:
+                producer = schedule.replica(event.source, event.source_replica)
+                self.comm_producer[comm] = op_ids[producer]
+            else:
+                previous = by_chain.get((*chain, event.hop_index - 1))
+                if previous is None:
+                    raise SimulationError(
+                        f"missing hop {event.hop_index - 1} for {event!r}"
+                    )
+                self.comm_prev_hop[comm] = previous
+
+        # --- input tables: per (op, predecessor) arrival sources --------
+        feeding: dict[tuple[str, int, str], list[int]] = {}
+        for comm, event in enumerate(self.comm_events):
+            if self.comm_is_final[comm]:
+                key = (event.target, event.target_replica, event.source)
+                feeding.setdefault(key, []).append(comm)
+        self.op_inputs: list[tuple[tuple[int, tuple[int, ...]], ...]] = []
+        for op, event in enumerate(self.op_events):
+            entries = []
+            for predecessor in algorithm.predecessors(event.operation):
+                local = schedule.replica_on(predecessor, event.processor)
+                if local is not None and local.end > event.start + 1e-9:
+                    local = None
+                local_id = op_ids[local] if local is not None else -1
+                comms = tuple(
+                    feeding.get((event.operation, event.replica, predecessor), ())
+                )
+                entries.append((local_id, comms))
+            self.op_inputs.append(tuple(entries))
+
+        # --- verdict and trace views ------------------------------------
+        self.operation_groups = tuple(
+            tuple(
+                replica_ids[(name, e.replica)]
+                for e in schedule.replicas_of(name)
+            )
+            for name in algorithm.operation_names()
+        )
+        self.op_group_index = [-1] * n_ops
+        for index, group in enumerate(self.operation_groups):
+            for op in group:
+                self.op_group_index[op] = index
+        self.ops_trace_order = tuple(
+            op_ids[e] for e in schedule.all_operations()
+        )
+        self.comms_trace_order = tuple(
+            comm_ids[e] for e in schedule.all_comms()
+        )
+
+        # --- dirty-cone structure ---------------------------------------
+        # Event graph node ids: op ``i`` is node ``i``; comm ``j`` is node
+        # ``n_ops + j``.  ``successors`` holds every edge along which a
+        # changed outcome can influence another decision: data flow
+        # (producer→comm→next hop→consumer, local feed→consumer) and
+        # resource order (event→next event on the same processor/link).
+        successors: list[list[int]] = [
+            [] for _ in range(n_ops + len(self.comm_events))
+        ]
+        for order in self.proc_order:
+            for before, after in zip(order, order[1:]):
+                successors[before].append(after)
+        for order in self.link_order:
+            for before, after in zip(order, order[1:]):
+                successors[n_ops + before].append(n_ops + after)
+        for comm in range(len(self.comm_events)):
+            if self.comm_producer[comm] >= 0:
+                successors[self.comm_producer[comm]].append(n_ops + comm)
+            if self.comm_prev_hop[comm] >= 0:
+                successors[n_ops + self.comm_prev_hop[comm]].append(n_ops + comm)
+            if self.comm_is_final[comm]:
+                event = self.comm_events[comm]
+                target = replica_ids.get((event.target, event.target_replica))
+                if target is not None:
+                    successors[n_ops + comm].append(target)
+        for op, entries in enumerate(self.op_inputs):
+            for local_id, _ in entries:
+                if local_id >= 0:
+                    successors[local_id].append(op)
+        self._successors = successors
+        self._n_ops = n_ops
+        self._proc_seed_nodes: list[list[int]] = [
+            [] for _ in self.proc_names
+        ]
+        for op in range(n_ops):
+            self._proc_seed_nodes[self.op_proc[op]].append(op)
+        for comm in range(len(self.comm_events)):
+            node = n_ops + comm
+            self._proc_seed_nodes[self.comm_src_proc[comm]].append(node)
+            self._proc_seed_nodes[self.comm_dst_proc[comm]].append(node)
+        self._link_seed_nodes: list[list[int]] = [
+            [n_ops + comm for comm in order] for order in self.link_order
+        ]
+        #: Whether each processor appears in the schedule at all (hosts an
+        #: operation, sends or receives a comm) — crashing an uninvolved
+        #: processor can never change any decision.
+        self.proc_involved = tuple(
+            bool(seeds) for seeds in self._proc_seed_nodes
+        )
+        self._proc_cones: list[int | None] = [None] * len(self.proc_names)
+        self._link_cones: list[int | None] = [None] * len(self.link_names)
+
+    # ------------------------------------------------------------------
+    # dirty cones
+    # ------------------------------------------------------------------
+    def _closure(self, seeds: list[int]) -> int:
+        """Bitmask of event nodes reachable from ``seeds`` (inclusive)."""
+        mask = 0
+        stack = list(seeds)
+        successors = self._successors
+        while stack:
+            node = stack.pop()
+            bit = 1 << node
+            if mask & bit:
+                continue
+            mask |= bit
+            stack.extend(successors[node])
+        return mask
+
+    def proc_cone(self, proc: int) -> int:
+        """Dirty-cone bitmask of one failing processor (memoized)."""
+        cone = self._proc_cones[proc]
+        if cone is None:
+            cone = self._closure(self._proc_seed_nodes[proc])
+            self._proc_cones[proc] = cone
+        return cone
+
+    def link_cone(self, link: int) -> int:
+        """Dirty-cone bitmask of one failing link (memoized)."""
+        cone = self._link_cones[link]
+        if cone is None:
+            cone = self._closure(self._link_seed_nodes[link])
+            self._link_cones[link] = cone
+        return cone
+
+    def scenario_cone(self, scenario: FailureScenario) -> int:
+        """Union of the member cones (closure distributes over unions)."""
+        cone = 0
+        for name in scenario.failed_processors():
+            proc = self.proc_ids.get(name)
+            if proc is not None:
+                cone |= self.proc_cone(proc)
+        for name in scenario.failed_links():
+            link = self.link_ids.get(name)
+            if link is not None:
+                cone |= self.link_cone(link)
+        return cone
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def replay(
+        self,
+        scenario: FailureScenario | None = None,
+        detection: DetectionPolicy = DetectionPolicy.NONE,
+        baseline: CompiledTrace | None = None,
+        cone: int | None = None,
+        verdict_only: bool = False,
+        queries=None,
+    ) -> CompiledTrace | None:
+        """Replay the schedule under ``scenario`` on the compiled arrays.
+
+        With ``baseline`` and ``cone`` the replay re-decides only the
+        events inside the cone and copies every other outcome from the
+        baseline; it returns ``None`` when the worklist stalls (the
+        caller must fall back to a full replay, which resolves the stall
+        with the executor's relaxation rule).  ``verdict_only`` stops as
+        soon as every operation has a completed replica — exact for
+        masking checks, but the returned trace is marked ``truncated``.
+        """
+        if queries is None:
+            queries = _queries(self, scenario)
+        detection = DetectionPolicy(detection)
+        timeout_array = detection is DetectionPolicy.TIMEOUT_ARRAY
+        n_ops = self._n_ops
+        n_comms = len(self.comm_events)
+        cone_mode = baseline is not None and cone is not None
+
+        if cone_mode:
+            op_status = list(baseline.op_status)
+            op_start = list(baseline.op_start)
+            op_end = list(baseline.op_end)
+            comm_status = list(baseline.comm_status)
+            comm_start = list(baseline.comm_start)
+            comm_end = list(baseline.comm_end)
+            comm_delivered = list(baseline.comm_delivered)
+        else:
+            op_status = [UNDECIDED] * n_ops
+            op_start: list = [None] * n_ops
+            op_end: list = [None] * n_ops
+            comm_status = [UNDECIDED] * n_comms
+            comm_start: list = [None] * n_comms
+            comm_end: list = [None] * n_comms
+            comm_delivered = [False] * n_comms
+        state = CompiledTrace(
+            op_status, op_start, op_end,
+            comm_status, comm_start, comm_end, comm_delivered,
+        )
+
+        proc_index = [0] * len(self.proc_names)
+        proc_free = [0.0] * len(self.proc_names)
+        proc_blocked = [False] * len(self.proc_names)
+        link_index = [0] * len(self.link_names)
+        link_free = [0.0] * len(self.link_names)
+        knowledge = state.knowledge
+
+        undecided = n_ops + n_comms
+        copied = 0
+        if cone_mode:
+            # Everything outside the cone keeps its baseline outcome;
+            # the cone is closed under resource order, so the skipped
+            # events form a prefix of every resource's static order.
+            for proc, order in enumerate(self.proc_order):
+                cut = 0
+                for op in order:
+                    if cone >> op & 1:
+                        break
+                    if op_status[op] == COMPLETED:
+                        proc_free[proc] = op_end[op]
+                    cut += 1
+                proc_index[proc] = cut
+                copied += cut
+                for op in order[cut:]:
+                    op_status[op] = UNDECIDED
+                    op_start[op] = None
+                    op_end[op] = None
+            for link, order in enumerate(self.link_order):
+                cut = 0
+                for comm in order:
+                    if cone >> (n_ops + comm) & 1:
+                        break
+                    if comm_status[comm] == COMPLETED:
+                        link_free[link] = comm_end[comm]
+                    cut += 1
+                link_index[link] = cut
+                copied += cut
+                for comm in order[cut:]:
+                    comm_status[comm] = UNDECIDED
+                    comm_start[comm] = None
+                    comm_end[comm] = None
+                    comm_delivered[comm] = False
+            undecided -= copied
+            state.copied = copied
+
+        verdict_pending = (
+            sum(
+                1 for group in self.operation_groups
+                if not any(op_status[op] == COMPLETED for op in group)
+            )
+            if verdict_only
+            else -1
+        )
+        # Operation-name index for the verdict countdown.
+        if verdict_only:
+            op_group = self.op_group_index
+            group_done = [
+                any(op_status[op] == COMPLETED for op in group)
+                for group in self.operation_groups
+            ]
+            if verdict_pending == 0:
+                state.truncated = True
+                return state
+
+        decisions = 0
+
+        # Local bindings for the hot loop.
+        op_inputs = self.op_inputs
+        op_duration = self.op_duration
+        op_proc = self.op_proc
+        comm_duration = self.comm_duration
+        comm_producer = self.comm_producer
+        comm_prev_hop = self.comm_prev_hop
+        comm_link = self.comm_link
+        comm_src = self.comm_src_proc
+        comm_dst = self.comm_dst_proc
+        comm_static_end = self.comm_static_end
+        next_window = queries.next_window
+        transmit_window = queries.transmit_window
+        is_up = queries.is_up
+
+        def input_ready(op: int, relaxed: bool):
+            """First complete input set of one replica (None = never)."""
+            ready = 0.0
+            for local_id, comms in op_inputs[op]:
+                candidates = []
+                if local_id >= 0 and op_status[local_id] == COMPLETED:
+                    candidates.append(op_end[local_id])
+                for comm in comms:
+                    status = comm_status[comm]
+                    if status == UNDECIDED:
+                        if relaxed:
+                            continue
+                        raise SimulationError(
+                            f"undecided arrival {self.comm_events[comm]!r}"
+                        )
+                    if status == COMPLETED and comm_delivered[comm]:
+                        candidates.append(comm_end[comm])
+                if not candidates:
+                    return None
+                ready = max(ready, min(candidates))
+            return ready
+
+        def decide_operation(op: int, proc: int, relaxed: bool) -> None:
+            nonlocal decisions, verdict_pending
+            decisions += 1
+            duration = op_duration[op]
+            if next_window(proc, proc_free[proc], duration) is None:
+                op_status[op] = LOST
+                return
+            ready = input_ready(op, relaxed)
+            if ready is None:
+                op_status[op] = STARVED
+                proc_blocked[proc] = True
+                return
+            start = next_window(proc, max(ready, proc_free[proc]), duration)
+            if start is None:
+                op_status[op] = LOST
+                return
+            end = start + duration
+            op_status[op] = COMPLETED
+            op_start[op] = start
+            op_end[op] = end
+            proc_free[proc] = end
+            if verdict_pending > 0:
+                group = op_group[op]
+                if not group_done[group]:
+                    group_done[group] = True
+                    verdict_pending -= 1
+
+        def starve_rest(proc: int) -> None:
+            nonlocal undecided
+            order = self.proc_order[proc]
+            for op in order[proc_index[proc]:]:
+                if op_status[op] == UNDECIDED:
+                    op_status[op] = STARVED
+                    undecided -= 1
+            proc_index[proc] = len(order)
+
+        def decide_comm(comm: int) -> None:
+            nonlocal decisions
+            decisions += 1
+            producer = comm_producer[comm]
+            if producer >= 0:
+                if op_status[producer] != COMPLETED:
+                    data_ready = None
+                else:
+                    data_ready = op_end[producer]
+            else:
+                previous = comm_prev_hop[comm]
+                if comm_status[previous] != COMPLETED or not comm_delivered[previous]:
+                    data_ready = None
+                else:
+                    data_ready = comm_end[previous]
+            if data_ready is None:
+                if timeout_array:
+                    _learn(
+                        knowledge, comm_dst[comm], comm_src[comm],
+                        comm_static_end[comm],
+                    )
+                comm_status[comm] = SKIPPED
+                return
+            link = comm_link[comm]
+            duration = comm_duration[comm]
+            earliest = max(link_free[link], data_ready)
+            start = transmit_window(comm_src[comm], link, earliest, duration)
+            if start is None:
+                if timeout_array:
+                    _learn(
+                        knowledge, comm_dst[comm], comm_src[comm],
+                        comm_static_end[comm],
+                    )
+                comm_status[comm] = LOST
+                return
+            if timeout_array:
+                learned = knowledge.get((comm_src[comm], comm_dst[comm]))
+                if learned is not None and learned <= start:
+                    comm_status[comm] = SKIPPED
+                    return
+            end = start + duration
+            comm_status[comm] = COMPLETED
+            comm_start[comm] = start
+            comm_end[comm] = end
+            comm_delivered[comm] = is_up(comm_dst[comm], end)
+            link_free[link] = end
+
+        while True:
+            progress = False
+            for link, order in enumerate(self.link_order):
+                i = link_index[link]
+                while i < len(order):
+                    comm = order[i]
+                    producer = comm_producer[comm]
+                    if producer >= 0:
+                        if op_status[producer] == UNDECIDED:
+                            break
+                    elif comm_status[comm_prev_hop[comm]] == UNDECIDED:
+                        break
+                    decide_comm(comm)
+                    undecided -= 1
+                    i += 1
+                    progress = True
+                link_index[link] = i
+            for proc, order in enumerate(self.proc_order):
+                if proc_blocked[proc]:
+                    continue
+                i = proc_index[proc]
+                while i < len(order):
+                    op = order[i]
+                    if not _operation_ready(
+                        op, op_inputs, op_status, comm_status
+                    ):
+                        break
+                    decide_operation(op, proc, relaxed=False)
+                    undecided -= 1
+                    if proc_blocked[proc]:
+                        proc_index[proc] = i + 1
+                        starve_rest(proc)
+                        i = proc_index[proc]
+                    else:
+                        i += 1
+                    progress = True
+                    if verdict_pending == 0:
+                        state.decisions = decisions
+                        state.truncated = True
+                        return state
+                proc_index[proc] = i
+            if progress:
+                continue
+            if undecided == 0:
+                break
+            if cone_mode:
+                return None  # stall: the caller re-runs the full replay
+            # Stalled worklist: fire the pending operation with the
+            # earliest candidate start (the executor's relaxation).
+            best = None
+            for proc, order in enumerate(self.proc_order):
+                if proc_blocked[proc] or proc_index[proc] >= len(order):
+                    continue
+                op = order[proc_index[proc]]
+                ready = input_ready(op, relaxed=True)
+                if ready is None:
+                    continue
+                candidate = (max(ready, proc_free[proc]), proc)
+                if best is None or candidate < best:
+                    best = candidate
+            if best is None:
+                break
+            proc = best[1]
+            op = self.proc_order[proc][proc_index[proc]]
+            decide_operation(op, proc, relaxed=True)
+            undecided -= 1
+            state.relaxed_fires += 1
+            if proc_blocked[proc]:
+                proc_index[proc] += 1
+                starve_rest(proc)
+            else:
+                proc_index[proc] += 1
+            if verdict_pending == 0:
+                state.decisions = decisions
+                state.truncated = True
+                return state
+
+        # Drain: blocked operations starve, unreachable comms are skipped.
+        if undecided:
+            for status_list, terminal in (
+                (op_status, STARVED), (comm_status, SKIPPED)
+            ):
+                for index, status in enumerate(status_list):
+                    if status == UNDECIDED:
+                        status_list[index] = terminal
+        state.decisions = decisions
+        return state
+
+
+def _operation_ready(
+    op: int, op_inputs, op_status, comm_status
+) -> bool:
+    """Conservative readiness: every potential arrival is decided."""
+    for local_id, comms in op_inputs[op]:
+        if local_id >= 0 and op_status[local_id] == UNDECIDED:
+            return False
+        for comm in comms:
+            if comm_status[comm] == UNDECIDED:
+                return False
+    return True
+
+
+def _learn(
+    knowledge: dict[tuple[int, int], float],
+    observer: int,
+    faulty: int,
+    at: float,
+) -> None:
+    """Record a failure detection (keep the earliest time)."""
+    key = (observer, faulty)
+    known = knowledge.get(key, math.inf)
+    if at < known:
+        knowledge[key] = at

@@ -126,6 +126,12 @@ class ScheduleSimulator:
         self._schedule = schedule
         self._algorithm = algorithm
         self._detection = DetectionPolicy(detection)
+        #: Cumulative event decisions across every :meth:`run` of this
+        #: instance — the work measure the batched engine is benchmarked
+        #: against (decided operations + comms; drained events excluded).
+        self.decisions = 0
+        #: Cumulative number of :meth:`run` invocations (scenarios replayed).
+        self.runs = 0
         for operation in algorithm.operation_names():
             if not schedule.replicas_of(operation):
                 raise SimulationError(
@@ -209,6 +215,7 @@ class ScheduleSimulator:
         iterations").
         """
         scenario = scenario or FailureScenario.none()
+        self.runs += 1
         processors = {
             p: _ProcessorState(self._schedule.operations_on(p))
             for p in self._schedule.processor_names()
@@ -345,6 +352,7 @@ class ScheduleSimulator:
         knowledge: _Knowledge,
         scenario: FailureScenario,
     ) -> None:
+        self.decisions += 1
         data_ready = self._comm_data_ready(comm, op_outcomes, comm_outcomes)
         if data_ready is None:
             # The producer was silent: nothing was ever transmitted.  The
@@ -428,6 +436,7 @@ class ScheduleSimulator:
         scenario: FailureScenario,
         relaxed: bool,
     ) -> None:
+        self.decisions += 1
         duration = event.end - event.start
         # Dead processor shortcut: no execution window will ever open.
         if scenario.next_window(event.processor, state.free_at, duration) is None:

@@ -91,6 +91,13 @@ class FailureScenario:
     ) -> None:
         self._intervals: dict[str, list[ProcessorFailure]] = {}
         self._link_intervals: dict[str, list[LinkFailure]] = {}
+        # Lazily memoized canonical views (the scenario is immutable
+        # after construction): computed once, reused by every hash,
+        # equality check and batch-engine dedup instead of
+        # re-canonicalizing the interval tables per comparison.
+        self._signature: tuple | None = None
+        self._hash: int | None = None
+        self._crash_set: tuple[tuple[str, ...], float] | None | bool = False
         for failure in failures:
             if isinstance(failure, LinkFailure):
                 self._link_intervals.setdefault(failure.link, []).append(failure)
@@ -169,6 +176,60 @@ class FailureScenario:
     def failure_count(self) -> int:
         """Number of distinct processors that fail (the paper's ``k``)."""
         return len(self._intervals)
+
+    # ------------------------------------------------------------------
+    # canonical identity (memoized)
+    # ------------------------------------------------------------------
+    def signature(self) -> tuple:
+        """Canonical, hashable identity of this scenario (memoized).
+
+        Two scenarios with the same signature answer every query
+        identically, so the signature is safe as a cache key for
+        simulation results (the batch engine's scenario dedup) and for
+        campaign job hashing.
+        """
+        if self._signature is None:
+            self._signature = (
+                tuple(
+                    (f.resource, f.at, f.until)
+                    for p in sorted(self._intervals)
+                    for f in self._intervals[p]
+                ),
+                tuple(
+                    (f.resource, f.at, f.until)
+                    for l in sorted(self._link_intervals)
+                    for f in self._link_intervals[l]
+                ),
+            )
+        return self._signature
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self.signature())
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FailureScenario):
+            return NotImplemented
+        return self.signature() == other.signature()
+
+    def permanent_crash_set(self) -> tuple[tuple[str, ...], float] | None:
+        """The ``(processors, at)`` form of a uniform crash subset.
+
+        ``None`` unless every failure is a *permanent* processor crash
+        and all crashes share one instant — the shape the batched
+        simulation engine fast-paths.  Memoized like :meth:`signature`.
+        """
+        if self._crash_set is False:
+            self._crash_set = None
+            if not self._link_intervals and self._intervals:
+                failures = [f for fs in self._intervals.values() for f in fs]
+                instants = {f.at for f in failures}
+                if len(instants) == 1 and all(f.permanent for f in failures):
+                    self._crash_set = (
+                        tuple(sorted(self._intervals)), instants.pop()
+                    )
+        return self._crash_set
 
     def is_up(self, processor: str, instant: float) -> bool:
         """True when ``processor`` is healthy at ``instant``."""

@@ -1,0 +1,397 @@
+"""Batched vs per-scenario simulation: bit-identical by construction.
+
+The batch engine (compile-once arrays, dirty-cone re-decision,
+footprint-equivalence pruning) is a pure-performance change: every
+trace and every masking verdict must equal the per-scenario
+``ScheduleSimulator`` exactly.  The corpus crosses random-DAG schedules
+(seeds x npf x point-to-point/bus topologies) with crash subsets at
+several instants, intermittent and link failures, and both detection
+policies — plus a hand-built schedule whose nominal replay needs the
+executor's stalled-worklist relaxation (the path that disables the
+dirty-cone optimization).
+"""
+
+import itertools
+
+import pytest
+
+from repro.analysis.experiments import _bus_variant
+from repro.analysis.reliability import (
+    event_boundary_times,
+    fault_tolerance_certificate,
+    schedule_reliability,
+)
+from repro.core.ftbar import schedule_ftbar
+from repro.exceptions import SimulationError
+from repro.graphs.algorithm import from_dependencies
+from repro.schedule.schedule import Schedule
+from repro.simulation.batch import BatchScenarioEngine
+from repro.simulation.compiled import CompiledSchedule
+from repro.simulation.executor import (
+    DetectionPolicy,
+    ScheduleSimulator,
+    simulate,
+)
+from repro.simulation.failures import (
+    FailureScenario,
+    LinkFailure,
+    ProcessorFailure,
+)
+from repro.workloads.random_dag import RandomWorkloadConfig, generate_problem
+
+
+def corpus_schedule(seed: int, npf: int, topology: str = "p2p"):
+    problem = generate_problem(
+        RandomWorkloadConfig(
+            operations=12, ccr=1.0, processors=4, npf=npf, seed=seed
+        )
+    )
+    if topology == "bus":
+        problem = _bus_variant(problem)
+    result = schedule_ftbar(problem)
+    return result.schedule, result.expanded_algorithm
+
+
+def crash_scenarios(schedule, max_size: int = 3, times=(0.0, 5.0, 40.0)):
+    processors = schedule.processor_names()
+    for size in range(1, max_size + 1):
+        for subset in itertools.combinations(processors, size):
+            for at in times:
+                yield FailureScenario.crashes(subset, at=at)
+
+
+def assert_traces_equal(reference, candidate, context: str) -> None:
+    assert reference.operations == candidate.operations, context
+    assert reference.comms == candidate.comms, context
+    assert reference.detections == candidate.detections, context
+
+
+def stall_schedule():
+    """A schedule whose nominal replay needs the worklist relaxation.
+
+    ``A``'s second arrival (from ``X/1`` on ``L3``) is statically
+    ordered *behind* a comm produced by ``B``, which runs after ``A``
+    on the same processor — the conservative wait-for-all-arrivals rule
+    deadlocks and the executor fires ``A`` from its first delivered
+    arrival, exactly what the blocking-receive executive would do.
+    """
+    algorithm = from_dependencies([("X", "A"), ("B", "C")])
+    schedule = Schedule(["P1", "P2", "P3"], ["L2", "L3"], npf=1, name="stall")
+    schedule.place_operation("X", "P2", 0.0, 1.0)
+    schedule.place_operation("X", "P3", 0.0, 1.0)
+    schedule.place_operation("A", "P1", 2.0, 1.0)
+    schedule.place_operation("B", "P1", 3.5, 1.0)
+    schedule.place_operation("C", "P3", 6.0, 1.0)
+    schedule.place_comm("X", "A", 0, 0, "L2", 1.0, 1.0, "P2", "P1")
+    schedule.place_comm("B", "C", 0, 0, "L3", 4.5, 1.0, "P1", "P3")
+    schedule.place_comm("X", "A", 1, 0, "L3", 5.6, 0.5, "P3", "P1")
+    return schedule, algorithm
+
+
+class TestTraceEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("npf", [0, 1, 2])
+    def test_crash_subsets_bit_identical(self, seed, npf):
+        schedule, algorithm = corpus_schedule(seed, npf)
+        for detection in DetectionPolicy:
+            engine = BatchScenarioEngine(schedule, algorithm, detection)
+            for scenario in crash_scenarios(schedule):
+                reference = simulate(schedule, algorithm, scenario, detection)
+                assert_traces_equal(
+                    reference,
+                    engine.run(scenario),
+                    f"seed={seed} npf={npf} {detection} {scenario!r}",
+                )
+
+    @pytest.mark.parametrize("topology", ["p2p", "bus"])
+    def test_nominal_equals_executor(self, topology):
+        schedule, algorithm = corpus_schedule(0, 1, topology)
+        engine = BatchScenarioEngine(schedule, algorithm)
+        assert_traces_equal(
+            simulate(schedule, algorithm), engine.run(), topology
+        )
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_bus_topology_with_detection(self, seed):
+        schedule, algorithm = corpus_schedule(seed, 1, "bus")
+        detection = DetectionPolicy.TIMEOUT_ARRAY
+        engine = BatchScenarioEngine(schedule, algorithm, detection)
+        for scenario in crash_scenarios(schedule, max_size=2):
+            reference = simulate(schedule, algorithm, scenario, detection)
+            assert_traces_equal(
+                reference, engine.run(scenario), repr(scenario)
+            )
+
+    @pytest.mark.parametrize("topology", ["ring", "star"])
+    def test_multi_hop_routes_bit_identical(self, topology):
+        # Ring/star schedules route comms over relays (hop_index > 0),
+        # exercising the compiled previous-hop chains.
+        from repro.campaign.jobs import build_problem as build_campaign_problem
+        from repro.campaign.spec import WorkloadSpec
+
+        problem = build_campaign_problem(
+            WorkloadSpec(family="random", size=10), topology, 4, 1, 1.0, 0
+        )
+        result = schedule_ftbar(problem)
+        schedule, algorithm = result.schedule, result.expanded_algorithm
+        engine = BatchScenarioEngine(schedule, algorithm)
+        for scenario in crash_scenarios(schedule, max_size=2, times=(0.0, 8.0)):
+            reference = simulate(schedule, algorithm, scenario)
+            assert_traces_equal(
+                reference, engine.run(scenario), f"{topology} {scenario!r}"
+            )
+
+    def test_intermittent_and_link_failures(self):
+        schedule, algorithm = corpus_schedule(2, 1)
+        processors = schedule.processor_names()
+        links = schedule.link_names()
+        scenarios = [
+            FailureScenario.intermittent(processors[0], 2.0, 9.0),
+            FailureScenario(
+                [
+                    ProcessorFailure(processors[1], 3.0, 8.0),
+                    ProcessorFailure(processors[2], 0.0),
+                ]
+            ),
+            FailureScenario.link_down(links[0], at=1.0),
+            FailureScenario(
+                [
+                    LinkFailure(links[1], 0.0, 6.0),
+                    ProcessorFailure(processors[0], 4.0),
+                ]
+            ),
+        ]
+        engine = BatchScenarioEngine(schedule, algorithm)
+        for scenario in scenarios:
+            reference = simulate(schedule, algorithm, scenario)
+            assert_traces_equal(reference, engine.run(scenario), repr(scenario))
+
+    def test_trace_memo_returns_identical_object(self):
+        schedule, algorithm = corpus_schedule(0, 1)
+        engine = BatchScenarioEngine(schedule, algorithm)
+        scenario = FailureScenario.crash(schedule.processor_names()[0])
+        first = engine.run(scenario)
+        again = engine.run(FailureScenario.crash(schedule.processor_names()[0]))
+        assert first is again
+        assert engine.stats.memo_hits >= 1
+
+
+class TestStalledWorklist:
+    def test_executor_needs_relaxation(self):
+        schedule, algorithm = stall_schedule()
+        compiled = CompiledSchedule(schedule, algorithm)
+        assert compiled.replay().relaxed_fires == 1
+
+    def test_batched_matches_relaxed_executor(self):
+        schedule, algorithm = stall_schedule()
+        engine = BatchScenarioEngine(schedule, algorithm)
+        assert_traces_equal(
+            simulate(schedule, algorithm), engine.run(), "nominal"
+        )
+        for scenario in crash_scenarios(schedule, times=(0.0, 0.5, 4.0)):
+            reference = simulate(schedule, algorithm, scenario)
+            assert_traces_equal(reference, engine.run(scenario), repr(scenario))
+
+    def test_masking_verdicts_match_on_stall_schedule(self):
+        schedule, algorithm = stall_schedule()
+        engine = BatchScenarioEngine(schedule, algorithm)
+        simulator = ScheduleSimulator(schedule, algorithm)
+        times = (0.0, 2.5)
+        for size in (1, 2, 3):
+            for subset in itertools.combinations(
+                schedule.processor_names(), size
+            ):
+                expected = all(
+                    simulator.run(
+                        FailureScenario.crashes(subset, at=at)
+                    ).all_operations_delivered(algorithm)
+                    for at in times
+                )
+                assert engine.crash_subset_masked(subset, times) == expected
+
+
+class TestMaskingVerdicts:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("detection", list(DetectionPolicy))
+    def test_verdicts_match_legacy(self, seed, detection):
+        schedule, algorithm = corpus_schedule(seed, 1)
+        engine = BatchScenarioEngine(schedule, algorithm, detection)
+        simulator = ScheduleSimulator(schedule, algorithm, detection)
+        times = (0.0, 7.5)
+        for size in range(0, 4):
+            for subset in itertools.combinations(
+                schedule.processor_names(), size
+            ):
+                expected = all(
+                    simulator.run(
+                        FailureScenario.crashes(subset, at=at)
+                    ).all_operations_delivered(algorithm)
+                    for at in times
+                ) if subset else simulator.run().all_operations_delivered(
+                    algorithm
+                )
+                assert (
+                    engine.crash_subset_masked(subset, times) == expected
+                ), f"seed={seed} {detection} {subset}"
+
+    def test_nominal_equivalence_pruning(self):
+        schedule, algorithm = corpus_schedule(0, 1)
+        engine = BatchScenarioEngine(schedule, algorithm)
+        late = schedule.makespan() + 1.0
+        processor = schedule.processor_names()[0]
+        assert engine.crash_subset_masked((processor,), (late,))
+        assert engine.stats.pruned_nominal == 1
+        assert engine.stats.simulated == 0
+
+    def test_unused_processor_reduction(self):
+        # A diamond on 4 processors with npf=0 leaves processors idle;
+        # crashing an idle processor is the nominal equivalence class.
+        algorithm = from_dependencies([("A", "B"), ("A", "C"), ("B", "D"), ("C", "D")])
+        from tests.util import uniform_problem
+
+        problem = uniform_problem(algorithm, processors=4, npf=0)
+        result = schedule_ftbar(problem)
+        schedule = result.schedule
+        engine = BatchScenarioEngine(schedule, result.expanded_algorithm)
+        used = {e.processor for e in schedule.all_operations()}
+        used |= {c.source_processor for c in schedule.all_comms()}
+        used |= {c.target_processor for c in schedule.all_comms()}
+        idle = [p for p in schedule.processor_names() if p not in used]
+        if not idle:
+            pytest.skip("scheduler used every processor for this workload")
+        assert engine.crash_subset_masked(tuple(idle), (0.0,))
+        assert engine.stats.simulated == 0
+
+    def test_verdict_memo_across_repeats(self):
+        schedule, algorithm = corpus_schedule(1, 1)
+        engine = BatchScenarioEngine(schedule, algorithm)
+        subset = schedule.processor_names()[:2]
+        engine.crash_subset_masked(subset, (0.0,))
+        simulated = engine.stats.simulated
+        engine.crash_subset_masked(subset, (0.0,))
+        assert engine.stats.simulated == simulated
+        assert engine.stats.memo_hits >= 1
+
+
+class TestBatchedReliability:
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize("npf", [0, 1, 2])
+    def test_certificate_bit_identical(self, seed, npf):
+        schedule, algorithm = corpus_schedule(seed, npf)
+        for crash_times in ((0.0,), event_boundary_times(schedule, limit=6)):
+            legacy = fault_tolerance_certificate(
+                schedule, algorithm, crash_times=crash_times, batched=False
+            )
+            batched = fault_tolerance_certificate(
+                schedule, algorithm, crash_times=crash_times
+            )
+            assert [
+                (l.failures, l.masked_subsets, l.total_subsets)
+                for l in legacy.levels
+            ] == [
+                (l.failures, l.masked_subsets, l.total_subsets)
+                for l in batched.levels
+            ]
+            assert legacy.breaking_subsets == batched.breaking_subsets
+            assert legacy.certified == batched.certified
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_reliability_bit_identical_floats(self, seed):
+        schedule, algorithm = corpus_schedule(seed, 1)
+        probabilities = {
+            p: 0.03 * (i + 1)
+            for i, p in enumerate(schedule.processor_names())
+        }
+        legacy = schedule_reliability(
+            schedule, algorithm, probabilities, batched=False
+        )
+        batched = schedule_reliability(schedule, algorithm, probabilities)
+        assert legacy.reliability == batched.reliability
+        assert legacy.masked_probability_mass == batched.masked_probability_mass
+        assert legacy.guaranteed_lower_bound == batched.guaranteed_lower_bound
+        assert legacy.evaluated_subsets == batched.evaluated_subsets
+
+    def test_shared_engine_across_certificate_and_reliability(self):
+        schedule, algorithm = corpus_schedule(0, 1)
+        engine = BatchScenarioEngine(schedule, algorithm)
+        fault_tolerance_certificate(schedule, algorithm, engine=engine)
+        before = engine.stats.simulated
+        report = schedule_reliability(
+            schedule,
+            algorithm,
+            {p: 0.1 for p in schedule.processor_names()},
+            engine=engine,
+        )
+        # The 2^P sweep re-asks the certificate's subsets: all memo hits
+        # except the sizes the certificate never simulated.
+        assert engine.stats.memo_hits > 0
+        legacy = schedule_reliability(
+            schedule,
+            algorithm,
+            {p: 0.1 for p in schedule.processor_names()},
+            batched=False,
+        )
+        assert report.reliability == legacy.reliability
+        assert engine.stats.simulated >= before
+
+    def test_engine_detection_mismatch_rejected(self):
+        schedule, algorithm = corpus_schedule(0, 1)
+        engine = BatchScenarioEngine(schedule, algorithm)
+        with pytest.raises(SimulationError, match="detection"):
+            fault_tolerance_certificate(
+                schedule,
+                algorithm,
+                detection=DetectionPolicy.TIMEOUT_ARRAY,
+                engine=engine,
+            )
+
+    def test_engine_schedule_mismatch_rejected(self):
+        schedule, algorithm = corpus_schedule(0, 1)
+        other_schedule, other_algorithm = corpus_schedule(1, 1)
+        engine = BatchScenarioEngine(other_schedule, other_algorithm)
+        with pytest.raises(SimulationError, match="different schedule"):
+            fault_tolerance_certificate(schedule, algorithm, engine=engine)
+
+
+class TestFailureScenarioIdentity:
+    def test_signature_is_memoized(self):
+        scenario = FailureScenario.crashes(("P1", "P2"), at=3.0)
+        first = scenario.signature()
+        assert scenario.signature() is first
+
+    def test_equality_and_hash_by_content(self):
+        one = FailureScenario.crashes(("P2", "P1"), at=3.0)
+        two = FailureScenario.crashes(("P1", "P2"), at=3.0)
+        assert one == two
+        assert hash(one) == hash(two)
+        assert one != FailureScenario.crashes(("P1", "P2"), at=4.0)
+        assert len({one, two}) == 1
+
+    def test_permanent_crash_set_detection(self):
+        crash = FailureScenario.crashes(("P1", "P3"), at=2.0)
+        assert crash.permanent_crash_set() == (("P1", "P3"), 2.0)
+        assert crash.permanent_crash_set() is crash.permanent_crash_set()
+        assert FailureScenario.none().permanent_crash_set() is None
+        assert (
+            FailureScenario.intermittent("P1", 0.0, 5.0).permanent_crash_set()
+            is None
+        )
+        assert FailureScenario.link_down("L1").permanent_crash_set() is None
+        mixed = FailureScenario(
+            [ProcessorFailure("P1", 0.0), ProcessorFailure("P2", 1.0)]
+        )
+        assert mixed.permanent_crash_set() is None
+
+    def test_compiled_missing_operation_rejected(self):
+        schedule, _ = corpus_schedule(0, 1)
+        bigger = from_dependencies([("A", "B"), ("A", "Z")])
+        with pytest.raises(SimulationError, match="not in the"):
+            CompiledSchedule(schedule, bigger)
+
+    def test_truncated_trace_refuses_reconstruction(self):
+        schedule, algorithm = corpus_schedule(0, 1)
+        compiled = CompiledSchedule(schedule, algorithm)
+        state = compiled.replay(verdict_only=True)
+        assert state.truncated
+        with pytest.raises(SimulationError, match="truncated"):
+            state.to_trace(compiled)
