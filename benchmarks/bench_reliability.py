@@ -40,10 +40,11 @@ from repro.workloads.random_dag import RandomWorkloadConfig, generate_problem
 _RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
 _OPERATIONS = 20
 _NPF = 1
+_NPL = 1
 _SEED = 2003
 
 
-def _certificate_problem(processors: int):
+def _certificate_problem(processors: int, npl: int = 0):
     problem = generate_problem(
         RandomWorkloadConfig(
             operations=_OPERATIONS,
@@ -53,13 +54,15 @@ def _certificate_problem(processors: int):
             seed=_SEED,
         )
     )
+    problem.npl = npl
     result = schedule_ftbar(problem)
     return result.schedule, result.expanded_algorithm
 
 
-def _levels(certificate) -> list[tuple[int, int, int]]:
+def _levels(certificate) -> list[tuple[int, int, int, int]]:
     return [
-        (level.failures, level.masked_subsets, level.total_subsets)
+        (level.failures, level.link_failures,
+         level.masked_subsets, level.total_subsets)
         for level in certificate.levels
     ]
 
@@ -117,6 +120,50 @@ def bench_certificate(processors: int, repeats: int = 5) -> dict:
     }
 
 
+def bench_combined_certificate(processors: int, repeats: int = 5) -> dict:
+    """Combined processor+link certification on an ``npl = 1`` schedule.
+
+    Enumerates every (≤ Npf crash, ≤ Npl link) combined subset through
+    both engines on the fully connected topology — the setting where
+    route replication plus relay avoidance makes the joint verdict a
+    guarantee — and records the timings next to the processor-only
+    sweep.
+    """
+    schedule, algorithm = _certificate_problem(processors, npl=_NPL)
+
+    legacy_s = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        started = time.perf_counter()
+        legacy = fault_tolerance_certificate(schedule, algorithm, batched=False)
+        legacy_s = min(legacy_s, time.perf_counter() - started)
+
+    batched_s = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        started = time.perf_counter()
+        batched = fault_tolerance_certificate(schedule, algorithm)
+        batched_s = min(batched_s, time.perf_counter() - started)
+    engine = BatchScenarioEngine(schedule, algorithm)
+    fault_tolerance_certificate(schedule, algorithm, engine=engine)
+
+    assert _levels(legacy) == _levels(batched), (
+        f"combined engines diverge at P={processors}"
+    )
+    assert legacy.breaking_combined == batched.breaking_combined
+    stats = engine.stats
+    return {
+        "npl": _NPL,
+        "legacy_s": legacy_s,
+        "batched_s": batched_s,
+        "speedup": legacy_s / batched_s,
+        "batched_scenarios": stats.scenarios,
+        "batched_simulated": stats.simulated,
+        "batched_decisions": stats.decisions,
+        "certified": batched.certified,
+    }
+
+
 def run_reliability_sweep(
     processor_counts=(4, 6, 8), repeats: int = 5
 ) -> dict:
@@ -132,13 +179,30 @@ def run_reliability_sweep(
     return sweep
 
 
+def run_combined_sweep(processor_counts=(4, 6), repeats: int = 5) -> dict:
+    """Combined processor+link certificates, one comparison per P."""
+    sweep = {
+        "operations": _OPERATIONS,
+        "npf": _NPF,
+        "npl": _NPL,
+        "seed": _SEED,
+        "crash_times": 1,
+    }
+    for processors in processor_counts:
+        sweep[str(processors)] = bench_combined_certificate(processors, repeats)
+    return sweep
+
+
 def write_bench_json(repeats: int = 5) -> dict:
-    """Merge the reliability sweep into ``BENCH_runtime.json``."""
+    """Merge the reliability sweeps into ``BENCH_runtime.json``."""
     payload = (
         json.loads(_RESULT_PATH.read_text()) if _RESULT_PATH.exists() else {}
     )
     payload["reliability_certificate_batched_vs_scenario"] = (
         run_reliability_sweep(repeats=repeats)
+    )
+    payload["reliability_certificate_combined_npf_npl"] = (
+        run_combined_sweep(repeats=repeats)
     )
     _RESULT_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
     return payload
@@ -148,10 +212,11 @@ def main(argv: list[str]) -> int:
     smoke = "--smoke" in argv and not full_scale()
     if smoke:
         sweep = run_reliability_sweep(processor_counts=(4,), repeats=2)
+        combined = run_combined_sweep(processor_counts=(4,), repeats=2)
     else:
-        sweep = write_bench_json()[
-            "reliability_certificate_batched_vs_scenario"
-        ]
+        payload = write_bench_json()
+        sweep = payload["reliability_certificate_batched_vs_scenario"]
+        combined = payload["reliability_certificate_combined_npf_npl"]
     for key in sorted((k for k in sweep if k.isdigit()), key=int):
         point = sweep[key]
         print(
@@ -161,6 +226,15 @@ def main(argv: list[str]) -> int:
             f"{point['batched_scenarios_per_s']:.0f} scenarios/s, "
             f"{point['legacy_decisions']} -> {point['batched_decisions']} "
             f"event decisions)"
+        )
+    for key in sorted((k for k in combined if k.isdigit()), key=int):
+        point = combined[key]
+        print(
+            f"P={key} npl={point['npl']}: combined certificate "
+            f"{point['legacy_s']*1e3:8.2f} ms -> "
+            f"{point['batched_s']*1e3:8.2f} ms  ({point['speedup']:.2f}x, "
+            f"{point['batched_scenarios']} combined scenario verdicts, "
+            f"certified={point['certified']})"
         )
     if smoke:
         print("smoke ok: batched and per-scenario certificates bit-identical")

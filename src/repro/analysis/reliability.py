@@ -9,7 +9,10 @@ module quantifies both:
   crash instants) and reports which subsets are masked — an independent
   machine-checked version of the paper's correctness claim, which also
   reveals *partial* tolerance beyond ``Npf`` (many ``Npf + 1``-subsets
-  are masked by luck of placement);
+  are masked by luck of placement).  For link-tolerant schedules
+  (``npl >= 1``) the enumeration is *combined*: every (processor
+  subset, link subset) pair within the joint hypothesis is replayed
+  and the verdict covers both failure modes at once;
 * :func:`schedule_reliability` turns per-processor failure
   probabilities into the probability that one iteration delivers all
   its outputs, by exact enumeration over the ``2^P`` crash subsets.
@@ -38,11 +41,16 @@ from repro.simulation.failures import FailureScenario
 
 @dataclass(frozen=True)
 class ToleranceLevel:
-    """Masking statistics for one crash-subset size ``k``."""
+    """Masking statistics for one combined crash-subset size.
+
+    ``failures`` counts crashed processors, ``link_failures`` broken
+    links (0 for the paper's processor-only levels).
+    """
 
     failures: int
     masked_subsets: int
     total_subsets: int
+    link_failures: int = 0
 
     @property
     def fully_masked(self) -> bool:
@@ -59,40 +67,76 @@ class ToleranceLevel:
 
 @dataclass
 class FaultToleranceCertificate:
-    """Outcome of the exhaustive crash-subset replay."""
+    """Outcome of the exhaustive (combined) crash-subset replay.
+
+    With ``npl = 0`` and no link levels requested this is exactly the
+    paper-era processor certificate; combined certification additionally
+    enumerates link-failure subsets and reports the joint verdict.
+    """
 
     npf: int
     crash_times: tuple[float, ...]
     levels: list[ToleranceLevel] = field(default_factory=list)
     breaking_subsets: list[frozenset[str]] = field(default_factory=list)
+    #: The link-failure hypothesis this certificate actually *verified*
+    #: — ``min(schedule.npl, max_link_failures)`` when the enumeration
+    #: was capped, so an under-enumerated run can never claim the
+    #: schedule's full ``npl`` promise vacuously.
+    npl: int = 0
+    #: Combined ``(processors, links)`` subsets within the hypothesis
+    #: that broke the schedule (link-involving ones only; pure processor
+    #: breaks stay in ``breaking_subsets``).
+    breaking_combined: list[tuple[frozenset[str], frozenset[str]]] = field(
+        default_factory=list
+    )
 
     @property
     def certified(self) -> bool:
-        """True when every subset of size ≤ ``npf`` is masked."""
+        """True when every subset within the joint hypothesis is masked.
+
+        The hypothesis is ≤ ``npf`` processor crashes *and* ≤ ``npl``
+        link failures combined.
+        """
         return all(
-            level.fully_masked for level in self.levels if level.failures <= self.npf
+            level.fully_masked
+            for level in self.levels
+            if level.failures <= self.npf and level.link_failures <= self.npl
         )
 
-    def level(self, failures: int) -> ToleranceLevel:
-        """The statistics for subsets of exactly ``failures`` crashes."""
+    def level(self, failures: int, link_failures: int = 0) -> ToleranceLevel:
+        """The statistics for one exact combined subset size."""
         for entry in self.levels:
-            if entry.failures == failures:
+            if (
+                entry.failures == failures
+                and entry.link_failures == link_failures
+            ):
                 return entry
-        raise KeyError(failures)
+        raise KeyError((failures, link_failures))
 
     def __str__(self) -> str:
+        hypothesis = f"npf={self.npf}"
+        if self.npl or any(level.link_failures for level in self.levels):
+            hypothesis += f", npl={self.npl}"
         lines = [
-            f"fault-tolerance certificate (npf={self.npf}, "
+            f"fault-tolerance certificate ({hypothesis}, "
             f"crash times {list(self.crash_times)}): "
             f"{'CERTIFIED' if self.certified else 'BROKEN'}"
         ]
         for level in self.levels:
+            label = f"  {level.failures} crash(es)"
+            if level.link_failures:
+                label += f" + {level.link_failures} link(s)"
             lines.append(
-                f"  {level.failures} crash(es): {level.masked_subsets}/"
+                f"{label}: {level.masked_subsets}/"
                 f"{level.total_subsets} subsets masked"
             )
         for subset in self.breaking_subsets[:5]:
             lines.append(f"  breaking subset: {sorted(subset)}")
+        for procs, links in self.breaking_combined[:5]:
+            lines.append(
+                f"  breaking combined subset: {sorted(procs)} + "
+                f"links {sorted(links)}"
+            )
         return "\n".join(lines)
 
 
@@ -101,10 +145,13 @@ def _masked(
     algorithm: AlgorithmGraph,
     processors: Iterable[str],
     crash_times: tuple[float, ...],
+    links: Iterable[str] = (),
 ) -> bool:
     """True when the subset is masked at every requested crash instant."""
     for at in crash_times:
-        trace = simulator.run(FailureScenario.crashes(processors, at=at))
+        trace = simulator.run(
+            FailureScenario.resource_crashes(processors, links, at=at)
+        )
         if not trace.all_operations_delivered(algorithm):
             return False
     return True
@@ -131,7 +178,9 @@ def _subset_verdicts(
             if isinstance(engine, ScheduleSimulator)
             else ScheduleSimulator(schedule, algorithm, detection)
         )
-        return lambda subset, times: _masked(simulator, algorithm, subset, times)
+        return lambda subset, times, links=(): _masked(
+            simulator, algorithm, subset, times, links
+        )
     if engine is None or isinstance(engine, ScheduleSimulator):
         engine = BatchScenarioEngine(schedule, algorithm, detection)
     elif engine.detection is not DetectionPolicy(detection):
@@ -157,6 +206,7 @@ def fault_tolerance_certificate(
     detection: DetectionPolicy = DetectionPolicy.NONE,
     batched: bool = True,
     engine: BatchScenarioEngine | ScheduleSimulator | None = None,
+    max_link_failures: int | None = None,
 ) -> FaultToleranceCertificate:
     """Exhaustively check masking of every crash subset up to a size.
 
@@ -166,6 +216,13 @@ def fault_tolerance_certificate(
     crash simultaneously (the paper's experiment uses t = 0, the worst
     case for active replication since nothing has been sent yet).
 
+    ``max_link_failures`` bounds the *combined* enumeration: every
+    (processor subset, link subset) pair with at most that many broken
+    links is replayed alongside the crashes.  It defaults to the
+    schedule's own ``npl`` hypothesis, so a paper-era ``npl = 0``
+    schedule gets exactly the original processor-only certificate and a
+    link-tolerant schedule is certified against what it promises.
+
     ``batched`` selects the compile-once batch engine (default) or the
     legacy per-scenario replay; the verdicts are bit-identical.  Pass
     ``engine`` to share one prebuilt engine (and its caches) across
@@ -173,20 +230,38 @@ def fault_tolerance_certificate(
     """
     is_masked = _subset_verdicts(schedule, algorithm, detection, batched, engine)
     processors = schedule.processor_names()
+    links = schedule.link_names()
+    npl = getattr(schedule, "npl", 0)
     bound = schedule.npf + 1 if max_failures is None else max_failures
     bound = min(bound, len(processors))
+    link_bound = npl if max_link_failures is None else max_link_failures
+    link_bound = min(link_bound, len(links))
     times = tuple(crash_times)
-    certificate = FaultToleranceCertificate(npf=schedule.npf, crash_times=times)
+    # The certificate only vouches for what it enumerated: capping the
+    # link bound below the schedule's npl weakens the verified
+    # hypothesis accordingly (never a vacuous CERTIFIED).
+    certificate = FaultToleranceCertificate(
+        npf=schedule.npf, crash_times=times, npl=min(npl, link_bound)
+    )
     for size in range(bound + 1):
-        masked = 0
-        total = 0
-        for subset in itertools.combinations(processors, size):
-            total += 1
-            if is_masked(subset, times):
-                masked += 1
-            elif size <= schedule.npf:
-                certificate.breaking_subsets.append(frozenset(subset))
-        certificate.levels.append(ToleranceLevel(size, masked, total))
+        for link_size in range(link_bound + 1):
+            masked = 0
+            total = 0
+            for subset in itertools.combinations(processors, size):
+                for link_subset in itertools.combinations(links, link_size):
+                    total += 1
+                    if is_masked(subset, times, link_subset):
+                        masked += 1
+                    elif size <= schedule.npf and link_size <= npl:
+                        if link_size:
+                            certificate.breaking_combined.append(
+                                (frozenset(subset), frozenset(link_subset))
+                            )
+                        else:
+                            certificate.breaking_subsets.append(frozenset(subset))
+            certificate.levels.append(
+                ToleranceLevel(size, masked, total, link_failures=link_size)
+            )
     return certificate
 
 
@@ -206,6 +281,23 @@ def event_boundary_times(schedule: Schedule, limit: int = 32) -> tuple[float, ..
         return tuple(boundaries)
     step = len(boundaries) / limit
     return tuple(boundaries[int(i * step)] for i in range(limit))
+
+
+def _validate_probabilities(
+    names: Iterable[str], probabilities: Mapping[str, float], kind: str
+) -> None:
+    """Every named resource needs a probability in [0, 1]."""
+    for name in names:
+        if name not in probabilities:
+            raise SimulationError(
+                f"no failure probability given for {kind} {name!r}"
+            )
+        probability = probabilities[name]
+        if not 0.0 <= probability <= 1.0:
+            raise SimulationError(
+                f"failure probability of {name!r} must be in [0, 1], "
+                f"got {probability!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -233,6 +325,7 @@ def schedule_reliability(
     detection: DetectionPolicy = DetectionPolicy.NONE,
     batched: bool = True,
     engine: BatchScenarioEngine | ScheduleSimulator | None = None,
+    link_failure_probabilities: Mapping[str, float] | None = None,
 ) -> ReliabilityReport:
     """Exact reliability by enumeration over all ``2^P`` crash subsets.
 
@@ -243,45 +336,62 @@ def schedule_reliability(
     probability that at most ``Npf`` processors fail — what the paper's
     theorem promises without looking at the schedule.
 
-    The probability sum always enumerates all ``2^P`` subsets in
-    canonical order (so ``batched=True`` and ``batched=False`` land on
-    bit-identical floats); batching changes only how each subset's
-    masking verdict is obtained.  ``engine`` shares a prebuilt batch
-    engine's caches, e.g. with a preceding certificate.
+    With ``link_failure_probabilities`` the enumeration additionally
+    sweeps every link subset (``2^P x 2^L`` combined scenarios); the
+    guaranteed lower bound then also requires at most ``Npl`` broken
+    links.  ``None`` keeps the processor-only sum bit-identical to the
+    pre-link-tolerance implementation.
+
+    The probability sum always enumerates subsets in canonical order
+    (so ``batched=True`` and ``batched=False`` land on bit-identical
+    floats); batching changes only how each subset's masking verdict is
+    obtained.  ``engine`` shares a prebuilt batch engine's caches, e.g.
+    with a preceding certificate.
     """
     processors = schedule.processor_names()
-    for processor in processors:
-        if processor not in failure_probabilities:
-            raise SimulationError(
-                f"no failure probability given for processor {processor!r}"
-            )
-        probability = failure_probabilities[processor]
-        if not 0.0 <= probability <= 1.0:
-            raise SimulationError(
-                f"failure probability of {processor!r} must be in [0, 1], "
-                f"got {probability!r}"
-            )
+    _validate_probabilities(processors, failure_probabilities, "processor")
+    links = schedule.link_names() if link_failure_probabilities is not None else ()
+    _validate_probabilities(links, link_failure_probabilities or {}, "link")
     is_masked = _subset_verdicts(schedule, algorithm, detection, batched, engine)
+    npl = getattr(schedule, "npl", 0)
     times = tuple(crash_times)
     reliability = 0.0
     masked_mass = 0.0
     guaranteed = 0.0
     evaluated = 0
+    # With no link probabilities, ``links`` is empty and the inner loop
+    # degenerates to a single ``link_subset = ()`` iteration whose mass,
+    # enumeration order and masking keys are exactly the historical
+    # processor-only sum — bit-identical floats, one code path.
     for size in range(len(processors) + 1):
         for subset in itertools.combinations(processors, size):
-            evaluated += 1
-            mass = 1.0
+            proc_mass = 1.0
             for processor in processors:
                 probability = failure_probabilities[processor]
-                mass *= probability if processor in subset else 1.0 - probability
-            if mass == 0.0:
-                continue
-            if size <= schedule.npf:
-                guaranteed += mass
-            if size == 0 or is_masked(subset, times):
-                reliability += mass
-                if size > 0:
-                    masked_mass += mass
+                proc_mass *= (
+                    probability if processor in subset else 1.0 - probability
+                )
+            for link_size in range(len(links) + 1):
+                for link_subset in itertools.combinations(links, link_size):
+                    evaluated += 1
+                    mass = proc_mass
+                    for link in links:
+                        probability = link_failure_probabilities[link]
+                        mass *= (
+                            probability
+                            if link in link_subset
+                            else 1.0 - probability
+                        )
+                    if mass == 0.0:
+                        continue
+                    if size <= schedule.npf and link_size <= npl:
+                        guaranteed += mass
+                    if (size == 0 and link_size == 0) or is_masked(
+                        subset, times, link_subset
+                    ):
+                        reliability += mass
+                        if size > 0 or link_size > 0:
+                            masked_mass += mass
     return ReliabilityReport(
         reliability=min(reliability, 1.0),
         masked_probability_mass=masked_mass,

@@ -84,6 +84,7 @@ class Job:
     mean_execution: float
     digest: str
     reliability: ReliabilitySpec | None = None
+    npl: int = 0
 
     def coordinate(self) -> dict:
         """The grid coordinate of this job as a JSON-compatible dict."""
@@ -92,6 +93,7 @@ class Job:
             "topology": self.topology,
             "processors": self.processors,
             "npf": self.npf,
+            "npl": self.npl,
             "ccr": self.ccr,
             "seed": self.seed,
         }
@@ -132,6 +134,7 @@ def build_problem(
     ccr: float,
     seed: int,
     mean_execution: float = 10.0,
+    npl: int = 0,
 ) -> ProblemSpec:
     """Deterministically build the problem of one grid coordinate.
 
@@ -143,7 +146,7 @@ def build_problem(
     makes the ``seeds`` axis meaningful for the structured families too.
     """
     if workload.family == "random" and topology == "fully_connected":
-        return generate_problem(
+        problem = generate_problem(
             RandomWorkloadConfig(
                 operations=workload.size,
                 ccr=ccr,
@@ -155,6 +158,8 @@ def build_problem(
                 seed=seed,
             )
         )
+        problem.npl = npl
+        return problem
     rng = random.Random(seed)
     if workload.family == "random":
         algorithm = generate_algorithm(
@@ -186,9 +191,12 @@ def build_problem(
         exec_times=exec_times,
         comm_times=comm_times,
         npf=npf,
+        npl=npl,
         name=(
             f"{algorithm.name}-{topology}-p{processors}"
-            f"-npf{npf}-ccr{ccr:g}-seed{seed}"
+            f"-npf{npf}"
+            + (f"-npl{npl}" if npl else "")
+            + f"-ccr{ccr:g}-seed{seed}"
         ),
     )
 
@@ -203,6 +211,7 @@ def job_problem(job: Job) -> ProblemSpec:
         job.ccr,
         job.seed,
         job.mean_execution,
+        npl=job.npl,
     )
 
 
@@ -222,8 +231,14 @@ def job_digest(
     }
     if reliability is not None:
         # Only hashed when present so pre-existing digests (and their
-        # cache entries) stay valid for campaigns without the measure.
-        document["reliability"] = asdict(reliability)
+        # cache entries) stay valid for campaigns without the measure;
+        # unset link knobs are dropped for the same reason — a spec
+        # predating link tolerance must keep its digests.
+        spec_document = asdict(reliability)
+        for knob in ("max_link_failures", "link_probability"):
+            if spec_document.get(knob) is None:
+                del spec_document[knob]
+        document["reliability"] = spec_document
     return content_hash("job", document)
 
 
@@ -238,9 +253,10 @@ def expand_jobs(spec: CampaignSpec) -> list[Job]:
     seen: set[str] = set()
     reliability = spec.reliability if "reliability" in spec.measures else None
     for index, coordinate in enumerate(spec.coordinates()):
-        workload, topology, processors, npf, ccr, seed = coordinate
+        workload, topology, processors, npf, npl, ccr, seed = coordinate
         problem = build_problem(
-            workload, topology, processors, npf, ccr, seed, spec.mean_execution
+            workload, topology, processors, npf, ccr, seed,
+            spec.mean_execution, npl=npl,
         )
         digest = job_digest(
             problem, spec.options, spec.measures, spec.failures, reliability
@@ -256,6 +272,7 @@ def expand_jobs(spec: CampaignSpec) -> list[Job]:
                 topology=topology,
                 processors=processors,
                 npf=npf,
+                npl=npl,
                 ccr=ccr,
                 seed=seed,
                 failures=spec.failures,
@@ -351,6 +368,12 @@ def _certify(spec: ReliabilitySpec, ftbar) -> dict:
         crash_times=times,
         detection=spec.detection,
         engine=engine,
+        max_link_failures=spec.max_link_failures,
+    )
+    link_probabilities = (
+        {l: spec.link_probability for l in schedule.link_names()}
+        if spec.link_probability is not None
+        else None
     )
     sweep = []
     for probability in spec.probabilities:
@@ -361,6 +384,7 @@ def _certify(spec: ReliabilitySpec, ftbar) -> dict:
             crash_times=times,
             detection=spec.detection,
             engine=engine,
+            link_failure_probabilities=link_probabilities,
         )
         mttf = mean_time_to_failure_iterations(report.reliability)
         sweep.append(
@@ -372,7 +396,7 @@ def _certify(spec: ReliabilitySpec, ftbar) -> dict:
                 "mttf_iterations": None if math.isinf(mttf) else mttf,
             }
         )
-    return {
+    record = {
         "certified": certificate.certified,
         "crash_times": len(times),
         "levels": [
@@ -380,6 +404,13 @@ def _certify(spec: ReliabilitySpec, ftbar) -> dict:
                 "failures": level.failures,
                 "masked": level.masked_subsets,
                 "total": level.total_subsets,
+                # Key emitted only for combined levels so npl = 0
+                # records keep their historical shape.
+                **(
+                    {"link_failures": level.link_failures}
+                    if level.link_failures
+                    else {}
+                ),
             }
             for level in certificate.levels
         ],
@@ -387,6 +418,9 @@ def _certify(spec: ReliabilitySpec, ftbar) -> dict:
         "scenarios": engine.stats.scenarios,
         "simulated": engine.stats.simulated,
     }
+    if certificate.npl:
+        record["npl"] = certificate.npl
+    return record
 
 
 def _inject(

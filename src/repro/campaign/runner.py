@@ -214,16 +214,23 @@ def campaign_report(spec: CampaignSpec, store: ResultStore) -> str:
     """
     expanded = expand_jobs(spec)
     recorded = store.load()
-    groups: dict[tuple[str, str, int], list[dict]] = {}
+    groups: dict[tuple[str, str, int, int], list[dict]] = {}
     for job in expanded:
         record = recorded.get(job.digest)
         if record is not None:
-            key = (job.workload.family, job.topology, job.npf)
+            key = (job.workload.family, job.topology, job.npf, job.npl)
             groups.setdefault(key, []).append(record)
 
-    headers = ["family", "topology", "npf", "jobs", "makespan", "overhead%", "delivered"]
+    # The npf column reads "npf/npl" only when the grid sweeps npl,
+    # keeping the historical table for processor-only campaigns.
+    with_npl = any(npl for _, _, _, npl in groups)
+    headers = [
+        "family", "topology",
+        "npf/npl" if with_npl else "npf",
+        "jobs", "makespan", "overhead%", "delivered",
+    ]
     rows: list[list[str]] = []
-    for (family, topology, npf), records in sorted(groups.items()):
+    for (family, topology, npf, npl), records in sorted(groups.items()):
         makespans = [r["ftbar"]["makespan"] for r in records]
         overheads = [
             (r["ftbar"]["makespan"] - r["non_ft"]["makespan"])
@@ -247,7 +254,7 @@ def campaign_report(spec: CampaignSpec, store: ResultStore) -> str:
             [
                 family,
                 topology,
-                str(npf),
+                f"{npf}/{npl}" if with_npl else str(npf),
                 str(len(records)),
                 f"{_mean(makespans):.2f}",
                 f"{_mean(overheads):.1f}" if overheads else "-",
@@ -300,14 +307,15 @@ def reliability_heatmap(
         )
     expanded = expand_jobs(spec)
     recorded = store.load()
-    # cells[npf][probability] -> list of per-job values
-    cells: dict[int, dict[float, list[float]]] = {}
+    # cells[(npf, npl)][probability] -> list of per-job values; jobs
+    # with different link hypotheses must never average into one cell.
+    cells: dict[tuple[int, int], dict[float, list[float]]] = {}
     for job in expanded:
         record = recorded.get(job.digest)
         if record is None or "reliability" not in record:
             continue
         block = record["reliability"]
-        row = cells.setdefault(job.npf, {})
+        row = cells.setdefault((job.npf, job.npl), {})
         for point in block["sweep"]:
             if value == "reliability":
                 cell = point["reliability"]
@@ -323,12 +331,17 @@ def reliability_heatmap(
         )
 
     probabilities = sorted({q for row in cells.values() for q in row})
-    headers = ["npf \\ q"] + [f"{q:g}" for q in probabilities]
+    # Rows label npl only when the grid sweeps it, keeping the
+    # historical rendering for processor-only campaigns.
+    with_npl = any(npl for _, npl in cells)
+    headers = [("npf/npl \\ q" if with_npl else "npf \\ q")] + [
+        f"{q:g}" for q in probabilities
+    ]
     rows = []
-    for npf in sorted(cells):
-        row = [str(npf)]
+    for npf, npl in sorted(cells):
+        row = [f"{npf}/{npl}" if with_npl else str(npf)]
         for q in probabilities:
-            values = cells[npf].get(q)
+            values = cells[(npf, npl)].get(q)
             row.append(_format_cell(_mean(values), value) if values else "-")
         rows.append(row)
     widths = [

@@ -1,9 +1,9 @@
 """Declarative campaign specifications.
 
 A *campaign* is a family of scheduling experiments described as a grid:
-workload families x topologies x processor counts x Npf x CCR x seeds,
-optionally decorated with failure-injection scenarios and a scheduler
-configuration.  The spec is plain data — JSON-(de)serializable — so the
+workload families x topologies x processor counts x Npf x Npl x CCR x
+seeds, optionally decorated with failure-injection scenarios and a
+scheduler configuration.  The spec is plain data — JSON-(de)serializable — so the
 same campaign can be launched from the CLI, from the experiment
 harness, or replayed on another machine, and its expansion into
 :class:`~repro.campaign.jobs.Job` objects is deterministic.
@@ -105,11 +105,25 @@ class ReliabilitySpec:
     boundary_limit: int = 16
     max_failures: int | None = None
     detection: str = "none"
+    #: Combined enumeration bound on broken links (None = the job
+    #: schedule's own ``npl``, so link-tolerant schedules are certified
+    #: against exactly what they promise).
+    max_link_failures: int | None = None
+    #: Uniform per-link failure probability for the reliability sweep
+    #: (None keeps the processor-only probability sum).
+    link_probability: float | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "probabilities", tuple(float(q) for q in self.probabilities)
         )
+        if self.link_probability is not None and not (
+            0.0 <= self.link_probability <= 1.0
+        ):
+            raise SerializationError(
+                f"link failure probability must be in [0, 1], "
+                f"got {self.link_probability!r}"
+            )
         if not self.probabilities:
             raise SerializationError(
                 "a reliability spec needs at least one failure probability"
@@ -141,6 +155,7 @@ class CampaignSpec:
     topologies: tuple[str, ...] = ("fully_connected",)
     processors: tuple[int, ...] = (4,)
     npfs: tuple[int, ...] = (1,)
+    npls: tuple[int, ...] = (0,)
     ccrs: tuple[float, ...] = (1.0,)
     seeds: tuple[int, ...] = (0,)
     failures: tuple[FailureSpec, ...] = ()
@@ -154,6 +169,9 @@ class CampaignSpec:
         object.__setattr__(self, "topologies", tuple(self.topologies))
         object.__setattr__(self, "processors", tuple(self.processors))
         object.__setattr__(self, "npfs", tuple(self.npfs))
+        object.__setattr__(self, "npls", tuple(self.npls))
+        if any(npl < 0 for npl in self.npls):
+            raise SerializationError("npl values must be >= 0")
         object.__setattr__(self, "ccrs", tuple(float(c) for c in self.ccrs))
         object.__setattr__(self, "seeds", tuple(self.seeds))
         object.__setattr__(self, "failures", tuple(self.failures))
@@ -187,6 +205,7 @@ class CampaignSpec:
             * len(self.topologies)
             * len(self.processors)
             * len(self.npfs)
+            * len(self.npls)
             * len(self.ccrs)
             * len(self.seeds)
         )
@@ -198,6 +217,7 @@ class CampaignSpec:
             self.topologies,
             self.processors,
             self.npfs,
+            self.npls,
             self.ccrs,
             self.seeds,
         )
@@ -234,6 +254,7 @@ def campaign_from_dict(document: Mapping) -> CampaignSpec:
             topologies=tuple(document.get("topologies", ("fully_connected",))),
             processors=tuple(document.get("processors", (4,))),
             npfs=tuple(document.get("npfs", (1,))),
+            npls=tuple(document.get("npls", (0,))),
             ccrs=tuple(document.get("ccrs", (1.0,))),
             seeds=tuple(document.get("seeds", (0,))),
             failures=tuple(
@@ -257,6 +278,12 @@ def campaign_from_dict(document: Mapping) -> CampaignSpec:
                     ),
                     max_failures=document["reliability"].get("max_failures"),
                     detection=document["reliability"].get("detection", "none"),
+                    max_link_failures=document["reliability"].get(
+                        "max_link_failures"
+                    ),
+                    link_probability=document["reliability"].get(
+                        "link_probability"
+                    ),
                 )
                 if document.get("reliability") is not None
                 else None

@@ -87,6 +87,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sched = commands.add_parser("schedule", help="schedule a problem JSON file")
     sched.add_argument("problem", type=Path)
     sched.add_argument("--npf", type=int, default=None, help="override the file's Npf")
+    sched.add_argument(
+        "--npl",
+        type=int,
+        default=None,
+        help="override the file's Npl (link-failure tolerance)",
+    )
     sched.add_argument("--no-duplication", action="store_true")
     sched.add_argument("--link-insertion", action="store_true")
     sched.add_argument("--gantt", action="store_true")
@@ -175,6 +181,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--detection",
         choices=[p.value for p in DetectionPolicy],
         default=DetectionPolicy.NONE.value,
+    )
+    certify.add_argument(
+        "--npl",
+        type=int,
+        default=None,
+        help="override the problem's Npl before scheduling (the schedule "
+        "replicates comms over Npl+1 link-disjoint routes)",
+    )
+    certify.add_argument(
+        "--links",
+        type=int,
+        default=None,
+        metavar="K",
+        help="enumerate combined scenarios with up to K broken links "
+        "(default: the schedule's own Npl)",
     )
     certify.add_argument(
         "--boundaries",
@@ -314,6 +335,8 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     problem = problem_from_dict(load_json(args.problem))
     if args.npf is not None:
         problem.npf = args.npf
+    if args.npl is not None:
+        problem.npl = args.npl
     options = SchedulerOptions(
         duplication=not args.no_duplication,
         link_insertion=args.link_insertion,
@@ -469,12 +492,15 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     else:
         problem = build_problem()
         print("(no problem file given — certifying the paper's example)")
+    if args.npl is not None:
+        problem.npl = args.npl
     result = schedule_ftbar(problem)
     schedule, algorithm = result.schedule, result.expanded_algorithm
     print(schedule.summary())
     detection = DetectionPolicy(args.detection)
     times = event_boundary_times(schedule) if args.boundaries else (0.0,)
     probabilities = args.probability
+    max_links = args.links
 
     def certificate_and_reports(batched: bool):
         engine = (
@@ -489,6 +515,7 @@ def _cmd_certify(args: argparse.Namespace) -> int:
             detection=detection,
             batched=batched,
             engine=engine,
+            max_link_failures=max_links,
         )
         reports = [
             schedule_reliability(
@@ -523,15 +550,17 @@ def _cmd_certify(args: argparse.Namespace) -> int:
         other, other_reports, _ = certificate_and_reports(args.legacy)
         mismatches = []
         if [
-            (l.failures, l.masked_subsets, l.total_subsets)
+            (l.failures, l.link_failures, l.masked_subsets, l.total_subsets)
             for l in certificate.levels
         ] != [
-            (l.failures, l.masked_subsets, l.total_subsets)
+            (l.failures, l.link_failures, l.masked_subsets, l.total_subsets)
             for l in other.levels
         ]:
             mismatches.append("tolerance levels")
         if certificate.breaking_subsets != other.breaking_subsets:
             mismatches.append("breaking subsets")
+        if certificate.breaking_combined != other.breaking_combined:
+            mismatches.append("breaking combined subsets")
         if certificate.certified != other.certified:
             mismatches.append("certified verdict")
         for probability, mine, theirs in zip(probabilities, reports, other_reports):

@@ -150,6 +150,17 @@ class FTBARScheduler:
         self._problem = problem
         self._options = options or SchedulerOptions()
         self._npf = problem.npf
+        self._npl = (
+            self._options.npl if self._options.npl is not None else problem.npl
+        )
+        if self._npl < 0:
+            raise SchedulingError(f"npl must be >= 0, got {self._npl}")
+        if self._npl >= 1 and len(problem.architecture) > 1:
+            # The problem's own npl was checked by validate(); an
+            # options-level override needs the same feasibility gate.
+            problem.architecture.route_planner.require_disjoint_routes(
+                self._npl + 1
+            )
         algorithm, pairs = problem.algorithm.expand_memories()
         self._algorithm = algorithm
         self._memory_pairs = dict(pairs)
@@ -167,6 +178,7 @@ class FTBARScheduler:
             self._comm_times,
             self._npf,
             link_insertion=self._options.link_insertion,
+            npl=self._npl,
         )
         self._pressure = PressureCalculator(
             self._algorithm,
@@ -193,6 +205,7 @@ class FTBARScheduler:
             processors=self._architecture.processor_names(),
             links=self._architecture.link_names(),
             npf=self._npf,
+            npl=self._npl,
             name=f"{self._problem.name}-ftbar",
         )
         stats = FTBARStats()

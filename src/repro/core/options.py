@@ -42,9 +42,16 @@ class SchedulerOptions:
         the flag is a pure-performance escape hatch kept so the E6
         runtime bench can measure the speedup in-repo and so a
         regression can be bisected to the caching layer.
+    npl:
+        Override of the problem's link-failure hypothesis ``Npl``
+        (``None`` keeps the problem's own value).  With an effective
+        ``Npl >= 1`` every inter-processor transfer is scheduled over
+        ``Npl + 1`` link-disjoint routes; ``Npl = 0`` is bit-identical
+        to the paper's single-route engine.
     """
 
     duplication: bool = True
     link_insertion: bool = False
     processor_aware_pressure: bool = False
     incremental: bool = True
+    npl: int | None = None

@@ -108,7 +108,7 @@ class LinkState:
 
 @dataclass(frozen=True)
 class PlannedComm:
-    """A communication the plan would schedule (one hop)."""
+    """A communication the plan would schedule (one hop of one route)."""
 
     source: str
     target: str
@@ -119,6 +119,7 @@ class PlannedComm:
     source_processor: str
     target_processor: str
     hop_index: int
+    route: int = 0
 
 
 @dataclass
@@ -130,18 +131,26 @@ class PredecessorFeed:
     zero, not replicated) or ``arrivals`` lists the delivery time from
     every replica of the predecessor, with ``comms`` holding the planned
     transfers.
+
+    Under link-failure tolerance each replica's transfer is carried over
+    ``Npl + 1`` link-disjoint routes: ``arrivals`` then holds the
+    *guaranteed* arrival per replica (the latest route copy — what any
+    ``Npl`` link failures cannot delay past) and ``firsts`` the earliest
+    copy per replica (the failure-free arrival).  At ``npl = 0`` the two
+    coincide and ``firsts`` stays ``None``.
     """
 
     predecessor: str
     local_end: float | None = None
     arrivals: list[float] = field(default_factory=list)
     comms: list[PlannedComm] = field(default_factory=list)
+    firsts: list[float] | None = None
 
     def earliest(self) -> float:
         """First possible arrival of this predecessor's data."""
         if self.local_end is not None:
             return self.local_end
-        return min(self.arrivals)
+        return min(self.arrivals if self.firsts is None else self.firsts)
 
     def worst_case(self, npf: int) -> float:
         """Latest arrival the replica may have to wait for, under ≤ npf failures.
@@ -150,7 +159,10 @@ class PredecessorFeed:
         is alive.  Otherwise at least one of the ``npf + 1`` earliest
         senders survives any set of ``npf`` failures, so the worst-case
         wait is the ``(npf + 1)``-th earliest arrival (the paper's
-        ``max`` over the ``Npf + 1`` replicas).
+        ``max`` over the ``Npf + 1`` replicas).  With ``npl >= 1`` each
+        entry of ``arrivals`` is already that replica's guaranteed
+        arrival under any ``npl`` link failures, so the same index rule
+        bounds the combined processor+link worst case.
         """
         if self.local_end is not None:
             return self.local_end
@@ -286,12 +298,14 @@ class PlacementPlanner:
         comm_times: CommunicationTimes,
         npf: int,
         link_insertion: bool = False,
+        npl: int = 0,
     ) -> None:
         self._algorithm = algorithm
         self._architecture = architecture
         self._exec_times = exec_times
         self._comm_times = comm_times
         self._npf = npf
+        self._npl = npl
         self._link_insertion = link_insertion
         self._plan_simple = False
 
@@ -360,12 +374,24 @@ class PlacementPlanner:
             # the remote replicas do not send at all.
             return PredecessorFeed(predecessor, local_end=local.end)
         feed = PredecessorFeed(predecessor)
+        if self._npl:
+            feed.firsts = []
         edge = (predecessor, operation)
-        for replica in schedule.replicas_of(predecessor):
-            arrival, comms = self._plan_transfer(
-                edge, replica, processor, state
+        replicas = schedule.replicas_of(predecessor)
+        # Relay-avoidance preference (npl >= 1): backup routes should not
+        # relay through the hosts of the predecessor's other replicas,
+        # otherwise one crash can silence a sender *and* another
+        # sender's relay at once, voiding the combined npf+npl budget.
+        sender_hosts = (
+            frozenset(r.processor for r in replicas) if self._npl else frozenset()
+        )
+        for replica in replicas:
+            first, guaranteed, comms = self._plan_transfer(
+                edge, replica, processor, state, sender_hosts
             )
-            feed.arrivals.append(arrival)
+            feed.arrivals.append(guaranteed)
+            if feed.firsts is not None:
+                feed.firsts.append(first)
             feed.comms.extend(comms)
         if not feed.arrivals:
             raise ValueError(
@@ -380,8 +406,19 @@ class PlacementPlanner:
         producer: ScheduledOperation,
         processor: str,
         state: LinkState,
-    ) -> tuple[float, list[PlannedComm]]:
-        """Plan the comms carrying ``edge`` from one replica to ``processor``."""
+        sender_hosts: frozenset[str] = frozenset(),
+    ) -> tuple[float, float, list[PlannedComm]]:
+        """Plan the comms carrying ``edge`` from one replica to ``processor``.
+
+        Returns ``(first, guaranteed, comms)``: the earliest arrival of
+        any route copy (the failure-free delivery) and the latest (what
+        no ``Npl`` link failures can delay past).  At ``npl = 0`` both
+        are the end of the single chain.
+        """
+        if self._npl:
+            return self._plan_replicated_transfer(
+                edge, producer, processor, state, sender_hosts
+            )
         direct = self._architecture.links_between(producer.processor, processor)
         if direct:
             if len(direct) != 1:
@@ -405,7 +442,7 @@ class PlacementPlanner:
                 target_processor=processor,
                 hop_index=0,
             )
-            return end, [comm]
+            return end, end, [comm]
         # Multi-hop route: store-and-forward over the shortest hop path.
         self._plan_simple = False
         hops = self._architecture.route_hops(producer.processor, processor)
@@ -428,7 +465,60 @@ class PlacementPlanner:
                 )
             )
             ready = end
-        return ready, comms
+        return ready, ready, comms
+
+    def _plan_replicated_transfer(
+        self,
+        edge: tuple[str, str],
+        producer: ScheduledOperation,
+        processor: str,
+        state: LinkState,
+        sender_hosts: frozenset[str] = frozenset(),
+    ) -> tuple[float, float, list[PlannedComm]]:
+        """One copy of the transfer per link-disjoint route (``Npl + 1``).
+
+        Any ``Npl`` broken links leave at least one copy's route fully
+        intact, so the data is guaranteed by the latest copy's delivery;
+        in the failure-free run the earliest copy wins (the simulator
+        starts consumers on their first delivered arrival).  Routes come
+        from the architecture's :class:`~repro.hardware.routing
+        .RoutePlanner` — relays avoid the other sender replicas' hosts
+        when possible — and raise a clear error when the topology cannot
+        provide ``Npl + 1`` disjoint routes.
+        """
+        self._plan_simple = False
+        routes = self._architecture.route_planner.disjoint_routes(
+            producer.processor,
+            processor,
+            self._npl + 1,
+            avoid=sender_hosts - {producer.processor},
+        )
+        comms: list[PlannedComm] = []
+        first = math.inf
+        guaranteed = -math.inf
+        for route_index, hops in enumerate(routes):
+            ready = producer.end
+            for index, (origin, link, relay) in enumerate(hops):
+                duration = self._comm_times.time_of(edge, link.name)
+                start, end = state.reserve(link.name, ready, duration)
+                comms.append(
+                    PlannedComm(
+                        source=edge[0],
+                        target=edge[1],
+                        source_replica=producer.replica,
+                        link=link.name,
+                        start=start,
+                        end=end,
+                        source_processor=origin,
+                        target_processor=relay,
+                        hop_index=index,
+                        route=route_index,
+                    )
+                )
+                ready = end
+            first = min(first, ready)
+            guaranteed = max(guaranteed, ready)
+        return first, guaranteed, comms
 
 
 def commit_plan(
@@ -463,5 +553,6 @@ def commit_plan(
                 source_processor=comm.source_processor,
                 target_processor=comm.target_processor,
                 hop_index=comm.hop_index,
+                route=comm.route,
             )
     return event

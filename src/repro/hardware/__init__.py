@@ -3,6 +3,7 @@
 from repro.hardware.architecture import Architecture
 from repro.hardware.link import Link, LinkKind
 from repro.hardware.processor import Processor
+from repro.hardware.routing import RoutePlanner
 from repro.hardware.topologies import fully_connected, ring, single_bus, star
 
 __all__ = [
@@ -10,6 +11,7 @@ __all__ = [
     "Link",
     "LinkKind",
     "Processor",
+    "RoutePlanner",
     "fully_connected",
     "ring",
     "single_bus",

@@ -17,6 +17,7 @@ import networkx as nx
 from repro.exceptions import ArchitectureError
 from repro.hardware.link import Link, LinkKind
 from repro.hardware.processor import Processor
+from repro.hardware.routing import RouteHop, RoutePlanner
 
 
 class Architecture:
@@ -35,7 +36,7 @@ class Architecture:
         self.name = name
         self._processors: dict[str, Processor] = {}
         self._links: dict[str, Link] = {}
-        self._routes: dict[tuple[str, str], tuple[Link, ...]] = {}
+        self._planner: RoutePlanner | None = None
         # Memoized views; the scheduler calls these once per trial plan,
         # so rebuilding them from the dicts each time shows up in E6.
         self._links_view: tuple[Link, ...] | None = None
@@ -53,7 +54,7 @@ class Architecture:
         if existing is not None:
             return existing
         self._processors[proc.name] = proc
-        self._routes.clear()
+        self._planner = None
         self._between.clear()
         self._processor_names_view = None
         return proc
@@ -89,7 +90,7 @@ class Architecture:
         if built.name in self._links:
             raise ArchitectureError(f"duplicate link name {built.name!r}")
         self._links[built.name] = built
-        self._routes.clear()
+        self._planner = None
         self._links_view = None
         self._link_names_view = None
         self._between.clear()
@@ -180,8 +181,20 @@ class Architecture:
         )
 
     # ------------------------------------------------------------------
-    # routing
+    # routing (delegated to the RoutePlanner, the single entry point)
     # ------------------------------------------------------------------
+    @property
+    def route_planner(self) -> RoutePlanner:
+        """The memoizing route planner bound to this architecture.
+
+        Rebuilt lazily after every structural change; all routing
+        queries — shortest routes, Menger bounds, disjoint route sets —
+        go through this one object.
+        """
+        if self._planner is None:
+            self._planner = RoutePlanner(self)
+        return self._planner
+
     def route(self, source: str, target: str) -> tuple[Link, ...]:
         """A shortest (fewest hops) sequence of links from source to target.
 
@@ -195,73 +208,32 @@ class Architecture:
         self.processor(target)
         if source == target:
             return ()
-        cached = self._routes.get((source, target))
-        if cached is not None:
-            return cached
-        route = self._compute_route(source, target)
-        self._routes[(source, target)] = route
-        return route
+        return self.route_planner.shortest_route(source, target)
 
-    def _compute_route(self, source: str, target: str) -> tuple[Link, ...]:
-        # BFS over processors, expanding neighbours in sorted (processor,
-        # link) order so the first route found is the deterministic winner.
-        parents: dict[str, tuple[str, Link]] = {}
-        frontier = [source]
-        seen = {source}
-        while frontier:
-            next_frontier: list[str] = []
-            for here in frontier:
-                for link in self.links_of(here):
-                    for neighbor in link.sorted_endpoints():
-                        if neighbor == here or neighbor in seen:
-                            continue
-                        seen.add(neighbor)
-                        parents[neighbor] = (here, link)
-                        next_frontier.append(neighbor)
-            if target in seen:
-                break
-            frontier = sorted(next_frontier)
-        if target not in parents:
-            raise ArchitectureError(f"no route from {source!r} to {target!r}")
-        hops: list[Link] = []
-        cursor = target
-        while cursor != source:
-            cursor, link = parents[cursor]
-            hops.append(link)
-        return tuple(reversed(hops))
-
-    def route_hops(self, source: str, target: str) -> tuple[tuple[str, Link, str], ...]:
+    def route_hops(self, source: str, target: str) -> tuple[RouteHop, ...]:
         """The shortest route as ``(from_processor, link, to_processor)`` hops.
 
         Multi-hop communications need the relay processors, not just the
         links; this returns both.  Empty for ``source == target``.
         """
-        links = self.route(source, target)
-        hops: list[tuple[str, Link, str]] = []
-        here = source
-        remaining = [target]
-        # Recompute the node sequence by walking the links: each link of a
-        # BFS shortest route moves strictly closer to the target, and the
-        # next node is the unique endpoint that continues the route.
-        for index, link in enumerate(links):
-            if index == len(links) - 1:
-                nxt = target
-            else:
-                candidates = [e for e in link.sorted_endpoints() if e != here]
-                nxt = None
-                for candidate in candidates:
-                    tail = self.route(candidate, target)
-                    if len(tail) == len(links) - index - 1:
-                        nxt = candidate
-                        break
-                if nxt is None:  # pragma: no cover - defensive
-                    raise ArchitectureError(
-                        f"cannot reconstruct route {source!r}->{target!r}"
-                    )
-            hops.append((here, link, nxt))
-            here = nxt
-        del remaining
-        return tuple(hops)
+        if source == target:
+            self.processor(source)
+            return ()
+        return self.route_planner.route_hops(source, target)
+
+    def disjoint_route_hops(
+        self, source: str, target: str, count: int
+    ) -> tuple[tuple[RouteHop, ...], ...]:
+        """``count`` pairwise link-disjoint routes in hop form.
+
+        ``count = 1`` is exactly :meth:`route_hops`; see
+        :meth:`repro.hardware.routing.RoutePlanner.disjoint_routes`.
+        """
+        return self.route_planner.disjoint_routes(source, target, count)
+
+    def menger_bound(self, source: str, target: str) -> int:
+        """Maximum number of pairwise link-disjoint routes (min link cut)."""
+        return self.route_planner.menger_bound(source, target)
 
     def hop_count(self, source: str, target: str) -> int:
         """Number of links on the shortest route between two processors."""

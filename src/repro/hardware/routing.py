@@ -1,0 +1,380 @@
+"""Disjoint-route planning over the architecture graph.
+
+The paper schedules every inter-processor transfer on one shortest
+route; masking ``Npl`` link failures additionally requires ``Npl + 1``
+pairwise *link-disjoint* routes per communicating processor pair (one
+copy of the data per route — any ``Npl`` broken links leave at least one
+copy's route intact).  :class:`RoutePlanner` is the single routing entry
+point of the repo:
+
+* :meth:`shortest_route` / :meth:`route_hops` — the deterministic BFS
+  shortest route the original engine used (fewest hops, lexicographically
+  smallest link-name sequence among ties);
+* :meth:`menger_bound` — the maximum number of pairwise link-disjoint
+  routes between two processors (Menger's theorem: the size of a minimum
+  link cut), computed as a unit-capacity max-flow where every link —
+  point-to-point or bus — is one capacity-1 resource;
+* :meth:`disjoint_routes` — ``count`` pairwise link-disjoint routes in
+  hop form, deterministic across runs, raising a clear
+  :class:`~repro.exceptions.ArchitectureError` when ``count`` exceeds
+  the Menger bound.
+
+``disjoint_routes(source, target, 1)`` returns exactly the legacy
+shortest route, which is what keeps ``npl = 0`` scheduling bit-identical
+to the pre-link-tolerance engine.
+
+Determinism.  The flow network enumerates processors and links in
+sorted-name order, augmenting paths are found by BFS expanding
+neighbours in that order (shortest augmenting path first, smallest name
+sequence among ties), and the final flow is decomposed by always
+following the smallest-id flow-carrying edge — so the same architecture
+always yields the same routes in the same order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.exceptions import ArchitectureError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.architecture import Architecture
+    from repro.hardware.link import Link
+
+#: ``(from_processor, link, to_processor)`` — one hop of a route.
+RouteHop = tuple[str, "Link", str]
+
+
+class RoutePlanner:
+    """Computes shortest and link-disjoint routes for one architecture.
+
+    Built lazily by :class:`~repro.hardware.architecture.Architecture`
+    and invalidated whenever a processor or link is added; all results
+    are memoized per ``(source, target)`` pair (and route count).
+    """
+
+    def __init__(self, architecture: "Architecture") -> None:
+        self._architecture = architecture
+        self._routes: dict[tuple[str, str], tuple["Link", ...]] = {}
+        self._disjoint: dict[tuple[str, str, int], tuple[tuple[RouteHop, ...], ...]] = {}
+        self._bounds: dict[tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # shortest route (the legacy BFS, moved here verbatim)
+    # ------------------------------------------------------------------
+    def shortest_route(self, source: str, target: str) -> tuple["Link", ...]:
+        """Fewest-hop link sequence, lexicographically smallest among ties."""
+        arc = self._architecture
+        arc.processor(source)
+        arc.processor(target)
+        if source == target:
+            return ()
+        cached = self._routes.get((source, target))
+        if cached is not None:
+            return cached
+        route = self._compute_route(source, target)
+        self._routes[(source, target)] = route
+        return route
+
+    def _compute_route(self, source: str, target: str) -> tuple["Link", ...]:
+        # BFS over processors, expanding neighbours in sorted (processor,
+        # link) order so the first route found is the deterministic winner.
+        arc = self._architecture
+        parents: dict[str, tuple[str, "Link"]] = {}
+        frontier = [source]
+        seen = {source}
+        while frontier:
+            next_frontier: list[str] = []
+            for here in frontier:
+                for link in arc.links_of(here):
+                    for neighbor in link.sorted_endpoints():
+                        if neighbor == here or neighbor in seen:
+                            continue
+                        seen.add(neighbor)
+                        parents[neighbor] = (here, link)
+                        next_frontier.append(neighbor)
+            if target in seen:
+                break
+            frontier = sorted(next_frontier)
+        if target not in parents:
+            raise ArchitectureError(f"no route from {source!r} to {target!r}")
+        hops: list["Link"] = []
+        cursor = target
+        while cursor != source:
+            cursor, link = parents[cursor]
+            hops.append(link)
+        return tuple(reversed(hops))
+
+    def route_hops(self, source: str, target: str) -> tuple[RouteHop, ...]:
+        """The shortest route as ``(from, link, to)`` hops."""
+        links = self.shortest_route(source, target)
+        hops: list[RouteHop] = []
+        here = source
+        # Recompute the node sequence by walking the links: each link of a
+        # BFS shortest route moves strictly closer to the target, and the
+        # next node is the unique endpoint that continues the route.
+        for index, link in enumerate(links):
+            if index == len(links) - 1:
+                nxt = target
+            else:
+                candidates = [e for e in link.sorted_endpoints() if e != here]
+                nxt = None
+                for candidate in candidates:
+                    tail = self.shortest_route(candidate, target)
+                    if len(tail) == len(links) - index - 1:
+                        nxt = candidate
+                        break
+                if nxt is None:  # pragma: no cover - defensive
+                    raise ArchitectureError(
+                        f"cannot reconstruct route {source!r}->{target!r}"
+                    )
+            hops.append((here, link, nxt))
+            here = nxt
+        return tuple(hops)
+
+    # ------------------------------------------------------------------
+    # link-disjoint routes (unit-capacity max-flow)
+    # ------------------------------------------------------------------
+    def menger_bound(self, source: str, target: str) -> int:
+        """Maximum number of pairwise link-disjoint routes (Menger).
+
+        A bus counts as a *single* capacity-1 resource regardless of how
+        many processor pairs it connects: one broken bus severs every
+        route through it, so two routes sharing a bus are not disjoint.
+        Returns 0 when the processors are disconnected; the bound of a
+        processor to itself is reported as 0 (no route needed).
+        """
+        arc = self._architecture
+        arc.processor(source)
+        arc.processor(target)
+        if source == target:
+            return 0
+        cached = self._bounds.get((source, target))
+        if cached is not None:
+            return cached
+        flow, _ = self._max_flow(source, target, limit=None)
+        self._bounds[(source, target)] = flow
+        return flow
+
+    def disjoint_routes(
+        self,
+        source: str,
+        target: str,
+        count: int,
+        avoid: frozenset[str] = frozenset(),
+    ) -> tuple[tuple[RouteHop, ...], ...]:
+        """``count`` pairwise link-disjoint routes in deterministic order.
+
+        ``count = 1`` returns exactly the legacy shortest route.  Raises
+        :class:`~repro.exceptions.ArchitectureError` with the achievable
+        bound when ``count`` routes do not exist — the actionable error
+        an ``Npl`` hypothesis too strong for the topology must produce.
+
+        ``avoid`` is a *preference*: processors that should not act as
+        relays if ``count`` disjoint routes exist without them (the
+        replication layer passes the hosts of the other sender replicas,
+        so a single crash cannot take out both a sender and another
+        sender's relay).  When avoiding them leaves fewer than ``count``
+        routes, the full graph is used — a preference, never a reason to
+        fail.
+        """
+        if count < 1:
+            raise ArchitectureError(f"route count must be >= 1, got {count}")
+        arc = self._architecture
+        arc.processor(source)
+        arc.processor(target)
+        if source == target:
+            raise ArchitectureError(
+                f"no routes needed from {source!r} to itself"
+            )
+        avoid = frozenset(avoid) - {source, target}
+        key = (source, target, count, avoid)
+        cached = self._disjoint.get(key)
+        if cached is not None:
+            return cached
+        if count == 1:
+            routes: tuple[tuple[RouteHop, ...], ...] = (self.route_hops(source, target),)
+        else:
+            routes = None
+            if avoid:
+                flow, residual = self._max_flow(
+                    source, target, limit=count, blocked=avoid
+                )
+                if flow >= count:
+                    routes = self._decompose(source, target, count, residual)
+            if routes is None:
+                flow, residual = self._max_flow(source, target, limit=count)
+                if flow < count:
+                    # Stopping short of ``count`` means no augmenting path
+                    # was left, so ``flow`` is the true Menger bound.
+                    self._bounds.setdefault((source, target), flow)
+                    raise ArchitectureError(
+                        f"only {flow} link-disjoint route(s) exist from "
+                        f"{source!r} to {target!r}; {count} required "
+                        f"(tolerating Npl = {count - 1} link failure(s) needs "
+                        f"Npl + 1 disjoint routes)"
+                    )
+                routes = self._decompose(source, target, count, residual)
+        self._disjoint[key] = routes
+        return routes
+
+    # -- flow network ---------------------------------------------------
+    # Node ids: processors 0..P-1 in sorted-name order, then per link i
+    # (sorted-name order) an entry node P+2i and an exit node P+2i+1;
+    # the entry->exit edge carries the link's capacity of 1.
+    def _network(self):
+        arc = self._architecture
+        procs = arc.processor_names()
+        links = arc.links()
+        proc_id = {name: i for i, name in enumerate(procs)}
+        n = len(procs) + 2 * len(links)
+        capacity: list[dict[int, int]] = [dict() for _ in range(n)]
+        for i, link in enumerate(links):
+            entry = len(procs) + 2 * i
+            exit_ = entry + 1
+            capacity[entry][exit_] = 1
+            capacity[exit_][entry] = 0
+            for endpoint in link.sorted_endpoints():
+                p = proc_id[endpoint]
+                capacity[p][entry] = 1
+                capacity[entry][p] = 0
+                capacity[exit_][p] = 1
+                capacity[p][exit_] = 0
+        return procs, links, proc_id, capacity
+
+    def _max_flow(
+        self,
+        source: str,
+        target: str,
+        limit: int | None,
+        blocked: frozenset[str] = frozenset(),
+    ):
+        """Edmonds-Karp with deterministic BFS; returns (flow, network).
+
+        ``blocked`` processors cannot act as relays: their outgoing
+        transit edges are removed (the terminals are never blocked).
+        """
+        procs, links, proc_id, capacity = self._network()
+        for name in sorted(blocked):
+            node = proc_id.get(name)
+            if node is None or name in (source, target):
+                continue
+            for neighbor in capacity[node]:
+                capacity[node][neighbor] = 0
+        src, dst = proc_id[source], proc_id[target]
+        flow = 0
+        while limit is None or flow < limit:
+            parent = self._augmenting_path(capacity, src, dst)
+            if parent is None:
+                break
+            node = dst
+            while node != src:
+                prev = parent[node]
+                capacity[prev][node] -= 1
+                capacity[node][prev] += 1
+                node = prev
+            flow += 1
+        return flow, (procs, links, proc_id, capacity)
+
+    @staticmethod
+    def _augmenting_path(capacity, src: int, dst: int):
+        """Shortest augmenting path by BFS in deterministic id order."""
+        parent: dict[int, int] = {src: src}
+        frontier = [src]
+        while frontier:
+            next_frontier: list[int] = []
+            for here in frontier:
+                for neighbor in sorted(capacity[here]):
+                    if neighbor in parent or capacity[here][neighbor] <= 0:
+                        continue
+                    parent[neighbor] = here
+                    if neighbor == dst:
+                        return parent
+                    next_frontier.append(neighbor)
+            frontier = next_frontier
+        return None
+
+    def _decompose(
+        self, source: str, target: str, count: int, network
+    ) -> tuple[tuple[RouteHop, ...], ...]:
+        """Split a flow of value ``count`` into ``count`` hop paths."""
+        procs, links, proc_id, capacity = network
+        n_procs = len(procs)
+        # Flow on a forward edge = 1 - residual capacity.
+        used: list[set[int]] = [set() for _ in range(len(capacity))]
+        for i, link in enumerate(links):
+            entry = n_procs + 2 * i
+            exit_ = entry + 1
+            if capacity[entry][exit_] == 0:
+                used[entry].add(exit_)
+            for endpoint in link.sorted_endpoints():
+                p = proc_id[endpoint]
+                if capacity[p][entry] == 0:
+                    used[p].add(entry)
+                if capacity[exit_][p] == 0:
+                    used[exit_].add(p)
+        src, dst = proc_id[source], proc_id[target]
+        routes: list[tuple[RouteHop, ...]] = []
+        for _ in range(count):
+            # Walk flow-carrying edges, smallest id first; consume them.
+            sequence = [src]
+            node = src
+            while node != dst:
+                nxt = min(used[node])
+                used[node].discard(nxt)
+                sequence.append(nxt)
+                node = nxt
+            routes.append(self._hops_from_sequence(sequence, procs, links, n_procs))
+        # Shortest first; link-name sequence breaks ties deterministically.
+        routes.sort(key=lambda r: (len(r), tuple(hop[1].name for hop in r)))
+        return tuple(routes)
+
+    @staticmethod
+    def _hops_from_sequence(sequence, procs, links, n_procs) -> tuple[RouteHop, ...]:
+        """Processor/link node walk -> (from, link, to) hops, loops removed."""
+        # Project onto alternating processor / link visits.
+        visits: list[tuple[str, object]] = []  # ("proc", name) | ("link", Link)
+        for node in sequence:
+            if node < n_procs:
+                visits.append(("proc", procs[node]))
+            elif (node - n_procs) % 2 == 0:
+                visits.append(("link", links[(node - n_procs) // 2]))
+        # Remove loops on repeated processors (a flow decomposition may
+        # pick up a cycle of leftover flow; cutting it only drops links,
+        # so disjointness is preserved).
+        trimmed: list[tuple[str, object]] = []
+        seen_at: dict[str, int] = {}
+        for visit in visits:
+            if visit[0] == "proc":
+                earlier = seen_at.get(visit[1])
+                if earlier is not None:
+                    for dropped in trimmed[earlier + 1:]:
+                        if dropped[0] == "proc":
+                            del seen_at[dropped[1]]
+                    del trimmed[earlier + 1:]
+                    continue
+                seen_at[visit[1]] = len(trimmed)
+            trimmed.append(visit)
+        hops: list[RouteHop] = []
+        for i in range(0, len(trimmed) - 2, 2):
+            here = trimmed[i][1]
+            link = trimmed[i + 1][1]
+            there = trimmed[i + 2][1]
+            hops.append((here, link, there))
+        return tuple(hops)
+
+    # ------------------------------------------------------------------
+    # feasibility
+    # ------------------------------------------------------------------
+    def require_disjoint_routes(self, count: int) -> None:
+        """Raise unless every distinct processor pair has ``count`` routes.
+
+        The static guarantee of ``Npl``-link-failure masking needs
+        ``Npl + 1`` disjoint routes wherever replication may place
+        communicating replicas — which, absent distribution constraints,
+        is any processor pair.
+        """
+        names = self._architecture.processor_names()
+        for i, first in enumerate(names):
+            for second in names[i + 1:]:
+                self.disjoint_routes(first, second, count)

@@ -40,6 +40,11 @@ class ProblemSpec:
         Optional real-time constraints ``Rtc``.
     name:
         Identifier used in reports and serialized documents.
+    npl:
+        Number of communication-link failures to tolerate.  The paper
+        leaves link failures as future work (``npl = 0`` reproduces its
+        engine exactly); with ``npl >= 1`` every inter-processor
+        transfer is replicated over ``npl + 1`` link-disjoint routes.
     """
 
     algorithm: AlgorithmGraph
@@ -49,15 +54,23 @@ class ProblemSpec:
     npf: int = 0
     rtc: RealTimeConstraints = field(default_factory=RealTimeConstraints)
     name: str = "problem"
+    npl: int = 0
 
     def __post_init__(self) -> None:
         if self.npf < 0:
             raise SchedulingError(f"npf must be >= 0, got {self.npf}")
+        if self.npl < 0:
+            raise SchedulingError(f"npl must be >= 0, got {self.npl}")
 
     @property
     def replication_factor(self) -> int:
         """Minimum number of replicas per operation: ``Npf + 1``."""
         return self.npf + 1
+
+    @property
+    def route_replication_factor(self) -> int:
+        """Link-disjoint routes per inter-processor transfer: ``Npl + 1``."""
+        return self.npl + 1
 
     def validate(self) -> None:
         """Cross-check all the pieces of the problem.
@@ -81,6 +94,14 @@ class ProblemSpec:
         elif self.algorithm.dependencies() and len(processors) > 1:
             raise SchedulingError(
                 "architecture has several processors but no communication link"
+            )
+        if self.npl >= 1 and len(processors) > 1:
+            # Replication may place communicating replicas on any
+            # processor pair, so every pair must offer Npl + 1
+            # link-disjoint routes (the planner's error names the
+            # achievable Menger bound).
+            self.architecture.route_planner.require_disjoint_routes(
+                self.route_replication_factor
             )
 
     def __repr__(self) -> str:

@@ -60,7 +60,10 @@ class ScheduledComm:
     toward the ``target_replica``-th replica of ``target`` (on
     ``target_processor``).  Multi-hop routes produce one comm per hop with
     increasing ``hop_index``; ``target_processor`` is then the next-hop
-    relay for intermediate comms.
+    relay for intermediate comms.  Under link-failure tolerance
+    (``Npl >= 1``) one transfer is carried over ``Npl + 1`` link-disjoint
+    routes; ``route`` numbers the copies from 0, and each copy has its
+    own hop chain.
     """
 
     start: float
@@ -73,6 +76,7 @@ class ScheduledComm:
     source_processor: str
     target_processor: str
     hop_index: int = 0
+    route: int = 0
 
     def __post_init__(self) -> None:
         if self.end < self.start:

@@ -56,8 +56,12 @@ class Schedule:
     links:
         Names of the communication links.
     npf:
-        The failure hypothesis the schedule was built for (0 for a
-        non-fault-tolerant schedule).
+        The processor-failure hypothesis the schedule was built for
+        (0 for a non-fault-tolerant schedule).
+    npl:
+        The link-failure hypothesis: inter-processor transfers are
+        replicated over ``npl + 1`` link-disjoint routes (0 disables
+        comm replication — the paper's original engine).
     """
 
     def __init__(
@@ -66,9 +70,11 @@ class Schedule:
         links: Iterable[str] = (),
         npf: int = 0,
         name: str = "schedule",
+        npl: int = 0,
     ) -> None:
         self.name = name
         self.npf = npf
+        self.npl = npl
         self._processor_timelines: dict[str, list[ScheduledOperation]] = {
             p: [] for p in processors
         }
@@ -150,6 +156,7 @@ class Schedule:
         source_processor: str,
         target_processor: str,
         hop_index: int = 0,
+        route: int = 0,
     ) -> ScheduledComm:
         """Place a data transfer on a link; rejects overlaps on the link."""
         if link not in self._link_timelines:
@@ -165,6 +172,7 @@ class Schedule:
             source_processor=source_processor,
             target_processor=target_processor,
             hop_index=hop_index,
+            route=route,
         )
         index = self._insert(self._link_timelines[link], event, f"link {link!r}")
         self._link_busy[link].insert(index, (event.start, event.end))
@@ -448,8 +456,9 @@ class Schedule:
             f"Schedule {self.name!r}: {self.replica_count()} replicas of "
             f"{len(self._replicas)} operations on {len(self._processor_timelines)} "
             f"processors, {self.comm_count()} comms on "
-            f"{len(self._link_timelines)} links, npf={self.npf}, "
-            f"makespan={self.makespan():g}"
+            f"{len(self._link_timelines)} links, npf={self.npf}"
+            + (f", npl={self.npl}" if self.npl else "")
+            + f", makespan={self.makespan():g}"
         )
 
     def __repr__(self) -> str:

@@ -197,8 +197,14 @@ def rtc_from_dict(document: Mapping) -> RealTimeConstraints:
 # ----------------------------------------------------------------------
 
 def problem_to_dict(problem: ProblemSpec) -> dict:
-    """Serialize a full scheduling problem."""
-    return {
+    """Serialize a full scheduling problem.
+
+    ``npl`` is emitted only when nonzero so documents (and the content
+    hashes derived from them) of pre-link-tolerance problems are
+    byte-identical to what earlier versions produced — campaign caches
+    keep their entries, while any ``npl >= 1`` problem hashes apart.
+    """
+    document = {
         "format_version": _FORMAT_VERSION,
         "name": problem.name,
         "npf": problem.npf,
@@ -208,6 +214,9 @@ def problem_to_dict(problem: ProblemSpec) -> dict:
         "comm_times": comm_times_to_dict(problem.comm_times),
         "rtc": rtc_to_dict(problem.rtc),
     }
+    if problem.npl:
+        document["npl"] = problem.npl
+    return document
 
 
 def problem_from_dict(document: Mapping) -> ProblemSpec:
@@ -216,6 +225,7 @@ def problem_from_dict(document: Mapping) -> ProblemSpec:
         return ProblemSpec(
             name=document.get("name", "problem"),
             npf=int(document.get("npf", 0)),
+            npl=int(document.get("npl", 0)),
             algorithm=algorithm_from_dict(document["algorithm"]),
             architecture=architecture_from_dict(document["architecture"]),
             exec_times=exec_times_from_dict(document["exec_times"]),
@@ -231,8 +241,14 @@ def problem_from_dict(document: Mapping) -> ProblemSpec:
 # ----------------------------------------------------------------------
 
 def schedule_to_dict(schedule: Schedule) -> dict:
-    """Serialize a static schedule with all its events."""
-    return {
+    """Serialize a static schedule with all its events.
+
+    Like :func:`problem_to_dict`, the ``npl`` hypothesis and per-comm
+    ``route`` indices are emitted only when nonzero, keeping the
+    documents (and content hashes) of ``npl = 0`` schedules identical
+    to what earlier versions produced.
+    """
+    document = {
         "format_version": _FORMAT_VERSION,
         "name": schedule.name,
         "npf": schedule.npf,
@@ -261,10 +277,14 @@ def schedule_to_dict(schedule: Schedule) -> dict:
                 "source_processor": c.source_processor,
                 "target_processor": c.target_processor,
                 "hop_index": c.hop_index,
+                **({"route": c.route} if c.route else {}),
             }
             for c in schedule.all_comms()
         ],
     }
+    if schedule.npl:
+        document["npl"] = schedule.npl
+    return document
 
 
 def schedule_from_dict(document: Mapping) -> Schedule:
@@ -279,6 +299,7 @@ def schedule_from_dict(document: Mapping) -> Schedule:
             processors=document["processors"],
             links=document.get("links", []),
             npf=int(document.get("npf", 0)),
+            npl=int(document.get("npl", 0)),
             name=document.get("name", "schedule"),
         )
         events = sorted(
@@ -305,6 +326,7 @@ def schedule_from_dict(document: Mapping) -> Schedule:
                 entry["source_processor"],
                 entry["target_processor"],
                 hop_index=int(entry.get("hop_index", 0)),
+                route=int(entry.get("route", 0)),
             )
         return schedule
     except (KeyError, TypeError) as error:

@@ -248,6 +248,7 @@ def _previous_hop(comms, comm: ScheduledComm) -> ScheduledComm | None:
             other.edge == comm.edge
             and other.source_replica == comm.source_replica
             and other.target_replica == comm.target_replica
+            and other.route == comm.route
             and other.hop_index == comm.hop_index - 1
         ):
             return other

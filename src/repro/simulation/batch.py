@@ -1,17 +1,21 @@
 """Batched failure-scenario simulation for reliability certification.
 
 :class:`BatchScenarioEngine` answers "is this crash subset masked?" for
-thousands of scenarios against one schedule.  It compiles the schedule
-once (:mod:`repro.simulation.compiled`), simulates the failure-free
+thousands of scenarios against one schedule — including the *combined*
+processor+link subsets of link-failure certification (``npl >= 1``
+schedules), which silence links exactly like the per-scenario executor
+does.  It compiles the schedule once
+(:mod:`repro.simulation.compiled`), simulates the failure-free
 baseline once, and then spends per scenario only what the scenario
 actually requires:
 
 * **footprint-equivalence pruning** — crash subsets that silence no
   scheduled event are grouped into the *nominal* equivalence class and
-  answered from the baseline without simulating: processors the
-  schedule never involves are dropped from every subset, and a crash
-  instant past a processor's last involvement (its final replica end,
-  last sent comm, last received comm) provably reproduces the baseline
+  answered from the baseline without simulating: processors (and
+  links) the schedule never involves are dropped from every subset,
+  and a crash instant past a resource's last involvement (a
+  processor's final replica end / last sent comm / last received comm,
+  a link's last transmission end) provably reproduces the baseline
   trace.  The class membership test is O(|subset|), so the exact
   probability sum over all ``2^P`` subsets stays exact while most of
   the lattice is never simulated;
@@ -116,8 +120,12 @@ class BatchScenarioEngine:
         )
         compiled = self._compiled
         n_procs = len(compiled.proc_names)
+        n_links = len(compiled.link_names)
         self._host_send_last = [0.0] * n_procs
         self._recv_last = [-1.0] * n_procs
+        #: Baseline end of the last comm on each link — a link failing
+        #: after its last transmission reproduces the baseline verbatim.
+        self._link_last = [0.0] * n_links
         if self._baseline_clean:
             for op, proc in enumerate(compiled.op_proc):
                 end = self._baseline.op_end[op]
@@ -127,12 +135,21 @@ class BatchScenarioEngine:
                 end = self._baseline.comm_end[comm]
                 src = compiled.comm_src_proc[comm]
                 dst = compiled.comm_dst_proc[comm]
+                link = compiled.comm_link[comm]
                 if end > self._host_send_last[src]:
                     self._host_send_last[src] = end
                 if end > self._recv_last[dst]:
                     self._recv_last[dst] = end
+                if end > self._link_last[link]:
+                    self._link_last[link] = end
+        #: Whether each link carries any comm at all — silencing an
+        #: unused link can never change a decision.
+        self._link_involved = tuple(
+            bool(order) for order in compiled.link_order
+        )
         self._verdict_memo: dict[tuple, bool] = {}
         self._cone_prefix: dict[tuple[int, ...], int] = {(): 0}
+        self._link_cone_prefix: dict[tuple[int, ...], int] = {(): 0}
         self._trace_memo: dict[tuple, ExecutionTrace] = {}
 
     # ------------------------------------------------------------------
@@ -193,15 +210,20 @@ class BatchScenarioEngine:
     # crash-subset verdicts (the certification hot path)
     # ------------------------------------------------------------------
     def crash_subset_masked(
-        self, processors: Iterable[str], crash_times: Iterable[float]
+        self,
+        processors: Iterable[str],
+        crash_times: Iterable[float],
+        links: Iterable[str] = (),
     ) -> bool:
         """True when the crash subset is masked at every instant.
 
         Mirrors the per-scenario rule: every operation must complete on
         at least one processor under simultaneous permanent crashes of
-        ``processors`` at each instant of ``crash_times`` (checked in
-        order, stopping at the first break — verdicts are memoized, so
-        the short-circuit never loses information).
+        ``processors`` (and, for combined processor+link certification,
+        permanent failures of ``links``) at each instant of
+        ``crash_times`` (checked in order, stopping at the first break —
+        verdicts are memoized, so the short-circuit never loses
+        information).
         """
         proc_ids = self._compiled.proc_ids
         involved = self._compiled.proc_involved
@@ -212,30 +234,51 @@ class BatchScenarioEngine:
                 if name in proc_ids and involved[proc_ids[name]]
             )
         )
+        link_ids = self._compiled.link_ids
+        link_involved = self._link_involved
+        reduced_links = tuple(
+            sorted(
+                link_ids[name]
+                for name in links
+                if name in link_ids and link_involved[link_ids[name]]
+            )
+        )
         for at in crash_times:
-            if not self._crash_masked(reduced, at):
+            if not self._crash_masked(reduced, at, reduced_links):
                 return False
         return True
 
-    def _crash_masked(self, reduced: tuple[int, ...], at: float) -> bool:
+    def _crash_masked(
+        self,
+        reduced: tuple[int, ...],
+        at: float,
+        reduced_links: tuple[int, ...] = (),
+    ) -> bool:
         """Verdict for one reduced subset at one crash instant."""
         self.stats.scenarios += 1
-        if not reduced:
+        if not reduced and not reduced_links:
             return self._baseline_delivered
-        if self._baseline_clean and self._is_nominal_equivalent(reduced, at):
+        if self._baseline_clean and self._is_nominal_equivalent(
+            reduced, at, reduced_links
+        ):
             self.stats.pruned_nominal += 1
             return self._baseline_delivered
-        key = (reduced, at)
+        key = (reduced, at) if not reduced_links else (reduced, at, reduced_links)
         cached = self._verdict_memo.get(key)
         if cached is not None:
             self.stats.memo_hits += 1
             return cached
-        queries = _CrashSetQueries(frozenset(reduced), at)
+        queries = _CrashSetQueries(
+            frozenset(reduced), at, frozenset(reduced_links)
+        )
         state = None
         if self._cone_ok:
+            cone = self._subset_cone(reduced)
+            if reduced_links:
+                cone |= self._link_subset_cone(reduced_links)
             state = self._compiled.replay(
                 baseline=self._baseline,
-                cone=self._subset_cone(reduced),
+                cone=cone,
                 verdict_only=True,
                 queries=queries,
             )
@@ -254,18 +297,30 @@ class BatchScenarioEngine:
         self._verdict_memo[key] = verdict
         return verdict
 
-    def _is_nominal_equivalent(self, reduced: tuple[int, ...], at: float) -> bool:
+    def _is_nominal_equivalent(
+        self,
+        reduced: tuple[int, ...],
+        at: float,
+        reduced_links: tuple[int, ...] = (),
+    ) -> bool:
         """Exact test: the crash lands after every involvement of the subset.
 
         A processor whose hosted operations and sent comms all end by
         ``at`` (and whose received comms end strictly before ``at``)
         answers every scenario query exactly as the nominal scenario
-        does, so the whole replay reproduces the baseline verbatim.
+        does; a link whose last comm ends by ``at`` likewise never
+        blocks a transmit window (a failure interval ``[at, inf)``
+        overlaps a window ``[start, end)`` only when ``at < end``) — so
+        the whole replay reproduces the baseline verbatim.
         """
         host_send = self._host_send_last
         recv = self._recv_last
         for proc in reduced:
             if host_send[proc] > at or recv[proc] >= at:
+                return False
+        link_last = self._link_last
+        for link in reduced_links:
+            if link_last[link] > at:
                 return False
         return True
 
@@ -284,4 +339,16 @@ class BatchScenarioEngine:
             | self._compiled.proc_cone(reduced[-1])
         )
         self._cone_prefix[reduced] = cone
+        return cone
+
+    def _link_subset_cone(self, reduced_links: tuple[int, ...]) -> int:
+        """Union of link cones with the same prefix-cache trick."""
+        cached = self._link_cone_prefix.get(reduced_links)
+        if cached is not None:
+            return cached
+        cone = (
+            self._link_subset_cone(reduced_links[:-1])
+            | self._compiled.link_cone(reduced_links[-1])
+        )
+        self._link_cone_prefix[reduced_links] = cone
         return cone

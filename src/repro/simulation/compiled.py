@@ -87,15 +87,24 @@ class _CrashSetQueries:
     """Uniform permanent crash subset at one instant — the hot path.
 
     Replicates ``FailureScenario`` window arithmetic exactly for the
-    special case of permanent ``[at, inf)`` processor failures: a window
-    of ``duration`` fits at ``earliest`` iff it closes by ``at``.
+    special case of permanent ``[at, inf)`` failures: a window of
+    ``duration`` fits at ``earliest`` iff it closes by ``at``.  The
+    subset may silence processors *and* links (the combined scenarios of
+    processor+link certification); a transmit window is blocked when
+    either the sender or the medium is in the subset.
     """
 
-    __slots__ = ("_down", "_at")
+    __slots__ = ("_down", "_at", "_down_links")
 
-    def __init__(self, down: frozenset[int], at: float) -> None:
+    def __init__(
+        self,
+        down: frozenset[int],
+        at: float,
+        down_links: frozenset[int] = frozenset(),
+    ) -> None:
         self._down = down
         self._at = at
+        self._down_links = down_links
 
     def next_window(self, proc: int, earliest: float, duration: float):
         if proc not in self._down:
@@ -103,8 +112,7 @@ class _CrashSetQueries:
         return earliest if self._at >= earliest + duration else None
 
     def transmit_window(self, proc: int, link: int, earliest: float, duration: float):
-        # No link failures in a crash set: the medium never blocks.
-        if proc not in self._down:
+        if proc not in self._down and link not in self._down_links:
             return earliest
         return earliest if self._at >= earliest + duration else None
 
@@ -157,15 +165,20 @@ def _queries(
     """The cheapest query adapter that models ``scenario`` exactly."""
     if scenario is None or len(scenario) == 0:
         return _NominalQueries()
-    crash_set = scenario.permanent_crash_set()
-    if crash_set is not None:
-        processors, at = crash_set
+    failure_set = scenario.permanent_failure_set()
+    if failure_set is not None:
+        processors, links, at = failure_set
         down = frozenset(
             compiled.proc_ids[name]
             for name in processors
             if name in compiled.proc_ids
         )
-        return _CrashSetQueries(down, at)
+        down_links = frozenset(
+            compiled.link_ids[name]
+            for name in links
+            if name in compiled.link_ids
+        )
+        return _CrashSetQueries(down, at, down_links)
     return _GenericQueries(scenario, compiled.proc_names, compiled.link_names)
 
 
@@ -236,6 +249,7 @@ class CompiledTrace:
                     source_processor=event.source_processor,
                     target_processor=event.target_processor,
                     hop_index=event.hop_index,
+                    route=event.route,
                     status=_STATUS_VALUES[self.comm_status[comm]],
                     start=self.comm_start[comm],
                     end=self.comm_end[comm],
@@ -328,12 +342,14 @@ class CompiledSchedule:
         ]
 
         # Hop chains: producer replica for hop 0, previous hop otherwise.
+        # One chain per route copy — route-replicated transfers
+        # (npl >= 1) run Npl + 1 independent chains side by side.
         final_hop: dict[tuple, int] = {}
         by_chain: dict[tuple, int] = {}
         for comm, event in enumerate(self.comm_events):
             chain = (
                 event.source, event.target,
-                event.source_replica, event.target_replica,
+                event.source_replica, event.target_replica, event.route,
             )
             final_hop[chain] = max(final_hop.get(chain, 0), event.hop_index)
             by_chain[(*chain, event.hop_index)] = comm
@@ -343,7 +359,7 @@ class CompiledSchedule:
         for comm, event in enumerate(self.comm_events):
             chain = (
                 event.source, event.target,
-                event.source_replica, event.target_replica,
+                event.source_replica, event.target_replica, event.route,
             )
             self.comm_is_final[comm] = event.hop_index == final_hop[chain]
             if event.hop_index == 0:

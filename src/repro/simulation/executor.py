@@ -145,16 +145,27 @@ class ScheduleSimulator:
     # static precomputation
     # ------------------------------------------------------------------
     def _compute_final_hops(self) -> dict[tuple, int]:
-        """Last hop index of every comm chain (multi-hop routes)."""
+        """Last hop index of every comm chain (multi-hop routes).
+
+        A chain is one route copy of one transfer: route-replicated
+        transfers (``npl >= 1``) have ``Npl + 1`` independent chains per
+        ``(source, target, replica pair)``.
+        """
         last: dict[tuple, int] = {}
         for comm in self._schedule.all_comms():
-            key = (comm.source, comm.target, comm.source_replica, comm.target_replica)
+            key = self._chain_key(comm)
             last[key] = max(last.get(key, 0), comm.hop_index)
         return last
 
+    @staticmethod
+    def _chain_key(comm: ScheduledComm) -> tuple:
+        return (
+            comm.source, comm.target,
+            comm.source_replica, comm.target_replica, comm.route,
+        )
+
     def _is_final_hop(self, comm: ScheduledComm) -> bool:
-        key = (comm.source, comm.target, comm.source_replica, comm.target_replica)
-        return comm.hop_index == self._final_hop_index[key]
+        return comm.hop_index == self._final_hop_index[self._chain_key(comm)]
 
     def _compute_feeding_comms(
         self,
@@ -192,6 +203,7 @@ class ScheduleSimulator:
                 and other.target == comm.target
                 and other.source_replica == comm.source_replica
                 and other.target_replica == comm.target_replica
+                and other.route == comm.route
                 and other.hop_index == comm.hop_index - 1
             ):
                 return other
@@ -421,6 +433,7 @@ class ScheduleSimulator:
             source_processor=comm.source_processor,
             target_processor=comm.target_processor,
             hop_index=comm.hop_index,
+            route=comm.route,
             status=status,
             start=start,
             end=end,

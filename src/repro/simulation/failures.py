@@ -6,12 +6,13 @@ comms while down.  Failures are *permanent* (``until = inf``) or
 set of failure intervals; the helpers answer the questions the simulator
 asks ("is P up at t?", "when can P next run for d time units?").
 
-Link failures are also modelled (a broken medium transmits nothing while
-down) even though FTBAR does **not** claim to tolerate them — the paper's
-conclusion lists link failures as future work, and simulating them lets
-the test-suite demonstrate both the limitation (a bus failure breaks the
-schedule) and the incidental robustness on fully connected topologies
-(parallel links give the replicated comms disjoint paths).
+Link failures are modelled the same way (a broken medium transmits
+nothing while down) and are *masked* by schedules built with an
+``Npl >= 1`` hypothesis: every inter-processor transfer is then carried
+over ``Npl + 1`` link-disjoint routes, so any ``Npl`` broken links leave
+at least one copy's route intact.  The paper's own conclusion left link
+failures as future work; ``npl = 0`` schedules reproduce that original
+engine, where a broken bus can still break the schedule.
 """
 
 from __future__ import annotations
@@ -98,6 +99,7 @@ class FailureScenario:
         self._signature: tuple | None = None
         self._hash: int | None = None
         self._crash_set: tuple[tuple[str, ...], float] | None | bool = False
+        self._failure_set: tuple | None | bool = False
         for failure in failures:
             if isinstance(failure, LinkFailure):
                 self._link_intervals.setdefault(failure.link, []).append(failure)
@@ -142,8 +144,30 @@ class FailureScenario:
     def link_down(
         cls, link: str, at: float = 0.0, until: float = math.inf
     ) -> "FailureScenario":
-        """One link failure (future-work territory: not masked by FTBAR)."""
+        """One link failure (masked by schedules built with ``Npl >= 1``).
+
+        Schedules built with the paper's original ``npl = 0`` hypothesis
+        carry each transfer on a single route and offer no masking
+        guarantee against a broken medium.
+        """
         return cls([LinkFailure(link, at, until)])
+
+    @classmethod
+    def resource_crashes(
+        cls,
+        processors: Iterable[str] = (),
+        links: Iterable[str] = (),
+        at: float = 0.0,
+    ) -> "FailureScenario":
+        """Simultaneous permanent crashes of processors *and* links.
+
+        The combined scenario the processor+link certificates enumerate:
+        every named resource goes silent at ``at`` and never recovers.
+        """
+        return cls(
+            [ProcessorFailure(p, at) for p in processors]
+            + [LinkFailure(l, at) for l in links]
+        )
 
     # ------------------------------------------------------------------
     # queries
@@ -217,19 +241,45 @@ class FailureScenario:
         """The ``(processors, at)`` form of a uniform crash subset.
 
         ``None`` unless every failure is a *permanent* processor crash
-        and all crashes share one instant — the shape the batched
-        simulation engine fast-paths.  Memoized like :meth:`signature`.
+        and all crashes share one instant — the link-free special case
+        of :meth:`permanent_failure_set` (the single place the
+        detection logic lives), memoized like :meth:`signature`.
         """
         if self._crash_set is False:
-            self._crash_set = None
-            if not self._link_intervals and self._intervals:
-                failures = [f for fs in self._intervals.values() for f in fs]
+            failure_set = self.permanent_failure_set()
+            if failure_set is None or failure_set[1]:
+                self._crash_set = None
+            else:
+                self._crash_set = (failure_set[0], failure_set[2])
+        return self._crash_set
+
+    def permanent_failure_set(
+        self,
+    ) -> tuple[tuple[str, ...], tuple[str, ...], float] | None:
+        """The ``(processors, links, at)`` form of a uniform crash subset.
+
+        Like :meth:`permanent_crash_set` but covering link failures:
+        ``None`` unless every failure (processor *or* link) is permanent
+        and all share one instant — the shape of the combined
+        processor+link scenarios the batched certifier fast-paths.
+        """
+        if self._failure_set is False:
+            self._failure_set = None
+            failures = [
+                f
+                for table in (self._intervals, self._link_intervals)
+                for fs in table.values()
+                for f in fs
+            ]
+            if failures:
                 instants = {f.at for f in failures}
                 if len(instants) == 1 and all(f.permanent for f in failures):
-                    self._crash_set = (
-                        tuple(sorted(self._intervals)), instants.pop()
+                    self._failure_set = (
+                        tuple(sorted(self._intervals)),
+                        tuple(sorted(self._link_intervals)),
+                        instants.pop(),
                     )
-        return self._crash_set
+        return self._failure_set
 
     def is_up(self, processor: str, instant: float) -> bool:
         """True when ``processor`` is healthy at ``instant``."""

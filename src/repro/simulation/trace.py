@@ -54,7 +54,7 @@ class SimulatedOperation:
 
 @dataclass(frozen=True)
 class SimulatedComm:
-    """Actual outcome of one comm (one hop)."""
+    """Actual outcome of one comm (one hop of one route copy)."""
 
     source: str
     target: str
@@ -68,6 +68,7 @@ class SimulatedComm:
     start: float | None = None
     end: float | None = None
     delivered: bool = False
+    route: int = 0
 
     def label(self) -> str:
         """Short identity, e.g. ``I/0->A/1 on L1.3=completed``."""

@@ -1,0 +1,213 @@
+"""Tests for the disjoint-route planner (link-failure tolerance layer).
+
+The planner must (a) reproduce the legacy BFS shortest route exactly for
+``count = 1`` (that is what keeps ``npl = 0`` scheduling bit-identical),
+(b) return pairwise link-disjoint routes bounded by Menger's theorem,
+(c) be deterministic across runs and rebuilt architectures, and (d) fail
+with an actionable error when ``Npl + 1`` disjoint routes do not exist.
+"""
+
+import pytest
+
+from repro.exceptions import ArchitectureError
+from repro.hardware.architecture import Architecture
+from repro.hardware.link import Link
+from repro.hardware.routing import RoutePlanner
+from repro.hardware.topologies import fully_connected, ring, single_bus, star
+
+
+def _links_of_route(route):
+    return [link.name for _, link, _ in route]
+
+
+def _assert_route_wellformed(architecture, route, source, target):
+    here = source
+    for origin, link, relay in route:
+        assert origin == here
+        assert link.attaches(origin)
+        assert link.attaches(relay)
+        here = relay
+    assert here == target
+
+
+def _assert_disjoint(routes):
+    seen: set[str] = set()
+    for route in routes:
+        names = set(_links_of_route(route))
+        assert len(names) == len(route), "route reuses a link"
+        assert not (names & seen), "routes share a link"
+        seen |= names
+
+
+class TestMengerBound:
+    def test_ring_every_pair_is_two(self):
+        arc = ring(5)
+        names = arc.processor_names()
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                assert arc.menger_bound(a, b) == 2
+
+    def test_fully_connected_is_p_minus_one(self):
+        for count in (3, 4, 5):
+            arc = fully_connected(count)
+            assert arc.menger_bound("P1", "P2") == count - 1
+
+    def test_star_leaf_pairs_are_one(self):
+        arc = star(4)
+        assert arc.menger_bound("P2", "P3") == 1
+        assert arc.menger_bound("P1", "P2") == 1  # hub-leaf: one spoke
+
+    def test_bus_is_single_resource(self):
+        arc = single_bus(4)
+        assert arc.menger_bound("P1", "P3") == 1
+
+    def test_two_buses_give_two(self):
+        arc = Architecture("double-bus")
+        for name in ("P1", "P2", "P3"):
+            arc.add_processor(name)
+        arc.add_link(Link.bus("BUS.A", ("P1", "P2", "P3")))
+        arc.add_link(Link.bus("BUS.B", ("P1", "P2", "P3")))
+        assert arc.menger_bound("P1", "P3") == 2
+
+    def test_self_pair_is_zero(self):
+        assert ring(4).menger_bound("P1", "P1") == 0
+
+    def test_disconnected_is_zero(self):
+        arc = Architecture("split")
+        for name in ("P1", "P2"):
+            arc.add_processor(name)
+        assert arc.menger_bound("P1", "P2") == 0
+
+
+class TestDisjointRoutes:
+    def test_count_one_is_the_legacy_route(self):
+        for builder in (ring, fully_connected, star, single_bus):
+            arc = builder(4)
+            names = arc.processor_names()
+            for a in names:
+                for b in names:
+                    if a == b:
+                        continue
+                    assert arc.disjoint_route_hops(a, b, 1) == (
+                        arc.route_hops(a, b),
+                    )
+
+    @pytest.mark.parametrize("builder,count", [
+        (ring, 2), (fully_connected, 3),
+    ])
+    def test_disjointness_and_wellformedness(self, builder, count):
+        arc = builder(4)
+        names = arc.processor_names()
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                routes = arc.disjoint_route_hops(a, b, count)
+                assert len(routes) == count
+                _assert_disjoint(routes)
+                for route in routes:
+                    _assert_route_wellformed(arc, route, a, b)
+
+    def test_ring_adjacent_pair_takes_both_arcs(self):
+        arc = ring(4)
+        routes = arc.disjoint_route_hops("P1", "P2", 2)
+        assert _links_of_route(routes[0]) == ["L1.2"]
+        assert _links_of_route(routes[1]) == ["L1.4", "L3.4", "L2.3"]
+
+    def test_two_buses_route_over_distinct_buses(self):
+        arc = Architecture("double-bus")
+        for name in ("P1", "P2", "P3"):
+            arc.add_processor(name)
+        arc.add_link(Link.bus("BUS.A", ("P1", "P2", "P3")))
+        arc.add_link(Link.bus("BUS.B", ("P1", "P2", "P3")))
+        routes = arc.disjoint_route_hops("P1", "P3", 2)
+        assert [_links_of_route(r) for r in routes] == [["BUS.A"], ["BUS.B"]]
+
+    def test_deterministic_across_runs_and_rebuilds(self):
+        def snapshot(arc):
+            names = arc.processor_names()
+            return {
+                (a, b): tuple(
+                    tuple((o, l.name, r) for o, l, r in route)
+                    for route in arc.disjoint_route_hops(a, b, 2)
+                )
+                for i, a in enumerate(names)
+                for b in names[i + 1:]
+            }
+
+        first = snapshot(ring(6))
+        assert first == snapshot(ring(6))
+        # Memoized results match fresh computations.
+        arc = ring(6)
+        assert snapshot(arc) == snapshot(arc) == first
+
+    def test_avoid_preference_skips_named_relays(self):
+        arc = fully_connected(4)
+        routes = arc.route_planner.disjoint_routes(
+            "P1", "P3", 2, avoid=frozenset({"P2"})
+        )
+        relays = {
+            node
+            for route in routes
+            for origin, _, relay in route
+            for node in (origin, relay)
+        } - {"P1", "P3"}
+        assert "P2" not in relays
+
+    def test_avoid_is_a_preference_not_a_constraint(self):
+        # On the ring, avoiding both intermediate processors is
+        # impossible; the planner must fall back to the full graph.
+        arc = ring(4)
+        routes = arc.route_planner.disjoint_routes(
+            "P1", "P2", 2, avoid=frozenset({"P3", "P4"})
+        )
+        assert len(routes) == 2
+        _assert_disjoint(routes)
+
+
+class TestErrors:
+    def test_star_cannot_offer_two_routes(self):
+        arc = star(4)
+        with pytest.raises(ArchitectureError) as excinfo:
+            arc.disjoint_route_hops("P2", "P3", 2)
+        message = str(excinfo.value)
+        assert "only 1 link-disjoint route(s)" in message
+        assert "Npl" in message  # actionable: names the hypothesis knob
+
+    def test_count_above_menger_bound(self):
+        arc = ring(4)
+        with pytest.raises(ArchitectureError, match="only 2 link-disjoint"):
+            arc.disjoint_route_hops("P1", "P3", 3)
+
+    def test_invalid_count(self):
+        with pytest.raises(ArchitectureError, match="route count"):
+            ring(4).disjoint_route_hops("P1", "P2", 0)
+
+    def test_self_route_rejected(self):
+        with pytest.raises(ArchitectureError):
+            ring(4).disjoint_route_hops("P1", "P1", 2)
+
+    def test_unknown_processor(self):
+        with pytest.raises(ArchitectureError):
+            ring(4).disjoint_route_hops("P1", "P9", 2)
+
+    def test_require_disjoint_routes(self):
+        ring(4).route_planner.require_disjoint_routes(2)
+        with pytest.raises(ArchitectureError):
+            star(4).route_planner.require_disjoint_routes(2)
+
+
+class TestPlannerIsTheSingleEntryPoint:
+    def test_architecture_delegates_to_one_planner(self):
+        arc = ring(4)
+        planner = arc.route_planner
+        assert isinstance(planner, RoutePlanner)
+        assert arc.route_planner is planner  # memoized
+        assert arc.route("P1", "P3") == planner.shortest_route("P1", "P3")
+        assert arc.route_hops("P1", "P3") == planner.route_hops("P1", "P3")
+
+    def test_structural_change_invalidates_planner(self):
+        arc = ring(4)
+        before = arc.route_planner
+        assert arc.menger_bound("P1", "P3") == 2
+        arc.add_link(Link.between("L1.3", "P1", "P3"))
+        assert arc.route_planner is not before
+        assert arc.menger_bound("P1", "P3") == 3
