@@ -9,30 +9,53 @@ operation" — HBP evaluates every ordered processor *pair* per candidate
 Two timed bodies (one per scheduler) let pytest-benchmark print the
 direct comparison; the recorded table adds a small N sweep.
 
-The module also measures the incremental engine against its legacy
-full-recompute path (``SchedulerOptions(incremental=False)``) over an N
-sweep — N in {40, 100} by default, {40, 100, 200, 500} under
-``REPRO_BENCH_FULL=1`` — and records the result in ``BENCH_runtime.json``
-at the repository root so the perf trajectory is tracked PR-over-PR.
-The same file records the campaign subsystem's throughput: the wall
-clock of one multi-graph campaign at ``jobs=1`` versus one worker per
-CPU (``campaign_jobs1_vs_cpu``).
+The module also measures the perf trajectory of the scheduling engines
+and records it in ``BENCH_runtime.json`` at the repository root:
+
+* ``ftbar_incremental_vs_legacy`` — the PR-1 incremental engine against
+  the seed full-recompute path;
+* ``ftbar_compiled_vs_incremental`` — the compiled kernel
+  (``SchedulerOptions(compiled=True)``) against the object incremental
+  engine, with the kernel's work counters (candidates evaluated, cache
+  hits, scratch-buffer reuses);
+* ``profile_top`` — the top cProfile hotspots of one compiled
+  scheduling run (``--profile``), so perf PRs can prove where the time
+  went before/after;
+* ``campaign_jobs1_vs_cpu`` — campaign throughput at ``jobs=1`` versus
+  one worker per CPU (``--force-workers N`` oversubscribes on 1-CPU
+  hosts so the comparison always produces numbers).
+
 Run it directly::
 
-    PYTHONPATH=src python benchmarks/bench_runtime.py [--full]
+    PYTHONPATH=src python benchmarks/bench_runtime.py \
+        [--full] [--profile] [--force-workers N]
 """
 
+import cProfile
 import gc
 import json
+import pstats
 import sys
 import time
 from pathlib import Path
 
 try:
     from benchmarks.conftest import full_scale, graphs_per_point
-except ModuleNotFoundError:  # invoked as `python benchmarks/bench_runtime.py`
+except ModuleNotFoundError:
+    # Invoked as `python benchmarks/bench_runtime.py`, or in a minimal
+    # install without pytest (which conftest imports for its fixtures):
+    # the benches only need the env-var scale knobs, mirrored here.
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
-    from benchmarks.conftest import full_scale, graphs_per_point
+    try:
+        from benchmarks.conftest import full_scale, graphs_per_point
+    except ModuleNotFoundError:
+        import os
+
+        def full_scale() -> bool:
+            return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+        def graphs_per_point(reduced: int = 5, full: int = 60) -> int:
+            return full if full_scale() else reduced
 from repro.analysis.experiments import run_runtime_comparison
 from repro.analysis.reporting import format_runtime_comparison
 from repro.baselines.hbp import schedule_hbp
@@ -48,7 +71,12 @@ _PROBLEM = generate_problem(
 )
 
 _RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
-_LEGACY = SchedulerOptions(incremental=False)
+#: The seed engine: no incremental cache, no compiled kernel.
+_LEGACY = SchedulerOptions(incremental=False, compiled=False)
+#: The PR-1 engine: incremental cache on the object path.
+_INCREMENTAL = SchedulerOptions(compiled=False)
+#: This PR's engine: the compiled kernel (the default options).
+_COMPILED = SchedulerOptions()
 
 
 def _best_of(function, problem, options, repeats: int) -> tuple[float, object]:
@@ -73,7 +101,7 @@ def _best_of(function, problem, options, repeats: int) -> tuple[float, object]:
 
 
 def run_incremental_sweep(full: bool = False, repeats: int = 5) -> dict:
-    """Time FTBAR's incremental engine against the legacy path per N."""
+    """Time FTBAR's incremental engine against the seed path per N."""
     counts = (40, 100, 200, 500) if full else (40, 100)
     sweep: dict[str, dict] = {}
     for n in counts:
@@ -83,7 +111,7 @@ def run_incremental_sweep(full: bool = False, repeats: int = 5) -> dict:
             )
         )
         incremental_s, incremental = _best_of(
-            schedule_ftbar, problem, SchedulerOptions(), repeats
+            schedule_ftbar, problem, _INCREMENTAL, repeats
         )
         legacy_s, legacy = _best_of(schedule_ftbar, problem, _LEGACY, repeats)
         assert incremental.makespan == legacy.makespan, (
@@ -100,6 +128,91 @@ def run_incremental_sweep(full: bool = False, repeats: int = 5) -> dict:
             "makespan": incremental.makespan,
         }
     return sweep
+
+
+def run_compiled_sweep(full: bool = False, repeats: int = 5) -> dict:
+    """Time the compiled kernel against the object incremental engine.
+
+    The counters are asserted equal before recording: the kernel is a
+    pure-performance change, so any divergence voids the measurement.
+    """
+    counts = (40, 100, 200, 300, 500, 800) if full else (40, 100)
+    sweep: dict[str, dict] = {}
+    for n in counts:
+        problem = generate_problem(
+            RandomWorkloadConfig(
+                operations=n, ccr=1.0, processors=4, npf=1, seed=2003
+            )
+        )
+        compiled_s, compiled = _best_of(
+            schedule_ftbar, problem, _COMPILED, repeats
+        )
+        incremental_s, incremental = _best_of(
+            schedule_ftbar, problem, _INCREMENTAL, repeats
+        )
+        legacy_s, _ = _best_of(
+            schedule_ftbar, problem, _LEGACY, max(1, repeats // 2)
+        )
+        assert compiled.makespan == incremental.makespan, (
+            f"engines diverge at N={n}"
+        )
+        assert (
+            compiled.stats.pressure_evaluations,
+            compiled.stats.cache_hits,
+        ) == (
+            incremental.stats.pressure_evaluations,
+            incremental.stats.cache_hits,
+        ), f"counters diverge at N={n}"
+        sweep[str(n)] = {
+            "compiled_s": compiled_s,
+            "incremental_s": incremental_s,
+            "legacy_s": legacy_s,
+            "speedup": incremental_s / compiled_s,
+            "speedup_vs_seed": legacy_s / compiled_s,
+            "pressure_evaluations": compiled.stats.pressure_evaluations,
+            "cache_hits": compiled.stats.cache_hits,
+            "buffer_reuses": compiled.stats.buffer_reuses,
+            "makespan": compiled.makespan,
+        }
+    return sweep
+
+
+def run_profile(operations: int = 300, top: int = 20) -> dict:
+    """cProfile one compiled scheduling run; record the top hotspots.
+
+    Returns ``{"operations", "total_s", "hotspots": [...]}`` where each
+    hotspot carries the cumulative-time ranking the ``profile_top`` key
+    of ``BENCH_runtime.json`` stores — the before/after evidence a perf
+    PR points at.
+    """
+    problem = generate_problem(
+        RandomWorkloadConfig(
+            operations=operations, ccr=1.0, processors=4, npf=1, seed=2003
+        )
+    )
+    schedule_ftbar(problem)  # warmup, untimed
+    profiler = cProfile.Profile()
+    profiler.enable()
+    schedule_ftbar(problem)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    hotspots = []
+    total = 0.0
+    for function, (cc, ncalls, tottime, cumtime, _) in stats.stats.items():
+        total = max(total, cumtime)
+        hotspots.append({
+            "function": "{}:{}:{}".format(*function),
+            "ncalls": ncalls,
+            "tottime_s": round(tottime, 6),
+            "cumtime_s": round(cumtime, 6),
+        })
+    hotspots.sort(key=lambda h: -h["cumtime_s"])
+    return {
+        "operations": operations,
+        "total_s": round(total, 6),
+        "hotspots": hotspots[:top],
+    }
 
 
 def run_hbp_sweep(full: bool = False, repeats: int = 3) -> dict:
@@ -123,27 +236,41 @@ def run_hbp_sweep(full: bool = False, repeats: int = 3) -> dict:
     return sweep
 
 
-def run_campaign_jobs_sweep(full: bool = False) -> dict:
-    """Wall-clock of one campaign at jobs=1 versus one worker per CPU.
+def run_campaign_jobs_sweep(
+    full: bool = False, force_workers: int | None = None
+) -> dict:
+    """Wall-clock of one campaign at jobs=1 versus a worker pool.
 
     The campaign schedules ``graphs`` independent random problems —
     embarrassingly parallel work, so the worker pool's scaling shows up
-    directly.  Both runs verify they produce identical record sets.  On
-    a single-CPU host both legs would take the same sequential path, so
-    the entry is marked ``skipped`` with the reason instead of recording
-    a warm-cache ratio as if it measured the pool.
+    directly.  Both runs verify they produce identical record sets.
+
+    On a single-CPU host both legs would take the same sequential path;
+    without ``force_workers`` the entry is marked ``skipped`` with the
+    reason.  ``force_workers`` oversubscribes the pool to that many
+    processes regardless of CPU count, so the jobs=1-vs-jobs=N
+    comparison always produces numbers — the honest ``workers`` and
+    ``cpu_count`` fields record what actually ran (an ``oversubscribed``
+    ratio near 1.0 on one CPU measures pool overhead, not scaling).
     """
     operations = 60 if full else 30
     graphs = 16 if full else 8
-    workers = default_worker_count()
-    if workers <= 1:
+    cpu_workers = default_worker_count()
+    workers = cpu_workers
+    oversubscribed = False
+    if force_workers is not None and force_workers > 1:
+        workers = force_workers
+        oversubscribed = force_workers > cpu_workers
+    elif cpu_workers <= 1:
         return {
             "operations": operations,
             "graphs": graphs,
-            "workers": workers,
+            "workers": cpu_workers,
+            "cpu_count": cpu_workers,
             "skipped": True,
             "reason": "only one CPU available — jobs=1 and jobs=cpu would "
-            "run the same sequential path",
+            "run the same sequential path (pass --force-workers N to "
+            "measure the oversubscribed pool anyway)",
         }
     spec = CampaignSpec(
         name="bench-campaign",
@@ -162,6 +289,8 @@ def run_campaign_jobs_sweep(full: bool = False) -> dict:
         "operations": operations,
         "graphs": graphs,
         "workers": workers,
+        "cpu_count": cpu_workers,
+        "oversubscribed": oversubscribed,
         "jobs1_s": jobs1_s,
         "jobs_cpu_s": jobs_cpu_s,
         "speedup": jobs1_s / jobs_cpu_s,
@@ -169,7 +298,12 @@ def run_campaign_jobs_sweep(full: bool = False) -> dict:
     }
 
 
-def write_bench_json(full: bool = False, repeats: int = 5) -> dict:
+def write_bench_json(
+    full: bool = False,
+    repeats: int = 5,
+    profile: bool = False,
+    force_workers: int | None = None,
+) -> dict:
     """Run the sweeps and record them in ``BENCH_runtime.json``.
 
     Keys owned by other benches (e.g. ``bench_reliability.py``'s
@@ -187,10 +321,15 @@ def write_bench_json(full: bool = False, repeats: int = 5) -> dict:
                 "repeats": repeats, "full": full,
             },
             "ftbar_incremental_vs_legacy": run_incremental_sweep(full, repeats),
+            "ftbar_compiled_vs_incremental": run_compiled_sweep(full, repeats),
             "ftbar_vs_hbp": run_hbp_sweep(full, repeats),
-            "campaign_jobs1_vs_cpu": run_campaign_jobs_sweep(full),
+            "campaign_jobs1_vs_cpu": run_campaign_jobs_sweep(
+                full, force_workers
+            ),
         }
     )
+    if profile:
+        payload["profile_top"] = run_profile()
     _RESULT_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
     return payload
 
@@ -243,13 +382,39 @@ def bench_runtime_incremental_vs_legacy(benchmark, record_result):
 
 def main(argv: list[str]) -> int:
     full = full_scale() or "--full" in argv
-    payload = write_bench_json(full=full)
+    profile = "--profile" in argv
+    force_workers = None
+    if "--force-workers" in argv:
+        try:
+            force_workers = int(argv[argv.index("--force-workers") + 1])
+        except (IndexError, ValueError):
+            print(
+                "usage: bench_runtime.py [--full] [--profile] "
+                "[--force-workers N]",
+                file=sys.stderr,
+            )
+            return 2
+    payload = write_bench_json(
+        full=full, profile=profile, force_workers=force_workers
+    )
     print(json.dumps(payload, indent=1, sort_keys=True))
     n100 = payload["ftbar_incremental_vs_legacy"].get("100")
     if n100 is not None:
         print(
             f"\nFTBAR N=100 speedup over non-incremental path: "
             f"{n100['speedup']:.2f}x",
+            file=sys.stderr,
+        )
+    for n, point in sorted(
+        payload["ftbar_compiled_vs_incremental"].items(),
+        key=lambda kv: int(kv[0]),
+    ):
+        print(
+            f"compiled kernel N={n}: {point['speedup']:.2f}x vs incremental, "
+            f"{point['speedup_vs_seed']:.2f}x vs seed "
+            f"({point['pressure_evaluations']} evaluations, "
+            f"{point['cache_hits']} cache hits, "
+            f"{point['buffer_reuses']} buffer reuses)",
             file=sys.stderr,
         )
     campaign = payload["campaign_jobs1_vs_cpu"]

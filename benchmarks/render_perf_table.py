@@ -1,0 +1,141 @@
+"""Render the README performance table from ``BENCH_runtime.json``.
+
+The repository's perf trajectory accumulates in ``BENCH_runtime.json``
+(each bench merges its own keys); this script turns the recorded
+sections into the Markdown tables the README's "Performance" section
+embeds, so the published numbers are always regenerable from the
+recorded data rather than hand-copied::
+
+    PYTHONPATH=src python benchmarks/render_perf_table.py [path]
+
+Covered sections, one table per engine-trajectory PR:
+
+* ``ftbar_incremental_vs_legacy`` — PR 1's incremental engine vs seed;
+* ``ftbar_compiled_vs_incremental`` — this PR's compiled kernel vs the
+  incremental engine (and cumulatively vs seed);
+* ``reliability_certificates`` — PR 3/4's batched scenario engine;
+* ``campaign_jobs1_vs_cpu`` — PR 2's worker pool.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+_DEFAULT = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:,.1f} ms"
+
+
+def render_incremental(section: dict) -> list[str]:
+    lines = [
+        "### PR 1 — incremental engine vs seed full recompute",
+        "",
+        "| N | seed engine | incremental | speedup | plans computed (vs seed) |",
+        "|---:|---:|---:|---:|---:|",
+    ]
+    for n, point in sorted(section.items(), key=lambda kv: int(kv[0])):
+        lines.append(
+            f"| {n} | {_fmt_ms(point['legacy_s'])} "
+            f"| {_fmt_ms(point['incremental_s'])} "
+            f"| {point['speedup']:.1f}x "
+            f"| {point['incremental_pressure_evaluations']} vs "
+            f"{point['legacy_pressure_evaluations']} |"
+        )
+    return lines
+
+
+def render_compiled(section: dict) -> list[str]:
+    lines = [
+        "### This PR — compiled kernel vs incremental engine",
+        "",
+        "| N | incremental | compiled kernel | speedup | vs seed | buffer reuses |",
+        "|---:|---:|---:|---:|---:|---:|",
+    ]
+    for n, point in sorted(section.items(), key=lambda kv: int(kv[0])):
+        lines.append(
+            f"| {n} | {_fmt_ms(point['incremental_s'])} "
+            f"| {_fmt_ms(point['compiled_s'])} "
+            f"| {point['speedup']:.1f}x "
+            f"| {point['speedup_vs_seed']:.1f}x "
+            f"| {point['buffer_reuses']} |"
+        )
+    return lines
+
+
+def render_reliability(label: str, section: dict) -> list[str]:
+    lines = [
+        f"### PR 3/4 — batched scenario engine ({label})",
+        "",
+        "| P | per-scenario | batched | speedup |",
+        "|---:|---:|---:|---:|",
+    ]
+    for processors, point in sorted(
+        ((k, v) for k, v in section.items() if isinstance(v, dict)),
+        key=lambda kv: int(kv[0]),
+    ):
+        if "batched_s" not in point:
+            continue
+        lines.append(
+            f"| {processors} | {_fmt_ms(point['legacy_s'])} "
+            f"| {_fmt_ms(point['batched_s'])} "
+            f"| {point['speedup']:.1f}x |"
+        )
+    return lines
+
+
+def render_campaign(section: dict) -> list[str]:
+    lines = ["### PR 2 — campaign worker pool", ""]
+    if section.get("skipped"):
+        lines.append(f"Skipped on this host: {section['reason']}")
+        return lines
+    suffix = " (oversubscribed)" if section.get("oversubscribed") else ""
+    lines += [
+        "| jobs | graphs x N | wall clock | speedup |",
+        "|---:|:--|---:|---:|",
+        f"| 1 | {section['graphs']} x N={section['operations']} "
+        f"| {_fmt_ms(section['jobs1_s'])} | 1.0x |",
+        f"| {section['workers']}{suffix} "
+        f"| {section['graphs']} x N={section['operations']} "
+        f"| {_fmt_ms(section['jobs_cpu_s'])} "
+        f"| {section['speedup']:.1f}x |",
+    ]
+    return lines
+
+
+def render(payload: dict) -> str:
+    blocks: list[list[str]] = []
+    if "ftbar_incremental_vs_legacy" in payload:
+        blocks.append(render_incremental(payload["ftbar_incremental_vs_legacy"]))
+    if "ftbar_compiled_vs_incremental" in payload:
+        blocks.append(render_compiled(payload["ftbar_compiled_vs_incremental"]))
+    for key, label in (
+        (
+            "reliability_certificate_batched_vs_scenario",
+            "processor certificates",
+        ),
+        (
+            "reliability_certificate_combined_npf_npl",
+            "combined npf=1 + npl=1 certificates",
+        ),
+    ):
+        if key in payload:
+            rendered = render_reliability(label, payload[key])
+            if len(rendered) > 4:
+                blocks.append(rendered)
+    if "campaign_jobs1_vs_cpu" in payload:
+        blocks.append(render_campaign(payload["campaign_jobs1_vs_cpu"]))
+    return "\n\n".join("\n".join(block) for block in blocks if block) + "\n"
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[0]) if argv else _DEFAULT
+    print(render(json.loads(path.read_text())), end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
 
@@ -37,6 +38,52 @@ from repro.schedule.schedule import Schedule
 from repro.simulation.batch import BatchScenarioEngine
 from repro.simulation.executor import DetectionPolicy, ScheduleSimulator
 from repro.simulation.failures import FailureScenario
+
+
+#: Beyond this many processors (or links) the per-level subset
+#: enumeration leaves the regime the exhaustive certifier was designed
+#: for; levels are then capped at :data:`MAX_SUBSETS_PER_LEVEL` subsets
+#: (taken in canonical order, deterministically) and the analysis emits
+#: a :class:`CertificationCapWarning` naming the cap and the enumerated
+#: fraction — never a silent weakening of the verdict.
+ENUMERATION_CAP = 12
+
+#: Per-(crash size, link size) level ceiling once a cap is exceeded.
+MAX_SUBSETS_PER_LEVEL = 4096
+
+
+class CertificationCapWarning(UserWarning):
+    """The certificate sampled its subset enumeration instead of
+    sweeping it exhaustively.
+
+    Structured: ``resources`` names what exceeded the cap
+    (``"processors"`` and/or ``"links"``), ``cap`` the threshold,
+    ``enumerated_subsets`` / ``total_subsets`` the coverage and
+    ``sampled_fraction`` their ratio.  A capped certificate's
+    ``certified`` verdict only vouches for the enumerated subsets.
+    """
+
+    def __init__(
+        self,
+        resources: tuple[str, ...],
+        cap: int,
+        enumerated_subsets: int,
+        total_subsets: int,
+    ) -> None:
+        self.resources = resources
+        self.cap = cap
+        self.enumerated_subsets = enumerated_subsets
+        self.total_subsets = total_subsets
+        self.sampled_fraction = (
+            enumerated_subsets / total_subsets if total_subsets else 1.0
+        )
+        super().__init__(
+            f"certification enumeration capped: {' and '.join(resources)} "
+            f"exceed the cap of {cap}; enumerated "
+            f"{enumerated_subsets}/{total_subsets} subsets "
+            f"({self.sampled_fraction:.2%}) in canonical order — the "
+            f"verdict only vouches for the enumerated fraction"
+        )
 
 
 @dataclass(frozen=True)
@@ -243,25 +290,58 @@ def fault_tolerance_certificate(
     certificate = FaultToleranceCertificate(
         npf=schedule.npf, crash_times=times, npl=min(npl, link_bound)
     )
+    capped_resources = tuple(
+        name
+        for name, count in (
+            ("processors", len(processors)), ("links", len(links))
+        )
+        if count > ENUMERATION_CAP
+    )
+    enumerated_subsets = 0
+    full_subsets = 0
     for size in range(bound + 1):
         for link_size in range(link_bound + 1):
             masked = 0
             total = 0
-            for subset in itertools.combinations(processors, size):
-                for link_subset in itertools.combinations(links, link_size):
-                    total += 1
-                    if is_masked(subset, times, link_subset):
-                        masked += 1
-                    elif size <= schedule.npf and link_size <= npl:
-                        if link_size:
-                            certificate.breaking_combined.append(
-                                (frozenset(subset), frozenset(link_subset))
-                            )
-                        else:
-                            certificate.breaking_subsets.append(frozenset(subset))
+            level_subsets = (
+                (subset, link_subset)
+                for subset in itertools.combinations(processors, size)
+                for link_subset in itertools.combinations(links, link_size)
+            )
+            if capped_resources:
+                # Deterministic sampling: the first
+                # MAX_SUBSETS_PER_LEVEL subsets in canonical order.
+                level_subsets = itertools.islice(
+                    level_subsets, MAX_SUBSETS_PER_LEVEL
+                )
+                full_subsets += math.comb(
+                    len(processors), size
+                ) * math.comb(len(links), link_size)
+            for subset, link_subset in level_subsets:
+                total += 1
+                if is_masked(subset, times, link_subset):
+                    masked += 1
+                elif size <= schedule.npf and link_size <= npl:
+                    if link_size:
+                        certificate.breaking_combined.append(
+                            (frozenset(subset), frozenset(link_subset))
+                        )
+                    else:
+                        certificate.breaking_subsets.append(frozenset(subset))
+            enumerated_subsets += total
             certificate.levels.append(
                 ToleranceLevel(size, masked, total, link_failures=link_size)
             )
+    if capped_resources:
+        warnings.warn(
+            CertificationCapWarning(
+                capped_resources,
+                ENUMERATION_CAP,
+                enumerated_subsets,
+                full_subsets,
+            ),
+            stacklevel=2,
+        )
     return certificate
 
 

@@ -30,7 +30,9 @@ import time
 from dataclasses import dataclass, field
 
 from repro.exceptions import InfeasibleReplicationError, SchedulingError
+from repro.core.compile import CompiledProblem
 from repro.core.incremental import MutationTracker, PlanCache
+from repro.core.kernel import SchedulingKernel
 from repro.core.placement import PlacementPlanner, commit_plan
 from repro.problem import ProblemSpec
 from repro.schedule.schedule import Schedule
@@ -72,9 +74,16 @@ class HBPResult:
 
 
 class HBPScheduler:
-    """Height-based partitioning scheduler with task duplication."""
+    """Height-based partitioning scheduler with task duplication.
 
-    def __init__(self, problem: ProblemSpec) -> None:
+    ``compiled`` (default) runs the ordered-pair cost search on the
+    same :class:`~repro.core.kernel.SchedulingKernel` as FTBAR —
+    bit-identical schedules and pair counters, so the E6 runtime
+    comparison measures the heuristics, not the data structures.
+    ``compiled=False`` keeps the object path.
+    """
+
+    def __init__(self, problem: ProblemSpec, compiled: bool = True) -> None:
         if problem.npf != 1:
             raise SchedulingError(
                 f"HBP duplicates tasks exactly once and tolerates exactly one "
@@ -98,6 +107,16 @@ class HBPScheduler:
             npf=HBP_REPLICAS - 1,
         )
         self._cache = PlanCache()
+        self._compiled: CompiledProblem | None = None
+        if compiled:
+            self._compiled = CompiledProblem(
+                self._algorithm,
+                self._architecture,
+                self._exec_times,
+                self._comm_times,
+                HBP_REPLICAS - 1,
+                0,
+            )
 
     def run(self) -> HBPResult:
         """Schedule the height groups from the highest down.
@@ -117,6 +136,15 @@ class HBPScheduler:
             npf=HBP_REPLICAS - 1,
             name=f"{self._problem.name}-hbp",
         )
+        if self._compiled is not None:
+            self._run_compiled(schedule, stats)
+        else:
+            self._run_object(schedule, stats)
+        stats.wall_time_s = time.perf_counter() - started
+        rtc_report = self._problem.rtc.check(schedule)
+        return HBPResult(schedule=schedule, rtc_report=rtc_report, stats=stats)
+
+    def _run_object(self, schedule: Schedule, stats: HBPStats) -> None:
         self._cache = PlanCache()
         tracker = MutationTracker(schedule)
         for group in self._height_groups():
@@ -130,9 +158,62 @@ class HBPScheduler:
                 self._cache.invalidate(tracker.delta())
                 remaining.remove(task)
         stats.pair_cache_hits = self._cache.hits
-        stats.wall_time_s = time.perf_counter() - started
-        rtc_report = self._problem.rtc.check(schedule)
-        return HBPResult(schedule=schedule, rtc_report=rtc_report, stats=stats)
+
+    def _run_compiled(self, schedule: Schedule, stats: HBPStats) -> None:
+        """The same group loop over the compiled kernel's pair costs."""
+        compiled = self._compiled
+        kernel = SchedulingKernel(compiled, schedule, vector=False)
+        op_ids = compiled.op_ids
+        n_procs = compiled.n_procs
+        pair_span = n_procs * n_procs
+        for group in self._height_groups():
+            remaining = [op_ids[task] for task in group]
+            while remaining:
+                stats.steps += 1
+                task, first, second = self._select_compiled(
+                    remaining, kernel
+                )
+                kernel.begin_step()
+                kernel.commit_pair(task, first, second)
+                kernel.forget_range(
+                    task * pair_span, (task + 1) * pair_span
+                )
+                kernel.invalidate_step()
+                remaining.remove(task)
+        kernel.materialize()
+        stats.pair_evaluations = kernel.misses
+        stats.pair_cache_hits = kernel.hits
+
+    def _select_compiled(
+        self, tasks: list[int], kernel: SchedulingKernel
+    ) -> tuple[int, int, int]:
+        """The cheapest (task, pair) — `_select` over dense ids."""
+        compiled = self._compiled
+        best: tuple[float, int, int, int] | None = None
+        for task in tasks:
+            processors = compiled.allowed[task]
+            if len(processors) < HBP_REPLICAS:
+                raise InfeasibleReplicationError(
+                    f"task {compiled.op_names[task]!r} can run on "
+                    f"{len(processors)} processor(s), {HBP_REPLICAS} "
+                    f"required by HBP"
+                )
+            for first in processors:
+                for second in processors:
+                    if first == second:
+                        continue
+                    cost = kernel.pair_cost(task, first, second)
+                    if cost is None:
+                        continue
+                    key = (cost, task, first, second)
+                    if best is None or key < best:
+                        best = key
+        if best is None:
+            raise InfeasibleReplicationError(
+                f"no feasible processor pair among tasks "
+                f"{[self._compiled.op_names[t] for t in tasks]!r}"
+            )
+        return best[1], best[2], best[3]
 
     # ------------------------------------------------------------------
     # ordering
@@ -267,6 +348,6 @@ class HBPScheduler:
         return max(first_end, second_end)
 
 
-def schedule_hbp(problem: ProblemSpec) -> HBPResult:
+def schedule_hbp(problem: ProblemSpec, compiled: bool = True) -> HBPResult:
     """Convenience one-call API for the HBP baseline."""
-    return HBPScheduler(problem).run()
+    return HBPScheduler(problem, compiled=compiled).run()

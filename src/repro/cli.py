@@ -14,6 +14,7 @@ Sub-commands::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -235,6 +236,8 @@ def _build_parser() -> argparse.ArgumentParser:
     bench = commands.add_parser("bench", help="regenerate a paper figure")
     bench.add_argument(
         "figure",
+        nargs="?",
+        default=None,
         choices=[
             "figure9",
             "figure10",
@@ -244,6 +247,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "bus",
             "gap",
         ],
+        help="paper figure to regenerate (omit with --profile/--smoke)",
     )
     bench.add_argument("--graphs", type=int, default=10, help="graphs per point")
     bench.add_argument(
@@ -252,6 +256,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the overhead sweeps (0 = one per CPU); "
         "routes figure9/figure10 through the campaign pool",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile one compiled scheduling run and record the top "
+        "hotspots under the profile_top key of BENCH_runtime.json",
+    )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="schedule the pinned smoke problems with the compiled kernel "
+        "and fail if any evaluation/decision counter moved (deterministic "
+        "— counters, not wall clock)",
     )
 
     campaign = commands.add_parser(
@@ -591,9 +608,134 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Work counters of the compiled engines over the perf-smoke problems.
+#: Wall clock is machine-dependent, the counters are not: any change
+#: here is an algorithmic change (or a broken cache) and must be
+#: reviewed, not absorbed.  After an intentional change, update the
+#: pins from the values ``repro bench --smoke`` prints.
+_PERF_SMOKE_PINS = {
+    "ftbar-N40-npf1": {
+        "steps": 40,
+        "pressure_evaluations": 204,
+        "cache_hits": 1508,
+        "duplication_attempts": 68,
+    },
+    "ftbar-N24-npf2": {
+        "steps": 24,
+        "pressure_evaluations": 112,
+        "cache_hits": 624,
+        "duplication_attempts": 21,
+    },
+    "hbp-N40-npf1": {
+        "steps": 40,
+        "pair_evaluations": 1716,
+        "pair_cache_hits": 948,
+    },
+}
+
+
+def _bench_smoke() -> int:
+    """Schedule the pinned problems; fail on any counter drift."""
+    from repro.baselines.hbp import schedule_hbp
+    from repro.workloads.random_dag import (
+        RandomWorkloadConfig as _Config,
+        generate_problem as _generate,
+    )
+
+    problem_40 = _generate(
+        _Config(operations=40, ccr=1.0, processors=4, npf=1, seed=2003)
+    )
+    problem_24 = _generate(
+        _Config(operations=24, ccr=2.0, processors=4, npf=2, seed=7)
+    )
+    ftbar_40 = schedule_ftbar(problem_40)
+    ftbar_24 = schedule_ftbar(problem_24)
+    hbp_40 = schedule_hbp(problem_40)
+    observed = {
+        "ftbar-N40-npf1": {
+            "steps": ftbar_40.stats.steps,
+            "pressure_evaluations": ftbar_40.stats.pressure_evaluations,
+            "cache_hits": ftbar_40.stats.cache_hits,
+            "duplication_attempts": ftbar_40.stats.duplication.attempts,
+        },
+        "ftbar-N24-npf2": {
+            "steps": ftbar_24.stats.steps,
+            "pressure_evaluations": ftbar_24.stats.pressure_evaluations,
+            "cache_hits": ftbar_24.stats.cache_hits,
+            "duplication_attempts": ftbar_24.stats.duplication.attempts,
+        },
+        "hbp-N40-npf1": {
+            "steps": hbp_40.stats.steps,
+            "pair_evaluations": hbp_40.stats.pair_evaluations,
+            "pair_cache_hits": hbp_40.stats.pair_cache_hits,
+        },
+    }
+    failed = False
+    for label, pinned in _PERF_SMOKE_PINS.items():
+        for counter, expected in pinned.items():
+            actual = observed[label][counter]
+            status = "ok" if actual == expected else "REGRESSED"
+            if actual != expected:
+                failed = True
+            print(f"  {label:16s} {counter:22s} {actual:>6} (pinned {expected}) {status}")
+    if failed:
+        print("perf smoke FAILED: counters drifted from the pinned values")
+        return 1
+    print("perf smoke ok: all compiled-kernel counters match the pins")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     graphs = args.graphs
     jobs = args.jobs  # 0 = one per CPU, resolved by the campaign pool
+    if args.figure is not None and (args.smoke or args.profile):
+        print(
+            "error: --smoke/--profile run their own fixed workloads; "
+            "drop the figure argument",
+            file=sys.stderr,
+        )
+        return 2
+    if args.smoke:
+        return _bench_smoke()
+    if args.profile:
+        # The profile harness lives with the benches (a source-checkout
+        # tool: it writes BENCH_runtime.json at the repository root).
+        root = Path(__file__).resolve().parent.parent.parent
+        if str(root) not in sys.path:
+            sys.path.insert(0, str(root))
+        try:
+            from benchmarks.bench_runtime import _RESULT_PATH, run_profile
+        except ModuleNotFoundError:
+            print(
+                "error: bench --profile needs the benchmarks/ directory "
+                "of a source checkout",
+                file=sys.stderr,
+            )
+            return 2
+        record = run_profile()
+        payload = (
+            json.loads(_RESULT_PATH.read_text())
+            if _RESULT_PATH.exists() else {}
+        )
+        payload["profile_top"] = record
+        _RESULT_PATH.write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n"
+        )
+        print(
+            f"profiled one compiled N={record['operations']} run "
+            f"({record['total_s']:.3f}s); top hotspots:"
+        )
+        for hotspot in record["hotspots"][:10]:
+            print(
+                f"  {hotspot['cumtime_s']:8.3f}s cum  "
+                f"{hotspot['ncalls']:>7} calls  {hotspot['function']}"
+            )
+        print(f"recorded under profile_top in {_RESULT_PATH}")
+        return 0
+    if args.figure is None:
+        print("error: a figure is required unless --profile/--smoke is given",
+              file=sys.stderr)
+        return 2
     if args.figure == "figure9":
         sweep = run_overhead_vs_operations(graphs_per_point=graphs, jobs=jobs)
         print(format_overhead_sweep(sweep, "Figure 9 — overhead vs N (CCR=5, P=4)"))

@@ -1,5 +1,6 @@
 """FTBAR — the paper's fault-tolerant scheduling heuristic (section 4)."""
 
+from repro.core.compile import CompiledProblem
 from repro.core.ftbar import (
     FTBARResult,
     FTBARScheduler,
@@ -8,11 +9,13 @@ from repro.core.ftbar import (
     schedule_ftbar,
 )
 from repro.core.incremental import (
+    KernelPlanCache,
     MutationTracker,
     PlanCache,
     ReadySet,
     StepDelta,
 )
+from repro.core.kernel import CompiledReadySet, SchedulingKernel
 from repro.core.minimize import DuplicationStats, StartTimeMinimizer
 from repro.core.options import SchedulerOptions
 from repro.core.placement import (
@@ -26,10 +29,13 @@ from repro.core.placement import (
 from repro.core.pressure import PressureCalculator
 
 __all__ = [
+    "CompiledProblem",
+    "CompiledReadySet",
     "DuplicationStats",
     "FTBARResult",
     "FTBARScheduler",
     "FTBARStats",
+    "KernelPlanCache",
     "LinkState",
     "MutationTracker",
     "PlacementPlan",
@@ -40,6 +46,7 @@ __all__ = [
     "PressureCalculator",
     "ReadySet",
     "SchedulerOptions",
+    "SchedulingKernel",
     "StartTimeMinimizer",
     "StepDelta",
     "StepRecord",

@@ -1,0 +1,219 @@
+"""Problem lowering for the compiled scheduling kernel.
+
+The object engine spends its inner loop walking string-keyed dicts:
+``ExecutionTimes.time_of`` and ``CommunicationTimes.time_of`` hash a
+freshly built tuple per lookup, ``Architecture.links_between`` hashes a
+processor-name pair, and every trial plan allocates a
+:class:`~repro.core.placement.PlacementPlan` object graph.  None of that
+varies across the thousands of candidate evaluations of one run, so —
+exactly like :mod:`repro.simulation.compiled` does for the batched
+failure simulator — :class:`CompiledProblem` interns every operation,
+processor, link and edge to a dense integer id *once per problem* and
+lowers the tables the hot loop reads into flat preallocated lists:
+
+* ``exe[o * P + p]`` — execution durations (``inf`` = forbidden pair);
+* ``comm_rows[q * O + o]`` — per-link transfer durations of one edge;
+* ``sbar[o]`` / ``tail[o]`` — the static pressure terms, produced by the
+  same :class:`~repro.core.pressure.PressureCalculator` arithmetic so
+  the floats are bit-identical to the object path;
+* ``direct[a * P + b]`` — ids of the direct links joining two
+  processors, in sorted-name order;
+* ``preds[o]`` / ``succs[o]`` — the algorithm adjacency as id tuples.
+
+Ids are assigned in sorted-name order, so every name-based tie-break of
+the paper's heuristic (candidate selection, link choice, processor
+ranking) translates to a plain integer comparison.
+
+Multi-hop routes and ``npl``-replicated disjoint route sets depend on
+the (dynamic) relay-avoidance preference, so they are translated lazily
+through the architecture's memoizing
+:class:`~repro.hardware.routing.RoutePlanner` and cached per query key.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graphs.algorithm import AlgorithmGraph
+from repro.graphs.operations import is_memory_half
+from repro.hardware.architecture import Architecture
+from repro.timing.comm_times import CommunicationTimes
+from repro.timing.exec_times import ExecutionTimes
+
+_INF = math.inf
+
+
+class CompiledProblem:
+    """Flat, int-indexed view of one (expanded) scheduling problem.
+
+    Built once per scheduler instance and shared by every evaluation of
+    the run; all contained tables are read-only after construction.
+    """
+
+    __slots__ = (
+        "op_names", "op_ids", "proc_names", "proc_ids", "link_names",
+        "link_ids", "n_ops", "n_procs", "n_links", "exe", "preds", "succs",
+        "comm_rows", "sbar", "tail", "direct", "is_memory_half", "pins",
+        "allowed", "npf", "npl", "architecture", "_hops", "_routes",
+    )
+
+    def __init__(
+        self,
+        algorithm: AlgorithmGraph,
+        architecture: Architecture,
+        exec_times: ExecutionTimes,
+        comm_times: CommunicationTimes,
+        npf: int,
+        npl: int,
+        pins: dict[str, str] | None = None,
+    ) -> None:
+        self.architecture = architecture
+        self.npf = npf
+        self.npl = npl
+        op_names = algorithm.operation_names()
+        proc_names = architecture.processor_names()
+        link_names = architecture.link_names()
+        self.op_names = op_names
+        self.proc_names = proc_names
+        self.link_names = link_names
+        self.op_ids = {name: i for i, name in enumerate(op_names)}
+        self.proc_ids = {name: i for i, name in enumerate(proc_names)}
+        self.link_ids = {name: i for i, name in enumerate(link_names)}
+        n_ops = len(op_names)
+        n_procs = len(proc_names)
+        self.n_ops = n_ops
+        self.n_procs = n_procs
+        self.n_links = len(link_names)
+        # --- timing tables -------------------------------------------------
+        # Raw-dict pivots: both tables are validated complete, so one
+        # snapshot each replaces per-pair method calls (and the comm
+        # table's per-lookup key normalization).
+        raw_exe = exec_times.entries()
+        exe = [0.0] * (n_ops * n_procs)
+        for o, op in enumerate(op_names):
+            base = o * n_procs
+            for p, proc in enumerate(proc_names):
+                exe[base + p] = raw_exe[(op, proc)]
+        self.exe = exe
+        raw_comm = comm_times.entries()
+        comm_rows: dict[int, tuple[float, ...]] = {}
+        for edge in algorithm.dependencies():
+            key = self.op_ids[edge[0]] * n_ops + self.op_ids[edge[1]]
+            comm_rows[key] = tuple(
+                raw_comm[(edge, link)] for link in link_names
+            )
+        self.comm_rows = comm_rows
+        # --- algorithm adjacency ------------------------------------------
+        ids = self.op_ids
+        self.preds = tuple(
+            tuple(ids[q] for q in algorithm.predecessors(op))
+            for op in op_names
+        )
+        self.succs = tuple(
+            tuple(ids[s] for s in algorithm.successors(op))
+            for op in op_names
+        )
+        self.is_memory_half = tuple(is_memory_half(op) for op in op_names)
+        self.pins = {
+            ids[op]: ids[anchor] for op, anchor in (pins or {}).items()
+        }
+        self.allowed = tuple(
+            tuple(
+                p for p in range(n_procs)
+                if exe[o * n_procs + p] != _INF
+            )
+            for o in range(n_ops)
+        )
+        # --- static pressure terms (bit-identical to the object path) -----
+        # Same arithmetic as PressureCalculator.sbar/tail on the flat
+        # tables: averages sum in sorted-name order (== row order), the
+        # reverse-topological sweep maxes over sorted successors, and
+        # the recurrence is order-independent — cross-checked against
+        # ``PressureCalculator.static_tables`` by the equivalence tests.
+        average_exe = [0.0] * n_ops
+        for o in range(n_ops):
+            base = o * n_procs
+            finite = [
+                exe[base + p] for p in range(n_procs)
+                if exe[base + p] != _INF
+            ]
+            average_exe[o] = sum(finite) / len(finite)
+        n_links = self.n_links
+        average_comm: dict[int, float] = {}
+        for key, comm_row in comm_rows.items():
+            average_comm[key] = (
+                sum(comm_row) / n_links if n_links else 0.0
+            )
+        sbar = [0.0] * n_ops
+        for op in reversed(algorithm.topological_order()):
+            o = ids[op]
+            tail = 0.0
+            for successor in self.succs[o]:
+                candidate = average_comm[o * n_ops + successor] + sbar[successor]
+                if candidate > tail:
+                    tail = candidate
+            sbar[o] = average_exe[o] + tail
+        self.sbar = sbar
+        self.tail = [sbar[o] - average_exe[o] for o in range(n_ops)]
+        # --- interconnect -------------------------------------------------
+        link_ids = self.link_ids
+        direct: list[tuple[int, ...]] = [()] * (n_procs * n_procs)
+        for a, first in enumerate(proc_names):
+            for b, second in enumerate(proc_names):
+                if a == b:
+                    continue
+                direct[a * n_procs + b] = tuple(
+                    link_ids[link.name]
+                    for link in architecture.links_between(first, second)
+                )
+        self.direct = direct
+        self._hops: dict[int, tuple[tuple[str, int, str], ...]] = {}
+        self._routes: dict[tuple, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # lazy routing translations
+    # ------------------------------------------------------------------
+    def route_hops(self, a: int, b: int) -> tuple[tuple[str, int, str], ...]:
+        """Shortest route ``a -> b`` as ``(origin, link_id, relay)`` hops.
+
+        Origin/relay stay names (they feed straight into
+        ``Schedule.place_comm``); the link is an id so the reservation
+        loop stays on flat arrays.  Memoized per ordered pair.
+        """
+        key = a * self.n_procs + b
+        cached = self._hops.get(key)
+        if cached is None:
+            cached = tuple(
+                (origin, self.link_ids[link.name], relay)
+                for origin, link, relay in self.architecture.route_hops(
+                    self.proc_names[a], self.proc_names[b]
+                )
+            )
+            self._hops[key] = cached
+        return cached
+
+    def disjoint_routes(
+        self, source: str, target: str, avoid: frozenset[str]
+    ) -> tuple[tuple[tuple[str, int, str], ...], ...]:
+        """``npl + 1`` link-disjoint routes with links as ids.
+
+        Delegates the route computation (and its determinism guarantees)
+        to the architecture's :class:`~repro.hardware.routing
+        .RoutePlanner` and memoizes the id translation per
+        ``(source, target, avoid)`` query.
+        """
+        key = (source, target, avoid)
+        cached = self._routes.get(key)
+        if cached is None:
+            link_ids = self.link_ids
+            cached = tuple(
+                tuple(
+                    (origin, link_ids[link.name], relay)
+                    for origin, link, relay in hops
+                )
+                for hops in self.architecture.route_planner.disjoint_routes(
+                    source, target, self.npl + 1, avoid=avoid
+                )
+            )
+            self._routes[key] = cached
+        return cached

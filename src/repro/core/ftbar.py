@@ -69,7 +69,9 @@ from typing import Callable, Mapping
 
 from repro.exceptions import InfeasibleReplicationError, SchedulingError
 from repro.graphs.algorithm import AlgorithmGraph
+from repro.core.compile import CompiledProblem
 from repro.core.incremental import MutationTracker, ReadySet
+from repro.core.kernel import CompiledReadySet, SchedulingKernel
 from repro.core.minimize import DuplicationStats, StartTimeMinimizer
 from repro.core.options import SchedulerOptions
 from repro.core.placement import PlacementPlanner, commit_plan
@@ -95,6 +97,10 @@ class FTBARStats:
     cache_hits: int = 0
     duplication: DuplicationStats = field(default_factory=DuplicationStats)
     wall_time_s: float = 0.0
+    #: Trial plans served by the compiled kernel's reused scratch
+    #: buffers (0 on the object path, which allocates a fresh overlay
+    #: per evaluation) — recorded by ``benchmarks/bench_runtime.py``.
+    buffer_reuses: int = 0
 
 
 @dataclass(frozen=True)
@@ -194,6 +200,19 @@ class FTBARScheduler:
             exec_times=self._exec_times,
             duplication=self._options.duplication,
         )
+        # The compiled kernel covers append-mode scheduling; gap
+        # insertion keeps the object path (see SchedulerOptions).
+        self._compiled: CompiledProblem | None = None
+        if self._options.compiled and not self._options.link_insertion:
+            self._compiled = CompiledProblem(
+                self._algorithm,
+                self._architecture,
+                self._exec_times,
+                self._comm_times,
+                self._npf,
+                self._npl,
+                self._pins,
+            )
 
     # ------------------------------------------------------------------
     # main loop
@@ -211,34 +230,84 @@ class FTBARScheduler:
         stats = FTBARStats()
         scheduled: set[str] = set()
         incremental = self._options.incremental
+        observer = self._observer
+        kernel: SchedulingKernel | None = None
+        if self._compiled is not None:
+            kernel = SchedulingKernel(
+                self._compiled,
+                schedule,
+                cache=incremental,
+                processor_aware=self._options.processor_aware_pressure,
+                duplication=self._options.duplication,
+            )
         ready: ReadySet | None = None
+        ready_ids: CompiledReadySet | None = None
         tracker: MutationTracker | None = None
         if incremental:
-            ready = ReadySet(self._algorithm, self._pins)
-            tracker = MutationTracker(schedule)
-            self._pressure.attach(schedule)
+            if kernel is not None:
+                # Candidate maintenance on dense ids: sorted ids are
+                # the sorted-name candidate order by construction.  The
+                # kernel derives each step's dirty set from its own
+                # undo log, so no MutationTracker is needed.
+                ready_ids = CompiledReadySet(self._compiled)
+            else:
+                tracker = MutationTracker(schedule)
+                ready = ReadySet(self._algorithm, self._pins)
+                self._pressure.attach(schedule)
+        op_names = self._compiled.op_names if kernel is not None else None
         while True:
-            candidates = (
-                list(ready.candidates()) if incremental
-                else self._candidates(scheduled)
-            )
-            if not candidates:
-                break
+            if ready_ids is not None:
+                candidate_ids = ready_ids.candidates()
+                if not candidate_ids:
+                    break
+                candidates = None
+            else:
+                candidates = (
+                    list(ready.candidates()) if incremental
+                    else self._candidates(scheduled)
+                )
+                if not candidates:
+                    break
             stats.steps += 1
-            operation, processors, urgency, pressures = self._select(
-                candidates, schedule
-            )
+            if kernel is not None:
+                if ready_ids is not None:
+                    operation, processors, urgency, pressures = (
+                        kernel.select_ids(candidate_ids, observer is not None)
+                    )
+                else:
+                    operation, processors, urgency, pressures = kernel.select(
+                        candidates, observer is not None
+                    )
+            else:
+                operation, processors, urgency, pressures = self._select(
+                    candidates, schedule
+                )
             if incremental:
-                tracker.begin()
+                if kernel is not None:
+                    kernel.begin_step()
+                else:
+                    tracker.begin()
             for processor in processors:
-                self._place(operation, processor, schedule)
+                if kernel is not None:
+                    kernel.place(operation, processor)
+                else:
+                    self._place(operation, processor, schedule)
             scheduled.add(operation)
             if incremental:
-                ready.mark_scheduled(operation)
-                self._pressure.forget_operation(operation)
-                self._pressure.invalidate(tracker.delta())
-            if self._observer is not None:
-                self._observer(
+                if ready_ids is not None:
+                    ready_ids.mark_scheduled(self._compiled.op_ids[operation])
+                else:
+                    ready.mark_scheduled(operation)
+                if kernel is not None:
+                    kernel.forget(operation)
+                    kernel.invalidate_step()
+                else:
+                    self._pressure.forget_operation(operation)
+                    self._pressure.invalidate(tracker.delta())
+            if observer is not None:
+                if candidates is None:
+                    candidates = [op_names[o] for o in candidate_ids]
+                observer(
                     StepRecord(
                         step=stats.steps,
                         candidates=tuple(candidates),
@@ -246,17 +315,30 @@ class FTBARScheduler:
                         processors=processors,
                         urgency=urgency,
                         pressures=pressures,
-                        makespan=schedule.makespan(),
+                        makespan=(
+                            kernel.makespan if kernel is not None
+                            else schedule.makespan()
+                        ),
                     )
                 )
+        if kernel is not None:
+            # The kernel buffered its placements; write the survivors
+            # into the real schedule now that the run is over.
+            kernel.materialize()
         if len(scheduled) != len(self._algorithm):
             missing = sorted(set(self._algorithm.operation_names()) - scheduled)
             raise SchedulingError(
                 f"scheduling stalled; unplaced operations: {missing}"
             )
-        stats.pressure_evaluations = self._pressure.evaluations
-        stats.cache_hits = self._pressure.cache_stats[0]
-        stats.duplication = self._minimizer.stats
+        if kernel is not None:
+            stats.pressure_evaluations = kernel.evaluations
+            stats.cache_hits = kernel.hits
+            stats.duplication = kernel.dup_stats
+            stats.buffer_reuses = kernel.buffer_reuses
+        else:
+            stats.pressure_evaluations = self._pressure.evaluations
+            stats.cache_hits = self._pressure.cache_stats[0]
+            stats.duplication = self._minimizer.stats
         stats.wall_time_s = time.perf_counter() - started
         rtc_report = self._expanded_rtc().check(schedule)
         return FTBARResult(

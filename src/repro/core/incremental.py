@@ -25,12 +25,21 @@ that exploitable:
     A key -> value cache where every entry declares the resources it
     depends on; :meth:`PlanCache.invalidate` drops exactly the entries
     whose dependencies intersect a :class:`StepDelta`.
+
+:class:`KernelPlanCache`
+    The same dependency-tracked semantics keyed by dense integer ids,
+    used by the compiled kernel (:mod:`repro.core.kernel`): candidate
+    operations, dependency operations and threshold links are all ints,
+    so invalidating a macro-step is set arithmetic over small int sets
+    instead of string hashing.  Hit/miss accounting is deliberately
+    identical to :class:`PlanCache` so the compiled engine's counters
+    pin against the object engine's.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.graphs.algorithm import AlgorithmGraph
@@ -277,3 +286,112 @@ class PlanCache:
         self._by_dependency.clear()
         self._by_threshold_link.clear()
         self._by_set_link.clear()
+
+
+class KernelPlanCache:
+    """Dependency-tracked cache over dense integer ids (compiled engine).
+
+    Keys are flat candidate-pair indices (``operation * P + processor``
+    for FTBAR, ``task * P² + p1 * P + p2`` for HBP); values are opaque
+    to the cache (the kernel stores mutable entry lists it updates in
+    place on threshold repairs).  Dependency declarations — the
+    candidate operation, the operations whose replica sets the plan
+    enumerated, the links whose availability thresholds guard it — are
+    ids too, so :meth:`invalidate_replicated` and :meth:`suspects_for`
+    are set unions over small int sets.
+
+    The invalidation semantics (and the hit/miss bookkeeping contract:
+    callers read ``entries`` directly on the hot path and keep the
+    counters themselves) mirror :class:`PlanCache` exactly; the
+    equivalence corpus pins the two engines' counters against each
+    other, so change both classes together.
+    """
+
+    __slots__ = (
+        "entries", "_meta", "_by_dependency", "_by_threshold_link",
+        "hits", "misses",
+    )
+
+    def __init__(self) -> None:
+        self.entries: dict[int, Any] = {}
+        #: key -> (dependency op ids, threshold link ids)
+        self._meta: dict[int, tuple[tuple[int, ...], tuple[int, ...]]] = {}
+        self._by_dependency: dict[int, set[int]] = {}
+        self._by_threshold_link: dict[int, set[int]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def put(
+        self,
+        key: int,
+        value: Any,
+        operations: tuple[int, ...] = (),
+        threshold_links: tuple[int, ...] = (),
+    ) -> None:
+        """Store ``value`` under ``key`` with its id-level dependencies.
+
+        Unlike :class:`PlanCache` there is no candidate reverse index:
+        a candidate's keys are a computable id range (``op * P + p`` /
+        ``task * P² + …``), so dropping a placed candidate probes that
+        range directly.
+        """
+        if key in self.entries:
+            self.discard(key)
+        self.entries[key] = value
+        self._meta[key] = (operations, threshold_links)
+        for operation in operations:
+            self._by_dependency.setdefault(operation, set()).add(key)
+        for link in threshold_links:
+            self._by_threshold_link.setdefault(link, set()).add(key)
+
+    def discard(self, key: int) -> None:
+        """Drop one entry (used when a lookup finds it stale)."""
+        if self.entries.pop(key, None) is None:
+            return
+        operations, threshold_links = self._meta.pop(key)
+        for operation in operations:
+            dependents = self._by_dependency.get(operation)
+            if dependents is not None:
+                dependents.discard(key)
+        for link in threshold_links:
+            watchers = self._by_threshold_link.get(link)
+            if watchers is not None:
+                watchers.discard(key)
+
+    def invalidate_replicated(self, operations: "Iterable[int]") -> set[int]:
+        """Drop every entry depending on an operation that gained replicas.
+
+        Returns the dropped keys so the kernel can clear its parallel
+        sweep arrays.
+        """
+        dead: set[int] = set()
+        for operation in operations:
+            dependents = self._by_dependency.get(operation)
+            if dependents:
+                dead |= dependents
+        for key in dead:
+            self.discard(key)
+        return dead
+
+    def suspects_for(self, links: "Iterable[int]") -> set[int]:
+        """Keys whose thresholds watch one of the just-touched links."""
+        suspects: set[int] = set()
+        for link in links:
+            watchers = self._by_threshold_link.get(link)
+            if watchers:
+                suspects |= watchers
+        return suspects
+
+    def drop_range(self, start: int, stop: int) -> list[int]:
+        """Forget every entry in one candidate's key range (it placed).
+
+        Returns the dropped keys (see :meth:`invalidate_replicated`).
+        """
+        entries = self.entries
+        dropped = [key for key in range(start, stop) if key in entries]
+        for key in dropped:
+            self.discard(key)
+        return dropped

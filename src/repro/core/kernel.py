@@ -1,0 +1,1422 @@
+"""The compiled scheduling kernel: flat-array candidate evaluation.
+
+This module is the execution engine behind ``SchedulerOptions(compiled
+=True)``.  It consumes the dense id tables of
+:class:`~repro.core.compile.CompiledProblem` and rewrites the FTBAR
+inner loop — the per-step ready-set sweep, the per-candidate
+``(operation, processor)`` trial plan, the append-mode link reservation
+and the pressure/σ computation — as tight passes over preallocated
+lists with reused scratch buffers, instead of the per-pair
+:class:`~repro.core.placement.PlacementPlan` object graphs of the
+object engine.  The HBP baseline's ordered-pair cost search runs on the
+same kernel (:meth:`SchedulingKernel.pair_cost`), keeping the E6
+runtime comparison apples-to-apples.
+
+Bit-identity contract
+---------------------
+Every float expression mirrors the object path *textually*, not just
+mathematically: the link reservation advances its free pointer by
+re-deriving the duration (``start + (end - start)``, see
+``LinkState.reserve``), the worst-case arrival is the ``(npf + 1)``-th
+of a sorted copy, ties break on ids — which equal name order because
+:class:`CompiledProblem` interns ids in sorted-name order.  The plan
+cache (:class:`~repro.core.incremental.KernelPlanCache`) reproduces the
+object engine's dirty-set semantics on id-indexed rows: entries are
+dropped when a predecessor's replica set grows, flagged suspect when a
+threshold link's availability grows past the first planned start, and
+*repaired* in place by replaying the recorded reservation chains when
+the plan is repairable (every transfer single-hop on a unique direct
+link).  Schedules, observer streams, content hashes, and the
+``pressure_evaluations`` / ``cache_hits`` counters are bit-identical to
+the object engine — enforced by the goldens and by the randomized
+corpus of ``tests/test_compiled_kernel.py``.
+
+Scratch-buffer reuse
+--------------------
+Trial link reservations use one pair of flat arrays (``free`` value +
+``stamp`` epoch) for the whole run: bumping the epoch invalidates every
+stale slot in O(1), so a trial plan costs zero allocation for its
+overlay.  ``buffer_reuses`` counts how many trial plans were served by
+the reused buffers (recorded by ``benchmarks/bench_runtime.py``).
+
+Replay pools
+------------
+Most cached entries qualify for the *replay pools*: their worst-case
+start is a closed form over the current link availabilities (chains at
+most two deep, at most two arrivals per feed), so one batched numpy
+pass per macro-step recomputes all of them at once — the vectorised
+equivalent of the object engine's per-entry threshold repairs, with
+identical floats.  Only entries outside that shape (deep chains,
+parallel-link choices, multi-hop or ``npl`` routes) keep the scalar
+threshold/suspect/repair machinery.
+
+Deferred materialization
+------------------------
+Nothing reads the :class:`~repro.schedule.schedule.Schedule` during a
+compiled run — resource availabilities, replica sets and the makespan
+live in flat kernel mirrors — so placements are buffered (rollbacks
+inside the duplication procedure just truncate the buffers) and only
+the *surviving* placements are written into the schedule at the end,
+through the exact calls the object engine's ``commit_plan`` makes.
+"""
+
+from __future__ import annotations
+
+import math
+
+try:  # Vectorised sweep; the kernel degrades to its pure-Python loops
+    import numpy as _np  # when numpy is not installed (results identical).
+except ImportError:  # pragma: no cover - numpy present in the dev image
+    _np = None
+
+from repro.core.compile import CompiledProblem
+from repro.core.incremental import KernelPlanCache
+from repro.core.minimize import DuplicationStats
+from repro.exceptions import InfeasibleReplicationError, SchedulingError
+from repro.schedule.schedule import Schedule
+
+_INF = math.inf
+#: Improvement threshold of the duplication procedure (same constant as
+#: :mod:`repro.core.minimize` — step Ð keeps a duplication only when
+#: ``S_worst`` strictly improves beyond it).
+_EPSILON = 1e-9
+
+#: Cached marker for a forbidden pair (``Exe = inf``): the object engine
+#: caches these too, so the hit counters stay aligned.
+_FORBIDDEN = (None,)
+
+#: Shared empty threshold list for plans that record no chains.
+_NO_THRESHOLDS: list = []
+
+
+#: One predecessor feed of a kernel plan, as a plain tuple:
+#: ``(pred_id, local_end | None, arrivals | None, firsts | None)``.
+#: Plain tuples keep the trial-plan hot path allocation-light; the
+#: object engine's :class:`~repro.core.placement.PredecessorFeed`
+#: remains the readable counterpart.
+_FEED_PRED = 0
+_FEED_LOCAL_END = 1
+_FEED_ARRIVALS = 2
+_FEED_FIRSTS = 3
+
+#: One planned hop, as a plain tuple mirroring
+#: :class:`~repro.core.placement.PlannedComm`:
+#: ``(source, target, source_replica, link, start, end,
+#:    source_processor, target_processor, hop_index, route, link_id)``
+#: — ``link_id`` rides along so the kernel's commit can update its
+#: link-availability mirror without a name lookup.
+
+
+class KernelPlan:
+    """Flat trial plan of the compiled kernel.
+
+    ``operation`` / ``processor`` are names (they feed the schedule's
+    placement API), ``op`` / ``proc`` the dense ids; ``earliest`` /
+    ``worst`` are the feed aggregates the object plan computes lazily;
+    ``comms`` is the flat hop-tuple list a commit replays (in the exact
+    order ``commit_plan`` would place them).
+    """
+
+    __slots__ = (
+        "operation", "processor", "op", "proc", "duration",
+        "processor_ready", "feeds", "comms", "earliest", "worst",
+        "feed_worsts", "thresholds", "chains", "repairable",
+    )
+
+    @property
+    def s_best(self) -> float:
+        """Earliest start (first complete input set — paper's S_best)."""
+        return max(self.processor_ready, self.earliest)
+
+    @property
+    def s_worst(self) -> float:
+        """Earliest start in the worst failure case (paper's S_worst)."""
+        return max(self.processor_ready, self.worst)
+
+
+class CompiledReadySet:
+    """Id-level mirror of :class:`~repro.core.incremental.ReadySet`.
+
+    Same indegree-counter maintenance over the compiled adjacency;
+    ``candidates()`` returns sorted ids, which is exactly the sorted
+    name order the legacy rescan produced (ids are interned in
+    sorted-name order), without re-sorting strings every macro-step.
+    """
+
+    __slots__ = ("_succs", "_pin_dependents", "_waiting", "_ready")
+
+    def __init__(self, compiled: CompiledProblem) -> None:
+        self._succs = compiled.succs
+        self._pin_dependents: dict[int, list[int]] = {}
+        self._waiting: dict[int, int] = {}
+        self._ready: set[int] = set()
+        for operation in range(compiled.n_ops):
+            count = len(compiled.preds[operation])
+            anchor = compiled.pins.get(operation)
+            if anchor is not None and anchor not in compiled.preds[operation]:
+                count += 1
+                self._pin_dependents.setdefault(anchor, []).append(operation)
+            if count == 0:
+                self._ready.add(operation)
+            else:
+                self._waiting[operation] = count
+
+    def candidates(self) -> list[int]:
+        """The current candidate ids, sorted (= sorted-name order)."""
+        return sorted(self._ready)
+
+    def mark_scheduled(self, operation: int) -> None:
+        """Retire a scheduled operation and release its dependents."""
+        self._ready.discard(operation)
+        for successor in self._succs[operation]:
+            self._release(successor)
+        for dependent in self._pin_dependents.get(operation, ()):
+            self._release(dependent)
+
+    def _release(self, operation: int) -> None:
+        remaining = self._waiting[operation] - 1
+        if remaining == 0:
+            del self._waiting[operation]
+            self._ready.add(operation)
+        else:
+            self._waiting[operation] = remaining
+
+
+class _RowPool:
+    """Append-only column store for the replay pools.
+
+    Columns carry the static operands of the replay passes (float
+    columns: ready instants and durations; int columns: link ids and
+    scatter positions).  Appends go to cheap Python staging lists;
+    :meth:`flush` batch-copies the staged tail into the numpy columns
+    once per sweep.  Rows, slots and arrival positions are never
+    reused, so rows of discarded entries need no tombstones — they keep
+    computing into positions nothing reads.  Total rows are bounded by
+    the run's miss count.
+    """
+
+    __slots__ = ("float_cols", "int_cols", "float_stage", "int_stage", "count")
+
+    def __init__(self, float_width: int, int_width: int) -> None:
+        self.float_cols = [_np.zeros(0) for _ in range(float_width)]
+        self.int_cols = [
+            _np.zeros(0, dtype=_np.int64) for _ in range(int_width)
+        ]
+        self.float_stage: list[list] = [[] for _ in range(float_width)]
+        self.int_stage: list[list] = [[] for _ in range(int_width)]
+        self.count = 0
+
+    def append(self, float_row: tuple, int_row: tuple) -> int:
+        for column, value in zip(self.float_stage, float_row):
+            column.append(value)
+        for column, value in zip(self.int_stage, int_row):
+            column.append(value)
+        index = self.count
+        self.count = index + 1
+        return index
+
+    def flush(self) -> None:
+        """Copy the staged tail into the numpy columns."""
+        stage = self.int_stage[0] if self.int_stage else self.float_stage[0]
+        staged = len(stage)
+        if not staged:
+            return
+        count = self.count
+        base = count - staged
+        reference = self.int_cols[0] if self.int_cols else self.float_cols[0]
+        if count > len(reference):
+            capacity = max(64, 2 * count)
+            for cols, dtype in (
+                (self.float_cols, None), (self.int_cols, _np.int64)
+            ):
+                for index, column in enumerate(cols):
+                    grown = _np.zeros(capacity, dtype=dtype or column.dtype)
+                    grown[:base] = column[:base]
+                    cols[index] = grown
+        for cols, stages in (
+            (self.float_cols, self.float_stage),
+            (self.int_cols, self.int_stage),
+        ):
+            for index, column in enumerate(cols):
+                column[base:count] = stages[index]
+                stages[index] = []
+
+
+class SchedulingKernel:
+    """Per-run state of the compiled engine.
+
+    One kernel serves one schedule under construction: it owns the
+    availability snapshots, the scratch reservation buffers, the
+    id-indexed plan cache (when ``cache`` is set — the compiled
+    counterpart of ``SchedulerOptions.incremental``) and the
+    duplication statistics of the placement path.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledProblem,
+        schedule: Schedule,
+        cache: bool = True,
+        processor_aware: bool = False,
+        duplication: bool = True,
+        vector: bool = True,
+    ) -> None:
+        self._c = compiled
+        self._schedule = schedule
+        self._aware = processor_aware
+        self._duplication = duplication
+        self._P = compiled.n_procs
+        self._all_procs = tuple(range(compiled.n_procs))
+        # Resource mirrors.  Every placement of a kernel run flows
+        # through :meth:`_commit` (and rollbacks through
+        # :meth:`_undo_to`), so availability, replica presence and
+        # replica order are maintained as flat arrays instead of being
+        # re-read from the schedule's name-keyed indexes on every trial
+        # plan.  The schedule must be empty at kernel construction.
+        self._proc_avail = [0.0] * compiled.n_procs
+        self._link_avail = [0.0] * compiled.n_links
+        #: End of the replica of op ``o`` on proc ``p`` (0.0 = absent;
+        #: real ends are strictly positive).
+        self._rep_end = [0.0] * (compiled.n_ops * compiled.n_procs)
+        #: Per-op replica list in placement order: ``(proc_id, end)``.
+        self._rep_list: list[list[tuple[int, float]]] = [
+            [] for _ in range(compiled.n_ops)
+        ]
+        #: Placement buffers: commits land here (LIFO undo by
+        #: truncation) and only the survivors are materialized into the
+        #: schedule when the run finishes.
+        self._op_buffer: list[tuple] = []
+        self._comm_buffer: list[tuple] = []
+        self._makespan = 0.0
+        # Scratch reservation overlay: value + epoch stamp per link.
+        # Bumping the epoch resets the whole overlay in O(1).
+        self._link_free = [0.0] * compiled.n_links
+        self._link_stamp = [0] * compiled.n_links
+        self._epoch = 0
+        self._cache = KernelPlanCache() if cache else None
+        self._suspects: set[int] = set()
+        self._step_mark = 0
+        self._step_comm_mark = 0
+        self.evaluations = 0
+        self.buffer_reuses = 0
+        self.dup_stats = DuplicationStats()
+        # Vectorised sweep state: parallel arrays mirroring the cache
+        # entries' (state, worst, static, duration) so a whole selection
+        # sweep is one gather + maximum + add.  Pinned memory halves
+        # have per-candidate pools, which the vector sweep does not
+        # model — such problems use the scalar sweep.  HBP kernels pass
+        # ``vector=False``: their pair keys index a P²-per-task space
+        # the sweep arrays do not cover.
+        self._vector = (
+            vector and _np is not None and cache and not compiled.pins
+        )
+        if self._vector:
+            size = compiled.n_ops * compiled.n_procs
+            #: 0 = absent, 1 = forbidden (Exe = inf), 2 = cached plan.
+            self._arr_state = _np.zeros(size, dtype=_np.int8)
+            self._arr_worst = _np.zeros(size)
+            self._arr_static = _np.zeros(size)
+            self._arr_duration = _np.zeros(size)
+            self._pool_offsets = _np.arange(compiled.n_procs, dtype=_np.int64)
+            # Replay pools: entries whose reservation chains are at
+            # most two deep and whose remote feeds carry at most two
+            # arrivals have a closed-form worst over the *current* link
+            # availabilities, recomputed wholesale by one batched pass
+            # per sweep (`_pool_pass`).  Pooled entries register no
+            # thresholds and are never repaired; the recomputation IS
+            # the repair (same floats).  Everything is append-only —
+            # rows, arrival positions and slots of dropped entries are
+            # simply never read again — and bounded by the run's miss
+            # count.
+            self._feed_width = max(
+                [len(preds) for preds in compiled.preds] or [1]
+            ) or 1
+            self._slot_of: dict[int, int] = {}
+            self._slot_count = 0
+            self._slot_key = _np.zeros(0, dtype=_np.int64)
+            self._slot_alive = _np.zeros(0, dtype=bool)
+            self._slot_worst = _np.zeros((0, self._feed_width))
+            #: Arrival value store, rewritten by the level passes.
+            self._arrivals = _np.zeros(0)
+            self._arrival_count = 0
+            #: Level-0 transfers: first reservation on their link.
+            self._level0 = _RowPool(2, 2)   # ready, dur | link, apos
+            #: Level-1 transfers: queue behind a level-0 reservation.
+            self._level1 = _RowPool(2, 2)   # ready, dur | parent row, apos
+            #: Feed reductions: single-arrival copy, two-arrival kth.
+            self._feeds1 = _RowPool(0, 2)   # | apos, E position
+            self._feeds2 = _RowPool(0, 3)   # | apos x2, E position
+            self._feeds2_reduce = (
+                _np.minimum if compiled.npf == 0 else _np.maximum
+            )
+
+    @property
+    def hits(self) -> int:
+        """Plan-cache hits (0 without a cache), for ``FTBARStats``."""
+        return self._cache.hits if self._cache is not None else 0
+
+    @property
+    def misses(self) -> int:
+        """Plan-cache misses (0 without a cache)."""
+        return self._cache.misses if self._cache is not None else 0
+
+    # ------------------------------------------------------------------
+    # mirrored commits and rollbacks
+    # ------------------------------------------------------------------
+    def _commit(self, plan: KernelPlan, duplicated: bool = False) -> None:
+        """Record a placement in the buffers and the kernel mirrors.
+
+        Nothing reads the schedule during a compiled run (the mirrors
+        answer every query), so placements are buffered and only the
+        survivors are materialized into the schedule at the end —
+        rolled-back duplication trials never touch it.  The mirrors
+        mirror the schedule's arithmetic exactly: the operation end is
+        ``start + duration``, a link's availability is the *committed*
+        comm's end ``start + (end - start)`` (``place_comm`` re-derives
+        the duration), and the makespan is the running max of event
+        ends.
+        """
+        o = plan.op
+        p = plan.proc
+        start = plan.s_best
+        duration = plan.duration
+        end = start + duration
+        link_avail = self._link_avail
+        comm_buffer = self._comm_buffer
+        comm_mark = len(comm_buffer)
+        makespan = self._makespan
+        prev_makespan = makespan
+        if end > makespan:
+            makespan = end
+        for comm in plan.comms:
+            link = comm[10]
+            comm_buffer.append((comm, link_avail[link]))
+            comm_start = comm[4]
+            committed_end = comm_start + (comm[5] - comm_start)
+            link_avail[link] = committed_end
+            if committed_end > makespan:
+                makespan = committed_end
+        self._makespan = makespan
+        proc_avail = self._proc_avail
+        key = o * self._P + p
+        self._op_buffer.append((
+            plan.operation, plan.processor, start, duration, duplicated,
+            key, o, p, proc_avail[p], prev_makespan, comm_mark,
+        ))
+        proc_avail[p] = end
+        self._rep_end[key] = end
+        self._rep_list[o].append((p, end))
+
+    def _mark(self) -> int:
+        """A rollback point over the placement buffers (LIFO only)."""
+        return len(self._op_buffer)
+
+    def _undo_to(self, mark: int) -> None:
+        """Unwind placements made since ``mark``, newest first."""
+        ops = self._op_buffer
+        comm_buffer = self._comm_buffer
+        proc_avail = self._proc_avail
+        link_avail = self._link_avail
+        while len(ops) > mark:
+            record = ops.pop()
+            key, o, p = record[5], record[6], record[7]
+            proc_avail[p] = record[8]
+            self._makespan = record[9]
+            self._rep_end[key] = 0.0
+            self._rep_list[o].pop()
+            comm_mark = record[10]
+            for comm, previous in reversed(comm_buffer[comm_mark:]):
+                link_avail[comm[10]] = previous
+            del comm_buffer[comm_mark:]
+
+    @property
+    def makespan(self) -> float:
+        """Completion date of the buffered schedule (0 when empty)."""
+        return self._makespan
+
+    def materialize(self) -> Schedule:
+        """Write the surviving placements into the real schedule.
+
+        Replays the buffers in commit order, so replica indexes, event
+        objects, timelines and indexes land exactly as the object
+        engine's immediate commits would have produced them.
+        """
+        schedule = self._schedule
+        op_buffer = self._op_buffer
+        comm_buffer = self._comm_buffer
+        total_comms = len(comm_buffer)
+        for index, record in enumerate(op_buffer):
+            event = schedule.place_operation(
+                record[0], record[1], record[2], record[3],
+                duplicated=record[4],
+            )
+            target_replica = event.replica
+            comm_end = (
+                op_buffer[index + 1][10]
+                if index + 1 < len(op_buffer) else total_comms
+            )
+            for position in range(record[10], comm_end):
+                comm = comm_buffer[position][0]
+                schedule.place_comm(
+                    source=comm[0],
+                    target=comm[1],
+                    source_replica=comm[2],
+                    target_replica=target_replica,
+                    link=comm[3],
+                    start=comm[4],
+                    duration=comm[5] - comm[4],
+                    source_processor=comm[6],
+                    target_processor=comm[7],
+                    hop_index=comm[8],
+                    route=comm[9],
+                )
+        return schedule
+
+    # ------------------------------------------------------------------
+    # trial planning (the flat counterpart of PlacementPlanner.plan)
+    # ------------------------------------------------------------------
+    def _plan(
+        self,
+        o: int,
+        p: int,
+        record_comms: bool,
+        record_chains: bool,
+        shared_overlay: bool = False,
+    ) -> KernelPlan | None:
+        """Plan the next replica of ``o`` on ``p`` against the mirrors.
+
+        ``record_comms`` builds the hop records a commit needs;
+        ``record_chains`` the threshold / replay-chain records a cache
+        entry needs.  ``shared_overlay`` keeps the previous plan's
+        trial reservations visible (the HBP pair cost plans both
+        replicas against one overlay).
+        """
+        c = self._c
+        n_procs = self._P
+        duration = c.exe[o * n_procs + p]
+        if duration == _INF:
+            return None
+        rep_end = self._rep_end
+        if rep_end[o * n_procs + p] != 0.0:
+            return None
+        op_name = c.op_names[o]
+        proc_name = c.proc_names[p]
+        if not shared_overlay:
+            self._epoch += 1
+            if self._epoch > 1:
+                self.buffer_reuses += 1
+        epoch = self._epoch
+        stamp = self._link_stamp
+        free = self._link_free
+        base = self._link_avail
+        npf = c.npf
+        npl = c.npl
+        n_ops = c.n_ops
+        op_names = c.op_names
+        proc_names = c.proc_names
+        rep_list = self._rep_list
+        feeds: list[tuple] = []
+        comms: list[tuple] | None = [] if record_comms else None
+        feed_worsts: list[float] = []
+        worst = -_INF
+        earliest = -_INF
+        if record_chains:
+            thresholds: list[list] = []
+            thr_seen: set[int] = set()
+            chains: dict[int, list[tuple[int, int, float, float]]] = {}
+        else:
+            thresholds = _NO_THRESHOLDS
+            chains = None
+        repairable = not npl
+        feed_index = 0
+        for q in c.preds[o]:
+            local_end = rep_end[q * n_procs + p]
+            if local_end != 0.0:
+                # §4.1 first case: co-located predecessor, zero-cost
+                # intra-processor comm, remote replicas do not send.
+                feeds.append((q, local_end, None, None))
+                feed_worsts.append(local_end)
+                if local_end > worst:
+                    worst = local_end
+                if local_end > earliest:
+                    earliest = local_end
+                feed_index += 1
+                continue
+            q_name = op_names[q]
+            row = c.comm_rows[q * n_ops + o]
+            replicas = rep_list[q]
+            arrivals: list[float] = []
+            firsts: list[float] | None = [] if npl else None
+            if npl:
+                sender_hosts = frozenset(
+                    proc_names[host] for host, _ in replicas
+                )
+            arrival_index = 0
+            for replica_index, (rp, rend) in enumerate(replicas):
+                if npl:
+                    rproc = proc_names[rp]
+                    routes = c.disjoint_routes(
+                        rproc, proc_name, sender_hosts - {rproc}
+                    )
+                    first_copy = _INF
+                    guaranteed = -_INF
+                    for route_index, hops in enumerate(routes):
+                        ready = rend
+                        for hop_index, (origin, link, relay) in enumerate(hops):
+                            current = free[link] if stamp[link] == epoch else base[link]
+                            start = ready if ready > current else current
+                            end = start + row[link]
+                            stamp[link] = epoch
+                            free[link] = end
+                            if record_chains and link not in thr_seen:
+                                thr_seen.add(link)
+                                thresholds.append([link, start])
+                            if record_comms:
+                                comms.append((
+                                    q_name, op_name, replica_index,
+                                    c.link_names[link], start, end,
+                                    origin, relay, hop_index, route_index,
+                                    link,
+                                ))
+                            ready = end
+                        if ready < first_copy:
+                            first_copy = ready
+                        if ready > guaranteed:
+                            guaranteed = ready
+                    arrivals.append(guaranteed)
+                    firsts.append(first_copy)
+                    arrival_index += 1
+                    continue
+                direct = c.direct[rp * n_procs + p]
+                if direct:
+                    if len(direct) == 1:
+                        # The common case (p2p and bus topologies): one
+                        # direct link, no min-end choice to make.
+                        best_link = direct[0]
+                        current = (
+                            free[best_link] if stamp[best_link] == epoch
+                            else base[best_link]
+                        )
+                        best_start = rend if rend > current else current
+                        best_end = best_start + row[best_link]
+                    else:
+                        repairable = False
+                        best_end = _INF
+                        best_start = 0.0
+                        best_link = -1
+                        for link in direct:
+                            current = free[link] if stamp[link] == epoch else base[link]
+                            start = rend if rend > current else current
+                            end = start + row[link]
+                            if end < best_end:
+                                best_end = end
+                                best_start = start
+                                best_link = link
+                    # Mirror LinkState.reserve: the free pointer advances
+                    # by the re-derived duration, not the previewed end.
+                    stamp[best_link] = epoch
+                    free[best_link] = best_start + (best_end - best_start)
+                    if record_chains:
+                        if best_link not in thr_seen:
+                            thr_seen.add(best_link)
+                            thresholds.append([best_link, best_start])
+                        chains.setdefault(best_link, []).append(
+                            (feed_index, arrival_index, rend, row[best_link])
+                        )
+                    if record_comms:
+                        comms.append((
+                            q_name, op_name, replica_index,
+                            c.link_names[best_link], best_start, best_end,
+                            proc_names[rp], proc_name, 0, 0, best_link,
+                        ))
+                    arrivals.append(best_end)
+                else:
+                    # Multi-hop store-and-forward over the shortest route.
+                    repairable = False
+                    ready = rend
+                    for hop_index, (origin, link, relay) in enumerate(
+                        c.route_hops(rp, p)
+                    ):
+                        current = free[link] if stamp[link] == epoch else base[link]
+                        start = ready if ready > current else current
+                        end = start + row[link]
+                        stamp[link] = epoch
+                        free[link] = end
+                        if record_chains and link not in thr_seen:
+                            thr_seen.add(link)
+                            thresholds.append([link, start])
+                        if record_comms:
+                            comms.append((
+                                q_name, op_name, replica_index,
+                                c.link_names[link], start, end,
+                                origin, relay, hop_index, 0, link,
+                            ))
+                        ready = end
+                    arrivals.append(ready)
+                arrival_index += 1
+            if not arrivals:
+                raise ValueError(
+                    f"predecessor {q_name!r} of {op_name!r} has no replica; "
+                    f"candidate rule violated"
+                )
+            # Worst case: the (npf + 1)-th earliest arrival — i.e.
+            # ``sorted(arrivals)[min(npf, len - 1)]``, specialised for
+            # the tiny lists of the hot path (min/max pick the same
+            # float without the sorted copy).
+            count = len(arrivals)
+            if count == 1:
+                feed_worst = arrivals[0]
+            elif npf == 0:
+                feed_worst = min(arrivals)
+            elif npf >= count - 1:
+                feed_worst = max(arrivals)
+            else:
+                feed_worst = sorted(arrivals)[npf]
+            feed_worsts.append(feed_worst)
+            if feed_worst > worst:
+                worst = feed_worst
+            feed_earliest = min(arrivals if firsts is None else firsts)
+            if feed_earliest > earliest:
+                earliest = feed_earliest
+            feeds.append((q, None, arrivals, firsts))
+            feed_index += 1
+        plan = KernelPlan()
+        plan.operation = op_name
+        plan.processor = proc_name
+        plan.op = o
+        plan.proc = p
+        plan.duration = duration
+        plan.processor_ready = self._proc_avail[p]
+        plan.feeds = feeds
+        plan.comms = comms
+        plan.earliest = earliest
+        plan.worst = worst
+        plan.feed_worsts = feed_worsts
+        plan.thresholds = thresholds
+        plan.chains = chains if repairable else None
+        plan.repairable = repairable
+        return plan
+
+    # ------------------------------------------------------------------
+    # selection sweep (macro-steps À and Á)
+    # ------------------------------------------------------------------
+    def select(
+        self, candidates: "list[str]", record: bool
+    ) -> tuple[str, tuple[str, ...], float, dict | None]:
+        """:meth:`select_ids` over candidate names (non-incremental path)."""
+        op_ids = self._c.op_ids
+        return self.select_ids(
+            [op_ids[name] for name in candidates], record
+        )
+
+    def select_ids(
+        self, candidates: "list[int]", record: bool
+    ) -> tuple[str, tuple[str, ...], float, dict | None]:
+        """Pick the most urgent candidate and its ``Npf + 1`` processors.
+
+        Mirrors ``FTBARScheduler._select`` over candidate ids (sorted
+        ids == the sorted-name candidate order); ``record`` materializes
+        the per-pair σ mapping for the observer's :class:`StepRecord`
+        (the evaluation pattern — and hence every counter — is
+        identical either way).
+        """
+        if self._vector:
+            return self._select_vector(candidates, record)
+        c = self._c
+        n_procs = self._P
+        op_names = c.op_names
+        proc_names = c.proc_names
+        pins = c.pins
+        npf = c.npf
+        required = npf + 1
+        pressures: dict | None = {} if record else None
+        cache = self._cache
+        cached = cache is not None
+        entries = cache.entries if cached else None
+        suspects = self._suspects
+        proc_avail = self._proc_avail
+        aware = self._aware
+        hits = 0
+        best_urgency = 0.0
+        best_op = -1
+        best_kept: list[tuple[float, int]] | None = None
+        ranked: list[tuple[float, int]] = []
+        for o in candidates:
+            anchor = pins.get(o)
+            if anchor is None:
+                pool = self._all_procs
+            else:
+                pool = sorted(host for host, _ in self._rep_list[anchor])
+            del ranked[:]
+            base_key = o * n_procs
+            for p in pool:
+                # The hit fast path is inlined: one dict probe, one
+                # suspect check, two adds — this loop runs once per
+                # (candidate, processor) pair per macro-step.
+                if cached:
+                    key = base_key + p
+                    entry = entries.get(key)
+                    if entry is None:
+                        value = self._miss(o, p, key)
+                    elif entry[0] is None:
+                        hits += 1
+                        value = _INF
+                    elif key in suspects:
+                        # Accounts its own hit/miss (a stale
+                        # non-repairable entry recomputes as a miss).
+                        value = self._suspect_sigma(o, p, key, entry)
+                    else:
+                        hits += 1
+                        ready = proc_avail[p]
+                        worst = entry[3]
+                        s_worst = ready if ready > worst else worst
+                        if aware:
+                            value = s_worst + entry[6] + entry[1]
+                        else:
+                            value = s_worst + entry[1]
+                else:
+                    value = self._fresh_sigma(o, p)
+                if record:
+                    pressures[(op_names[o], proc_names[p])] = value
+                if value != _INF:
+                    ranked.append((value, p))
+            ranked.sort()
+            if len(ranked) < required:
+                raise InfeasibleReplicationError(
+                    f"operation {op_names[o]!r} can run on {len(ranked)} "
+                    f"processor(s), {required} required to tolerate "
+                    f"{npf} failure(s)"
+                )
+            kept = ranked[:required]
+            urgency = kept[-1][0]
+            if best_op < 0 or urgency > best_urgency or (
+                urgency == best_urgency and o < best_op
+            ):
+                best_urgency = urgency
+                best_op = o
+                best_kept = kept
+        if cached:
+            cache.hits += hits
+        assert best_kept is not None
+        return (
+            c.op_names[best_op],
+            tuple(proc_names[p] for _, p in best_kept),
+            best_urgency,
+            pressures,
+        )
+
+    # ------------------------------------------------------------------
+    # replay pools (vector mode)
+    # ------------------------------------------------------------------
+    def _try_pool(self, key: int, plan: KernelPlan) -> bool:
+        """Admit a cache entry to the replay pools when it qualifies.
+
+        Qualifies when every reservation chain is at most two deep and
+        every remote feed carries at most two arrivals: each arrival is
+        then ``max(ready, avail[link]) + dur`` (level 0) or the same
+        expression queued behind one level-0 reservation (level 1,
+        mirroring the free-pointer advance), and each feed's worst is
+        the arrival (one) or the ``npf``-capped min/max (two) — exactly
+        the values the scalar repair would replay, so the per-sweep
+        pool pass supersedes thresholds, suspects and repairs for these
+        entries.
+        """
+        chains = plan.chains
+        if chains is None or not chains:
+            # Not repairable (scalar repair path), or no remote feeds
+            # (static worst, no thresholds to watch anyway).
+            return False
+        arity: dict[int, int] = {}
+        for chain in chains.values():
+            if len(chain) > 2:
+                return False
+            for feed_index, _, _, _ in chain:
+                count = arity.get(feed_index, 0) + 1
+                if count > 2:
+                    return False
+                arity[feed_index] = count
+        slot = self._alloc_slot(key)
+        position_base = slot * self._feed_width
+        row_worst = self._slot_worst[slot]
+        feed_worsts = plan.feed_worsts
+        for feed_index, feed in enumerate(plan.feeds):
+            local_end = feed[_FEED_LOCAL_END]
+            row_worst[feed_index] = (
+                local_end if local_end is not None
+                else feed_worsts[feed_index]
+            )
+        level0 = self._level0
+        level1 = self._level1
+        by_feed: dict[int, list[tuple[int, int]]] = {}
+        for link, chain in chains.items():
+            feed_index, arrival_index, ready, duration = chain[0]
+            apos = self._alloc_arrival()
+            parent = level0.append((ready, duration), (link, apos))
+            by_feed.setdefault(feed_index, []).append((arrival_index, apos))
+            if len(chain) == 2:
+                feed_index, arrival_index, ready, duration = chain[1]
+                apos = self._alloc_arrival()
+                level1.append((ready, duration), (parent, apos))
+                by_feed.setdefault(feed_index, []).append(
+                    (arrival_index, apos)
+                )
+        for feed_index, items in by_feed.items():
+            position = position_base + feed_index
+            if len(items) == 1:
+                self._feeds1.append((), (items[0][1], position))
+            else:
+                items.sort()
+                self._feeds2.append(
+                    (), (items[0][1], items[1][1], position)
+                )
+        return True
+
+    def _alloc_slot(self, key: int) -> int:
+        slot = self._slot_count
+        if slot == len(self._slot_alive):
+            capacity = max(64, 2 * slot)
+            keys = _np.zeros(capacity, dtype=_np.int64)
+            keys[:slot] = self._slot_key[:slot]
+            self._slot_key = keys
+            alive = _np.zeros(capacity, dtype=bool)
+            alive[:slot] = self._slot_alive[:slot]
+            self._slot_alive = alive
+            worst = _np.full((capacity, self._feed_width), -_INF)
+            worst[:slot] = self._slot_worst[:slot]
+            self._slot_worst = worst
+        self._slot_key[slot] = key
+        self._slot_alive[slot] = True
+        self._slot_worst[slot] = -_INF
+        self._slot_count = slot + 1
+        self._slot_of[key] = slot
+        return slot
+
+    def _alloc_arrival(self) -> int:
+        # The store is only written by the level passes; capacity is
+        # ensured in ``_pool_pass``.
+        position = self._arrival_count
+        self._arrival_count = position + 1
+        return position
+
+    def _release_keys(self, keys) -> None:
+        """Drop the slots of dropped cache entries.
+
+        Pool rows and arrival positions are append-only and never
+        reused; a dead slot's rows keep computing into positions the
+        final scatter filters out via ``_slot_alive``.
+        """
+        slot_of = self._slot_of
+        slot_alive = self._slot_alive
+        for key in keys:
+            slot = slot_of.pop(key, None)
+            if slot is not None:
+                slot_alive[slot] = False
+
+    def _pool_pass(self) -> None:
+        """Recompute every pooled entry's worst from current availabilities.
+
+        Two level passes replay the reservation chains (level 1 queues
+        behind level 0's re-derived free pointer, mirroring
+        ``LinkState.reserve``), two feed passes reduce arrivals to feed
+        worsts, then a row-max and one scatter write the sweep's worst
+        array — the batched equivalent of every scalar repair the
+        object engine would perform this step.
+        """
+        np = _np
+        slots = self._slot_count
+        if not slots:
+            return
+        if self._arrival_count > len(self._arrivals):
+            grown = np.zeros(max(64, 2 * self._arrival_count))
+            self._arrivals = grown
+        avail = np.array(self._link_avail)
+        arrivals = self._arrivals
+        flat_worst = self._slot_worst.reshape(-1)
+        pool = self._level0
+        count = pool.count
+        free0 = None
+        if count:
+            pool.flush()
+            start = np.maximum(
+                pool.float_cols[0][:count], avail[pool.int_cols[0][:count]]
+            )
+            end = start + pool.float_cols[1][:count]
+            arrivals[pool.int_cols[1][:count]] = end
+            # The queue position behind a level-0 reservation advances
+            # by the re-derived duration (LinkState.reserve's
+            # ``start + (end - start)``), not the previewed end.
+            free0 = start + (end - start)
+        pool = self._level1
+        count = pool.count
+        if count:
+            pool.flush()
+            start = np.maximum(
+                pool.float_cols[0][:count], free0[pool.int_cols[0][:count]]
+            )
+            arrivals[pool.int_cols[1][:count]] = (
+                start + pool.float_cols[1][:count]
+            )
+        pool = self._feeds1
+        count = pool.count
+        if count:
+            pool.flush()
+            flat_worst[pool.int_cols[1][:count]] = (
+                arrivals[pool.int_cols[0][:count]]
+            )
+        pool = self._feeds2
+        count = pool.count
+        if count:
+            pool.flush()
+            flat_worst[pool.int_cols[2][:count]] = self._feeds2_reduce(
+                arrivals[pool.int_cols[0][:count]],
+                arrivals[pool.int_cols[1][:count]],
+            )
+        entry_worst = self._slot_worst[:slots].max(axis=1)
+        alive = self._slot_alive[:slots]
+        if alive.all():
+            self._arr_worst[self._slot_key[:slots]] = entry_worst
+        else:
+            self._arr_worst[self._slot_key[:slots][alive]] = entry_worst[alive]
+
+    def _select_vector(
+        self, candidates: "list[int]", record: bool
+    ) -> tuple[str, tuple[str, ...], float, dict | None]:
+        """The selection sweep as array passes (numpy available, no pins).
+
+        Suspect and absent entries are reconciled through the same
+        scalar ``_miss`` / ``_repair`` paths first (they are the rare
+        cases and they mutate cache state); every surviving hit is then
+        served by one gather + ``maximum`` + add over the parallel
+        arrays.  Sigma values, tie-breaks and counters are identical to
+        the scalar sweep: float64 arithmetic is the same IEEE arithmetic,
+        ids are name-ordered, and ``argmax`` / stable ``argsort`` pick
+        the same first-of-equals the tuple comparisons do.
+        """
+        np = _np
+        c = self._c
+        n_procs = self._P
+        cache = self._cache
+        entries = cache.entries
+        self._pool_pass()
+        ids = np.fromiter(
+            candidates, dtype=np.int64, count=len(candidates)
+        )
+        keys = ids[:, None] * n_procs + self._pool_offsets
+        flat = keys.ravel()
+        misses_before = cache.misses
+        suspects = self._suspects
+        if suspects:
+            # Every live entry's candidate is ready (candidates only
+            # leave the ready set by being placed, which drops their
+            # entries), so the whole suspect set is due this sweep.
+            link_avail = self._link_avail
+            for key in tuple(suspects):
+                entry = entries.get(key)
+                if entry is None:
+                    # Dangling flag of a dropped entry: the scalar path
+                    # leaves it for the next lookup — so do we.
+                    continue
+                suspects.discard(key)
+                for threshold in entry[5]:
+                    if link_avail[threshold[0]] > threshold[1]:
+                        if entry[2] is None:
+                            cache.discard(key)
+                            self._miss(key // n_procs, key % n_procs, key)
+                        else:
+                            self._repair(entry)
+                            self._arr_worst[key] = entry[3]
+                        break
+        state = self._arr_state[flat]
+        if not state.all():
+            for key in flat[state == 0].tolist():
+                self._miss(key // n_procs, key % n_procs, key)
+            state = self._arr_state[flat]
+        ready = np.array(self._proc_avail)
+        shape = keys.shape
+        sigma = np.maximum(ready[None, :], self._arr_worst[flat].reshape(shape))
+        if self._aware:
+            sigma += self._arr_duration[flat].reshape(shape)
+        sigma += self._arr_static[flat].reshape(shape)
+        forbidden = state == 1
+        if forbidden.any():
+            sigma[forbidden.reshape(shape)] = _INF
+        cache.hits += flat.size - (cache.misses - misses_before)
+        npf = c.npf
+        required = npf + 1
+        finite = (sigma != _INF).sum(axis=1)
+        feasible = finite >= required
+        if not feasible.all():
+            index = int(feasible.argmin())
+            raise InfeasibleReplicationError(
+                f"operation {c.op_names[candidates[index]]!r} can run on "
+                f"{int(finite[index])} processor(s), {required} required "
+                f"to tolerate {npf} failure(s)"
+            )
+        ordered = np.sort(sigma, axis=1)
+        urgencies = ordered[:, required - 1]
+        # Most urgent candidate; argmax keeps the first (= smallest id)
+        # among equals, the scalar loop's tie-break.
+        winner = int(urgencies.argmax())
+        kept = np.argsort(sigma[winner], kind="stable")[:required]
+        proc_names = c.proc_names
+        op_names = c.op_names
+        pressures: dict | None = None
+        if record:
+            pressures = {}
+            for row, o in enumerate(candidates):
+                values = sigma[row]
+                name = op_names[o]
+                for p in range(n_procs):
+                    pressures[(name, proc_names[p])] = float(values[p])
+        return (
+            c.op_names[int(ids[winner])],
+            tuple(proc_names[int(p)] for p in kept),
+            float(urgencies[winner]),
+            pressures,
+        )
+
+    def _fresh_sigma(self, o: int, p: int) -> float:
+        """σ(o, p) recomputed from scratch (``incremental=False``)."""
+        self.evaluations += 1
+        plan = self._plan(o, p, False, False)
+        if plan is None:
+            return _INF
+        if self._aware:
+            return plan.s_worst + plan.duration + self._c.tail[o]
+        return plan.s_worst + self._c.sbar[o]
+
+    def _suspect_sigma(self, o: int, p: int, key: int, entry: list) -> float:
+        """σ(o, p) for an entry flagged by a touched threshold link.
+
+        The slow half of ``PressureCalculator.cached_pressure``: check
+        the thresholds value-wise, repair the plan in place when it is
+        repairable, recompute it as a miss otherwise.
+        """
+        self._suspects.discard(key)
+        link_avail = self._link_avail
+        for threshold in entry[5]:
+            if link_avail[threshold[0]] > threshold[1]:
+                if entry[2] is None:
+                    # Not repairable (parallel links, multi-hop or npl
+                    # routes): recompute the whole plan.
+                    self._cache.discard(key)
+                    return self._miss(o, p, key)
+                self._repair(entry)
+                break
+        self._cache.hits += 1
+        ready = self._proc_avail[p]
+        worst = entry[3]
+        s_worst = ready if ready > worst else worst
+        if self._aware:
+            return s_worst + entry[6] + entry[1]
+        return s_worst + entry[1]
+
+    def _miss(self, o: int, p: int, key: int) -> float:
+        """Plan the pair for real, cache it with its id dependencies."""
+        cache = self._cache
+        cache.misses += 1
+        self.evaluations += 1
+        plan = self._plan(o, p, False, True)
+        if plan is None:
+            cache.put(key, _FORBIDDEN)
+            if self._vector:
+                self._arr_state[key] = 1
+            return _INF
+        c = self._c
+        if self._aware:
+            static = c.tail[o]
+            sigma = plan.s_worst + plan.duration + static
+        else:
+            static = c.sbar[o]
+            sigma = plan.s_worst + static
+        thresholds = plan.thresholds
+        # Entry layout: [feeds, static, chains, worst, feed_worsts,
+        # thresholds, duration] — worst (index 3) and the threshold
+        # floats are updated in place by repairs.
+        entry = [
+            plan.feeds, static, plan.chains, plan.worst,
+            plan.feed_worsts, thresholds, plan.duration,
+        ]
+        # Pooled entries are recomputed wholesale by the per-sweep pool
+        # pass, so they register no threshold links (nothing to suspect
+        # or repair); everything else keeps the scalar threshold rule.
+        pooled = self._vector and self._try_pool(key, plan)
+        cache.put(
+            key, entry,
+            operations=c.preds[o],
+            threshold_links=(
+                () if pooled else tuple(t[0] for t in thresholds)
+            ),
+        )
+        if self._vector:
+            self._arr_state[key] = 2
+            self._arr_worst[key] = plan.worst
+            self._arr_static[key] = static
+            self._arr_duration[key] = plan.duration
+        return sigma
+
+    def _repair(self, entry: list) -> None:
+        """Replay the trial chains of every outdated link in place.
+
+        The flat mirror of ``PressureCalculator._repair`` — identical
+        float expressions, including the re-derived duration advance.
+        """
+        link_avail = self._link_avail
+        feeds = entry[0]
+        chains = entry[2]
+        feed_worsts = entry[4]
+        touched: set[int] = set()
+        for threshold in entry[5]:
+            available = link_avail[threshold[0]]
+            if available <= threshold[1]:
+                continue
+            free = available
+            first = None
+            for feed_index, arrival_index, ready, duration in chains[threshold[0]]:
+                start = ready if ready > free else free
+                end = start + duration
+                feeds[feed_index][2][arrival_index] = end
+                free = start + (end - start)
+                touched.add(feed_index)
+                if first is None:
+                    first = start
+            threshold[1] = first
+        npf = self._c.npf
+        for feed_index in touched:
+            arrivals = feeds[feed_index][2]
+            count = len(arrivals)
+            if count == 1:
+                feed_worsts[feed_index] = arrivals[0]
+            elif npf == 0:
+                feed_worsts[feed_index] = min(arrivals)
+            elif npf >= count - 1:
+                feed_worsts[feed_index] = max(arrivals)
+            else:
+                feed_worsts[feed_index] = sorted(arrivals)[npf]
+        entry[3] = max(feed_worsts)
+
+    # ------------------------------------------------------------------
+    # cache maintenance (driven by the FTBAR macro-step loop)
+    # ------------------------------------------------------------------
+    def begin_step(self) -> None:
+        """Remember the buffer positions before a macro-step's placements."""
+        self._step_mark = len(self._op_buffer)
+        self._step_comm_mark = len(self._comm_buffer)
+
+    def invalidate_step(self) -> None:
+        """Apply the dirty set of the committed macro-step.
+
+        The buffer suffixes since :meth:`begin_step` are the id-level
+        :class:`~repro.core.incremental.StepDelta`: surviving records
+        name the operations that gained replicas and the links their
+        comms landed on (rollbacks truncated their records, so the
+        suffix is net — exactly the ``MutationTracker`` contract,
+        without re-deriving names from the schedule log).
+        """
+        if self._cache is None:
+            return
+        replicated = {
+            record[6] for record in self._op_buffer[self._step_mark:]
+        }
+        links = {
+            comm[10]
+            for comm, _ in self._comm_buffer[self._step_comm_mark:]
+        }
+        if replicated:
+            dropped = self._cache.invalidate_replicated(replicated)
+            if self._vector and dropped:
+                self._arr_state[list(dropped)] = 0
+                self._release_keys(dropped)
+        if links:
+            self._suspects |= self._cache.suspects_for(links)
+
+    def forget(self, operation: str) -> None:
+        """Drop every cached plan of an operation that has been placed."""
+        if self._cache is None:
+            return
+        o = self._c.op_ids[operation]
+        dropped = self._cache.drop_range(o * self._P, (o + 1) * self._P)
+        if self._vector and dropped:
+            self._arr_state[list(dropped)] = 0
+            self._release_keys(dropped)
+
+    def forget_range(self, start: int, stop: int) -> None:
+        """Drop every cached entry in a candidate's key range (HBP)."""
+        if self._cache is not None:
+            self._cache.drop_range(start, stop)
+
+    # ------------------------------------------------------------------
+    # placement (macro-step Â — the flat Minimize_start_time)
+    # ------------------------------------------------------------------
+    def place(self, operation: str, processor: str) -> None:
+        """Place one replica, mirroring ``FTBARScheduler._place``."""
+        c = self._c
+        o = c.op_ids[operation]
+        p = c.proc_ids[processor]
+        if o in c.pins:
+            # Memory halves are placed directly: duplicating register
+            # halves would break the read/write co-location invariant.
+            plan = self._plan(o, p, True, False)
+            if plan is None:
+                raise InfeasibleReplicationError(
+                    f"memory half {operation!r} is forbidden on {processor!r} "
+                    f"where its register lives"
+                )
+            self._commit(plan)
+            return
+        self._minimize(o, p, False)
+
+    def _minimize(self, o: int, p: int, duplicated: bool):
+        """``Minimize_start_time(o, p)`` on kernel plans (steps Ê–Ñ)."""
+        c = self._c
+        plan = self._plan(o, p, True, False)
+        if plan is None:
+            raise SchedulingError(
+                f"operation {c.op_names[o]!r} cannot be scheduled on "
+                f"{c.proc_names[p]!r}"
+            )
+        if self._duplication:
+            plan = self._improve_by_duplication(plan)
+        return self._commit(plan, duplicated=duplicated)
+
+    def _improve_by_duplication(self, plan: KernelPlan) -> KernelPlan:
+        stats = self.dup_stats
+        o, p = plan.op, plan.proc
+        best_worst = plan.s_worst
+        while True:
+            lip = self._duplicable_lip(plan)
+            if lip is None:
+                return plan
+            stats.attempts += 1
+            saved = self._mark()
+            try:
+                # Step Í: recursively minimise the LIP's start on p.
+                self._minimize(lip, p, True)
+            except SchedulingError:
+                self._undo_to(saved)
+                stats.rolled_back += 1
+                return plan
+            new_plan = self._plan(o, p, True, False)
+            if new_plan is None or new_plan.s_worst >= best_worst - _EPSILON:
+                # Step Ð: the replication does not pay off — undo it all.
+                self._undo_to(saved)
+                stats.rolled_back += 1
+                return plan
+            # Step Ñ: improvement kept; hunt for the new LIP.
+            stats.kept += 1
+            stats.extra_replicas += 1
+            best_worst = new_plan.s_worst
+            plan = new_plan
+
+    def _duplicable_lip(self, plan: KernelPlan) -> int | None:
+        """Step Ì: the plan's LIP id, when duplicating it can help.
+
+        The critical feed maximises ``(worst_case, smallest name)``;
+        with sorted-name ids the tie-break is a plain id comparison.
+        """
+        feeds = plan.feeds
+        if not feeds:
+            return None
+        feed_worsts = plan.feed_worsts
+        best_feed = None
+        best_worst = -_INF
+        best_pred = -1
+        for index, feed in enumerate(feeds):
+            worst = feed_worsts[index]
+            pred = feed[_FEED_PRED]
+            if best_feed is None or worst > best_worst or (
+                worst == best_worst and pred < best_pred
+            ):
+                best_feed = feed
+                best_worst = worst
+                best_pred = pred
+        if best_feed[_FEED_LOCAL_END] is not None:
+            return None
+        c = self._c
+        if c.is_memory_half[best_pred]:
+            return None
+        key = best_pred * self._P + plan.proc
+        if c.exe[key] == _INF:
+            return None
+        if self._rep_end[key] != 0.0:
+            return None
+        return best_pred
+
+    # ------------------------------------------------------------------
+    # HBP: ordered-pair cost on the shared kernel
+    # ------------------------------------------------------------------
+    def pair_cost(self, task: int, first: int, second: int) -> float | None:
+        """Later completion of the two replicas; ``None`` if infeasible.
+
+        The flat mirror of ``HBPScheduler._pair_cost``: both replicas
+        are planned against one shared overlay so their feeding comms
+        contend for the same links; costs are cached per ordered pair
+        with the same threshold staleness rule (checked value-wise on
+        every hit — HBP entries carry no repair chains).
+        """
+        cache = self._cache
+        n_procs = self._P
+        key = (task * n_procs + first) * n_procs + second
+        entry = cache.entries.get(key)
+        if entry is not None:
+            link_avail = self._link_avail
+            stale = False
+            for link, start in entry[1]:
+                if link_avail[link] > start:
+                    stale = True
+                    break
+            if not stale:
+                cache.hits += 1
+                payload = entry[0]
+                if payload is None:
+                    return None
+                earliest_1, duration_1, earliest_2, duration_2 = payload
+                ready_1 = self._proc_avail[first]
+                ready_2 = self._proc_avail[second]
+                first_end = max(ready_1, earliest_1) + duration_1
+                second_end = max(ready_2, earliest_2) + duration_2
+                return max(first_end, second_end)
+            cache.discard(key)
+        cache.misses += 1
+        dependencies = self._c.preds[task]
+        first_plan = self._plan(task, first, False, True)
+        if first_plan is None:
+            cache.put(key, [None, ()], operations=dependencies)
+            return None
+        second_plan = self._plan(task, second, False, True, shared_overlay=True)
+        if second_plan is None:
+            cache.put(key, [None, ()], operations=dependencies)
+            return None
+        merged: dict[int, float] = {}
+        for link, start in first_plan.thresholds:
+            merged[link] = start
+        for link, start in second_plan.thresholds:
+            current = merged.get(link)
+            if current is None or start < current:
+                merged[link] = start
+        cache.put(
+            key,
+            [
+                (
+                    first_plan.earliest, first_plan.duration,
+                    second_plan.earliest, second_plan.duration,
+                ),
+                tuple(merged.items()),
+            ],
+            operations=dependencies,
+        )
+        first_end = first_plan.s_best + first_plan.duration
+        second_end = second_plan.s_best + second_plan.duration
+        return max(first_end, second_end)
+
+    def commit_pair(self, task: int, first: int, second: int) -> None:
+        """Commit an HBP winning pair (mirrors ``_commit_pair``)."""
+        c = self._c
+        for p in (first, second):
+            plan = self._plan(task, p, True, False)
+            if plan is None:  # pragma: no cover - defensive
+                raise SchedulingError(
+                    f"placement of {c.op_names[task]!r} on "
+                    f"{c.proc_names[p]!r} became infeasible"
+                )
+            self._commit(plan)

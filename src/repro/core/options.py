@@ -48,6 +48,22 @@ class SchedulerOptions:
         ``Npl >= 1`` every inter-processor transfer is scheduled over
         ``Npl + 1`` link-disjoint routes; ``Npl = 0`` is bit-identical
         to the paper's single-route engine.
+    compiled:
+        Run the compiled scheduling kernel: operations, processors,
+        links and edges are interned to dense integer ids once per
+        problem and the per-step inner loop (ready-set sweep, candidate
+        pressure evaluation, placement trials) runs as batched passes
+        over flat preallocated arrays instead of per-pair object graphs
+        (see :mod:`repro.core.kernel`).  The produced schedules,
+        observer streams, content hashes and evaluation counters are
+        bit-identical to the object path — the flag is a
+        pure-performance escape hatch, kept so the equivalence corpus
+        can pin compiled-vs-legacy and a regression can be bisected to
+        the compilation layer.  Composes with ``incremental`` (the plan
+        cache then runs on id-indexed dirty rows).  Ignored (object
+        path used) when ``link_insertion`` is set: gap insertion makes
+        whole link timelines relevant, which the flat append-mode
+        arrays deliberately do not model.
     """
 
     duplication: bool = True
@@ -55,3 +71,4 @@ class SchedulerOptions:
     processor_aware_pressure: bool = False
     incremental: bool = True
     npl: int | None = None
+    compiled: bool = True

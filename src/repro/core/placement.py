@@ -377,7 +377,7 @@ class PlacementPlanner:
         if self._npl:
             feed.firsts = []
         edge = (predecessor, operation)
-        replicas = schedule.replicas_of(predecessor)
+        replicas = schedule.live_replicas(predecessor)
         # Relay-avoidance preference (npl >= 1): backup routes should not
         # relay through the hosts of the predecessor's other replicas,
         # otherwise one crash can silence a sender *and* another
@@ -532,6 +532,10 @@ def commit_plan(
     The replica starts at ``start`` (default: the plan's ``S_best``, per
     micro-step Ð) and all planned comms are placed with the new replica's
     index as their destination.
+
+    The compiled kernel's ``SchedulingKernel._commit`` mirrors this
+    function over flat hop tuples (same placement order, same duration
+    re-derivation); change the two together.
     """
     event = schedule.place_operation(
         plan.operation,

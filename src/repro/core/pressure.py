@@ -125,6 +125,21 @@ class PressureCalculator:
             self._sbar_cache[name] = self.average_execution(name) + tail
         return self._sbar_cache[operation]
 
+    def static_tables(self) -> tuple[list[float], list[float]]:
+        """``(S̄, tail)`` per operation, in ``operation_names()`` order.
+
+        The compiled kernel (:mod:`repro.core.kernel`) lowers the static
+        pressure terms into flat arrays once per problem; producing them
+        through this calculator — same reverse-topological sweep, same
+        averaging order — is what keeps the compiled σ values
+        bit-identical to the object path.
+        """
+        names = self._algorithm.operation_names()
+        return (
+            [self.sbar(name) for name in names],
+            [self.tail(name) for name in names],
+        )
+
     # ------------------------------------------------------------------
     # dynamic part: σ(o, p)
     # ------------------------------------------------------------------

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class ScheduledOperation:
     """One replica of an operation placed on a processor.
 
@@ -51,7 +51,7 @@ class ScheduledOperation:
         return replace(self, start=self.start + delta, end=self.end + delta)
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class ScheduledComm:
     """One data transfer on a link, from one replica to another.
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 from repro.exceptions import ScheduleValidationError
 from repro.schedule.events import ScheduledComm, ScheduledOperation
@@ -178,11 +178,11 @@ class Schedule:
         self._link_busy[link].insert(index, (event.start, event.end))
         inbound_key = (target, target_replica)
         inbound = self._inbound_comms.setdefault(inbound_key, [])
-        inbound_idx = bisect.bisect_left(inbound, event)
+        inbound_idx = self._tail_position(inbound, event)
         inbound.insert(inbound_idx, event)
         edge_key = (source, target)
         edge = self._edge_comms.setdefault(edge_key, [])
-        edge_idx = bisect.bisect_left(edge, event)
+        edge_idx = self._tail_position(edge, event)
         edge.insert(edge_idx, event)
         self._log.append(
             ("comm", link, index, inbound_key, inbound_idx, edge_key, edge_idx,
@@ -194,8 +194,24 @@ class Schedule:
         return event
 
     @staticmethod
+    def _tail_position(events: list, event) -> int:
+        """``bisect_left(events, event)`` with an O(1) tail fast path.
+
+        Append-only list scheduling lands almost every event at the
+        tail; one start-date compare (``start`` is the first ordering
+        field of both event dataclasses) beats a bisect and the
+        generated dataclass comparison, which tuples all fields.
+        """
+        if not events:
+            return 0
+        last = events[-1]
+        if last.start < event.start or (last.start == event.start and last < event):
+            return len(events)
+        return bisect.bisect_left(events, event)
+
+    @staticmethod
     def _insert(timeline: list, event, resource: str) -> int:
-        index = bisect.bisect_left(timeline, event)
+        index = Schedule._tail_position(timeline, event)
         before = timeline[index - 1] if index > 0 else None
         after = timeline[index] if index < len(timeline) else None
         if before is not None and before.end > event.start + _EPSILON:
@@ -322,6 +338,20 @@ class Schedule:
     def replicas_of(self, operation: str) -> tuple[ScheduledOperation, ...]:
         """All placed replicas of ``operation`` in placement order."""
         return tuple(self._replicas.get(operation, ()))
+
+    def live_replicas(self, operation: str) -> "Sequence[ScheduledOperation]":
+        """The live replica sequence of ``operation`` — zero-copy, read-only.
+
+        The planners (object and compiled kernel) iterate predecessor
+        replicas once per trial plan; this accessor skips the per-call
+        tuple of :meth:`replicas_of`.  The returned sequence is the
+        live index (an immutable ``()`` when the operation has no
+        replicas): callers must not mutate it, and must not hold it
+        across placements (its position ``i`` is replica index ``i``
+        only for the current schedule state).
+        """
+        replicas = self._replicas.get(operation)
+        return () if replicas is None else replicas
 
     def replica(self, operation: str, index: int) -> ScheduledOperation:
         """The ``index``-th replica of ``operation``."""

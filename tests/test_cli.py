@@ -175,3 +175,26 @@ class TestBench:
     def test_bench_ablation_small(self, capsys):
         assert main(["bench", "ablation", "--graphs", "1"]) == 0
         assert "variant" in capsys.readouterr().out
+
+    def test_bench_without_figure_or_mode_errors(self, capsys):
+        assert main(["bench"]) == 2
+        assert "figure is required" in capsys.readouterr().err
+
+    def test_bench_smoke_counters_match_pins(self, capsys):
+        assert main(["bench", "--smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "perf smoke ok" in output
+        assert "pressure_evaluations" in output
+        assert "pair_evaluations" in output
+
+    def test_bench_smoke_detects_counter_drift(self, capsys, monkeypatch):
+        from repro import cli as cli_module
+
+        drifted = {
+            label: dict(pins)
+            for label, pins in cli_module._PERF_SMOKE_PINS.items()
+        }
+        drifted["ftbar-N40-npf1"]["pressure_evaluations"] += 1
+        monkeypatch.setattr(cli_module, "_PERF_SMOKE_PINS", drifted)
+        assert main(["bench", "--smoke"]) == 1
+        assert "REGRESSED" in capsys.readouterr().out

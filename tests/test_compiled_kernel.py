@@ -1,0 +1,258 @@
+"""Randomized equivalence corpus for the compiled scheduling kernel.
+
+``SchedulerOptions(compiled=True)`` must be a pure-performance change:
+bit-identical replica placements, comm orders, observer ``StepRecord``
+streams, *and* evaluation counters (the compiled plan cache reproduces
+the PR-1 dirty-set semantics exactly, so its hit/miss pattern pins
+against the object engine's).
+
+The corpus spans 32 problems — npf in {0, 1, 2} x npl in {0, 1} x
+ring / star / fully-connected / bus topologies x two seeds — plus the
+scheduler option variants, the scalar (numpy-free) sweep fallback, the
+pinned-memory fallback, and the HBP baseline's kernel path.  The
+``PINNED_COUNTERS`` literals are the (pressure_evaluations, cache_hits)
+pairs of the PR-1 incremental engine; both engines must keep landing on
+them exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from test_engine_equivalence import ftbar_fingerprint, ftbar_trace, hbp_fingerprint
+
+from repro.baselines.hbp import schedule_hbp
+from repro.core import kernel as kernel_module
+from repro.core.compile import CompiledProblem
+from repro.core.ftbar import FTBARScheduler, schedule_ftbar
+from repro.core.options import SchedulerOptions
+from repro.hardware.topologies import ring, single_bus, star
+from repro.problem import ProblemSpec
+from repro.timing.comm_times import CommunicationTimes
+from repro.workloads.paper_example import build_problem
+from repro.workloads.random_dag import RandomWorkloadConfig, generate_problem
+
+OBJECT = SchedulerOptions(compiled=False)
+OBJECT_LEGACY = SchedulerOptions(compiled=False, incremental=False)
+COMPILED = SchedulerOptions()
+COMPILED_LEGACY = SchedulerOptions(incremental=False)
+
+#: (pressure_evaluations, cache_hits) of the PR-1 incremental engine
+#: over the corpus; the compiled engine must match them exactly.
+PINNED_COUNTERS = {
+    "fc4-npf0-seed21": (84, 160),
+    "bus4-npf0-seed21": (72, 172),
+    "ring4-npf0-seed21": (100, 140),
+    "star4-npf0-seed21": (102, 138),
+    "fc4-npf1-seed21": (72, 172),
+    "bus4-npf1-seed21": (68, 184),
+    "ring4-npf1-seed21": (72, 180),
+    "star4-npf1-seed21": (78, 174),
+    "fc4-npf2-seed21": (72, 180),
+    "bus4-npf2-seed21": (72, 180),
+    "ring4-npf2-seed21": (81, 171),
+    "star4-npf2-seed21": (72, 180),
+    "fc4-npf0-npl1-seed21": (52, 112),
+    "ring4-npf0-npl1-seed21": (54, 110),
+    "fc4-npf1-npl1-seed21": (60, 116),
+    "ring4-npf1-npl1-seed21": (48, 128),
+    "fc4-npf0-seed22": (80, 160),
+    "bus4-npf0-seed22": (68, 176),
+    "ring4-npf0-seed22": (100, 140),
+    "star4-npf0-seed22": (88, 144),
+    "fc4-npf1-seed22": (72, 184),
+    "bus4-npf1-seed22": (80, 156),
+    "ring4-npf1-seed22": (82, 154),
+    "star4-npf1-seed22": (96, 160),
+    "fc4-npf2-seed22": (76, 180),
+    "bus4-npf2-seed22": (80, 168),
+    "ring4-npf2-seed22": (86, 166),
+    "star4-npf2-seed22": (83, 169),
+    "fc4-npf0-npl1-seed22": (69, 67),
+    "ring4-npf0-npl1-seed22": (65, 71),
+    "fc4-npf1-npl1-seed22": (66, 94),
+    "ring4-npf1-npl1-seed22": (64, 96),
+}
+
+
+def _variant(problem: ProblemSpec, architecture, suffix: str) -> ProblemSpec:
+    """The same workload on a different interconnect (uniform durations)."""
+    reference = problem.architecture.link_names()[0]
+    comm_times = CommunicationTimes()
+    for edge in problem.algorithm.dependencies():
+        for link in architecture.link_names():
+            comm_times.set(
+                edge, link, problem.comm_times.time_of(edge, reference)
+            )
+    return ProblemSpec(
+        algorithm=problem.algorithm,
+        architecture=architecture,
+        exec_times=problem.exec_times,
+        comm_times=comm_times,
+        npf=problem.npf,
+        rtc=problem.rtc,
+        name=f"{problem.name}-{suffix}",
+        npl=problem.npl,
+    )
+
+
+def corpus_case(label: str) -> ProblemSpec:
+    """Rebuild one corpus problem from its label (deterministic)."""
+    parts = label.split("-")
+    topology = parts[0]
+    npf = int(parts[1][3:])
+    npl = 1 if "npl1" in parts else 0
+    seed = int(parts[-1][4:])
+    operations = 12 if npl else 15
+    ccr = 1.0 if npl else 1.5
+    base = generate_problem(
+        RandomWorkloadConfig(
+            operations=operations, ccr=ccr, processors=4, npf=npf, seed=seed
+        )
+    )
+    if topology == "bus4":
+        problem = _variant(base, single_bus(4), "bus")
+    elif topology == "ring4":
+        problem = _variant(base, ring(4), "ring")
+    elif topology == "star4":
+        problem = _variant(base, star(4), "star")
+    else:
+        problem = base
+    problem.npl = npl
+    return problem
+
+
+@pytest.mark.parametrize("label", sorted(PINNED_COUNTERS))
+def test_compiled_bit_identical_and_counters_pinned(label):
+    """Compiled == object engine, incremental on and off, over the corpus."""
+    problem = corpus_case(label)
+    object_trace = ftbar_trace(problem, OBJECT)
+    compiled_trace = ftbar_trace(problem, COMPILED)
+    assert compiled_trace == object_trace, f"{label}: engines diverge"
+    assert ftbar_trace(problem, COMPILED_LEGACY) == ftbar_trace(
+        problem, OBJECT_LEGACY
+    ), f"{label}: non-incremental paths diverge"
+    object_result = schedule_ftbar(problem, OBJECT)
+    compiled_result = schedule_ftbar(problem, COMPILED)
+    counters = (
+        compiled_result.stats.pressure_evaluations,
+        compiled_result.stats.cache_hits,
+    )
+    assert counters == (
+        object_result.stats.pressure_evaluations,
+        object_result.stats.cache_hits,
+    ), f"{label}: counters diverge between engines"
+    assert counters == PINNED_COUNTERS[label], (
+        f"{label}: counters moved from the pinned PR-1 values"
+    )
+
+
+def test_scalar_sweep_matches_vector_sweep(monkeypatch):
+    """The numpy-free fallback produces the same schedules and counters."""
+    problem = corpus_case("fc4-npf1-seed21")
+    vector_trace = ftbar_trace(problem, COMPILED)
+    monkeypatch.setattr(kernel_module, "_np", None)
+    scalar_trace = ftbar_trace(problem, COMPILED)
+    assert scalar_trace == vector_trace
+    result = schedule_ftbar(problem, COMPILED)
+    assert (
+        result.stats.pressure_evaluations, result.stats.cache_hits
+    ) == PINNED_COUNTERS["fc4-npf1-seed21"]
+
+
+def test_pinned_memory_problem_uses_scalar_sweep_bit_identically():
+    """Memory halves (pinned pools) fall back to the scalar sweep."""
+    problem = build_problem()
+    assert ftbar_trace(problem, COMPILED) == ftbar_trace(problem, OBJECT)
+
+
+@pytest.mark.parametrize(
+    "options",
+    [
+        {"processor_aware_pressure": True},
+        {"duplication": False},
+        {"processor_aware_pressure": True, "duplication": False},
+    ],
+    ids=["aware", "no-duplication", "aware-no-duplication"],
+)
+def test_option_variants_bit_identical(options):
+    problem = generate_problem(
+        RandomWorkloadConfig(operations=20, ccr=2.0, processors=4, npf=1, seed=31)
+    )
+    compiled = ftbar_trace(problem, SchedulerOptions(**options))
+    plain = ftbar_trace(problem, SchedulerOptions(compiled=False, **options))
+    assert compiled == plain
+
+
+def test_link_insertion_falls_back_to_object_path():
+    """Gap insertion is not modelled by the kernel; compiled is a no-op."""
+    problem = generate_problem(
+        RandomWorkloadConfig(operations=16, ccr=1.0, processors=4, npf=1, seed=5)
+    )
+    insertion = SchedulerOptions(link_insertion=True)
+    assert FTBARScheduler(problem, insertion)._compiled is None
+    assert ftbar_trace(problem, insertion) == ftbar_trace(
+        problem, SchedulerOptions(link_insertion=True, compiled=False)
+    )
+
+
+def test_heterogeneous_problem_bit_identical():
+    problem = generate_problem(
+        RandomWorkloadConfig(
+            operations=24, ccr=1.0, processors=4, npf=1, seed=17,
+            heterogeneous=True,
+        )
+    )
+    assert ftbar_trace(problem, COMPILED) == ftbar_trace(problem, OBJECT)
+
+
+def test_hbp_kernel_path_bit_identical_with_matching_counters():
+    for seed in (21, 22):
+        problem = generate_problem(
+            RandomWorkloadConfig(operations=16, ccr=1.0, processors=4, npf=1, seed=seed)
+        )
+        compiled = schedule_hbp(problem)
+        plain = schedule_hbp(problem, compiled=False)
+        assert hbp_fingerprint(problem) == hbp_fingerprint(problem)
+        events = lambda r: [  # noqa: E731 - tiny local shape helper
+            (e.operation, e.replica, e.processor, e.start, e.end)
+            for e in r.schedule.all_operations()
+        ]
+        comms = lambda r: [  # noqa: E731
+            (c.source, c.target, c.source_replica, c.target_replica, c.link,
+             c.start, c.end)
+            for c in r.schedule.all_comms()
+        ]
+        assert events(compiled) == events(plain)
+        assert comms(compiled) == comms(plain)
+        assert compiled.stats.pair_evaluations == plain.stats.pair_evaluations
+        assert compiled.stats.pair_cache_hits == plain.stats.pair_cache_hits
+
+
+def test_static_tables_match_pressure_calculator():
+    """CompiledProblem's S̄/tail equal PressureCalculator's, bit for bit."""
+    problem = generate_problem(
+        RandomWorkloadConfig(operations=30, ccr=2.0, processors=4, npf=1, seed=3)
+    )
+    scheduler = FTBARScheduler(problem)
+    sbar, tail = scheduler._pressure.static_tables()
+    assert scheduler._compiled.sbar == sbar
+    assert scheduler._compiled.tail == tail
+
+
+def test_compiled_problem_tables_are_dense_and_name_ordered():
+    problem = generate_problem(
+        RandomWorkloadConfig(operations=10, ccr=1.0, processors=3, npf=1, seed=1)
+    )
+    compiled = CompiledProblem(
+        problem.algorithm, problem.architecture, problem.exec_times,
+        problem.comm_times, problem.npf, problem.npl,
+    )
+    assert compiled.op_names == problem.algorithm.operation_names()
+    assert compiled.proc_names == problem.architecture.processor_names()
+    assert list(compiled.op_ids.values()) == sorted(compiled.op_ids.values())
+    for op, o in compiled.op_ids.items():
+        for proc, p in compiled.proc_ids.items():
+            assert compiled.exe[o * compiled.n_procs + p] == (
+                problem.exec_times.time_of(op, proc)
+            )
