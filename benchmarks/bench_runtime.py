@@ -62,6 +62,7 @@ from repro.baselines.hbp import schedule_hbp
 from repro.campaign.pool import default_worker_count
 from repro.campaign.runner import run_campaign
 from repro.campaign.spec import CampaignSpec, WorkloadSpec
+from repro.core.compile import compile_cache_stats, reset_compile_cache
 from repro.core.ftbar import schedule_ftbar
 from repro.core.options import SchedulerOptions
 from repro.workloads.random_dag import RandomWorkloadConfig, generate_problem
@@ -77,6 +78,9 @@ _LEGACY = SchedulerOptions(incremental=False, compiled=False)
 _INCREMENTAL = SchedulerOptions(compiled=False)
 #: This PR's engine: the compiled kernel (the default options).
 _COMPILED = SchedulerOptions()
+#: The compiled kernel with symmetry pruning disabled — the escape
+#: hatch whose counters must match the object engine bit for bit.
+_COMPILED_NOSYM = SchedulerOptions(symmetry=False)
 
 
 def _best_of(function, problem, options, repeats: int) -> tuple[float, object]:
@@ -98,6 +102,31 @@ def _best_of(function, problem, options, repeats: int) -> tuple[float, object]:
         result = call()
         best = min(best, time.perf_counter() - started)
     return best, result
+
+
+def _interleaved_best_of(problem, legs, repeats: int) -> dict[str, list]:
+    """Min-of-``repeats`` per leg, with the legs interleaved.
+
+    Timing each leg's repeats back-to-back lets slow host drift (thermal
+    state, background load) land entirely on one leg and skew the ratio
+    by tens of percent.  Alternating the legs inside a single repeat
+    loop exposes every leg to the same mix of machine states, so the
+    min-of-repeats ratio is stable.  Returns ``{name: [seconds, result]}``.
+    """
+    results: dict[str, list] = {}
+    for name, options in legs:  # warmup, untimed
+        results[name] = [float("inf"), schedule_ftbar(problem, options)]
+    for _ in range(repeats):
+        for name, options in legs:
+            gc.collect()
+            started = time.perf_counter()
+            result = schedule_ftbar(problem, options)
+            elapsed = time.perf_counter() - started
+            entry = results[name]
+            if elapsed < entry[0]:
+                entry[0] = elapsed
+            entry[1] = result
+    return results
 
 
 def run_incremental_sweep(full: bool = False, repeats: int = 5) -> dict:
@@ -133,10 +162,23 @@ def run_incremental_sweep(full: bool = False, repeats: int = 5) -> dict:
 def run_compiled_sweep(full: bool = False, repeats: int = 5) -> dict:
     """Time the compiled kernel against the object incremental engine.
 
-    The counters are asserted equal before recording: the kernel is a
-    pure-performance change, so any divergence voids the measurement.
+    Equivalence is asserted before recording — the kernel is a
+    pure-performance change, so any divergence voids the measurement:
+
+    * all four engines (compiled, compiled ``symmetry=False``,
+      incremental, legacy) must produce the same makespan;
+    * with symmetry pruning disabled the kernel probes exactly the
+      candidate set the object engine does, so its work counters must
+      match the incremental engine's bit for bit.  With pruning on the
+      evaluation count is *lower* by construction; the gap is recorded
+      as ``symmetry_pruned``.
+
+    Each point also records the shared-compilation memo deltas: after
+    the first run of a problem every later run (and every variant leg)
+    reuses the memoized ``CompiledProblem`` core, which is where the
+    repeat-loop hit counts come from.
     """
-    counts = (40, 100, 200, 300, 500, 800) if full else (40, 100)
+    counts = (40, 80, 120, 200, 300, 500, 800) if full else (40, 80)
     sweep: dict[str, dict] = {}
     for n in counts:
         problem = generate_problem(
@@ -144,34 +186,61 @@ def run_compiled_sweep(full: bool = False, repeats: int = 5) -> dict:
                 operations=n, ccr=1.0, processors=4, npf=1, seed=2003
             )
         )
-        compiled_s, compiled = _best_of(
-            schedule_ftbar, problem, _COMPILED, repeats
+        cache_before = compile_cache_stats()
+        # Small problems schedule in milliseconds, so extra repeats are
+        # cheap and tighten the min where relative noise is largest.
+        leg_repeats = repeats if n >= 300 else repeats * 2
+        legs = _interleaved_best_of(
+            problem,
+            (("compiled", _COMPILED), ("incremental", _INCREMENTAL)),
+            leg_repeats,
         )
-        incremental_s, incremental = _best_of(
-            schedule_ftbar, problem, _INCREMENTAL, repeats
-        )
-        legacy_s, _ = _best_of(
+        compiled_s, compiled = legs["compiled"]
+        incremental_s, incremental = legs["incremental"]
+        legacy_s, legacy = _best_of(
             schedule_ftbar, problem, _LEGACY, max(1, repeats // 2)
         )
-        assert compiled.makespan == incremental.makespan, (
-            f"engines diverge at N={n}"
-        )
+        nosym_s, nosym = _best_of(schedule_ftbar, problem, _COMPILED_NOSYM, 1)
+        cache_after = compile_cache_stats()
         assert (
-            compiled.stats.pressure_evaluations,
-            compiled.stats.cache_hits,
+            compiled.makespan
+            == nosym.makespan
+            == incremental.makespan
+            == legacy.makespan
+        ), f"engines diverge at N={n}"
+        assert (
+            nosym.stats.pressure_evaluations,
+            nosym.stats.cache_hits,
         ) == (
             incremental.stats.pressure_evaluations,
             incremental.stats.cache_hits,
         ), f"counters diverge at N={n}"
+        assert (
+            compiled.stats.pressure_evaluations
+            + compiled.stats.symmetry_pruned
+            >= nosym.stats.pressure_evaluations
+        ), f"symmetry pruning lost work at N={n}"
         sweep[str(n)] = {
             "compiled_s": compiled_s,
+            "compiled_nosym_s": nosym_s,
             "incremental_s": incremental_s,
             "legacy_s": legacy_s,
             "speedup": incremental_s / compiled_s,
             "speedup_vs_seed": legacy_s / compiled_s,
             "pressure_evaluations": compiled.stats.pressure_evaluations,
+            "nosym_pressure_evaluations": nosym.stats.pressure_evaluations,
+            "symmetry_pruned": compiled.stats.symmetry_pruned,
             "cache_hits": compiled.stats.cache_hits,
             "buffer_reuses": compiled.stats.buffer_reuses,
+            "compile_cache_core_hits": (
+                cache_after["core_hits"] - cache_before["core_hits"]
+            ),
+            "compile_cache_core_misses": (
+                cache_after["core_misses"] - cache_before["core_misses"]
+            ),
+            "compile_cache_variant_hits": (
+                cache_after["variant_hits"] - cache_before["variant_hits"]
+            ),
             "makespan": compiled.makespan,
         }
     return sweep
@@ -298,6 +367,46 @@ def run_campaign_jobs_sweep(
     }
 
 
+def run_campaign_compile_reuse(full: bool = False) -> dict:
+    """One campaign grid demonstrating shared-``CompiledProblem`` reuse.
+
+    The grid sweeps npf x npl x ccr over one workload/seed.  Every
+    variant of a problem shares the algorithm, architecture and
+    execution-time tables — only npf/npl/ccr change — so the
+    content-addressed compile memos serve the expensive core tables from
+    cache for all but the first job of each workload.  The recorded
+    hit/miss counts are the evidence: ``core_hits > 0`` means the core
+    was built once and reused across the variants.
+    """
+    operations = 40 if full else 24
+    spec = CampaignSpec(
+        name="bench-compile-reuse",
+        workloads=(WorkloadSpec(family="random", size=operations),),
+        seeds=(2003,),
+        npfs=(0, 1),
+        npls=(0, 1),
+        ccrs=(0.5, 1.0),
+        measures=("ftbar",),
+    )
+    reset_compile_cache()
+    started = time.perf_counter()
+    report = run_campaign(spec, jobs=1)
+    elapsed = time.perf_counter() - started
+    stats = compile_cache_stats()
+    reset_compile_cache()
+    assert report.completed == report.total_jobs, report.summary()
+    assert stats["core_hits"] > 0, (
+        f"no shared-compilation reuse across the variant grid: {stats}"
+    )
+    return {
+        "operations": operations,
+        "grid": {"npfs": [0, 1], "npls": [0, 1], "ccrs": [0.5, 1.0]},
+        "jobs": report.total_jobs,
+        "elapsed_s": elapsed,
+        "compile_cache": stats,
+    }
+
+
 def write_bench_json(
     full: bool = False,
     repeats: int = 5,
@@ -323,6 +432,7 @@ def write_bench_json(
             "ftbar_incremental_vs_legacy": run_incremental_sweep(full, repeats),
             "ftbar_compiled_vs_incremental": run_compiled_sweep(full, repeats),
             "ftbar_vs_hbp": run_hbp_sweep(full, repeats),
+            "campaign_compile_reuse": run_campaign_compile_reuse(full),
             "campaign_jobs1_vs_cpu": run_campaign_jobs_sweep(
                 full, force_workers
             ),
@@ -413,10 +523,19 @@ def main(argv: list[str]) -> int:
             f"compiled kernel N={n}: {point['speedup']:.2f}x vs incremental, "
             f"{point['speedup_vs_seed']:.2f}x vs seed "
             f"({point['pressure_evaluations']} evaluations, "
+            f"{point['symmetry_pruned']} symmetry-pruned, "
             f"{point['cache_hits']} cache hits, "
             f"{point['buffer_reuses']} buffer reuses)",
             file=sys.stderr,
         )
+    reuse = payload["campaign_compile_reuse"]
+    print(
+        f"campaign compile reuse ({reuse['jobs']} variant jobs): "
+        f"{reuse['compile_cache']['core_hits']} core hits / "
+        f"{reuse['compile_cache']['core_misses']} misses, "
+        f"{reuse['compile_cache']['variant_hits']} variant hits",
+        file=sys.stderr,
+    )
     campaign = payload["campaign_jobs1_vs_cpu"]
     if campaign.get("skipped"):
         print(f"campaign pool bench skipped: {campaign['reason']}", file=sys.stderr)

@@ -14,7 +14,12 @@ Covered sections, one table per engine-trajectory PR:
 * ``ftbar_compiled_vs_incremental`` — this PR's compiled kernel vs the
   incremental engine (and cumulatively vs seed);
 * ``reliability_certificates`` — PR 3/4's batched scenario engine;
+* ``campaign_compile_reuse`` — PR 6's shared-compilation memo hits
+  across a npf/npl/ccr variant grid;
 * ``campaign_jobs1_vs_cpu`` — PR 2's worker pool.
+
+Entries that are missing fields (interrupted bench, older schema,
+partial sweep) are skipped with a visible note instead of crashing.
 """
 
 from __future__ import annotations
@@ -30,14 +35,48 @@ def _fmt_ms(seconds: float) -> str:
     return f"{seconds * 1e3:,.1f} ms"
 
 
+def _complete_rows(section: dict, required: tuple[str, ...]) -> tuple[list, list]:
+    """Rows of a sweep section split into (renderable, skipped-Ns).
+
+    A bench that was interrupted, ran on an older schema or merged a
+    partial sweep leaves entries without some fields; those rows are
+    skipped — with a visible note — instead of crashing the render.
+    """
+    rows, skipped = [], []
+    for n, point in sorted(section.items(), key=lambda kv: int(kv[0])):
+        if isinstance(point, dict) and all(key in point for key in required):
+            rows.append((n, point))
+        else:
+            skipped.append(n)
+    return rows, skipped
+
+
+def _skip_note(skipped: list) -> list[str]:
+    if not skipped:
+        return []
+    return [
+        "",
+        f"*(N = {', '.join(skipped)} skipped: entries incomplete in "
+        "`BENCH_runtime.json` — rerun `benchmarks/bench_runtime.py --full`)*",
+    ]
+
+
 def render_incremental(section: dict) -> list[str]:
+    rows, skipped = _complete_rows(
+        section,
+        (
+            "legacy_s", "incremental_s", "speedup",
+            "incremental_pressure_evaluations",
+            "legacy_pressure_evaluations",
+        ),
+    )
     lines = [
         "### PR 1 — incremental engine vs seed full recompute",
         "",
         "| N | seed engine | incremental | speedup | plans computed (vs seed) |",
         "|---:|---:|---:|---:|---:|",
     ]
-    for n, point in sorted(section.items(), key=lambda kv: int(kv[0])):
+    for n, point in rows:
         lines.append(
             f"| {n} | {_fmt_ms(point['legacy_s'])} "
             f"| {_fmt_ms(point['incremental_s'])} "
@@ -45,25 +84,51 @@ def render_incremental(section: dict) -> list[str]:
             f"| {point['incremental_pressure_evaluations']} vs "
             f"{point['legacy_pressure_evaluations']} |"
         )
-    return lines
+    return lines + _skip_note(skipped) if rows else []
 
 
 def render_compiled(section: dict) -> list[str]:
+    rows, skipped = _complete_rows(
+        section,
+        ("incremental_s", "compiled_s", "speedup", "speedup_vs_seed"),
+    )
     lines = [
-        "### This PR — compiled kernel vs incremental engine",
+        "### PR 5/6 — compiled kernel vs incremental engine",
         "",
-        "| N | incremental | compiled kernel | speedup | vs seed | buffer reuses |",
+        "| N | incremental | compiled kernel | speedup | vs seed "
+        "| symmetry-pruned |",
         "|---:|---:|---:|---:|---:|---:|",
     ]
-    for n, point in sorted(section.items(), key=lambda kv: int(kv[0])):
+    for n, point in rows:
+        pruned = point.get("symmetry_pruned")
         lines.append(
             f"| {n} | {_fmt_ms(point['incremental_s'])} "
             f"| {_fmt_ms(point['compiled_s'])} "
             f"| {point['speedup']:.1f}x "
             f"| {point['speedup_vs_seed']:.1f}x "
-            f"| {point['buffer_reuses']} |"
+            f"| {'-' if pruned is None else pruned} |"
         )
-    return lines
+    return lines + _skip_note(skipped) if rows else []
+
+
+def render_compile_reuse(section: dict) -> list[str]:
+    cache = section.get("compile_cache")
+    if not isinstance(cache, dict) or "jobs" not in section:
+        return []
+    grid = section.get("grid", {})
+    axes = ", ".join(
+        f"{axis}={values}" for axis, values in sorted(grid.items())
+    )
+    return [
+        "### PR 6 — shared compilation across a campaign grid",
+        "",
+        f"One campaign grid ({axes}) of {section['jobs']} variant jobs over "
+        "a single workload: the content-addressed compile memos build the "
+        f"core tables once ({cache.get('core_misses', '?')} miss) and serve "
+        f"every other variant from cache — {cache.get('core_hits', '?')} "
+        f"core hits, {cache.get('variant_hits', '?')} variant hits / "
+        f"{cache.get('variant_misses', '?')} misses.",
+    ]
 
 
 def render_reliability(label: str, section: dict) -> list[str]:
@@ -90,7 +155,20 @@ def render_reliability(label: str, section: dict) -> list[str]:
 def render_campaign(section: dict) -> list[str]:
     lines = ["### PR 2 — campaign worker pool", ""]
     if section.get("skipped"):
-        lines.append(f"Skipped on this host: {section['reason']}")
+        lines.append(
+            f"Skipped on this host: "
+            f"{section.get('reason', 'no reason recorded')}"
+        )
+        return lines
+    if not all(
+        key in section
+        for key in ("graphs", "operations", "jobs1_s", "jobs_cpu_s",
+                    "workers", "speedup")
+    ):
+        lines.append(
+            "*(entry incomplete in `BENCH_runtime.json` — rerun "
+            "`benchmarks/bench_runtime.py`)*"
+        )
         return lines
     suffix = " (oversubscribed)" if section.get("oversubscribed") else ""
     lines += [
@@ -126,6 +204,8 @@ def render(payload: dict) -> str:
             rendered = render_reliability(label, payload[key])
             if len(rendered) > 4:
                 blocks.append(rendered)
+    if "campaign_compile_reuse" in payload:
+        blocks.append(render_compile_reuse(payload["campaign_compile_reuse"]))
     if "campaign_jobs1_vs_cpu" in payload:
         blocks.append(render_campaign(payload["campaign_jobs1_vs_cpu"]))
     return "\n\n".join("\n".join(block) for block in blocks if block) + "\n"

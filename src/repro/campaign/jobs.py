@@ -22,6 +22,7 @@ from typing import Mapping
 
 from repro.baselines.hbp import schedule_hbp
 from repro.baselines.list_scheduler import schedule_non_fault_tolerant
+from repro.core.compile import compile_cache_stats
 from repro.core.ftbar import schedule_ftbar
 from repro.core.options import SchedulerOptions
 from repro.campaign.spec import (
@@ -300,6 +301,7 @@ def execute_job(job: Job) -> dict:
     numbers.
     """
     started = time.perf_counter()
+    compile_before = compile_cache_stats()
     problem = job_problem(job)
     options = job.scheduler_options()
     measures = set(job.measures)
@@ -337,11 +339,27 @@ def execute_job(job: Job) -> dict:
         record["failures"] = [
             _inject(job, failure, ftbar, problem) for failure in job.failures
         ]
+    # The compile-cache delta goes in the volatile ``timing`` section,
+    # not ``record``: whether this job's CompiledProblem core was a memo
+    # hit depends on which jobs ran before it in this process, so it
+    # would break record determinism across worker counts.
+    compile_after = compile_cache_stats()
     return {
         "digest": job.digest,
         "record": record,
         "schedule": schedule_to_dict(ftbar.schedule),
-        "timing": {"elapsed_s": time.perf_counter() - started},
+        "timing": {
+            "elapsed_s": time.perf_counter() - started,
+            "compile_cache": {
+                key: compile_after[key] - compile_before[key]
+                for key in (
+                    "core_hits",
+                    "core_misses",
+                    "variant_hits",
+                    "variant_misses",
+                )
+            },
+        },
     }
 
 

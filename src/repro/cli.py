@@ -616,15 +616,17 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 _PERF_SMOKE_PINS = {
     "ftbar-N40-npf1": {
         "steps": 40,
-        "pressure_evaluations": 204,
-        "cache_hits": 1508,
+        "pressure_evaluations": 101,
+        "cache_hits": 750,
         "duplication_attempts": 68,
+        "symmetry_pruned": 861,
     },
     "ftbar-N24-npf2": {
         "steps": 24,
-        "pressure_evaluations": 112,
-        "cache_hits": 624,
+        "pressure_evaluations": 103,
+        "cache_hits": 567,
         "duplication_attempts": 21,
+        "symmetry_pruned": 66,
     },
     "hbp-N40-npf1": {
         "steps": 40,
@@ -657,12 +659,14 @@ def _bench_smoke() -> int:
             "pressure_evaluations": ftbar_40.stats.pressure_evaluations,
             "cache_hits": ftbar_40.stats.cache_hits,
             "duplication_attempts": ftbar_40.stats.duplication.attempts,
+            "symmetry_pruned": ftbar_40.stats.symmetry_pruned,
         },
         "ftbar-N24-npf2": {
             "steps": ftbar_24.stats.steps,
             "pressure_evaluations": ftbar_24.stats.pressure_evaluations,
             "cache_hits": ftbar_24.stats.cache_hits,
             "duplication_attempts": ftbar_24.stats.duplication.attempts,
+            "symmetry_pruned": ftbar_24.stats.symmetry_pruned,
         },
         "hbp-N40-npf1": {
             "steps": hbp_40.stats.steps,

@@ -64,16 +64,22 @@ from __future__ import annotations
 
 import math
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
-from repro.exceptions import InfeasibleReplicationError, SchedulingError
+from repro.exceptions import (
+    CompiledFallbackWarning,
+    InfeasibleReplicationError,
+    SchedulingError,
+)
 from repro.graphs.algorithm import AlgorithmGraph
-from repro.core.compile import CompiledProblem
+from repro.core.compile import CompiledProblem, validated_once
 from repro.core.incremental import MutationTracker, ReadySet
 from repro.core.kernel import CompiledReadySet, SchedulingKernel
 from repro.core.minimize import DuplicationStats, StartTimeMinimizer
 from repro.core.options import SchedulerOptions
+from repro.core.parallel import resolve_workers
 from repro.core.placement import PlacementPlanner, commit_plan
 from repro.core.pressure import PressureCalculator
 from repro.problem import ProblemSpec
@@ -101,6 +107,11 @@ class FTBARStats:
     #: buffers (0 on the object path, which allocates a fresh overlay
     #: per evaluation) — recorded by ``benchmarks/bench_runtime.py``.
     buffer_reuses: int = 0
+    #: ``(candidate, processor)`` pairs the compiled kernel skipped
+    #: because a verified topology automorphism made their σ a
+    #: bit-identical copy of an orbit representative's (0 on the object
+    #: path and with ``SchedulerOptions.symmetry=False``).
+    symmetry_pruned: int = 0
 
 
 @dataclass(frozen=True)
@@ -151,7 +162,6 @@ class FTBARScheduler:
         options: SchedulerOptions | None = None,
         observer: "Callable[[StepRecord], None] | None" = None,
     ) -> None:
-        problem.validate()
         self._observer = observer
         self._problem = problem
         self._options = options or SchedulerOptions()
@@ -161,58 +171,109 @@ class FTBARScheduler:
         )
         if self._npl < 0:
             raise SchedulingError(f"npl must be >= 0, got {self._npl}")
+        # The compiled kernel covers append-mode scheduling; gap
+        # insertion keeps the object path (see SchedulerOptions).
+        self._compiled: CompiledProblem | None = None
+        if self._options.compiled and self._options.link_insertion:
+            warnings.warn(
+                "compiled=True has no effect with link_insertion=True: "
+                "the compiled kernel models append-mode reservations "
+                "only, so this run uses the object path (bit-identical "
+                "schedules, object-path speed)",
+                CompiledFallbackWarning,
+                stacklevel=3,
+            )
+        compiling = self._options.compiled and not self._options.link_insertion
+        if not compiling:
+            problem.validate()
+        self._architecture = problem.architecture
+        try:
+            algorithm, pairs = problem.algorithm.expand_memories()
+            self._algorithm = algorithm
+            self._memory_pairs = dict(pairs)
+            self._pins: dict[str, str] = {
+                write: read for read, write in self._memory_pairs.values()
+            }
+            self._exec_times, self._comm_times = _expand_timing(
+                problem, self._memory_pairs
+            )
+            if compiling:
+                self._compiled = CompiledProblem(
+                    self._algorithm,
+                    self._architecture,
+                    self._exec_times,
+                    self._comm_times,
+                    self._npf,
+                    self._npl,
+                    self._pins,
+                )
+        except Exception:
+            if not compiling:
+                raise
+            # Compilation assumes a well-formed problem.  Validate now
+            # to surface the canonical TimingError / SchedulingError; a
+            # problem that *passes* hit a genuine compilation failure,
+            # which must not be masked.
+            problem.validate()
+            raise
+        if compiling:
+            # Content-addressed validation: the compiled path derives a
+            # hash of everything validate() cross-checks, so each
+            # distinct problem content is validated exactly once.
+            validated_once(self._compiled, problem)
         if self._npl >= 1 and len(problem.architecture) > 1:
             # The problem's own npl was checked by validate(); an
             # options-level override needs the same feasibility gate.
             problem.architecture.route_planner.require_disjoint_routes(
                 self._npl + 1
             )
-        algorithm, pairs = problem.algorithm.expand_memories()
-        self._algorithm = algorithm
-        self._memory_pairs = dict(pairs)
-        self._pins: dict[str, str] = {
-            write: read for read, write in self._memory_pairs.values()
-        }
-        self._exec_times, self._comm_times = _expand_timing(
-            problem, self._memory_pairs
-        )
-        self._architecture = problem.architecture
-        self._planner = PlacementPlanner(
-            self._algorithm,
-            self._architecture,
-            self._exec_times,
-            self._comm_times,
-            self._npf,
-            link_insertion=self._options.link_insertion,
-            npl=self._npl,
-        )
-        self._pressure = PressureCalculator(
-            self._algorithm,
-            self._architecture,
-            self._exec_times,
-            self._comm_times,
-            self._npf,
-            self._planner,
-            processor_aware=self._options.processor_aware_pressure,
-        )
-        self._minimizer = StartTimeMinimizer(
-            planner=self._planner,
-            exec_times=self._exec_times,
-            duplication=self._options.duplication,
-        )
-        # The compiled kernel covers append-mode scheduling; gap
-        # insertion keeps the object path (see SchedulerOptions).
-        self._compiled: CompiledProblem | None = None
-        if self._options.compiled and not self._options.link_insertion:
-            self._compiled = CompiledProblem(
+        # The object-path machinery is built on demand (properties
+        # below): a compiled run never touches it, and its construction
+        # is a measurable fraction of a small-N run.
+        self._planner_obj: PlacementPlanner | None = None
+        self._pressure_obj: PressureCalculator | None = None
+        self._minimizer_obj: StartTimeMinimizer | None = None
+
+    @property
+    def _planner(self) -> PlacementPlanner:
+        planner = self._planner_obj
+        if planner is None:
+            planner = self._planner_obj = PlacementPlanner(
                 self._algorithm,
                 self._architecture,
                 self._exec_times,
                 self._comm_times,
                 self._npf,
-                self._npl,
-                self._pins,
+                link_insertion=self._options.link_insertion,
+                npl=self._npl,
             )
+        return planner
+
+    @property
+    def _pressure(self) -> PressureCalculator:
+        pressure = self._pressure_obj
+        if pressure is None:
+            pressure = self._pressure_obj = PressureCalculator(
+                self._algorithm,
+                self._architecture,
+                self._exec_times,
+                self._comm_times,
+                self._npf,
+                self._planner,
+                processor_aware=self._options.processor_aware_pressure,
+            )
+        return pressure
+
+    @property
+    def _minimizer(self) -> StartTimeMinimizer:
+        minimizer = self._minimizer_obj
+        if minimizer is None:
+            minimizer = self._minimizer_obj = StartTimeMinimizer(
+                planner=self._planner,
+                exec_times=self._exec_times,
+                duplication=self._options.duplication,
+            )
+        return minimizer
 
     # ------------------------------------------------------------------
     # main loop
@@ -239,6 +300,8 @@ class FTBARScheduler:
                 cache=incremental,
                 processor_aware=self._options.processor_aware_pressure,
                 duplication=self._options.duplication,
+                symmetry=self._options.symmetry,
+                workers=resolve_workers(self._options.sweep_workers),
             )
         ready: ReadySet | None = None
         ready_ids: CompiledReadySet | None = None
@@ -287,10 +350,13 @@ class FTBARScheduler:
                     kernel.begin_step()
                 else:
                     tracker.begin()
-            for processor in processors:
-                if kernel is not None:
-                    kernel.place(operation, processor)
-                else:
+            if kernel is not None:
+                # Macro-step trial batching: the kernel plans the whole
+                # step's Npf + 1 trials in one pass where that is exact
+                # (see SchedulingKernel.place_step).
+                kernel.place_step(operation, processors)
+            else:
+                for processor in processors:
                     self._place(operation, processor, schedule)
             scheduled.add(operation)
             if incremental:
@@ -335,6 +401,7 @@ class FTBARScheduler:
             stats.cache_hits = kernel.hits
             stats.duplication = kernel.dup_stats
             stats.buffer_reuses = kernel.buffer_reuses
+            stats.symmetry_pruned = kernel.symmetry_pruned
         else:
             stats.pressure_evaluations = self._pressure.evaluations
             stats.cache_hits = self._pressure.cache_stats[0]

@@ -72,10 +72,21 @@ except ImportError:  # pragma: no cover - numpy present in the dev image
 from repro.core.compile import CompiledProblem
 from repro.core.incremental import KernelPlanCache
 from repro.core.minimize import DuplicationStats
+from repro.core.parallel import run_sharded
+from repro.core.symmetry import orbit_representatives
 from repro.exceptions import InfeasibleReplicationError, SchedulingError
 from repro.schedule.schedule import Schedule
 
 _INF = math.inf
+#: Sigma matrices smaller than this stay on one thread: the sharding
+#: dispatch costs more than the partition it would split.
+_PARALLEL_MIN_ELEMS = 4096
+#: Problems with fewer than this many (operation, processor) cells run
+#: the scalar sweep: per-sweep numpy dispatch overhead dominates small
+#: candidate sets (the measured crossover on 4-processor problems sits
+#: around N≈300).  Both sweeps are bit-identical, so the gate is purely
+#: a speed choice.
+_VECTOR_MIN_CELLS = 1280
 #: Improvement threshold of the duplication procedure (same constant as
 #: :mod:`repro.core.minimize` — step Ð keeps a duplication only when
 #: ``S_worst`` strictly improves beyond it).
@@ -121,6 +132,7 @@ class KernelPlan:
         "operation", "processor", "op", "proc", "duration",
         "processor_ready", "feeds", "comms", "earliest", "worst",
         "feed_worsts", "thresholds", "chains", "repairable",
+        "pool_rows", "pool_feeds", "has_choice",
     )
 
     @property
@@ -260,6 +272,8 @@ class SchedulingKernel:
         processor_aware: bool = False,
         duplication: bool = True,
         vector: bool = True,
+        symmetry: bool = True,
+        workers: int = 0,
     ) -> None:
         self._c = compiled
         self._schedule = schedule
@@ -267,6 +281,27 @@ class SchedulingKernel:
         self._duplication = duplication
         self._P = compiled.n_procs
         self._all_procs = tuple(range(compiled.n_procs))
+        self._workers = workers if _np is not None else 0
+        # Macro-step trial batching is exact only when every overlay
+        # advance matches the committed advance: on all-direct
+        # interconnects (every ordered pair has a direct link and
+        # npl == 0) both use the re-derived ``start + (end - start)``.
+        # Multi-hop and npl routes advance the overlay by the previewed
+        # end instead, so those topologies keep the sequential path.
+        P = compiled.n_procs
+        self._batch_ok = compiled.npl == 0 and all(
+            compiled.direct[a * P + b]
+            for a in range(P) for b in range(P) if a != b
+        )
+        # Symmetry pruning: the verified automorphism generators of the
+        # problem (None when there are none).  A generator stays usable
+        # while the partial schedule is invariant under it — checked per
+        # sweep in :meth:`_orbit_reps` — and the drop is monotone.
+        group = compiled.symmetry_group() if symmetry else None
+        self._sym_alive = list(group.generators) if group is not None else []
+        self._sym_mark = 0
+        self._sym_reps: list[int] | None = None
+        self.symmetry_pruned = 0
         # Resource mirrors.  Every placement of a kernel run flows
         # through :meth:`_commit` (and rollbacks through
         # :meth:`_undo_to`), so availability, replica presence and
@@ -306,9 +341,16 @@ class SchedulingKernel:
         # have per-candidate pools, which the vector sweep does not
         # model — such problems use the scalar sweep.  HBP kernels pass
         # ``vector=False``: their pair keys index a P²-per-task space
-        # the sweep arrays do not cover.
+        # the sweep arrays do not cover.  Below ``_VECTOR_MIN_CELLS``
+        # the per-sweep numpy dispatch overhead outweighs the batched
+        # arithmetic and the scalar sweep is faster — unless a worker
+        # pool was requested, which only the vector sweep can shard.
         self._vector = (
             vector and _np is not None and cache and not compiled.pins
+            and (
+                compiled.n_ops * compiled.n_procs >= _VECTOR_MIN_CELLS
+                or self._workers >= 2
+            )
         )
         if self._vector:
             size = compiled.n_ops * compiled.n_procs
@@ -339,16 +381,34 @@ class SchedulingKernel:
             #: Arrival value store, rewritten by the level passes.
             self._arrivals = _np.zeros(0)
             self._arrival_count = 0
-            #: Level-0 transfers: first reservation on their link.
-            self._level0 = _RowPool(2, 2)   # ready, dur | link, apos
-            #: Level-1 transfers: queue behind a level-0 reservation.
-            self._level1 = _RowPool(2, 2)   # ready, dur | parent row, apos
-            #: Feed reductions: single-arrival copy, two-arrival kth.
-            self._feeds1 = _RowPool(0, 2)   # | apos, E position
-            self._feeds2 = _RowPool(0, 3)   # | apos x2, E position
-            self._feeds2_reduce = (
-                _np.minimum if compiled.npf == 0 else _np.maximum
-            )
+            #: Reservation rows, leveled by replay dependency depth: a
+            #: row's free pointer may queue behind an earlier row on the
+            #: same link of the same plan (``free_dep``) and its ready
+            #: instant behind the previous hop of the same transfer
+            #: (``ready_dep``); level = 1 + max(dep levels), so one pass
+            #: per level replays every chain of any depth.
+            #: Columns: (ready, dur | link, free_dep, ready_dep, gid, mode);
+            #: mode 1 advances the link by the re-derived duration
+            #: (direct branch), mode 0 by the previewed end (routes).
+            self._row_levels: list[_RowPool] = []
+            self._row_level_of: list[int] = []
+            self._row_count = 0
+            self._row_start = _np.zeros(0)
+            self._row_end = _np.zeros(0)
+            self._row_free = _np.zeros(0)
+            #: Arrival reductions: one-route copy rows (gid, apos) and,
+            #: per route count, the max over route ends (npl plans).
+            self._acopy = _RowPool(0, 2)
+            self._aroute: dict[int, _RowPool] = {}
+            #: Feed reductions, per arity: the ``npf``-capped k-th
+            #: smallest of the feed's arrivals into its worst slot.
+            self._afeeds: dict[int, _RowPool] = {}
+            #: Volatile pooled entries (multi-hop / npl routes, no
+            #: parallel-link choice): the pool pass recomputes them
+            #: every sweep, but their staleness must still be accounted
+            #: as the scalar discard + miss — key -> [(threshold item,
+            #: first row gid)] for the refresh.
+            self._volatile: dict[int, list[tuple[list, int]]] = {}
 
     @property
     def hits(self) -> int:
@@ -524,9 +584,17 @@ class SchedulingKernel:
             thresholds: list[list] = []
             thr_seen: set[int] = set()
             chains: dict[int, list[tuple[int, int, float, float]]] = {}
+            # Replay-pool recording (vector kernels only): every
+            # reservation as (link, ready, ready_dep, dur, mode) plus
+            # the per-feed arrival structure the reductions need.
+            pool_rows: list[tuple] | None = [] if self._vector else None
+            pool_feeds: list | None = [] if self._vector else None
         else:
             thresholds = _NO_THRESHOLDS
             chains = None
+            pool_rows = None
+            pool_feeds = None
+        has_choice = False
         repairable = not npl
         feed_index = 0
         for q in c.preds[o]:
@@ -540,13 +608,15 @@ class SchedulingKernel:
                     worst = local_end
                 if local_end > earliest:
                     earliest = local_end
+                if pool_feeds is not None:
+                    pool_feeds.append(None)
                 feed_index += 1
                 continue
-            q_name = op_names[q]
             row = c.comm_rows[q * n_ops + o]
             replicas = rep_list[q]
             arrivals: list[float] = []
             firsts: list[float] | None = [] if npl else None
+            feed_desc: list | None = [] if pool_feeds is not None else None
             if npl:
                 sender_hosts = frozenset(
                     proc_names[host] for host, _ in replicas
@@ -560,8 +630,12 @@ class SchedulingKernel:
                     )
                     first_copy = _INF
                     guaranteed = -_INF
+                    route_ends: list[int] | None = (
+                        [] if feed_desc is not None else None
+                    )
                     for route_index, hops in enumerate(routes):
                         ready = rend
+                        prev_row = -1
                         for hop_index, (origin, link, relay) in enumerate(hops):
                             current = free[link] if stamp[link] == epoch else base[link]
                             start = ready if ready > current else current
@@ -571,18 +645,28 @@ class SchedulingKernel:
                             if record_chains and link not in thr_seen:
                                 thr_seen.add(link)
                                 thresholds.append([link, start])
+                            if pool_rows is not None:
+                                dep = prev_row
+                                prev_row = len(pool_rows)
+                                pool_rows.append(
+                                    (link, rend, dep, row[link], 0)
+                                )
                             if record_comms:
                                 comms.append((
-                                    q_name, op_name, replica_index,
+                                    op_names[q], op_name, replica_index,
                                     c.link_names[link], start, end,
                                     origin, relay, hop_index, route_index,
                                     link,
                                 ))
                             ready = end
+                        if route_ends is not None:
+                            route_ends.append(prev_row)
                         if ready < first_copy:
                             first_copy = ready
                         if ready > guaranteed:
                             guaranteed = ready
+                    if feed_desc is not None:
+                        feed_desc.append(tuple(route_ends))
                     arrivals.append(guaranteed)
                     firsts.append(first_copy)
                     arrival_index += 1
@@ -601,6 +685,7 @@ class SchedulingKernel:
                         best_end = best_start + row[best_link]
                     else:
                         repairable = False
+                        has_choice = True
                         best_end = _INF
                         best_start = 0.0
                         best_link = -1
@@ -623,9 +708,14 @@ class SchedulingKernel:
                         chains.setdefault(best_link, []).append(
                             (feed_index, arrival_index, rend, row[best_link])
                         )
+                        if pool_rows is not None:
+                            feed_desc.append(len(pool_rows))
+                            pool_rows.append(
+                                (best_link, rend, -1, row[best_link], 1)
+                            )
                     if record_comms:
                         comms.append((
-                            q_name, op_name, replica_index,
+                            op_names[q], op_name, replica_index,
                             c.link_names[best_link], best_start, best_end,
                             proc_names[rp], proc_name, 0, 0, best_link,
                         ))
@@ -634,6 +724,7 @@ class SchedulingKernel:
                     # Multi-hop store-and-forward over the shortest route.
                     repairable = False
                     ready = rend
+                    prev_row = -1
                     for hop_index, (origin, link, relay) in enumerate(
                         c.route_hops(rp, p)
                     ):
@@ -645,18 +736,24 @@ class SchedulingKernel:
                         if record_chains and link not in thr_seen:
                             thr_seen.add(link)
                             thresholds.append([link, start])
+                        if pool_rows is not None:
+                            dep = prev_row
+                            prev_row = len(pool_rows)
+                            pool_rows.append((link, rend, dep, row[link], 0))
                         if record_comms:
                             comms.append((
-                                q_name, op_name, replica_index,
+                                op_names[q], op_name, replica_index,
                                 c.link_names[link], start, end,
                                 origin, relay, hop_index, 0, link,
                             ))
                         ready = end
+                    if feed_desc is not None:
+                        feed_desc.append(prev_row)
                     arrivals.append(ready)
                 arrival_index += 1
             if not arrivals:
                 raise ValueError(
-                    f"predecessor {q_name!r} of {op_name!r} has no replica; "
+                    f"predecessor {op_names[q]!r} of {op_name!r} has no replica; "
                     f"candidate rule violated"
                 )
             # Worst case: the (npf + 1)-th earliest arrival — i.e.
@@ -679,6 +776,8 @@ class SchedulingKernel:
             if feed_earliest > earliest:
                 earliest = feed_earliest
             feeds.append((q, None, arrivals, firsts))
+            if pool_feeds is not None:
+                pool_feeds.append(feed_desc)
             feed_index += 1
         plan = KernelPlan()
         plan.operation = op_name
@@ -695,11 +794,73 @@ class SchedulingKernel:
         plan.thresholds = thresholds
         plan.chains = chains if repairable else None
         plan.repairable = repairable
+        plan.pool_rows = pool_rows
+        plan.pool_feeds = pool_feeds
+        plan.has_choice = has_choice
         return plan
 
     # ------------------------------------------------------------------
     # selection sweep (macro-steps À and Á)
     # ------------------------------------------------------------------
+    def _orbit_reps(self) -> list[int] | None:
+        """Orbit representatives under the still-usable generators.
+
+        A generator is usable while the partial schedule is *invariant*
+        under it: processor and link availabilities map to themselves,
+        and every replica row does too — then ``σ(o, p)`` and
+        ``σ(o, g(p))`` are the same IEEE floats (the state the plan
+        reads is indistinguishable), so evaluating the orbit's smallest
+        id covers all of them.  Between two sweeps the net state change
+        is the surviving commit records (rollbacks restore exactly), so
+        the replica check only walks the delta rows; the availability
+        arrays are cheap enough to check whole.  The drop is monotone:
+        a generator that dies is never re-admitted, which keeps the
+        check O(delta) instead of O(schedule).
+        """
+        alive = self._sym_alive
+        ops = self._op_buffer
+        mark = self._sym_mark
+        delta = (
+            {record[6] for record in ops[mark:]} if len(ops) > mark else ()
+        )
+        self._sym_mark = len(ops)
+        proc_avail = self._proc_avail
+        link_avail = self._link_avail
+        rep_end = self._rep_end
+        n_procs = self._P
+        survivors = []
+        for gen in alive:
+            gp = gen.proc
+            ok = True
+            for p in range(n_procs):
+                if proc_avail[p] != proc_avail[gp[p]]:
+                    ok = False
+                    break
+            if ok:
+                for l, m in enumerate(gen.link):
+                    if link_avail[l] != link_avail[m]:
+                        ok = False
+                        break
+            if ok:
+                for o in delta:
+                    o_base = o * n_procs
+                    if any(
+                        rep_end[o_base + p] != rep_end[o_base + gp[p]]
+                        for p in range(n_procs)
+                    ):
+                        ok = False
+                        break
+            if ok:
+                survivors.append(gen)
+        if len(survivors) != len(alive):
+            self._sym_alive = survivors
+            self._sym_reps = None
+            if not survivors:
+                return None
+        if self._sym_reps is None:
+            self._sym_reps = orbit_representatives(survivors, n_procs)
+        return self._sym_reps
+
     def select(
         self, candidates: "list[str]", record: bool
     ) -> tuple[str, tuple[str, ...], float, dict | None]:
@@ -735,25 +896,126 @@ class SchedulingKernel:
         entries = cache.entries if cached else None
         suspects = self._suspects
         proc_avail = self._proc_avail
+        link_avail = self._link_avail
         aware = self._aware
         hits = 0
+        two = required == 2
+        one = required == 1
         best_urgency = 0.0
         best_op = -1
+        best_p0 = best_p1 = -1
         best_kept: list[tuple[float, int]] | None = None
-        ranked: list[tuple[float, int]] = []
+        reps = self._orbit_reps() if self._sym_alive else None
+        row: list[float] | None = [0.0] * n_procs if reps is not None else None
+        if cached and suspects:
+            # Per-sweep suspect pass — the scalar mirror of the vector
+            # sweep's: availabilities are frozen during a sweep and
+            # every live entry's candidate is ready, so the whole
+            # suspect set is due now; handling it here keeps the probe
+            # loop below to one dict lookup per pair.  Repairs replay
+            # the same chains from the same availabilities the lazy
+            # per-probe scan would have seen, so every float — and
+            # every hit/miss count, since repairs and discards are
+            # unaccounted and the probe still pays the miss — is
+            # identical.  Pruned columns are skipped (their cache state
+            # stays untouched while pruned, as before) and dangling
+            # flags of dropped entries wait for the entry to return.
+            for key in tuple(suspects):
+                if reps is not None and reps[key % n_procs] != key % n_procs:
+                    continue
+                entry = entries.get(key)
+                if entry is None:
+                    continue
+                suspects.discard(key)
+                chains = entry[2]
+                if chains is None:
+                    for threshold in entry[5]:
+                        if link_avail[threshold[0]] > threshold[1]:
+                            # Not repairable: drop it; the probe then
+                            # replans, counting exactly as the lazy
+                            # discard + miss did.
+                            cache.discard(key)
+                            break
+                    continue
+                feeds = entry[0]
+                touched: set[int] | None = None
+                for threshold in entry[5]:
+                    available = link_avail[threshold[0]]
+                    if available <= threshold[1]:
+                        continue
+                    free = available
+                    first = None
+                    for f_i, a_i, t_ready, dur in chains[threshold[0]]:
+                        start = t_ready if t_ready > free else free
+                        end = start + dur
+                        feeds[f_i][2][a_i] = end
+                        free = start + (end - start)
+                        if touched is None:
+                            touched = {f_i}
+                        else:
+                            touched.add(f_i)
+                        if first is None:
+                            first = start
+                    threshold[1] = first
+                if touched is not None:
+                    feed_worsts = entry[4]
+                    for f_i in touched:
+                        arrivals = feeds[f_i][2]
+                        count = len(arrivals)
+                        if count == 2:
+                            # The npf=1 common case: the k-th-smallest
+                            # of a pair is its min or max outright.
+                            a, b = arrivals
+                            if npf:
+                                feed_worsts[f_i] = a if a > b else b
+                            else:
+                                feed_worsts[f_i] = a if a < b else b
+                        elif count == 1:
+                            feed_worsts[f_i] = arrivals[0]
+                        elif npf == 0:
+                            feed_worsts[f_i] = min(arrivals)
+                        elif npf >= count - 1:
+                            feed_worsts[f_i] = max(arrivals)
+                        else:
+                            feed_worsts[f_i] = sorted(arrivals)[npf]
+                    entry[3] = max(feed_worsts)
         for o in candidates:
             anchor = pins.get(o)
             if anchor is None:
                 pool = self._all_procs
             else:
                 pool = sorted(host for host, _ in self._rep_list[anchor])
-            del ranked[:]
             base_key = o * n_procs
+            # The ``required`` smallest (σ, p) pairs, kept ascending —
+            # the pool iterates ascending p and every comparison is
+            # strict, so a σ tie keeps the earlier processor exactly
+            # like the sorted ranked list this replaces (lexicographic
+            # (σ, p) order).  ``required <= 2`` — every npf 0/1 run —
+            # tracks the pair in plain registers; larger values fall
+            # back to bounded insertion into a list.
+            finite = 0
+            if two:
+                b0v = b1v = _INF
+                b0p = b1p = -1
+            elif one:
+                b0v = _INF
+                b0p = -1
+            else:
+                kept: list[tuple[float, int]] = []
+                fill = 0
             for p in pool:
-                # The hit fast path is inlined: one dict probe, one
-                # suspect check, two adds — this loop runs once per
-                # (candidate, processor) pair per macro-step.
-                if cached:
+                if row is not None and reps[p] != p:
+                    # Symmetry-pruned pair: its σ is a bit-identical
+                    # copy of the orbit representative's (already
+                    # computed — representatives are orbit minima and
+                    # the pool iterates ascending).  No cache traffic.
+                    value = row[reps[p]]
+                    self.symmetry_pruned += 1
+                # The hit fast path is inlined: one dict probe and two
+                # adds (suspects were settled by the per-sweep pass
+                # above) — this loop runs once per (candidate,
+                # processor) pair per macro-step.
+                elif cached:
                     key = base_key + p
                     entry = entries.get(key)
                     if entry is None:
@@ -761,10 +1023,6 @@ class SchedulingKernel:
                     elif entry[0] is None:
                         hits += 1
                         value = _INF
-                    elif key in suspects:
-                        # Accounts its own hit/miss (a stale
-                        # non-repairable entry recomputes as a miss).
-                        value = self._suspect_sigma(o, p, key, entry)
                     else:
                         hits += 1
                         ready = proc_avail[p]
@@ -776,31 +1034,74 @@ class SchedulingKernel:
                             value = s_worst + entry[1]
                 else:
                     value = self._fresh_sigma(o, p)
+                if row is not None:
+                    row[p] = value
                 if record:
                     pressures[(op_names[o], proc_names[p])] = value
-                if value != _INF:
-                    ranked.append((value, p))
-            ranked.sort()
-            if len(ranked) < required:
+                if value == _INF:
+                    continue
+                finite += 1
+                if two:
+                    # Registers start at _INF, so the fill-up phase is
+                    # the same strict-compare shift as steady state.
+                    if value < b1v:
+                        if value < b0v:
+                            b1v = b0v
+                            b1p = b0p
+                            b0v = value
+                            b0p = p
+                        else:
+                            b1v = value
+                            b1p = p
+                elif one:
+                    if value < b0v:
+                        b0v = value
+                        b0p = p
+                elif fill < required:
+                    index = fill
+                    while index and kept[index - 1][0] > value:
+                        index -= 1
+                    kept.insert(index, (value, p))
+                    fill += 1
+                elif value < kept[-1][0]:
+                    # p exceeds every kept processor id, so a σ tie
+                    # never displaces an earlier pair.
+                    del kept[-1]
+                    index = fill - 1
+                    while index and kept[index - 1][0] > value:
+                        index -= 1
+                    kept.insert(index, (value, p))
+            if finite < required:
                 raise InfeasibleReplicationError(
-                    f"operation {op_names[o]!r} can run on {len(ranked)} "
+                    f"operation {op_names[o]!r} can run on {finite} "
                     f"processor(s), {required} required to tolerate "
                     f"{npf} failure(s)"
                 )
-            kept = ranked[:required]
-            urgency = kept[-1][0]
+            urgency = b1v if two else b0v if one else kept[-1][0]
             if best_op < 0 or urgency > best_urgency or (
                 urgency == best_urgency and o < best_op
             ):
                 best_urgency = urgency
                 best_op = o
-                best_kept = kept
+                if two:
+                    best_p0 = b0p
+                    best_p1 = b1p
+                elif one:
+                    best_p0 = b0p
+                else:
+                    best_kept = kept
         if cached:
             cache.hits += hits
-        assert best_kept is not None
+        assert best_op >= 0
+        if two:
+            placements = (proc_names[best_p0], proc_names[best_p1])
+        elif one:
+            placements = (proc_names[best_p0],)
+        else:
+            placements = tuple(proc_names[p] for _, p in best_kept)
         return (
             c.op_names[best_op],
-            tuple(proc_names[p] for _, p in best_kept),
+            placements,
             best_urgency,
             pressures,
         )
@@ -808,33 +1109,26 @@ class SchedulingKernel:
     # ------------------------------------------------------------------
     # replay pools (vector mode)
     # ------------------------------------------------------------------
-    def _try_pool(self, key: int, plan: KernelPlan) -> bool:
+    def _try_pool(self, key: int, plan: KernelPlan) -> str | None:
         """Admit a cache entry to the replay pools when it qualifies.
 
-        Qualifies when every reservation chain is at most two deep and
-        every remote feed carries at most two arrivals: each arrival is
-        then ``max(ready, avail[link]) + dur`` (level 0) or the same
-        expression queued behind one level-0 reservation (level 1,
-        mirroring the free-pointer advance), and each feed's worst is
-        the arrival (one) or the ``npf``-capped min/max (two) — exactly
-        the values the scalar repair would replay, so the per-sweep
-        pool pass supersedes thresholds, suspects and repairs for these
-        entries.
+        Every reservation becomes one leveled row whose replay from the
+        *current* link availabilities reproduces the trial plan's
+        floats exactly (the route structure, ready instants and
+        durations are static while the entry is alive); arrival and
+        feed reductions then rebuild the entry's worst — so the
+        per-sweep pool pass is the batched equivalent of a fresh
+        recomputation.  Repairable entries (``"pure"``) register no
+        thresholds: the pass *is* their repair.  Multi-hop and npl
+        entries (``"volatile"``) keep their thresholds so their
+        staleness is still accounted as the scalar discard + miss (see
+        the suspects loop).  Only plans that chose among parallel
+        direct links stay out: the choice itself can flip with the
+        availabilities.
         """
-        chains = plan.chains
-        if chains is None or not chains:
-            # Not repairable (scalar repair path), or no remote feeds
-            # (static worst, no thresholds to watch anyway).
-            return False
-        arity: dict[int, int] = {}
-        for chain in chains.values():
-            if len(chain) > 2:
-                return False
-            for feed_index, _, _, _ in chain:
-                count = arity.get(feed_index, 0) + 1
-                if count > 2:
-                    return False
-                arity[feed_index] = count
+        rows = plan.pool_rows
+        if rows is None or not rows or plan.has_choice:
+            return None
         slot = self._alloc_slot(key)
         position_base = slot * self._feed_width
         row_worst = self._slot_worst[slot]
@@ -845,31 +1139,65 @@ class SchedulingKernel:
                 local_end if local_end is not None
                 else feed_worsts[feed_index]
             )
-        level0 = self._level0
-        level1 = self._level1
-        by_feed: dict[int, list[tuple[int, int]]] = {}
-        for link, chain in chains.items():
-            feed_index, arrival_index, ready, duration = chain[0]
-            apos = self._alloc_arrival()
-            parent = level0.append((ready, duration), (link, apos))
-            by_feed.setdefault(feed_index, []).append((arrival_index, apos))
-            if len(chain) == 2:
-                feed_index, arrival_index, ready, duration = chain[1]
+        # Reservation rows: free deps follow per-link plan order (the
+        # shared overlay the plan reserved against), ready deps the
+        # recorded previous hop; level = 1 + max(dep levels).
+        level_of = self._row_level_of
+        levels = self._row_levels
+        gids: list[int] = []
+        last_on_link: dict[int, int] = {}
+        for link, ready, ready_dep_local, duration, mode in rows:
+            free_dep = last_on_link.get(link, -1)
+            ready_dep = gids[ready_dep_local] if ready_dep_local >= 0 else -1
+            level = 0
+            if free_dep >= 0:
+                level = level_of[free_dep] + 1
+            if ready_dep >= 0 and level_of[ready_dep] + 1 > level:
+                level = level_of[ready_dep] + 1
+            gid = self._row_count
+            self._row_count = gid + 1
+            level_of.append(level)
+            while level >= len(levels):
+                levels.append(_RowPool(2, 5))
+            levels[level].append(
+                (ready, duration), (link, free_dep, ready_dep, gid, mode)
+            )
+            last_on_link[link] = gid
+            gids.append(gid)
+        for feed_index, descriptors in enumerate(plan.pool_feeds):
+            if descriptors is None:
+                continue  # local feed: static worst, written above
+            positions: list[int] = []
+            for descriptor in descriptors:
                 apos = self._alloc_arrival()
-                level1.append((ready, duration), (parent, apos))
-                by_feed.setdefault(feed_index, []).append(
-                    (arrival_index, apos)
-                )
-        for feed_index, items in by_feed.items():
-            position = position_base + feed_index
-            if len(items) == 1:
-                self._feeds1.append((), (items[0][1], position))
-            else:
-                items.sort()
-                self._feeds2.append(
-                    (), (items[0][1], items[1][1], position)
-                )
-        return True
+                positions.append(apos)
+                if isinstance(descriptor, int):
+                    self._acopy.append((), (gids[descriptor], apos))
+                else:
+                    width = len(descriptor)
+                    pool = self._aroute.get(width)
+                    if pool is None:
+                        pool = self._aroute[width] = _RowPool(0, width + 1)
+                    pool.append(
+                        (),
+                        tuple(gids[i] for i in descriptor) + (apos,),
+                    )
+            arity = len(positions)
+            pool = self._afeeds.get(arity)
+            if pool is None:
+                pool = self._afeeds[arity] = _RowPool(0, arity + 1)
+            pool.append((), tuple(positions) + (position_base + feed_index,))
+        if plan.repairable:
+            return "pure"
+        first_gid: dict[int, int] = {}
+        for local, (link, _ready, _dep, _dur, _mode) in enumerate(rows):
+            if link not in first_gid:
+                first_gid[link] = gids[local]
+        self._volatile[key] = [
+            (threshold, first_gid[threshold[0]])
+            for threshold in plan.thresholds
+        ]
+        return "volatile"
 
     def _alloc_slot(self, key: int) -> int:
         slot = self._slot_count
@@ -907,10 +1235,12 @@ class SchedulingKernel:
         """
         slot_of = self._slot_of
         slot_alive = self._slot_alive
+        volatile = self._volatile
         for key in keys:
             slot = slot_of.pop(key, None)
             if slot is not None:
                 slot_alive[slot] = False
+                volatile.pop(key, None)
 
     def _pool_pass(self) -> None:
         """Recompute every pooled entry's worst from current availabilities.
@@ -927,50 +1257,98 @@ class SchedulingKernel:
         if not slots:
             return
         if self._arrival_count > len(self._arrivals):
-            grown = np.zeros(max(64, 2 * self._arrival_count))
-            self._arrivals = grown
+            self._arrivals = np.zeros(max(64, 2 * self._arrival_count))
+        if self._row_count > len(self._row_end):
+            capacity = max(64, 2 * self._row_count)
+            self._row_start = np.zeros(capacity)
+            self._row_end = np.zeros(capacity)
+            self._row_free = np.zeros(capacity)
         avail = np.array(self._link_avail)
         arrivals = self._arrivals
+        row_start = self._row_start
+        row_end = self._row_end
+        row_free = self._row_free
         flat_worst = self._slot_worst.reshape(-1)
-        pool = self._level0
-        count = pool.count
-        free0 = None
-        if count:
+        for pool in self._row_levels:
+            count = pool.count
+            if not count:
+                continue
             pool.flush()
-            start = np.maximum(
-                pool.float_cols[0][:count], avail[pool.int_cols[0][:count]]
+            link = pool.int_cols[0][:count]
+            free_dep = pool.int_cols[1][:count]
+            ready_dep = pool.int_cols[2][:count]
+            gid = pool.int_cols[3][:count]
+            mode = pool.int_cols[4][:count]
+            base = np.where(
+                free_dep < 0,
+                avail[link],
+                row_free[np.maximum(free_dep, 0)],
             )
+            ready = np.where(
+                ready_dep < 0,
+                pool.float_cols[0][:count],
+                row_end[np.maximum(ready_dep, 0)],
+            )
+            start = np.maximum(ready, base)
             end = start + pool.float_cols[1][:count]
-            arrivals[pool.int_cols[1][:count]] = end
-            # The queue position behind a level-0 reservation advances
-            # by the re-derived duration (LinkState.reserve's
-            # ``start + (end - start)``), not the previewed end.
-            free0 = start + (end - start)
-        pool = self._level1
+            # A queued reservation advances the link by the re-derived
+            # duration (LinkState.reserve's ``start + (end - start)``)
+            # on direct links (mode 1), by the previewed end on route
+            # hops (mode 0) — both expressions verbatim from `_plan`.
+            free = np.where(mode == 1, start + (end - start), end)
+            row_start[gid] = start
+            row_end[gid] = end
+            row_free[gid] = free
+        pool = self._acopy
         count = pool.count
         if count:
             pool.flush()
-            start = np.maximum(
-                pool.float_cols[0][:count], free0[pool.int_cols[0][:count]]
-            )
             arrivals[pool.int_cols[1][:count]] = (
-                start + pool.float_cols[1][:count]
+                row_end[pool.int_cols[0][:count]]
             )
-        pool = self._feeds1
-        count = pool.count
-        if count:
+        for width, pool in self._aroute.items():
+            count = pool.count
+            if not count:
+                continue
             pool.flush()
-            flat_worst[pool.int_cols[1][:count]] = (
-                arrivals[pool.int_cols[0][:count]]
-            )
-        pool = self._feeds2
-        count = pool.count
-        if count:
+            # A replica's guaranteed arrival is the max over its
+            # ``npl + 1`` disjoint routes' ends.
+            guaranteed = row_end[pool.int_cols[0][:count]]
+            for column in range(1, width):
+                guaranteed = np.maximum(
+                    guaranteed, row_end[pool.int_cols[column][:count]]
+                )
+            arrivals[pool.int_cols[width][:count]] = guaranteed
+        npf = self._c.npf
+        for arity, pool in self._afeeds.items():
+            count = pool.count
+            if not count:
+                continue
             pool.flush()
-            flat_worst[pool.int_cols[2][:count]] = self._feeds2_reduce(
-                arrivals[pool.int_cols[0][:count]],
-                arrivals[pool.int_cols[1][:count]],
-            )
+            positions = pool.int_cols[arity][:count]
+            if arity == 1:
+                flat_worst[positions] = arrivals[pool.int_cols[0][:count]]
+                continue
+            k = npf if npf < arity - 1 else arity - 1
+            if k == 0:
+                reduced = arrivals[pool.int_cols[0][:count]]
+                for column in range(1, arity):
+                    reduced = np.minimum(
+                        reduced, arrivals[pool.int_cols[column][:count]]
+                    )
+            elif k == arity - 1:
+                reduced = arrivals[pool.int_cols[0][:count]]
+                for column in range(1, arity):
+                    reduced = np.maximum(
+                        reduced, arrivals[pool.int_cols[column][:count]]
+                    )
+            else:
+                stacked = np.stack([
+                    arrivals[pool.int_cols[column][:count]]
+                    for column in range(arity)
+                ])
+                reduced = np.partition(stacked, k, axis=0)[k]
+            flat_worst[positions] = reduced
         entry_worst = self._slot_worst[:slots].max(axis=1)
         alive = self._slot_alive[:slots]
         if alive.all():
@@ -998,10 +1376,17 @@ class SchedulingKernel:
         cache = self._cache
         entries = cache.entries
         self._pool_pass()
+        reps = self._orbit_reps() if self._sym_alive else None
         ids = np.fromiter(
             candidates, dtype=np.int64, count=len(candidates)
         )
-        keys = ids[:, None] * n_procs + self._pool_offsets
+        if reps is None:
+            cols = self._pool_offsets
+            rep_cols: list[int] | None = None
+        else:
+            rep_cols = sorted(set(reps))
+            cols = np.fromiter(rep_cols, dtype=np.int64, count=len(rep_cols))
+        keys = ids[:, None] * n_procs + cols[None, :]
         flat = keys.ravel()
         misses_before = cache.misses
         suspects = self._suspects
@@ -1010,7 +1395,12 @@ class SchedulingKernel:
             # leave the ready set by being placed, which drops their
             # entries), so the whole suspect set is due this sweep.
             link_avail = self._link_avail
+            volatile = self._volatile
             for key in tuple(suspects):
+                if reps is not None and reps[key % n_procs] != key % n_procs:
+                    # Pruned column: the scalar sweep leaves its cache
+                    # state untouched too — keep the flag for later.
+                    continue
                 entry = entries.get(key)
                 if entry is None:
                     # Dangling flag of a dropped entry: the scalar path
@@ -1019,7 +1409,18 @@ class SchedulingKernel:
                 suspects.discard(key)
                 for threshold in entry[5]:
                     if link_avail[threshold[0]] > threshold[1]:
-                        if entry[2] is None:
+                        vol = volatile.get(key)
+                        if vol is not None:
+                            # The pool pass already recomputed this
+                            # entry wholesale; account the staleness as
+                            # the scalar discard + replan would, then
+                            # refresh its thresholds/worst in place.
+                            cache.misses += 1
+                            self.evaluations += 1
+                            for item, gid in vol:
+                                item[1] = float(self._row_start[gid])
+                            entry[3] = float(self._arr_worst[key])
+                        elif entry[2] is None:
                             cache.discard(key)
                             self._miss(key // n_procs, key % n_procs, key)
                         else:
@@ -1033,7 +1434,9 @@ class SchedulingKernel:
             state = self._arr_state[flat]
         ready = np.array(self._proc_avail)
         shape = keys.shape
-        sigma = np.maximum(ready[None, :], self._arr_worst[flat].reshape(shape))
+        sigma = np.maximum(
+            ready[cols][None, :], self._arr_worst[flat].reshape(shape)
+        )
         if self._aware:
             sigma += self._arr_duration[flat].reshape(shape)
         sigma += self._arr_static[flat].reshape(shape)
@@ -1041,6 +1444,20 @@ class SchedulingKernel:
         if forbidden.any():
             sigma[forbidden.reshape(shape)] = _INF
         cache.hits += flat.size - (cache.misses - misses_before)
+        if rep_cols is not None:
+            # Expand the representative columns back to full width: a
+            # pruned processor's σ is a bit-identical copy of its orbit
+            # minimum's (same IEEE floats by the invariance argument),
+            # so tie-breaks and the kept set match the exhaustive sweep.
+            col_of = {rep: index for index, rep in enumerate(rep_cols)}
+            expand = np.fromiter(
+                (col_of[reps[p]] for p in range(n_procs)),
+                dtype=np.int64, count=n_procs,
+            )
+            sigma = sigma[:, expand]
+            self.symmetry_pruned += len(candidates) * (
+                n_procs - len(rep_cols)
+            )
         npf = c.npf
         required = npf + 1
         finite = (sigma != _INF).sum(axis=1)
@@ -1052,8 +1469,22 @@ class SchedulingKernel:
                 f"{int(finite[index])} processor(s), {required} required "
                 f"to tolerate {npf} failure(s)"
             )
-        ordered = np.sort(sigma, axis=1)
-        urgencies = ordered[:, required - 1]
+        # The (npf + 1)-th smallest per row: partition places exactly
+        # the k-th order statistic at index k — the same float a full
+        # sort would put there — without sorting the whole row.
+        k = required - 1
+        count = len(candidates)
+        if self._workers >= 2 and sigma.size >= _PARALLEL_MIN_ELEMS:
+            urgencies = np.empty(count)
+
+            def task(lo: int, hi: int) -> None:
+                urgencies[lo:hi] = np.partition(
+                    sigma[lo:hi], k, axis=1
+                )[:, k]
+
+            run_sharded(self._workers, count, task)
+        else:
+            urgencies = np.partition(sigma, k, axis=1)[:, k]
         # Most urgent candidate; argmax keeps the first (= smallest id)
         # among equals, the scalar loop's tie-break.
         winner = int(urgencies.argmax())
@@ -1085,32 +1516,6 @@ class SchedulingKernel:
             return plan.s_worst + plan.duration + self._c.tail[o]
         return plan.s_worst + self._c.sbar[o]
 
-    def _suspect_sigma(self, o: int, p: int, key: int, entry: list) -> float:
-        """σ(o, p) for an entry flagged by a touched threshold link.
-
-        The slow half of ``PressureCalculator.cached_pressure``: check
-        the thresholds value-wise, repair the plan in place when it is
-        repairable, recompute it as a miss otherwise.
-        """
-        self._suspects.discard(key)
-        link_avail = self._link_avail
-        for threshold in entry[5]:
-            if link_avail[threshold[0]] > threshold[1]:
-                if entry[2] is None:
-                    # Not repairable (parallel links, multi-hop or npl
-                    # routes): recompute the whole plan.
-                    self._cache.discard(key)
-                    return self._miss(o, p, key)
-                self._repair(entry)
-                break
-        self._cache.hits += 1
-        ready = self._proc_avail[p]
-        worst = entry[3]
-        s_worst = ready if ready > worst else worst
-        if self._aware:
-            return s_worst + entry[6] + entry[1]
-        return s_worst + entry[1]
-
     def _miss(self, o: int, p: int, key: int) -> float:
         """Plan the pair for real, cache it with its id dependencies."""
         cache = self._cache
@@ -1137,15 +1542,17 @@ class SchedulingKernel:
             plan.feeds, static, plan.chains, plan.worst,
             plan.feed_worsts, thresholds, plan.duration,
         ]
-        # Pooled entries are recomputed wholesale by the per-sweep pool
-        # pass, so they register no threshold links (nothing to suspect
-        # or repair); everything else keeps the scalar threshold rule.
-        pooled = self._vector and self._try_pool(key, plan)
+        # Pure pooled entries are recomputed wholesale by the per-sweep
+        # pool pass, so they register no threshold links (nothing to
+        # suspect or repair).  Volatile pooled entries keep theirs: the
+        # pass recomputes their floats too, but a tripped threshold must
+        # still be *accounted* as the scalar discard + miss.
+        pooled = self._try_pool(key, plan) if self._vector else None
         cache.put(
             key, entry,
             operations=c.preds[o],
             threshold_links=(
-                () if pooled else tuple(t[0] for t in thresholds)
+                () if pooled == "pure" else tuple(t[0] for t in thresholds)
             ),
         )
         if self._vector:
@@ -1265,6 +1672,171 @@ class SchedulingKernel:
             self._commit(plan)
             return
         self._minimize(o, p, False)
+
+    def place_step(
+        self, operation: str, processors: "tuple[str, ...]"
+    ) -> None:
+        """Place one macro-step's ``Npf + 1`` replicas, batched.
+
+        On all-direct interconnects (``_batch_ok``) the trial plans of
+        the whole step are built upfront against ONE shared reservation
+        overlay: each trial's overlay advances equal the committed
+        advances of the trials before it (both are the re-derived
+        ``start + (end - start)``), so every preplan is bit-identical
+        to the fresh plan the sequential path would compute after the
+        preceding commits.  Trials whose cache entry is repairable skip
+        planning entirely: :meth:`_rebuild` replays the recorded
+        reservation chains into a commit-ready plan (same floats — the
+        chains' ready instants and durations are static while the entry
+        lives).  A kept duplication invalidates the remaining preplans
+        (it commits extra replicas mid-step), so the loop falls back to
+        fresh sequential plans the moment a commit is not clean.
+        """
+        c = self._c
+        o = c.op_ids[operation]
+        if o in c.pins or not self._batch_ok:
+            for processor in processors:
+                self.place(operation, processor)
+            return
+        procs = [c.proc_ids[name] for name in processors]
+        entries = self._cache.entries if self._cache is not None else None
+        self._epoch += 1
+        if self._epoch > 1:
+            self.buffer_reuses += 1
+        base_key = o * self._P
+        plans: list[KernelPlan | None] = []
+        for index, p in enumerate(procs):
+            if index:
+                self.buffer_reuses += 1
+            entry = (
+                entries.get(base_key + p) if entries is not None else None
+            )
+            if (
+                entry is not None and entry[0] is not None
+                and entry[2] is not None
+            ):
+                plans.append(self._rebuild(o, p, entry))
+            else:
+                plans.append(
+                    self._plan(o, p, True, False, shared_overlay=True)
+                )
+        clean = True
+        for index, p in enumerate(procs):
+            plan = plans[index] if clean else self._plan(o, p, True, False)
+            if plan is None:
+                raise SchedulingError(
+                    f"operation {c.op_names[o]!r} cannot be scheduled on "
+                    f"{c.proc_names[p]!r}"
+                )
+            before = len(self._op_buffer)
+            if self._duplication:
+                plan = self._improve_by_duplication(plan)
+            self._commit(plan)
+            if len(self._op_buffer) != before + 1:
+                clean = False
+
+    def _rebuild(self, o: int, p: int, entry: list) -> KernelPlan:
+        """A commit-ready plan replayed from a repairable cache entry.
+
+        The entry's chains record every reservation's static operands
+        (ready instant, duration) in plan order per link; replaying
+        them against the current availabilities — through the shared
+        step overlay, so later trials of the same batch queue behind
+        this one exactly as they would behind its commit — reproduces
+        the floats of a fresh plan at *any* availabilities (the
+        threshold invariant: a repairable plan's structure never
+        depends on link load, only its starts do).  Entry arrays are
+        never mutated: the plan gets fresh feed and arrival lists.
+        """
+        c = self._c
+        epoch = self._epoch
+        stamp = self._link_stamp
+        free = self._link_free
+        base = self._link_avail
+        link_names = c.link_names
+        proc_names = c.proc_names
+        op_names = c.op_names
+        op_name = op_names[o]
+        proc_name = proc_names[p]
+        rep_list = self._rep_list
+        feeds_in = entry[0]
+        # Replay every link's chain; per-link order is plan order and
+        # links are independent, so chain-order replay == plan order.
+        ends: dict[tuple[int, int], tuple[int, float, float]] = {}
+        for link, chain in entry[2].items():
+            current = free[link] if stamp[link] == epoch else base[link]
+            for feed_index, arrival_index, ready, duration in chain:
+                start = ready if ready > current else current
+                end = start + duration
+                current = start + (end - start)
+                ends[(feed_index, arrival_index)] = (link, start, end)
+            stamp[link] = epoch
+            free[link] = current
+        feeds: list[tuple] = []
+        comms: list[tuple] = []
+        feed_worsts: list[float] = []
+        worst = -_INF
+        earliest = -_INF
+        npf = c.npf
+        for feed_index, feed in enumerate(feeds_in):
+            q = feed[_FEED_PRED]
+            local_end = feed[_FEED_LOCAL_END]
+            if local_end is not None:
+                feeds.append((q, local_end, None, None))
+                feed_worsts.append(local_end)
+                if local_end > worst:
+                    worst = local_end
+                if local_end > earliest:
+                    earliest = local_end
+                continue
+            count = len(feed[_FEED_ARRIVALS])
+            q_name = op_names[q]
+            replicas = rep_list[q]
+            arrivals: list[float] = []
+            for arrival_index in range(count):
+                link, start, end = ends[(feed_index, arrival_index)]
+                arrivals.append(end)
+                # Repairable plans are all-direct, so the replica index
+                # equals the arrival index (every remote replica sends).
+                comms.append((
+                    q_name, op_name, arrival_index, link_names[link],
+                    start, end, proc_names[replicas[arrival_index][0]],
+                    proc_name, 0, 0, link,
+                ))
+            if count == 1:
+                feed_worst = arrivals[0]
+            elif npf == 0:
+                feed_worst = min(arrivals)
+            elif npf >= count - 1:
+                feed_worst = max(arrivals)
+            else:
+                feed_worst = sorted(arrivals)[npf]
+            feed_worsts.append(feed_worst)
+            if feed_worst > worst:
+                worst = feed_worst
+            feed_earliest = min(arrivals)
+            if feed_earliest > earliest:
+                earliest = feed_earliest
+            feeds.append((q, None, arrivals, None))
+        plan = KernelPlan()
+        plan.operation = op_name
+        plan.processor = proc_name
+        plan.op = o
+        plan.proc = p
+        plan.duration = entry[6]
+        plan.processor_ready = self._proc_avail[p]
+        plan.feeds = feeds
+        plan.comms = comms
+        plan.earliest = earliest
+        plan.worst = worst
+        plan.feed_worsts = feed_worsts
+        plan.thresholds = _NO_THRESHOLDS
+        plan.chains = None
+        plan.repairable = False
+        plan.pool_rows = None
+        plan.pool_feeds = None
+        plan.has_choice = False
+        return plan
 
     def _minimize(self, o: int, p: int, duplicated: bool):
         """``Minimize_start_time(o, p)`` on kernel plans (steps Ê–Ñ)."""

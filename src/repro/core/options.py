@@ -64,6 +64,26 @@ class SchedulerOptions:
         path used) when ``link_insertion`` is set: gap insertion makes
         whole link timelines relevant, which the flat append-mode
         arrays deliberately do not model.
+    symmetry:
+        Prune isomorphic candidate placements in the compiled kernel:
+        the architecture's processor/link automorphism group is computed
+        at compile time (:mod:`repro.core.symmetry`) and, while the
+        partial schedule is still invariant under a generator, only one
+        representative processor per orbit is evaluated — the σ of the
+        other orbit members is a bit-identical copy, so schedules,
+        observer streams and content hashes are unchanged (the
+        ``pressure_evaluations`` / ``cache_hits`` counters shrink;
+        ``FTBARStats.symmetry_pruned`` counts the skipped pairs).  Only
+        the compiled kernel implements the pruning; the object engine
+        ignores the flag.  ``symmetry=False`` is the escape hatch that
+        restores the exhaustive sweep (and the PR-5 counter pins).
+    sweep_workers:
+        Worker-thread count of the compiled kernel's parallel selection
+        sweep (:mod:`repro.core.parallel`).  ``None`` reads the
+        ``REPRO_SWEEP_WORKERS`` environment variable (0 when unset);
+        values below 2 keep the sweep serial.  The parallel reduction
+        preserves the sequential tie-break order, so results and
+        counters are identical at any worker count.
     """
 
     duplication: bool = True
@@ -72,3 +92,5 @@ class SchedulerOptions:
     incremental: bool = True
     npl: int | None = None
     compiled: bool = True
+    symmetry: bool = True
+    sweep_workers: int | None = None

@@ -1,0 +1,266 @@
+"""Topology automorphisms for the compiled kernel's candidate pruning.
+
+On the regular interconnects the paper benchmarks (fully connected,
+bus, ring, star) most of a macro-step's candidate evaluations are
+isomorphic: while the partial schedule still looks the same from
+processor ``p`` and from ``g(p)`` for an automorphism ``g`` of the
+*problem* (not just the graph — execution and communication tables and
+the route planner's choices must commute with ``g`` too), the pressure
+``σ(o, p)`` and ``σ(o, g(p))`` are bit-identical, so the kernel can
+evaluate one representative per orbit and copy its σ to the others
+(see ``KernelScheduler._orbit_reps``).
+
+This module computes the *static* half of that argument once per
+compiled problem: candidate processor permutations read off the
+topology shape (transpositions for the generic/orbit-refinement case,
+rotations and reflections for rings), each **verified** — never
+assumed — against
+
+* the induced link permutation (endpoint sets must map to endpoint
+  sets, bijectively),
+* the execution table (``Exe(o, p) == Exe(o, g(p))``, ``inf``
+  included, so distribution constraints are preserved),
+* the communication table (every edge's duration is invariant under
+  the link permutation),
+* route equivariance: the planner's chosen route from ``a`` to ``b``
+  must map hop-by-hop onto its choice for ``g(a) → g(b)`` — this is
+  what makes the *tie-breaks* inside multi-hop planning commute with
+  ``g``, not just the route lengths,
+* for ``npl >= 1``, the same equivariance for every ``npl + 1``-route
+  disjoint set over every avoidance subset (enumerable because the
+  check is gated to small processor counts).
+
+Anything that breaks bit-exactness wholesale — memory pins, parallel
+direct links (whose min-end tie-break reads link *names*) — disables
+the group entirely.  The *dynamic* half (is the partial schedule still
+invariant under ``g``?) is the kernel's per-sweep aliveness check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: With link replication the verification enumerates avoidance subsets,
+#: which is exponential in the processor count; past this size the
+#: group is simply not built.
+_NPL_VERIFY_MAX_PROCS = 6
+
+
+@dataclass(frozen=True)
+class Generator:
+    """One verified automorphism: a processor and induced link permutation."""
+
+    proc: tuple[int, ...]
+    link: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class KernelSymmetry:
+    """The verified generators of one compiled problem."""
+
+    generators: tuple[Generator, ...]
+    n_procs: int
+
+    def orbit_count(self) -> int:
+        """Number of processor orbits under the full verified group."""
+        return len(set(orbit_representatives(self.generators, self.n_procs)))
+
+
+def orbit_representatives(
+    generators: tuple[Generator, ...] | list[Generator], n_procs: int
+) -> list[int]:
+    """``rep[p]`` = smallest processor id in ``p``'s orbit.
+
+    Plain union-find over the generator edges ``p — g(p)``; the
+    smallest-id representative is what makes pruning pick the same
+    processor the exhaustive argmin/argmax tie-breaks would (ties
+    resolve to the lowest id, and every orbit member carries an equal
+    value).
+    """
+    parent = list(range(n_procs))
+
+    def find(p: int) -> int:
+        while parent[p] != p:
+            parent[p] = parent[parent[p]]
+            p = parent[p]
+        return p
+
+    for generator in generators:
+        for p, q in enumerate(generator.proc):
+            a, b = find(p), find(q)
+            if a != b:
+                if b < a:
+                    a, b = b, a
+                parent[b] = a
+    # Path-compress to the minimum id of each class.
+    rep = [0] * n_procs
+    for p in range(n_procs):
+        root = find(p)
+        rep[p] = root
+    return rep
+
+
+def _induced_link_perm(compiled, proc_perm: tuple[int, ...]) -> tuple[int, ...] | None:
+    """Link permutation induced by a processor permutation, or ``None``.
+
+    A link maps to the (unique) link whose endpoint set is the image of
+    its own; if some image set matches no link — or two links collide —
+    the candidate is not an automorphism of the interconnect.
+    """
+    proc_names = compiled.proc_names
+    proc_ids = compiled.proc_ids
+    by_endpoints: dict[frozenset[str], int] = {}
+    links = list(compiled.architecture.links())
+    for link in links:
+        endpoints = frozenset(link.endpoints)
+        if endpoints in by_endpoints:
+            return None  # parallel links: name-based tie-breaks, no pruning
+        by_endpoints[endpoints] = compiled.link_ids[link.name]
+    perm = [-1] * compiled.n_links
+    for link in links:
+        image = frozenset(
+            proc_names[proc_perm[proc_ids[endpoint]]]
+            for endpoint in link.endpoints
+        )
+        target = by_endpoints.get(image)
+        if target is None:
+            return None
+        perm[compiled.link_ids[link.name]] = target
+    if sorted(perm) != list(range(compiled.n_links)):
+        return None
+    return tuple(perm)
+
+
+def _exe_invariant(compiled, proc_perm: tuple[int, ...]) -> bool:
+    exe = compiled.exe
+    n_procs = compiled.n_procs
+    for o in range(compiled.n_ops):
+        base = o * n_procs
+        for p in range(n_procs):
+            if exe[base + p] != exe[base + proc_perm[p]]:
+                return False
+    return True
+
+
+def _comm_invariant(compiled, link_perm: tuple[int, ...]) -> bool:
+    for row in compiled.comm_rows.values():
+        for l, duration in enumerate(row):
+            if duration != row[link_perm[l]]:
+                return False
+    return True
+
+
+def _routes_equivariant(
+    compiled, proc_perm: tuple[int, ...], link_perm: tuple[int, ...]
+) -> bool:
+    """The route planner's choices commute with the permutation."""
+    n_procs = compiled.n_procs
+    proc_names = compiled.proc_names
+    proc_ids = compiled.proc_ids
+
+    def map_hops(hops):
+        return tuple(
+            (
+                proc_names[proc_perm[proc_ids[origin]]],
+                link_perm[link_id],
+                proc_names[proc_perm[proc_ids[relay]]],
+            )
+            for origin, link_id, relay in hops
+        )
+
+    for a in range(n_procs):
+        for b in range(n_procs):
+            if a == b:
+                continue
+            image = map_hops(compiled.route_hops(a, b))
+            if image != compiled.route_hops(proc_perm[a], proc_perm[b]):
+                return False
+    if compiled.npl < 1:
+        return True
+    # Disjoint route sets: enumerate every avoidance subset the kernel
+    # could ever pass (subsets of the other processors).  Gated by
+    # _NPL_VERIFY_MAX_PROCS at build time.
+    for a in range(n_procs):
+        for b in range(n_procs):
+            if a == b:
+                continue
+            others = [p for p in range(n_procs) if p != a and p != b]
+            for mask in range(1 << len(others)):
+                avoid = frozenset(
+                    proc_names[p]
+                    for i, p in enumerate(others)
+                    if mask & (1 << i)
+                )
+                image_avoid = frozenset(
+                    proc_names[proc_perm[proc_ids[name]]] for name in avoid
+                )
+                try:
+                    routes = compiled.disjoint_routes(
+                        proc_names[a], proc_names[b], avoid
+                    )
+                except Exception:
+                    try:
+                        compiled.disjoint_routes(
+                            proc_names[proc_perm[a]],
+                            proc_names[proc_perm[b]],
+                            image_avoid,
+                        )
+                    except Exception:
+                        continue  # both infeasible: equivariant
+                    return False
+                try:
+                    image_routes = compiled.disjoint_routes(
+                        proc_names[proc_perm[a]],
+                        proc_names[proc_perm[b]],
+                        image_avoid,
+                    )
+                except Exception:
+                    return False
+                if tuple(map_hops(r) for r in routes) != image_routes:
+                    return False
+    return True
+
+
+def _compose(p: tuple[int, ...], q: tuple[int, ...]) -> tuple[int, ...]:
+    return tuple(p[x] for x in q)
+
+
+def build_symmetry(compiled) -> KernelSymmetry:
+    """Detect and verify the automorphism generators of one problem.
+
+    Candidate permutations: every transposition (generic orbit
+    refinement — enough to generate the symmetric group on fully
+    connected and bus interconnects and the leaf group of a star), plus
+    the rotations and the reflection of a cycle (rings, where single
+    transpositions are not automorphisms).  Each candidate is verified
+    in full; an empty generator tuple means "no usable symmetry".
+    """
+    n_procs = compiled.n_procs
+    if compiled.pins or n_procs < 2:
+        return KernelSymmetry((), n_procs)
+    if compiled.npl >= 1 and n_procs > _NPL_VERIFY_MAX_PROCS:
+        return KernelSymmetry((), n_procs)
+    candidates: list[tuple[int, ...]] = []
+    for i in range(n_procs):
+        for j in range(i + 1, n_procs):
+            perm = list(range(n_procs))
+            perm[i], perm[j] = j, i
+            candidates.append(tuple(perm))
+    rotation = tuple((p + 1) % n_procs for p in range(n_procs))
+    reflection = tuple((n_procs - p) % n_procs for p in range(n_procs))
+    candidates.append(rotation)
+    if reflection not in candidates:
+        candidates.append(reflection)
+    generators: list[Generator] = []
+    for proc_perm in candidates:
+        link_perm = _induced_link_perm(compiled, proc_perm)
+        if link_perm is None:
+            continue
+        if not _exe_invariant(compiled, proc_perm):
+            continue
+        if not _comm_invariant(compiled, link_perm):
+            continue
+        if not _routes_equivariant(compiled, proc_perm, link_perm):
+            continue
+        generators.append(Generator(proc_perm, link_perm))
+    return KernelSymmetry(tuple(generators), n_procs)

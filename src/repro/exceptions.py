@@ -53,3 +53,14 @@ class SimulationError(ReproError):
 
 class SerializationError(ReproError):
     """A document could not be converted to or from its JSON form."""
+
+
+class CompiledFallbackWarning(UserWarning):
+    """``compiled=True`` was combined with an option the kernel cannot model.
+
+    The scheduler silently used to fall back to the object path; it now
+    emits this structured warning so benchmark harnesses and callers
+    that *expect* kernel-speed runs notice the downgrade.  The produced
+    schedules are unaffected (the object path is bit-identical); only
+    performance differs.
+    """

@@ -49,6 +49,9 @@ class AlgorithmGraph:
         # predecessors/successors of an operation on every trial plan.
         self._pred_view: dict[str, tuple[str, ...]] = {}
         self._succ_view: dict[str, tuple[str, ...]] = {}
+        #: Bumped by every mutation; lets derived-table caches (the
+        #: compiled kernel's content hashes) revalidate in O(1).
+        self._version = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -78,6 +81,7 @@ class AlgorithmGraph:
                 )
             return existing
         self._graph.add_node(op.name, operation=op)
+        self._version += 1
         return op
 
     def add_dependency(self, source: str, target: str, data_size: float = 1.0) -> None:
@@ -96,6 +100,7 @@ class AlgorithmGraph:
         self._graph.add_edge(source, target, data_size=float(data_size))
         self._pred_view.pop(target, None)
         self._succ_view.pop(source, None)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # queries

@@ -43,6 +43,9 @@ class Architecture:
         self._link_names_view: tuple[str, ...] | None = None
         self._processor_names_view: tuple[str, ...] | None = None
         self._between: dict[tuple[str, str], tuple[Link, ...]] = {}
+        #: Bumped by every mutation; lets derived-table caches (the
+        #: compiled kernel's content hashes) revalidate in O(1).
+        self._version = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -57,6 +60,7 @@ class Architecture:
         self._planner = None
         self._between.clear()
         self._processor_names_view = None
+        self._version += 1
         return proc
 
     def add_link(
@@ -94,6 +98,7 @@ class Architecture:
         self._links_view = None
         self._link_names_view = None
         self._between.clear()
+        self._version += 1
         return built
 
     # ------------------------------------------------------------------

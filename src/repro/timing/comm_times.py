@@ -29,6 +29,9 @@ class CommunicationTimes:
 
     def __init__(self, entries: Mapping[tuple[Edge, str], float] | None = None) -> None:
         self._times: dict[tuple[Edge, str], float] = {}
+        #: Bumped by every mutation; lets derived-table caches (the
+        #: compiled kernel's content hashes) revalidate in O(1).
+        self._version = 0
         if entries:
             for (edge, link), duration in entries.items():
                 self.set(edge, link, duration)
@@ -45,6 +48,7 @@ class CommunicationTimes:
                 f"positive finite number, got {duration!r}"
             )
         self._times[(self._normalize(edge), link)] = value
+        self._version += 1
 
     @staticmethod
     def _normalize(edge: Edge) -> Edge:
@@ -159,9 +163,11 @@ class CommunicationTimes:
     ) -> None:
         """Check the table is complete for a problem."""
         link_names = tuple(links)
+        times = self._times
         for edge in edges:
+            normalized = (str(edge[0]), str(edge[1]))
             for link in link_names:
-                if not self.has_entry(edge, link):
+                if (normalized, link) not in times:
                     raise TimingError(
                         f"missing communication time for {edge!r} on {link!r}"
                     )

@@ -36,6 +36,9 @@ class ExecutionTimes:
 
     def __init__(self, entries: Mapping[tuple[str, str], float] | None = None) -> None:
         self._times: dict[tuple[str, str], float] = {}
+        #: Bumped by every mutation; lets derived-table caches (the
+        #: compiled kernel's content hashes) revalidate in O(1).
+        self._version = 0
         if entries:
             for (operation, processor), duration in entries.items():
                 self.set(operation, processor, duration)
@@ -57,10 +60,12 @@ class ExecutionTimes:
                 f"positive or inf, got {duration!r}"
             )
         self._times[(operation, processor)] = value
+        self._version += 1
 
     def forbid(self, operation: str, processor: str) -> None:
         """Add the distribution constraint ``operation`` not-on ``processor``."""
         self._times[(operation, processor)] = FORBIDDEN
+        self._version += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -175,11 +180,17 @@ class ExecutionTimes:
         every operation must keep at least one allowed processor.
         """
         procs = tuple(processors)
+        times = self._times
+        isfinite = math.isfinite
         for operation in operations:
+            allowed = False
             for processor in procs:
-                if not self.has_entry(operation, processor):
+                value = times.get((operation, processor))
+                if value is None:
                     raise TimingError(
                         f"missing execution time for {operation!r} on {processor!r}"
                     )
-            if not self.allowed_processors(operation, procs):
+                if not allowed and isfinite(value):
+                    allowed = True
+            if not allowed:
                 raise TimingError(f"operation {operation!r} is forbidden everywhere")

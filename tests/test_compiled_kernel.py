@@ -11,8 +11,14 @@ ring / star / fully-connected / bus topologies x two seeds — plus the
 scheduler option variants, the scalar (numpy-free) sweep fallback, the
 pinned-memory fallback, and the HBP baseline's kernel path.  The
 ``PINNED_COUNTERS`` literals are the (pressure_evaluations, cache_hits)
-pairs of the PR-1 incremental engine; both engines must keep landing on
-them exactly.
+pairs of the PR-1 incremental engine; with ``symmetry=False`` both
+engines must keep landing on them exactly.  With symmetry pruning on
+(the default) the *schedules and observer streams stay bit-identical*
+but the counters drop on the symmetric topologies — those land on the
+``PRUNED_COUNTERS`` pins (evaluations, hits, pruned pairs) instead;
+ring (the route planner's relay tie-break is not rotation-equivariant)
+and every npl >= 1 problem verify no usable group and keep the PR-1
+values with zero pruned pairs.
 """
 
 from __future__ import annotations
@@ -26,8 +32,10 @@ from repro.core import kernel as kernel_module
 from repro.core.compile import CompiledProblem
 from repro.core.ftbar import FTBARScheduler, schedule_ftbar
 from repro.core.options import SchedulerOptions
+from repro.exceptions import CompiledFallbackWarning
 from repro.hardware.topologies import ring, single_bus, star
 from repro.problem import ProblemSpec
+from repro.schedule.schedule import Schedule
 from repro.timing.comm_times import CommunicationTimes
 from repro.workloads.paper_example import build_problem
 from repro.workloads.random_dag import RandomWorkloadConfig, generate_problem
@@ -35,6 +43,7 @@ from repro.workloads.random_dag import RandomWorkloadConfig, generate_problem
 OBJECT = SchedulerOptions(compiled=False)
 OBJECT_LEGACY = SchedulerOptions(compiled=False, incremental=False)
 COMPILED = SchedulerOptions()
+COMPILED_NOSYM = SchedulerOptions(symmetry=False)
 COMPILED_LEGACY = SchedulerOptions(incremental=False)
 
 #: (pressure_evaluations, cache_hits) of the PR-1 incremental engine
@@ -73,6 +82,78 @@ PINNED_COUNTERS = {
     "fc4-npf1-npl1-seed22": (66, 94),
     "ring4-npf1-npl1-seed22": (64, 96),
 }
+
+#: (pressure_evaluations, cache_hits, symmetry_pruned) of the default
+#: engine (symmetry pruning on).  Labels without a usable group (rings,
+#: npl >= 1) must reproduce their PR-1 pair with zero pruned pairs.
+PRUNED_COUNTERS = {
+    "bus4-npf0-seed21": (48, 122, 74),
+    "bus4-npf0-seed22": (62, 156, 26),
+    "bus4-npf1-seed21": (33, 92, 127),
+    "bus4-npf1-seed22": (48, 88, 100),
+    "bus4-npf2-seed21": (40, 96, 116),
+    "bus4-npf2-seed22": (74, 148, 26),
+    "fc4-npf0-npl1-seed21": (52, 112, 0),
+    "fc4-npf0-npl1-seed22": (69, 67, 0),
+    "fc4-npf0-seed21": (68, 134, 42),
+    "fc4-npf0-seed22": (74, 140, 26),
+    "fc4-npf1-npl1-seed21": (60, 116, 0),
+    "fc4-npf1-npl1-seed22": (66, 94, 0),
+    "fc4-npf1-seed21": (35, 86, 123),
+    "fc4-npf1-seed22": (35, 89, 132),
+    "fc4-npf2-seed21": (60, 161, 31),
+    "fc4-npf2-seed22": (70, 160, 26),
+    "ring4-npf0-npl1-seed21": (54, 110, 0),
+    "ring4-npf0-npl1-seed22": (65, 71, 0),
+    "ring4-npf0-seed21": (100, 140, 0),
+    "ring4-npf0-seed22": (100, 140, 0),
+    "ring4-npf1-npl1-seed21": (48, 128, 0),
+    "ring4-npf1-npl1-seed22": (64, 96, 0),
+    "ring4-npf1-seed21": (72, 180, 0),
+    "ring4-npf1-seed22": (82, 154, 0),
+    "ring4-npf2-seed21": (81, 171, 0),
+    "ring4-npf2-seed22": (86, 166, 0),
+    "star4-npf0-seed21": (83, 111, 46),
+    "star4-npf0-seed22": (83, 127, 22),
+    "star4-npf1-seed21": (55, 133, 64),
+    "star4-npf1-seed22": (76, 127, 53),
+    "star4-npf2-seed21": (57, 141, 54),
+    "star4-npf2-seed22": (80, 159, 13),
+}
+
+
+@pytest.fixture(autouse=True)
+def _vector_sweep_everywhere(monkeypatch):
+    """Drop the scalar/vector size gate for this module.
+
+    The corpus problems sit below ``_VECTOR_MIN_CELLS`` (a pure speed
+    gate — both sweeps are bit-identical), and this module's job is to
+    pin the *vector* machinery (replay pools, batched passes) against
+    the object engine.  ``test_small_problem_gates_to_scalar_sweep``
+    covers the gate itself.
+    """
+    monkeypatch.setattr(kernel_module, "_VECTOR_MIN_CELLS", 0)
+
+
+def test_small_problem_gates_to_scalar_sweep(monkeypatch):
+    """Below the size gate the kernel picks the scalar sweep (same bits)."""
+    monkeypatch.setattr(kernel_module, "_VECTOR_MIN_CELLS", 1280)
+    problem = corpus_case("fc4-npf1-seed21")
+    scheduler = FTBARScheduler(problem, COMPILED)
+    kernel = kernel_module.SchedulingKernel(
+        scheduler._compiled,
+        Schedule(
+            processors=problem.architecture.processor_names(),
+            links=problem.architecture.link_names(),
+            npf=problem.npf,
+        ),
+    )
+    assert not kernel._vector
+    # A requested worker pool re-enables the vector sweep (only it can
+    # be sharded); the gated run stays bit-identical either way.
+    gated_trace = ftbar_trace(problem, COMPILED)
+    monkeypatch.setattr(kernel_module, "_VECTOR_MIN_CELLS", 0)
+    assert ftbar_trace(problem, COMPILED) == gated_trace
 
 
 def _variant(problem: ProblemSpec, architecture, suffix: str) -> ProblemSpec:
@@ -132,11 +213,14 @@ def test_compiled_bit_identical_and_counters_pinned(label):
     assert ftbar_trace(problem, COMPILED_LEGACY) == ftbar_trace(
         problem, OBJECT_LEGACY
     ), f"{label}: non-incremental paths diverge"
+    assert ftbar_trace(problem, COMPILED_NOSYM) == object_trace, (
+        f"{label}: symmetry=False diverges"
+    )
     object_result = schedule_ftbar(problem, OBJECT)
-    compiled_result = schedule_ftbar(problem, COMPILED)
+    nosym_result = schedule_ftbar(problem, COMPILED_NOSYM)
     counters = (
-        compiled_result.stats.pressure_evaluations,
-        compiled_result.stats.cache_hits,
+        nosym_result.stats.pressure_evaluations,
+        nosym_result.stats.cache_hits,
     )
     assert counters == (
         object_result.stats.pressure_evaluations,
@@ -145,18 +229,37 @@ def test_compiled_bit_identical_and_counters_pinned(label):
     assert counters == PINNED_COUNTERS[label], (
         f"{label}: counters moved from the pinned PR-1 values"
     )
+    pruned_result = schedule_ftbar(problem, COMPILED)
+    assert (
+        pruned_result.stats.pressure_evaluations,
+        pruned_result.stats.cache_hits,
+        pruned_result.stats.symmetry_pruned,
+    ) == PRUNED_COUNTERS[label], (
+        f"{label}: symmetry-pruned counters moved from their pins"
+    )
+    assert object_result.stats.symmetry_pruned == 0
+    assert nosym_result.stats.symmetry_pruned == 0
 
 
 def test_scalar_sweep_matches_vector_sweep(monkeypatch):
     """The numpy-free fallback produces the same schedules and counters."""
     problem = corpus_case("fc4-npf1-seed21")
+    # Corpus problems sit below the scalar/vector crossover, so the
+    # vector leg must drop the size gate to actually exercise numpy.
+    monkeypatch.setattr(kernel_module, "_VECTOR_MIN_CELLS", 0)
     vector_trace = ftbar_trace(problem, COMPILED)
     monkeypatch.setattr(kernel_module, "_np", None)
     scalar_trace = ftbar_trace(problem, COMPILED)
     assert scalar_trace == vector_trace
     result = schedule_ftbar(problem, COMPILED)
     assert (
-        result.stats.pressure_evaluations, result.stats.cache_hits
+        result.stats.pressure_evaluations,
+        result.stats.cache_hits,
+        result.stats.symmetry_pruned,
+    ) == PRUNED_COUNTERS["fc4-npf1-seed21"]
+    nosym = schedule_ftbar(problem, COMPILED_NOSYM)
+    assert (
+        nosym.stats.pressure_evaluations, nosym.stats.cache_hits
     ) == PINNED_COUNTERS["fc4-npf1-seed21"]
 
 
@@ -190,10 +293,27 @@ def test_link_insertion_falls_back_to_object_path():
         RandomWorkloadConfig(operations=16, ccr=1.0, processors=4, npf=1, seed=5)
     )
     insertion = SchedulerOptions(link_insertion=True)
-    assert FTBARScheduler(problem, insertion)._compiled is None
-    assert ftbar_trace(problem, insertion) == ftbar_trace(
+    with pytest.warns(CompiledFallbackWarning, match="link_insertion"):
+        assert FTBARScheduler(problem, insertion)._compiled is None
+    with pytest.warns(CompiledFallbackWarning):
+        insertion_trace = ftbar_trace(problem, insertion)
+    assert insertion_trace == ftbar_trace(
         problem, SchedulerOptions(link_insertion=True, compiled=False)
     )
+
+
+def test_fallback_warning_only_on_compiled_link_insertion(recwarn):
+    """Neither plain compiled nor explicit object runs warn."""
+    problem = generate_problem(
+        RandomWorkloadConfig(operations=10, ccr=1.0, processors=3, npf=1, seed=5)
+    )
+    schedule_ftbar(problem, COMPILED)
+    schedule_ftbar(
+        problem, SchedulerOptions(compiled=False, link_insertion=True)
+    )
+    assert not [
+        w for w in recwarn if issubclass(w.category, CompiledFallbackWarning)
+    ]
 
 
 def test_heterogeneous_problem_bit_identical():
