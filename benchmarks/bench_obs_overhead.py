@@ -1,0 +1,160 @@
+"""Pin the disabled-telemetry overhead of the observability layer.
+
+The obs layer promises an **off-by-default no-op fast path**: with no
+tracer installed, every instrumented site in the scheduler costs one
+``None`` check plus (at the hottest per-step sites) entering and
+exiting the shared :data:`repro.obs.NOOP_SPAN`.  This bench turns that
+promise into a recorded, CI-enforced number:
+
+1. time the exact hot-site idiom — ``tracer.span(...) if tracer is not
+   None else obs.NOOP_SPAN`` with ``tracer = None`` — in a tight loop
+   to get the per-site cost;
+2. count the sites one pinned ``repro bench --smoke`` scheduling run
+   executes (two per step — ``kernel.sweep`` and ``kernel.place`` —
+   plus a handful of per-run spans and the ``tracer()`` lookups);
+3. compare the projected total against the measured untraced run and
+   assert the overhead stays **under 2 %** (with an order of magnitude
+   to spare in practice);
+4. cross-check the projection with a measured traced-vs-untraced run
+   against an in-memory exporter (recorded, not asserted — enabling
+   tracing is allowed to cost more than the no-op path).
+
+Results merge into ``BENCH_runtime.json`` under ``obs_overhead``; CI's
+``obs-smoke`` job runs this module on every push, so a future span
+added inside a hot loop that breaks the bound fails loudly::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.core.compile import reset_compile_cache
+from repro.core.ftbar import schedule_ftbar
+from repro.workloads.random_dag import RandomWorkloadConfig, generate_problem
+
+_RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+
+#: The pinned ``repro bench --smoke`` N=40 problem.
+_SMOKE = RandomWorkloadConfig(
+    operations=40, ccr=1.0, processors=4, npf=1, seed=2003
+)
+
+#: Enforced ceiling on the projected no-op overhead of one run.
+OVERHEAD_BOUND = 0.02
+
+#: Instrumented sites beyond the two per-step ones: ``ftbar.run`` /
+#: ``ftbar.compile`` / ``kernel.materialize`` spans, the ``tracer()``
+#: lookups, the post-run metrics publication guard.
+_PER_RUN_SITES = 8
+
+
+def measure_noop_site(iterations: int = 200_000, repeats: int = 5) -> float:
+    """Best-of per-site cost of the disabled-tracing hot-path idiom."""
+    tracer = obs.tracer()
+    assert tracer is None, "overhead bench must run with tracing off"
+    noop = obs.NOOP_SPAN
+    best = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        started = time.perf_counter()
+        for _ in range(iterations):
+            with (tracer.span("kernel.sweep") if tracer is not None else noop):
+                pass
+        best = min(best, time.perf_counter() - started)
+    return best / iterations
+
+
+def measure_run(problem, repeats: int = 5, tracer=None) -> tuple[float, object]:
+    """Best-of wall time of one scheduling run (optionally traced)."""
+    result = schedule_ftbar(problem)  # warmup, untimed
+    best = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        if tracer is not None:
+            started = time.perf_counter()
+            with obs.scoped(tracer):
+                result = schedule_ftbar(problem)
+            best = min(best, time.perf_counter() - started)
+        else:
+            started = time.perf_counter()
+            result = schedule_ftbar(problem)
+            best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def run_overhead_bench(repeats: int = 5) -> dict:
+    """Measure, project, enforce; return the ``obs_overhead`` payload."""
+    problem = generate_problem(_SMOKE)
+    reset_compile_cache()
+    site_s = measure_noop_site()
+    untraced_s, result = measure_run(problem, repeats)
+    sites = result.stats.steps * 2 + _PER_RUN_SITES
+    projected_s = sites * site_s
+    overhead = projected_s / untraced_s
+    exporter = obs.ListExporter()
+    traced_s, traced = measure_run(
+        problem, repeats, tracer=obs.Tracer(exporter, meta={"bench": "obs"})
+    )
+    assert result.makespan == traced.makespan, "tracing changed the schedule"
+    payload = {
+        "noop_site_ns": round(site_s * 1e9, 2),
+        "sites_per_run": sites,
+        "run_untraced_s": round(untraced_s, 6),
+        "noop_overhead_projected": round(overhead, 6),
+        "bound": OVERHEAD_BOUND,
+        # Informational: the cost of actually *enabling* tracing (an
+        # in-memory exporter), which the < 2 % bound does not govern.
+        "run_traced_s": round(traced_s, 6),
+        "traced_ratio": round(traced_s / untraced_s, 4),
+        "operations": _SMOKE.operations,
+        "steps": result.stats.steps,
+    }
+    assert overhead < OVERHEAD_BOUND, (
+        f"no-op telemetry overhead {overhead:.4%} exceeds the "
+        f"{OVERHEAD_BOUND:.0%} bound: {payload}"
+    )
+    return payload
+
+
+def bench_obs_noop_overhead(benchmark):
+    """pytest-benchmark entry: time the untraced run, enforce the bound."""
+    problem = generate_problem(_SMOKE)
+    result = benchmark(schedule_ftbar, problem)
+    assert result.makespan > 0
+    run_overhead_bench(repeats=3)
+
+
+def main(argv: list[str]) -> int:
+    repeats = 5
+    if "--quick" in argv:
+        repeats = 2
+    payload = (
+        json.loads(_RESULT_PATH.read_text()) if _RESULT_PATH.exists() else {}
+    )
+    payload["obs_overhead"] = run_overhead_bench(repeats)
+    _RESULT_PATH.write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    )
+    section = payload["obs_overhead"]
+    print(json.dumps(section, indent=1, sort_keys=True))
+    print(
+        f"\nno-op telemetry: {section['noop_site_ns']:.0f} ns/site x "
+        f"{section['sites_per_run']} sites = "
+        f"{section['noop_overhead_projected']:.4%} of a "
+        f"{section['run_untraced_s']*1e3:.1f} ms run "
+        f"(bound {section['bound']:.0%}) — "
+        f"traced run ratio {section['traced_ratio']:.2f}x",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -23,12 +23,16 @@ and records it in ``BENCH_runtime.json`` at the repository root:
   went before/after;
 * ``campaign_jobs1_vs_cpu`` — campaign throughput at ``jobs=1`` versus
   one worker per CPU (``--force-workers N`` oversubscribes on 1-CPU
-  hosts so the comparison always produces numbers).
+  hosts so the comparison always produces numbers);
+* ``phase_breakdown`` — per-phase wall time of the pinned
+  ``repro bench --smoke`` problems from a traced run (``--phases``
+  also prints the table), sourced from the observability layer's span
+  aggregates.
 
 Run it directly::
 
     PYTHONPATH=src python benchmarks/bench_runtime.py \
-        [--full] [--profile] [--force-workers N]
+        [--full] [--profile] [--phases] [--force-workers N]
 """
 
 import cProfile
@@ -56,6 +60,7 @@ except ModuleNotFoundError:
 
         def graphs_per_point(reduced: int = 5, full: int = 60) -> int:
             return full if full_scale() else reduced
+from repro import obs
 from repro.analysis.experiments import run_runtime_comparison
 from repro.analysis.reporting import format_runtime_comparison
 from repro.baselines.hbp import schedule_hbp
@@ -246,6 +251,64 @@ def run_compiled_sweep(full: bool = False, repeats: int = 5) -> dict:
     return sweep
 
 
+#: The pinned ``repro bench --smoke`` problems (same configs, same
+#: labels), so the phase breakdown lines up with the counter pins.
+_SMOKE_CONFIGS = {
+    "ftbar-N40-npf1": RandomWorkloadConfig(
+        operations=40, ccr=1.0, processors=4, npf=1, seed=2003
+    ),
+    "ftbar-N24-npf2": RandomWorkloadConfig(
+        operations=24, ccr=2.0, processors=4, npf=2, seed=7
+    ),
+}
+
+
+def run_phase_breakdown() -> dict:
+    """Trace the smoke problems; record where each run's time went.
+
+    Each problem is scheduled once untraced (warmup + compile-memo
+    fill), then once under an in-memory tracer.  The folded span totals
+    — ``ftbar.compile``, per-step ``kernel.sweep`` / ``kernel.place``,
+    the kernel-internal phase aggregates, ``kernel.materialize`` —
+    become the ``phase_breakdown`` section of ``BENCH_runtime.json``,
+    so perf PRs can point at the phase that moved instead of one
+    opaque wall-time number.
+    """
+    breakdown: dict[str, dict] = {}
+    for label, config in _SMOKE_CONFIGS.items():
+        problem = generate_problem(config)
+        reset_compile_cache()
+        schedule_ftbar(problem)  # warmup, untimed
+        exporter = obs.ListExporter()
+        tracer = obs.Tracer(exporter, meta={"bench": label})
+        with obs.scoped(tracer):
+            result = schedule_ftbar(problem)
+        tracer.close()
+        phases = obs.aggregate_spans(exporter.lines)
+        total = next(
+            entry["total_s"] for entry in phases if entry["name"] == "ftbar.run"
+        )
+        breakdown[label] = {
+            "operations": config.operations,
+            "npf": config.npf,
+            "seed": config.seed,
+            "makespan": result.makespan,
+            "total_s": round(total, 6),
+            "phases": [
+                {
+                    "name": entry["name"],
+                    "count": entry["count"],
+                    "total_s": round(entry["total_s"], 6),
+                    "share": round(entry["total_s"] / total, 4) if total else 0.0,
+                }
+                for entry in phases
+                if entry["name"] != "ftbar.run"
+            ],
+        }
+    reset_compile_cache()
+    return breakdown
+
+
 def run_profile(operations: int = 300, top: int = 20) -> dict:
     """cProfile one compiled scheduling run; record the top hotspots.
 
@@ -432,6 +495,7 @@ def write_bench_json(
             "ftbar_incremental_vs_legacy": run_incremental_sweep(full, repeats),
             "ftbar_compiled_vs_incremental": run_compiled_sweep(full, repeats),
             "ftbar_vs_hbp": run_hbp_sweep(full, repeats),
+            "phase_breakdown": run_phase_breakdown(),
             "campaign_compile_reuse": run_campaign_compile_reuse(full),
             "campaign_jobs1_vs_cpu": run_campaign_jobs_sweep(
                 full, force_workers
@@ -499,7 +563,7 @@ def main(argv: list[str]) -> int:
             force_workers = int(argv[argv.index("--force-workers") + 1])
         except (IndexError, ValueError):
             print(
-                "usage: bench_runtime.py [--full] [--profile] "
+                "usage: bench_runtime.py [--full] [--profile] [--phases] "
                 "[--force-workers N]",
                 file=sys.stderr,
             )
@@ -528,6 +592,21 @@ def main(argv: list[str]) -> int:
             f"{point['buffer_reuses']} buffer reuses)",
             file=sys.stderr,
         )
+    if "--phases" in argv:
+        for label, point in sorted(payload["phase_breakdown"].items()):
+            print(
+                f"phase breakdown {label} "
+                f"({point['total_s']*1e3:.1f} ms total):",
+                file=sys.stderr,
+            )
+            for phase in sorted(
+                point["phases"], key=lambda entry: -entry["total_s"]
+            ):
+                print(
+                    f"  {phase['name']:24s} {phase['total_s']*1e3:8.2f} ms "
+                    f"x{phase['count']:<5d} {phase['share']*100:5.1f}%",
+                    file=sys.stderr,
+                )
     reuse = payload["campaign_compile_reuse"]
     print(
         f"campaign compile reuse ({reuse['jobs']} variant jobs): "

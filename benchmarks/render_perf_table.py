@@ -16,7 +16,10 @@ Covered sections, one table per engine-trajectory PR:
 * ``reliability_certificates`` — PR 3/4's batched scenario engine;
 * ``campaign_compile_reuse`` — PR 6's shared-compilation memo hits
   across a npf/npl/ccr variant grid;
-* ``campaign_jobs1_vs_cpu`` — PR 2's worker pool.
+* ``campaign_jobs1_vs_cpu`` — PR 2's worker pool;
+* ``phase_breakdown`` — PR 7's traced per-phase split of the smoke
+  problems (where a scheduling run's wall time actually goes);
+* ``obs_overhead`` — PR 7's pinned no-op cost of disabled telemetry.
 
 Entries that are missing fields (interrupted bench, older schema,
 partial sweep) are skipped with a visible note instead of crashing.
@@ -184,6 +187,64 @@ def render_campaign(section: dict) -> list[str]:
     return lines
 
 
+def render_phase_breakdown(section: dict) -> list[str]:
+    rows, skipped = [], []
+    for label, point in sorted(section.items()):
+        if isinstance(point, dict) and {"total_s", "phases"} <= set(point):
+            rows.append((label, point))
+        else:
+            skipped.append(label)
+    if not rows:
+        return []
+    lines = [
+        "### PR 7 — per-phase breakdown of a traced scheduling run",
+        "",
+        "| problem | phase | calls | wall time | share |",
+        "|:--|:--|---:|---:|---:|",
+    ]
+    for label, point in rows:
+        name = f"{label} ({_fmt_ms(point['total_s'])} total)"
+        for phase in sorted(point["phases"], key=lambda p: -p["total_s"]):
+            lines.append(
+                f"| {name} | `{phase['name']}` | {phase['count']} "
+                f"| {_fmt_ms(phase['total_s'])} "
+                f"| {phase['share']*100:.1f}% |"
+            )
+            name = ""
+    if skipped:
+        lines += [
+            "",
+            f"*({', '.join(skipped)} skipped: entries incomplete in "
+            "`BENCH_runtime.json` — rerun `benchmarks/bench_runtime.py`)*",
+        ]
+    return lines
+
+
+def render_obs_overhead(section: dict) -> list[str]:
+    required = (
+        "noop_site_ns", "sites_per_run", "run_untraced_s",
+        "noop_overhead_projected", "bound",
+    )
+    if not all(key in section for key in required):
+        return []
+    lines = [
+        "### PR 7 — telemetry overhead while disabled",
+        "",
+        f"One disabled instrumentation site costs "
+        f"{section['noop_site_ns']:.0f} ns; the "
+        f"{section['sites_per_run']} sites of a smoke scheduling run "
+        f"project to {section['noop_overhead_projected']:.2%} of its "
+        f"{_fmt_ms(section['run_untraced_s'])} wall time — enforced "
+        f"below {section['bound']:.0%} by CI's obs-smoke job.",
+    ]
+    if "traced_ratio" in section:
+        lines.append(
+            f"With tracing *enabled* (in-memory exporter) the same run "
+            f"costs {section['traced_ratio']:.2f}x."
+        )
+    return lines
+
+
 def render(payload: dict) -> str:
     blocks: list[list[str]] = []
     if "ftbar_incremental_vs_legacy" in payload:
@@ -208,6 +269,10 @@ def render(payload: dict) -> str:
         blocks.append(render_compile_reuse(payload["campaign_compile_reuse"]))
     if "campaign_jobs1_vs_cpu" in payload:
         blocks.append(render_campaign(payload["campaign_jobs1_vs_cpu"]))
+    if "phase_breakdown" in payload:
+        blocks.append(render_phase_breakdown(payload["phase_breakdown"]))
+    if "obs_overhead" in payload:
+        blocks.append(render_obs_overhead(payload["obs_overhead"]))
     return "\n\n".join("\n".join(block) for block in blocks if block) + "\n"
 
 

@@ -22,6 +22,7 @@ from repro import (
     campaign,
     graphs,
     hardware,
+    obs,
     schedule,
     simulation,
     timing,
@@ -132,6 +133,7 @@ __all__ = [
     "campaign",
     "graphs",
     "hardware",
+    "obs",
     "render_gantt",
     "schedule",
     "schedule_basic",

@@ -32,6 +32,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
 
+from repro import obs
 from repro.exceptions import SimulationError
 from repro.graphs.algorithm import AlgorithmGraph
 from repro.schedule.schedule import Schedule
@@ -341,6 +342,14 @@ def fault_tolerance_certificate(
                 full_subsets,
             ),
             stacklevel=2,
+        )
+        obs.event(
+            "warn.certification_cap",
+            schedule=schedule.name,
+            resources=capped_resources,
+            cap=ENUMERATION_CAP,
+            enumerated_subsets=enumerated_subsets,
+            total_subsets=full_subsets,
         )
     return certificate
 

@@ -16,10 +16,12 @@ from __future__ import annotations
 
 import math
 import random
-import time
+import warnings
 from dataclasses import asdict, dataclass
 from typing import Mapping
 
+from repro import obs
+from repro.analysis.reliability import CertificationCapWarning
 from repro.baselines.hbp import schedule_hbp
 from repro.baselines.list_scheduler import schedule_non_fault_tolerant
 from repro.core.compile import compile_cache_stats
@@ -31,7 +33,7 @@ from repro.campaign.spec import (
     ReliabilitySpec,
     WorkloadSpec,
 )
-from repro.exceptions import SerializationError
+from repro.exceptions import CompiledFallbackWarning, SerializationError
 from repro.analysis.metrics import degraded_lengths
 from repro.analysis.reliability import (
     event_boundary_times,
@@ -297,16 +299,71 @@ def execute_job(job: Job) -> dict:
     The returned document has two parts: ``record`` — the deterministic
     measurement record written to the result store (identical across
     runs, machines and worker counts) — and ``schedule`` / ``timing`` —
-    the serialized FTBAR schedule and the run's volatile wall-clock
-    numbers.
+    the serialized FTBAR schedule and the run's volatile telemetry.
+
+    Every job runs under a private in-memory tracer (installed as the
+    process tracer for the job's duration), so the scheduler and batch
+    engine spans land in the job's own stream whether or not the parent
+    traces.  The ``timing`` section is derived from that stream:
+    ``elapsed_s`` is the ``job.run`` root span's duration, and the new
+    ``obs`` subsection carries the per-phase span totals plus the
+    worker heartbeat.  Structured warnings raised while the job runs
+    (:class:`~repro.exceptions.CompiledFallbackWarning`,
+    :class:`~repro.analysis.reliability.CertificationCapWarning`) are
+    additionally recorded — deterministically, without timestamps — as
+    ``record["events"]``, then re-emitted for the caller.
     """
-    started = time.perf_counter()
+    exporter = obs.ListExporter()
+    tracer = obs.Tracer(
+        exporter, meta={"job": job.digest[:12], "campaign": job.campaign}
+    )
+    with obs.scoped(tracer), warnings.catch_warnings(record=True) as caught:
+        # Record every occurrence: the default once-per-location filter
+        # would hide repeats inside a long-lived worker process.
+        warnings.simplefilter("always")
+        with tracer.span("job.run", job=job.digest[:12], index=job.index):
+            record, schedule_document, compile_delta = _execute(job, tracer)
+    for entry in caught:
+        warnings.warn_explicit(
+            entry.message, entry.category, entry.filename, entry.lineno
+        )
+    events = _warning_events(caught)
+    if events:
+        # Deterministic (no wall-clock data), so the store records which
+        # jobs fell back or were cap-sampled; omitted when empty to keep
+        # the historical record shape.
+        record["events"] = events
+    spans = obs.aggregate_spans(exporter.lines)
+    meta_line = exporter.lines[0]
+    return {
+        "digest": job.digest,
+        "record": record,
+        "schedule": schedule_document,
+        "timing": {
+            "elapsed_s": sum(
+                entry["total_s"] for entry in spans
+                if entry["name"] == "job.run"
+            ),
+            "compile_cache": compile_delta,
+            "obs": {
+                "worker": meta_line["pid"],
+                "started_wall": meta_line["started_wall"],
+                "spans": spans,
+            },
+        },
+    }
+
+
+def _execute(job: Job, tracer) -> tuple[dict, dict, dict]:
+    """The job's measurement phases, spanned under the job tracer."""
     compile_before = compile_cache_stats()
-    problem = job_problem(job)
+    with tracer.span("job.build_problem"):
+        problem = job_problem(job)
     options = job.scheduler_options()
     measures = set(job.measures)
 
-    ftbar = schedule_ftbar(problem, options)
+    with tracer.span("job.schedule", problem=problem.name):
+        ftbar = schedule_ftbar(problem, options)
     record: dict = {
         "problem": problem.name,
         "coordinate": job.coordinate(),
@@ -319,48 +376,81 @@ def execute_job(job: Job) -> dict:
         },
     }
     if "non_ft" in measures:
-        record["non_ft"] = {
-            "makespan": schedule_non_fault_tolerant(problem, options).makespan
-        }
+        with tracer.span("job.baseline", kind="non_ft"):
+            record["non_ft"] = {
+                "makespan": schedule_non_fault_tolerant(
+                    problem, options
+                ).makespan
+            }
     hbp = None
     if "hbp" in measures:
-        hbp = schedule_hbp(problem)
+        with tracer.span("job.baseline", kind="hbp"):
+            hbp = schedule_hbp(problem)
         record["hbp"] = {"makespan": hbp.makespan}
     if "degraded" in measures and job.npf >= 1:
-        degraded: dict = {
-            "ftbar": degraded_lengths(ftbar.schedule, ftbar.expanded_algorithm)
-        }
-        if hbp is not None:
-            degraded["hbp"] = degraded_lengths(hbp.schedule, problem.algorithm)
+        with tracer.span("job.degraded"):
+            degraded: dict = {
+                "ftbar": degraded_lengths(
+                    ftbar.schedule, ftbar.expanded_algorithm
+                )
+            }
+            if hbp is not None:
+                degraded["hbp"] = degraded_lengths(
+                    hbp.schedule, problem.algorithm
+                )
         record["degraded"] = degraded
     if "reliability" in measures and job.reliability is not None:
-        record["reliability"] = _certify(job.reliability, ftbar)
+        with tracer.span("job.certify"):
+            record["reliability"] = _certify(job.reliability, ftbar)
     if job.failures:
-        record["failures"] = [
-            _inject(job, failure, ftbar, problem) for failure in job.failures
-        ]
+        with tracer.span("job.inject", scenarios=len(job.failures)):
+            record["failures"] = [
+                _inject(job, failure, ftbar, problem)
+                for failure in job.failures
+            ]
     # The compile-cache delta goes in the volatile ``timing`` section,
     # not ``record``: whether this job's CompiledProblem core was a memo
     # hit depends on which jobs ran before it in this process, so it
     # would break record determinism across worker counts.
     compile_after = compile_cache_stats()
-    return {
-        "digest": job.digest,
-        "record": record,
-        "schedule": schedule_to_dict(ftbar.schedule),
-        "timing": {
-            "elapsed_s": time.perf_counter() - started,
-            "compile_cache": {
-                key: compile_after[key] - compile_before[key]
-                for key in (
-                    "core_hits",
-                    "core_misses",
-                    "variant_hits",
-                    "variant_misses",
-                )
-            },
-        },
+    with tracer.span("job.serialize"):
+        schedule_document = schedule_to_dict(ftbar.schedule)
+    compile_delta = {
+        key: compile_after[key] - compile_before[key]
+        for key in (
+            "core_hits",
+            "core_misses",
+            "variant_hits",
+            "variant_misses",
+        )
     }
+    return record, schedule_document, compile_delta
+
+
+def _warning_events(caught) -> list[dict]:
+    """Deterministic event entries for the structured warnings caught.
+
+    Occurrence order, deduplicated; only wall-clock-free fields, so the
+    result is byte-identical across runs, machines and worker counts.
+    """
+    events: list[dict] = []
+    for entry in caught:
+        message = entry.message
+        if isinstance(message, CertificationCapWarning):
+            event = {
+                "kind": "certification_cap",
+                "resources": list(message.resources),
+                "cap": message.cap,
+                "enumerated_subsets": message.enumerated_subsets,
+                "total_subsets": message.total_subsets,
+            }
+        elif isinstance(message, CompiledFallbackWarning):
+            event = {"kind": "compiled_fallback"}
+        else:
+            continue
+        if event not in events:
+            events.append(event)
+    return events
 
 
 def _certify(spec: ReliabilitySpec, ftbar) -> dict:

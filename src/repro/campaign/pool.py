@@ -22,6 +22,7 @@ import os
 import signal
 from typing import Callable, Iterable, Iterator
 
+from repro import obs
 from repro.campaign.jobs import Job, execute_job
 
 
@@ -30,9 +31,17 @@ def default_worker_count() -> int:
     return os.cpu_count() or 1
 
 
-def _ignore_sigint() -> None:
-    """Pool initializer: leave Ctrl-C to the parent process."""
+def _init_worker() -> None:
+    """Pool initializer: leave Ctrl-C to the parent, drop its telemetry.
+
+    Workers ignore ``SIGINT`` (the classic initializer pattern) and
+    forget any tracer inherited across ``fork`` — the parent owns the
+    trace stream; a worker writing to the shared descriptor would
+    corrupt it.  Job telemetry ships back inside each job document
+    instead (see :func:`repro.campaign.jobs.execute_job`).
+    """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    obs.worker_reset()
 
 
 def execute_jobs(
@@ -62,7 +71,7 @@ def execute_jobs(
         chunk_size = max(1, len(job_list) // (worker_count * 4))
     pool = multiprocessing.Pool(
         processes=min(worker_count, max(1, len(job_list))),
-        initializer=_ignore_sigint,
+        initializer=_init_worker,
     )
     try:
         for document in pool.imap_unordered(execute, job_list, chunk_size):

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from repro import obs
 from repro.campaign.cache import ScheduleCache
 from repro.campaign.jobs import Job, expand_jobs
 from repro.campaign.pool import execute_jobs
@@ -96,8 +97,14 @@ def run_campaign(
     if cache is not None and not isinstance(cache, ScheduleCache):
         cache = ScheduleCache(cache)
     say = progress or (lambda message: None)
+    tracer = obs.tracer()
 
-    expanded = expand_jobs(spec)
+    with (
+        tracer.span("campaign.expand", campaign=spec.name)
+        if tracer is not None
+        else obs.NOOP_SPAN
+    ):
+        expanded = expand_jobs(spec)
     report = CampaignReport(
         name=spec.name,
         grid_size=spec.grid_size,
@@ -136,30 +143,85 @@ def run_campaign(
         if report.cache_hits:
             say(f"cache: {report.cache_hits} jobs served from {cache.root}")
 
-        for document in execute_jobs(to_compute, worker_count=jobs):
-            digest = document["digest"]
-            record = document["record"]
-            report.records[digest] = record
-            report.executed += 1
-            if cache is not None:
-                cache.put(digest, document)
-            if store is not None:
-                store.append(
-                    digest,
-                    record,
-                    elapsed_s=document["timing"]["elapsed_s"],
-                    source="computed",
-                )
-            say(
-                f"[{report.completed}/{report.total_jobs}] "
-                f"{by_digest[digest].index}: {record['problem']}"
+        with (
+            tracer.span(
+                "campaign.dispatch",
+                campaign=spec.name,
+                jobs=len(to_compute),
+                workers=jobs,
             )
+            if tracer is not None
+            else obs.NOOP_SPAN
+        ):
+            for document in execute_jobs(to_compute, worker_count=jobs):
+                digest = document["digest"]
+                record = document["record"]
+                report.records[digest] = record
+                report.executed += 1
+                if cache is not None:
+                    cache.put(digest, document)
+                if store is not None:
+                    store.append(
+                        digest,
+                        record,
+                        elapsed_s=document["timing"]["elapsed_s"],
+                        source="computed",
+                    )
+                if tracer is not None:
+                    _reemit_job_telemetry(
+                        tracer, by_digest[digest], document
+                    )
+                say(
+                    f"[{report.completed}/{report.total_jobs}] "
+                    f"{by_digest[digest].index}: {record['problem']}"
+                )
     except KeyboardInterrupt:
         report.interrupted = True
         say("interrupted — every completed job is persisted; rerun with --resume")
 
     report.elapsed_s = time.perf_counter() - started
+    if tracer is not None:
+        metrics = obs.metrics
+        metrics.inc("campaign.jobs.executed", report.executed)
+        metrics.inc("campaign.jobs.cache_hits", report.cache_hits)
+        metrics.inc("campaign.jobs.resumed", report.resumed)
+        metrics.gauge("campaign.jobs.pending", len(expanded) - len(report.records))
+        metrics.observe("campaign.run_s", report.elapsed_s)
     return report
+
+
+def _reemit_job_telemetry(tracer, job: Job, document: dict) -> None:
+    """Fold one worker's job telemetry into the parent trace.
+
+    Workers trace into in-memory streams (their fork must not touch the
+    parent's file — see :func:`repro.campaign.pool._init_worker`); the
+    runner re-emits the shipped summary: one ``campaign.job`` completion
+    event carrying the worker heartbeat, the job's per-phase aggregate
+    spans, and one event per structured warning the job recorded.
+    """
+    timing = document.get("timing", {})
+    telemetry = timing.get("obs", {})
+    tracer.event(
+        "campaign.job",
+        job=job.digest[:12],
+        index=job.index,
+        worker=telemetry.get("worker"),
+        started_wall=telemetry.get("started_wall"),
+        elapsed_s=timing.get("elapsed_s"),
+    )
+    for entry in telemetry.get("spans", ()):
+        tracer.aggregate(
+            entry["name"],
+            entry["total_s"],
+            entry["count"],
+            job=job.digest[:12],
+        )
+    for event in document["record"].get("events", ()):
+        tracer.event(
+            "job." + event["kind"],
+            job=job.digest[:12],
+            **{k: v for k, v in event.items() if k != "kind"},
+        )
 
 
 # ----------------------------------------------------------------------

@@ -9,6 +9,12 @@ Sub-commands::
     ftbar bench     figure9|figure10|npf|runtime|ablation
     ftbar certify   [problem.json]   batched reliability certificate
     ftbar campaign  run|status|report|heatmap spec.json
+    ftbar trace     trace.jsonl      render/validate a telemetry trace
+    ftbar stats     [trace.jsonl]    render a trace's metrics snapshot
+
+Telemetry: ``schedule``, ``certify``, ``bench`` and ``campaign run``
+accept ``--trace [PATH]`` (or the ``REPRO_TRACE`` environment variable)
+to record a span/event/metrics trace — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.analysis import (
     audit_schedule,
     degraded_lengths,
@@ -75,6 +82,18 @@ from repro.workloads import (
 )
 
 
+def _add_trace_flag(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--trace",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="record a telemetry trace JSONL "
+        "(bare flag: repro-trace.jsonl; see docs/observability.md)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ftbar",
@@ -101,6 +120,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sched.add_argument(
         "--dot", type=Path, default=None, help="save a Graphviz DOT rendering"
     )
+    _add_trace_flag(sched)
 
     sim = commands.add_parser("simulate", help="schedule then inject crashes")
     sim.add_argument("problem", type=Path)
@@ -223,6 +243,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run both engines and fail unless their verdicts and "
         "probabilities are bit-identical",
     )
+    _add_trace_flag(certify)
 
     gen = commands.add_parser("generate", help="emit a random problem JSON file")
     gen.add_argument("output", type=Path)
@@ -270,6 +291,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "and fail if any evaluation/decision counter moved (deterministic "
         "— counters, not wall clock)",
     )
+    _add_trace_flag(bench)
 
     campaign = commands.add_parser(
         "campaign", help="run, inspect or aggregate an experiment campaign"
@@ -308,6 +330,7 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument(
         "--quiet", action="store_true", help="suppress per-job progress lines"
     )
+    _add_trace_flag(campaign_run)
 
     _campaign_common(
         campaign_commands.add_parser(
@@ -328,6 +351,45 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["reliability", "mttf", "certified"],
         default="reliability",
         help="cell quantity (default: reliability)",
+    )
+
+    trace_cmd = commands.add_parser(
+        "trace", help="render or validate a recorded telemetry trace"
+    )
+    trace_cmd.add_argument(
+        "trace_file",
+        type=Path,
+        help="trace JSONL written by --trace / REPRO_TRACE",
+    )
+    trace_cmd.add_argument(
+        "--validate",
+        action="store_true",
+        help="check every line against the trace schema and the stream "
+        "invariants; non-zero exit on violations",
+    )
+    trace_cmd.add_argument(
+        "--min-coverage",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fail unless root spans cover at least this fraction of the "
+        "trace's wall extent (e.g. 0.9)",
+    )
+    trace_cmd.add_argument(
+        "--tree",
+        action="store_true",
+        help="print the span tree instead of the per-phase table",
+    )
+
+    stats_cmd = commands.add_parser(
+        "stats", help="render the metrics snapshot of a recorded trace"
+    )
+    stats_cmd.add_argument(
+        "trace_file",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="trace JSONL (default: repro-trace.jsonl)",
     )
     return parser
 
@@ -814,6 +876,71 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if not report.interrupted else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import render
+
+    lines = obs.read_trace(args.trace_file)
+    if not lines:
+        print(
+            f"error: empty or unreadable trace: {args.trace_file}",
+            file=sys.stderr,
+        )
+        return 1
+    failures: list[str] = []
+    if args.validate:
+        errors = obs.validate_trace(lines)
+        if errors:
+            for problem in errors[:20]:
+                print(f"invalid: {problem}", file=sys.stderr)
+            failures.append(f"{len(errors)} schema violations")
+        else:
+            print(
+                f"trace OK: {len(lines)} lines valid against "
+                f"{obs.SCHEMA_NAME}/{obs.SCHEMA_VERSION}"
+            )
+    print(
+        render.render_tree(lines) if args.tree
+        else render.render_phase_table(lines)
+    )
+    for extra in (render.render_events(lines),
+                  render.campaign_progress(lines)):
+        if extra:
+            print(extra)
+    if args.min_coverage is not None:
+        covered = render.coverage(lines)
+        if covered < args.min_coverage:
+            failures.append(
+                f"coverage {covered:.1%} < required {args.min_coverage:.1%}"
+            )
+    if failures:
+        print("trace check failed: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import render
+
+    path = args.trace_file or obs.default_trace_path()
+    lines = obs.read_trace(path)
+    if not lines:
+        print(f"error: empty or unreadable trace: {path}", file=sys.stderr)
+        return 1
+    snapshot = render.last_snapshot(lines)
+    if snapshot is None:
+        print(
+            f"error: no metrics snapshot in {path} — the producer did not "
+            "close its tracer (obs.disable())",
+            file=sys.stderr,
+        )
+        return 1
+    print(render.render_snapshot(snapshot))
+    progress = render.campaign_progress(lines)
+    if progress:
+        print(progress)
+    return 0
+
+
 _COMMANDS = {
     "example": _cmd_example,
     "schedule": _cmd_schedule,
@@ -826,17 +953,35 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "bench": _cmd_bench,
     "campaign": _cmd_campaign,
+    "trace": _cmd_trace,
+    "stats": _cmd_stats,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point of the ``ftbar`` console script."""
+    """Entry point of the ``ftbar`` console script.
+
+    Telemetry is wired here, once, for every sub-command: ``--trace``
+    (or ``REPRO_TRACE``) enables the process tracer, the command body
+    runs under a ``cli.<command>`` root span, and the tracer is closed
+    — flushing the final metrics snapshot line — before exit.  The
+    ``trace`` / ``stats`` readers never trace themselves.
+    """
     args = _build_parser().parse_args(argv)
+    if args.command not in ("trace", "stats"):
+        flag = getattr(args, "trace", None)
+        if flag is not None:
+            obs.enable(flag or None, meta={"command": args.command})
+        else:
+            obs.configure_from_env()
     try:
-        return _COMMANDS[args.command](args)
+        with obs.span(f"cli.{args.command}"):
+            return _COMMANDS[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        obs.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

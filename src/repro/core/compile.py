@@ -51,6 +51,7 @@ import math
 from array import array
 from collections import OrderedDict
 
+from repro import obs
 from repro.graphs.algorithm import AlgorithmGraph
 from repro.graphs.operations import is_memory_half
 from repro.hardware.architecture import Architecture
@@ -104,6 +105,11 @@ def reset_compile_cache() -> None:
     _VALIDATED_MEMO.clear()
     for key in _STATS:
         _STATS[key] = 0
+
+
+# The memos keep the one source of truth; the metrics registry pulls
+# from it on snapshot instead of mirroring the counters.
+obs.metrics.register_collector("compile_cache", compile_cache_stats)
 
 
 def validated_once(compiled: "CompiledProblem", problem) -> None:
@@ -414,6 +420,10 @@ class CompiledProblem:
         # ``PressureCalculator.static_tables`` by the equivalence tests.
         n_links = core.n_links
         average_exe = core.average_exe
+        # Rebind: the comm-row fast path above skips the lowering block
+        # that first assigned ``ids`` (row cache hit on the table, but
+        # variant memo miss — e.g. after ``reset_compile_cache()``).
+        ids = core.op_ids
         average_comm: dict[int, float] = {}
         for row_key, comm_row in comm_rows.items():
             average_comm[row_key] = (

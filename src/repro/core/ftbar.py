@@ -68,6 +68,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
+from repro import obs
 from repro.exceptions import (
     CompiledFallbackWarning,
     InfeasibleReplicationError,
@@ -183,6 +184,11 @@ class FTBARScheduler:
                 CompiledFallbackWarning,
                 stacklevel=3,
             )
+            obs.event(
+                "warn.compiled_fallback",
+                problem=problem.name,
+                reason="link_insertion",
+            )
         compiling = self._options.compiled and not self._options.link_insertion
         if not compiling:
             problem.validate()
@@ -198,15 +204,16 @@ class FTBARScheduler:
                 problem, self._memory_pairs
             )
             if compiling:
-                self._compiled = CompiledProblem(
-                    self._algorithm,
-                    self._architecture,
-                    self._exec_times,
-                    self._comm_times,
-                    self._npf,
-                    self._npl,
-                    self._pins,
-                )
+                with obs.span("ftbar.compile", problem=problem.name):
+                    self._compiled = CompiledProblem(
+                        self._algorithm,
+                        self._architecture,
+                        self._exec_times,
+                        self._comm_times,
+                        self._npf,
+                        self._npl,
+                        self._pins,
+                    )
         except Exception:
             if not compiling:
                 raise
@@ -280,6 +287,34 @@ class FTBARScheduler:
     # ------------------------------------------------------------------
     def run(self) -> FTBARResult:
         """Execute the FTBAR macro-steps until every operation is placed."""
+        tracer = obs.tracer()
+        if tracer is None:
+            return self._run(None)
+        with tracer.span(
+            "ftbar.run",
+            problem=self._problem.name,
+            operations=len(self._algorithm),
+            npf=self._npf,
+            npl=self._npl,
+            engine="kernel" if self._compiled is not None else "object",
+        ) as span:
+            result = self._run(tracer)
+            stats = result.stats
+            span.set(steps=stats.steps, makespan=result.schedule.makespan())
+        metrics = obs.metrics
+        metrics.inc("ftbar.runs")
+        metrics.inc("ftbar.steps", stats.steps)
+        metrics.inc("ftbar.pressure_evaluations", stats.pressure_evaluations)
+        metrics.inc("ftbar.cache_hits", stats.cache_hits)
+        metrics.inc("ftbar.buffer_reuses", stats.buffer_reuses)
+        metrics.inc("ftbar.symmetry_pruned", stats.symmetry_pruned)
+        metrics.inc(
+            "ftbar.duplication_attempts", stats.duplication.attempts
+        )
+        metrics.observe("ftbar.run_s", stats.wall_time_s)
+        return result
+
+    def _run(self, tracer) -> FTBARResult:
         started = time.perf_counter()
         schedule = Schedule(
             processors=self._architecture.processor_names(),
@@ -303,6 +338,11 @@ class FTBARScheduler:
                 symmetry=self._options.symmetry,
                 workers=resolve_workers(self._options.sweep_workers),
             )
+            if tracer is not None:
+                # Sub-step phases too hot to span individually (the
+                # replay-repair pool pass) accumulate totals here and
+                # are emitted as aggregate spans after the loop.
+                kernel.phase_times = {}
         ready: ReadySet | None = None
         ready_ids: CompiledReadySet | None = None
         tracker: MutationTracker | None = None
@@ -332,32 +372,44 @@ class FTBARScheduler:
                 if not candidates:
                     break
             stats.steps += 1
-            if kernel is not None:
-                if ready_ids is not None:
-                    operation, processors, urgency, pressures = (
-                        kernel.select_ids(candidate_ids, observer is not None)
-                    )
+            with (
+                tracer.span("kernel.sweep", step=stats.steps)
+                if tracer is not None
+                else obs.NOOP_SPAN
+            ):
+                if kernel is not None:
+                    if ready_ids is not None:
+                        operation, processors, urgency, pressures = (
+                            kernel.select_ids(
+                                candidate_ids, observer is not None
+                            )
+                        )
+                    else:
+                        operation, processors, urgency, pressures = (
+                            kernel.select(candidates, observer is not None)
+                        )
                 else:
-                    operation, processors, urgency, pressures = kernel.select(
-                        candidates, observer is not None
+                    operation, processors, urgency, pressures = self._select(
+                        candidates, schedule
                     )
-            else:
-                operation, processors, urgency, pressures = self._select(
-                    candidates, schedule
-                )
             if incremental:
                 if kernel is not None:
                     kernel.begin_step()
                 else:
                     tracker.begin()
-            if kernel is not None:
-                # Macro-step trial batching: the kernel plans the whole
-                # step's Npf + 1 trials in one pass where that is exact
-                # (see SchedulingKernel.place_step).
-                kernel.place_step(operation, processors)
-            else:
-                for processor in processors:
-                    self._place(operation, processor, schedule)
+            with (
+                tracer.span("kernel.place", step=stats.steps)
+                if tracer is not None
+                else obs.NOOP_SPAN
+            ):
+                if kernel is not None:
+                    # Macro-step trial batching: the kernel plans the
+                    # whole step's Npf + 1 trials in one pass where that
+                    # is exact (see SchedulingKernel.place_step).
+                    kernel.place_step(operation, processors)
+                else:
+                    for processor in processors:
+                        self._place(operation, processor, schedule)
             scheduled.add(operation)
             if incremental:
                 if ready_ids is not None:
@@ -390,7 +442,17 @@ class FTBARScheduler:
         if kernel is not None:
             # The kernel buffered its placements; write the survivors
             # into the real schedule now that the run is over.
-            kernel.materialize()
+            with (
+                tracer.span("kernel.materialize")
+                if tracer is not None
+                else obs.NOOP_SPAN
+            ):
+                kernel.materialize()
+            if tracer is not None and kernel.phase_times:
+                for name, (total, count) in sorted(
+                    kernel.phase_times.items()
+                ):
+                    tracer.aggregate(name, total, count)
         if len(scheduled) != len(self._algorithm):
             missing = sorted(set(self._algorithm.operation_names()) - scheduled)
             raise SchedulingError(

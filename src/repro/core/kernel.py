@@ -63,6 +63,7 @@ through the exact calls the object engine's ``commit_plan`` makes.
 from __future__ import annotations
 
 import math
+import time
 
 try:  # Vectorised sweep; the kernel degrades to its pure-Python loops
     import numpy as _np  # when numpy is not installed (results identical).
@@ -298,6 +299,11 @@ class SchedulingKernel:
         # while the partial schedule is invariant under it — checked per
         # sweep in :meth:`_orbit_reps` — and the drop is monotone.
         group = compiled.symmetry_group() if symmetry else None
+        #: ``{phase: [total_s, count]}`` accumulator for sub-step phases
+        #: too hot to span individually; ``None`` (the default) disables
+        #: the timing reads entirely.  The scheduler turns it on when
+        #: tracing is active and emits the totals as aggregate spans.
+        self.phase_times: dict[str, list] | None = None
         self._sym_alive = list(group.generators) if group is not None else []
         self._sym_mark = 0
         self._sym_reps: list[int] | None = None
@@ -1243,6 +1249,19 @@ class SchedulingKernel:
                 volatile.pop(key, None)
 
     def _pool_pass(self) -> None:
+        """Replay-repair pass, timed into :attr:`phase_times` when on."""
+        pt = self.phase_times
+        if pt is None:
+            return self._pool_pass_impl()
+        t0 = time.perf_counter()
+        try:
+            return self._pool_pass_impl()
+        finally:
+            entry = pt.setdefault("kernel.replay_repair", [0.0, 0])
+            entry[0] += time.perf_counter() - t0
+            entry[1] += 1
+
+    def _pool_pass_impl(self) -> None:
         """Recompute every pooled entry's worst from current availabilities.
 
         Two level passes replay the reservation chains (level 1 queues

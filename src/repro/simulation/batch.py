@@ -43,9 +43,11 @@ whose cone replay stalls).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import weakref
+from dataclasses import dataclass, fields
 from typing import Iterable
 
+from repro import obs
 from repro.graphs.algorithm import AlgorithmGraph
 from repro.schedule.schedule import Schedule
 from repro.simulation.compiled import (
@@ -84,6 +86,27 @@ class BatchStats:
         return self.simulated_cone + self.simulated_full
 
 
+#: Live engines, tracked weakly so the metrics snapshot can total their
+#: work accounting without keeping finished engines alive.
+_ENGINES: "weakref.WeakSet[BatchScenarioEngine]" = weakref.WeakSet()
+
+
+def _collect_batch_stats() -> dict:
+    """Sum the :class:`BatchStats` of every live engine (pull-style)."""
+    totals = {f.name: 0 for f in fields(BatchStats)}
+    engines = 0
+    for engine in list(_ENGINES):
+        engines += 1
+        stats = engine.stats
+        for name in totals:
+            totals[name] += getattr(stats, name)
+    totals["engines"] = engines
+    return totals
+
+
+obs.metrics.register_collector("batch_sim", _collect_batch_stats)
+
+
 class BatchScenarioEngine:
     """Compile-once, replay-many scenario engine for one schedule.
 
@@ -106,9 +129,15 @@ class BatchScenarioEngine:
         #: answers for the right schedule.
         self.schedule = schedule
         self.algorithm = algorithm
-        self._compiled = CompiledSchedule(schedule, algorithm)
-        self.stats = BatchStats()
-        self._baseline = self._compiled.replay(None, self._detection)
+        with obs.span(
+            "batch.compile",
+            schedule=schedule.name,
+            detection=self._detection.name,
+        ):
+            self._compiled = CompiledSchedule(schedule, algorithm)
+            self.stats = BatchStats()
+            self._baseline = self._compiled.replay(None, self._detection)
+        _ENGINES.add(self)
         self.stats.decisions += self._baseline.decisions
         self._baseline_delivered = self._baseline.delivered(self._compiled)
         # The cone-copy and nominal-pruning arguments need a clean,
