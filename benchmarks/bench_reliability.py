@@ -31,7 +31,10 @@ try:
 except ModuleNotFoundError:  # invoked as `python benchmarks/bench_reliability.py`
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
     from benchmarks.conftest import full_scale
-from repro.analysis.reliability import fault_tolerance_certificate
+from repro.analysis.reliability import (
+    fault_tolerance_certificate,
+    schedule_reliability,
+)
 from repro.core.ftbar import schedule_ftbar
 from repro.simulation.batch import BatchScenarioEngine
 from repro.simulation.executor import ScheduleSimulator
@@ -164,6 +167,187 @@ def bench_combined_certificate(processors: int, repeats: int = 5) -> dict:
     }
 
 
+def bench_sampled_certificate(
+    processors: int = 32, npf: int = 2, budget: int = 4000
+) -> dict:
+    """A verdict-with-error-bars where exhaustive enumeration cannot go.
+
+    One ``P = 32, Npf = 2`` schedule: the adaptive certificate resolves
+    the small levels exactly, projects/samples the large ones (with a
+    confidence interval), and the sampled reliability estimate covers a
+    ``2^32``-subset exhaustive space — the ~10^9-enumeration the ROADMAP
+    names — in seconds.
+    """
+    problem = generate_problem(
+        RandomWorkloadConfig(
+            operations=_OPERATIONS,
+            ccr=1.0,
+            processors=processors,
+            npf=npf,
+            seed=_SEED,
+        )
+    )
+    result = schedule_ftbar(problem)
+    schedule, algorithm = result.schedule, result.expanded_algorithm
+    engine = BatchScenarioEngine(schedule, algorithm)
+
+    gc.collect()
+    started = time.perf_counter()
+    certificate = fault_tolerance_certificate(
+        schedule,
+        algorithm,
+        max_failures=npf + 2,  # push one level past the projection regime
+        engine=engine,
+        budget=budget,
+    )
+    certificate_s = time.perf_counter() - started
+
+    # Auto resolves every large level by closed-form bounds here (no
+    # draws at all); force the sampler for the error-bar demonstration.
+    started = time.perf_counter()
+    sampled_cert = fault_tolerance_certificate(
+        schedule,
+        algorithm,
+        engine=engine,
+        method="sampled",
+        budget=budget,
+    )
+    sampled_cert_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    report = schedule_reliability(
+        schedule,
+        algorithm,
+        {p: 0.01 for p in schedule.processor_names()},
+        engine=engine,
+        budget=budget,
+    )
+    reliability_s = time.perf_counter() - started
+
+    assert report.method == "sampled" and report.ci is not None
+    assert report.exhaustive_subsets == 2 ** processors
+    assert sampled_cert.ci is not None and sampled_cert.samples > 0
+    return {
+        "processors": processors,
+        "operations": _OPERATIONS,
+        "npf": npf,
+        "seed": _SEED,
+        "budget": budget,
+        "certificate_s": certificate_s,
+        "certificate_verdict": certificate.verdict,
+        "certificate_method": certificate.method,
+        "certificate_samples": certificate.samples,
+        "certificate_ci": (
+            list(certificate.ci) if certificate.ci is not None else None
+        ),
+        "level_methods": {
+            str(level.failures): level.method for level in certificate.levels
+        },
+        "level_populations": {
+            str(level.failures): level.population or level.total_subsets
+            for level in certificate.levels
+        },
+        "sampled_certificate_s": sampled_cert_s,
+        "sampled_certificate_verdict": sampled_cert.verdict,
+        "sampled_certificate_samples": sampled_cert.samples,
+        "sampled_certificate_ci": list(sampled_cert.ci),
+        "reliability_s": reliability_s,
+        "reliability": report.reliability,
+        "reliability_ci": list(report.ci),
+        "confidence": report.confidence,
+        "reliability_samples": report.samples,
+        "evaluated_subsets": report.evaluated_subsets,
+        "exhaustive_subsets": report.exhaustive_subsets,
+        "guaranteed_lower_bound": report.guaranteed_lower_bound,
+    }
+
+
+def bench_agreement(processors: int, seed: int) -> dict:
+    """Exhaustive vs forced-sampled agreement on one small instance.
+
+    The sampled machinery must land on the exhaustive truth: same
+    refuted-or-not verdict, and the exhaustive reliability inside the
+    sampled confidence interval.
+    """
+    problem = generate_problem(
+        RandomWorkloadConfig(
+            operations=12, ccr=1.0, processors=processors, npf=1, seed=seed
+        )
+    )
+    result = schedule_ftbar(problem)
+    schedule, algorithm = result.schedule, result.expanded_algorithm
+    engine = BatchScenarioEngine(schedule, algorithm)
+    probabilities = {p: 0.05 for p in schedule.processor_names()}
+
+    exact_cert = fault_tolerance_certificate(
+        schedule, algorithm, method="exact", engine=engine
+    )
+    sampled_cert = fault_tolerance_certificate(
+        schedule, algorithm, method="sampled", engine=engine
+    )
+    exact_rel = schedule_reliability(
+        schedule, algorithm, probabilities, method="exact", engine=engine
+    )
+    sampled_rel = schedule_reliability(
+        schedule, algorithm, probabilities, method="sampled", engine=engine
+    )
+
+    verdicts_agree = (exact_cert.verdict == "refuted") == (
+        sampled_cert.verdict == "refuted"
+    )
+    lo, hi = sampled_rel.ci
+    reliability_in_ci = lo - 1e-12 <= exact_rel.reliability <= hi + 1e-12
+    levels_in_ci = all(
+        level.ci[0] - 1e-12
+        <= exact_cert.level(level.failures, level.link_failures).masked_fraction
+        <= level.ci[1] + 1e-12
+        for level in sampled_cert.levels
+        if level.ci is not None
+    )
+    assert verdicts_agree, (
+        f"P={processors} seed={seed}: sampled verdict "
+        f"{sampled_cert.verdict!r} contradicts exhaustive "
+        f"{exact_cert.verdict!r}"
+    )
+    assert reliability_in_ci, (
+        f"P={processors} seed={seed}: exhaustive reliability "
+        f"{exact_rel.reliability} outside sampled ci {sampled_rel.ci}"
+    )
+    assert levels_in_ci, (
+        f"P={processors} seed={seed}: an exhaustive level fraction "
+        f"escaped its sampled ci"
+    )
+    return {
+        "processors": processors,
+        "seed": seed,
+        "exact_verdict": exact_cert.verdict,
+        "sampled_verdict": sampled_cert.verdict,
+        "verdicts_agree": verdicts_agree,
+        "exact_reliability": exact_rel.reliability,
+        "sampled_reliability": sampled_rel.reliability,
+        "sampled_ci": list(sampled_rel.ci),
+        "reliability_in_ci": reliability_in_ci,
+        "levels_in_ci": levels_in_ci,
+        "sampled_draws": sampled_rel.samples + sampled_cert.samples,
+    }
+
+
+def run_sampled_sweep(
+    agreement_processors=(3, 4, 5, 6), smoke: bool = False
+) -> dict:
+    """The ``reliability_sampled_vs_exhaustive`` BENCH section."""
+    section: dict = {
+        "agreement": [
+            bench_agreement(processors, seed)
+            for processors in agreement_processors
+            for seed in ((2003,) if smoke else (2003, 7))
+        ],
+    }
+    if not smoke:
+        section["p32"] = bench_sampled_certificate()
+    return section
+
+
 def run_reliability_sweep(
     processor_counts=(4, 6, 8), repeats: int = 5
 ) -> dict:
@@ -204,6 +388,7 @@ def write_bench_json(repeats: int = 5) -> dict:
     payload["reliability_certificate_combined_npf_npl"] = (
         run_combined_sweep(repeats=repeats)
     )
+    payload["reliability_sampled_vs_exhaustive"] = run_sampled_sweep()
     _RESULT_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
     return payload
 
@@ -213,10 +398,12 @@ def main(argv: list[str]) -> int:
     if smoke:
         sweep = run_reliability_sweep(processor_counts=(4,), repeats=2)
         combined = run_combined_sweep(processor_counts=(4,), repeats=2)
+        sampled = run_sampled_sweep(agreement_processors=(4,), smoke=True)
     else:
         payload = write_bench_json()
         sweep = payload["reliability_certificate_batched_vs_scenario"]
         combined = payload["reliability_certificate_combined_npf_npl"]
+        sampled = payload["reliability_sampled_vs_exhaustive"]
     for key in sorted((k for k in sweep if k.isdigit()), key=int):
         point = sweep[key]
         print(
@@ -236,8 +423,29 @@ def main(argv: list[str]) -> int:
             f"{point['batched_scenarios']} combined scenario verdicts, "
             f"certified={point['certified']})"
         )
+    for entry in sampled["agreement"]:
+        print(
+            f"P={entry['processors']} seed={entry['seed']}: "
+            f"exhaustive {entry['exact_verdict']} vs sampled "
+            f"{entry['sampled_verdict']} — agree={entry['verdicts_agree']}, "
+            f"reliability {entry['exact_reliability']:.6f} in "
+            f"[{entry['sampled_ci'][0]:.6f}, {entry['sampled_ci'][1]:.6f}]"
+        )
+    if "p32" in sampled:
+        p32 = sampled["p32"]
+        print(
+            f"P={p32['processors']} npf={p32['npf']}: sampled certificate "
+            f"{p32['certificate_s']:.2f} s ({p32['certificate_verdict']}, "
+            f"{p32['certificate_samples']} draws), reliability "
+            f"{p32['reliability']:.6f} ci [{p32['reliability_ci'][0]:.6f}, "
+            f"{p32['reliability_ci'][1]:.6f}] in {p32['reliability_s']:.2f} s "
+            f"over a {p32['exhaustive_subsets']}-subset exhaustive space"
+        )
     if smoke:
-        print("smoke ok: batched and per-scenario certificates bit-identical")
+        print(
+            "smoke ok: batched and per-scenario certificates bit-identical, "
+            "sampled verdicts agree with exhaustive on the small corpus"
+        )
     else:
         print(f"recorded in {_RESULT_PATH}", file=sys.stderr)
     return 0

@@ -14,6 +14,9 @@ Covered sections, one table per engine-trajectory PR:
 * ``ftbar_compiled_vs_incremental`` — this PR's compiled kernel vs the
   incremental engine (and cumulatively vs seed);
 * ``reliability_certificates`` — PR 3/4's batched scenario engine;
+* ``reliability_sampled_vs_exhaustive`` — PR 8's adaptive sampled
+  certification (bounds + confidence intervals past the enumeration
+  cap, pinned against exhaustive truth on the small corpus);
 * ``campaign_compile_reuse`` — PR 6's shared-compilation memo hits
   across a npf/npl/ccr variant grid;
 * ``campaign_jobs1_vs_cpu`` — PR 2's worker pool;
@@ -155,6 +158,57 @@ def render_reliability(label: str, section: dict) -> list[str]:
     return lines
 
 
+def render_sampled(section: dict) -> list[str]:
+    lines = ["### PR 8 — sampled certification vs exhaustive enumeration", ""]
+    p32 = section.get("p32")
+    if isinstance(p32, dict) and "reliability_ci" in p32:
+        lo, hi = p32["reliability_ci"]
+        lines += [
+            f"At P = {p32['processors']}, Npf = {p32['npf']} the "
+            f"exhaustive reliability sum is "
+            f"{p32['exhaustive_subsets']:,} subsets; the adaptive "
+            f"certifier answers in "
+            f"{p32['certificate_s'] + p32['reliability_s']:.2f} s — "
+            f"certificate **{p32['certificate_verdict']}** "
+            f"(large levels by closed-form bounds; forced sampling: "
+            f"ci [{p32['sampled_certificate_ci'][0]:.4f}, "
+            f"{p32['sampled_certificate_ci'][1]:.4f}] from "
+            f"{p32['sampled_certificate_samples']} draws), reliability "
+            f"{p32['reliability']:.6f} in [{lo:.6f}, {hi:.6f}] at "
+            f"{p32['confidence']:.0%} confidence from "
+            f"{p32['reliability_samples']} draws "
+            f"({p32['evaluated_subsets']} subsets evaluated).",
+            "",
+        ]
+    agreement = [
+        entry
+        for entry in section.get("agreement", ())
+        if isinstance(entry, dict) and "sampled_ci" in entry
+    ]
+    if agreement:
+        lines += [
+            "| P | seed | exhaustive | sampled | reliability | sampled ci |"
+            " agree |",
+            "|---:|---:|:--|:--|---:|:--|:--|",
+        ]
+        for entry in agreement:
+            lo, hi = entry["sampled_ci"]
+            ok = (
+                entry["verdicts_agree"]
+                and entry["reliability_in_ci"]
+                and entry["levels_in_ci"]
+            )
+            lines.append(
+                f"| {entry['processors']} | {entry['seed']} "
+                f"| {entry['exact_verdict']} | {entry['sampled_verdict']} "
+                f"| {entry['exact_reliability']:.6f} "
+                f"| [{lo:.6f}, {hi:.6f}] | {'yes' if ok else 'NO'} |"
+            )
+    if len(lines) <= 2:
+        return []
+    return lines
+
+
 def render_campaign(section: dict) -> list[str]:
     lines = ["### PR 2 — campaign worker pool", ""]
     if section.get("skipped"):
@@ -265,6 +319,10 @@ def render(payload: dict) -> str:
             rendered = render_reliability(label, payload[key])
             if len(rendered) > 4:
                 blocks.append(rendered)
+    if "reliability_sampled_vs_exhaustive" in payload:
+        blocks.append(
+            render_sampled(payload["reliability_sampled_vs_exhaustive"])
+        )
     if "campaign_compile_reuse" in payload:
         blocks.append(render_compile_reuse(payload["campaign_compile_reuse"]))
     if "campaign_jobs1_vs_cpu" in payload:

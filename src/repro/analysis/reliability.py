@@ -17,6 +17,14 @@ module quantifies both:
   probabilities into the probability that one iteration delivers all
   its outputs, by exact enumeration over the ``2^P`` crash subsets.
 
+Past the exhaustive regime (``P > 12`` or ``L > 12``) both switch to
+the adaptive machinery of :mod:`repro.analysis.sampling`: closed-form
+fault bounds, involved-set projection, and seeded stratified sampling
+with confidence intervals — a quantified verdict-with-error-bars where
+the legacy path could only cap its enumeration
+(``method="exact"`` keeps that path, and its
+:class:`CertificationCapWarning`, available).
+
 Both run on the batched scenario engine by default
 (:class:`~repro.simulation.batch.BatchScenarioEngine`: compile-once
 replay, dirty-cone re-decision, footprint-equivalence pruning) and are
@@ -33,9 +41,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
 
 from repro import obs
+from repro.analysis import sampling
 from repro.exceptions import SimulationError
 from repro.graphs.algorithm import AlgorithmGraph
 from repro.schedule.schedule import Schedule
+from repro.schedule.serialization import schedule_content_hash
 from repro.simulation.batch import BatchScenarioEngine
 from repro.simulation.executor import DetectionPolicy, ScheduleSimulator
 from repro.simulation.failures import FailureScenario
@@ -92,22 +102,64 @@ class ToleranceLevel:
     """Masking statistics for one combined crash-subset size.
 
     ``failures`` counts crashed processors, ``link_failures`` broken
-    links (0 for the paper's processor-only levels).
+    links (0 for the paper's processor-only levels).  ``method`` names
+    how the level was resolved:
+
+    * ``"exact"`` — every subset enumerated; the counts are the truth.
+    * ``"projected"`` — exact counts at arbitrary ``P`` via involved-set
+      projection (only the involved core was enumerated, uninvolved
+      paddings marginalize out analytically).
+    * ``"bounds"`` — refuted by a closed-form witness (minimum replica
+      placement or an uncovered link cut) without simulation;
+      ``masked_subsets``/``total_subsets`` report the witness evidence
+      (``0/1``).
+    * ``"sampled"`` — statistically estimated; ``masked_subsets`` /
+      ``total_subsets`` then honestly count the *samples* (masked /
+      drawn), the true population is in ``population`` and the
+      estimate carries a confidence interval.
     """
 
     failures: int
     masked_subsets: int
     total_subsets: int
     link_failures: int = 0
+    method: str = "exact"
+    #: True subset count of the level (== ``total_subsets`` for exact
+    #: levels; the astronomically larger denominator for sampled ones).
+    population: int | None = None
+    samples: int = 0
+    estimate: float | None = None
+    ci: tuple[float, float] | None = None
+    #: A breaking subset was observed at this level (exact enumeration,
+    #: bounds witness, break hunt or random draw).
+    breaking_found: bool = False
 
     @property
     def fully_masked(self) -> bool:
-        """True when every subset of this size is masked."""
-        return self.masked_subsets == self.total_subsets
+        """True when *provably* every subset of this size is masked.
+
+        Sampled levels can never prove full masking (only estimate the
+        masked fraction), bounds levels are refuted by construction —
+        both answer False.
+        """
+        if self.method in ("exact", "projected"):
+            return self.masked_subsets == self.total_subsets
+        return False
+
+    @property
+    def refuted(self) -> bool:
+        """True when at least one subset of this size provably breaks."""
+        if self.method in ("exact", "projected"):
+            return self.masked_subsets < self.total_subsets
+        if self.method == "bounds":
+            return True
+        return self.breaking_found
 
     @property
     def masked_fraction(self) -> float:
-        """Share of masked subsets (1.0 = fully tolerant at this level)."""
+        """Share of masked subsets (estimated for sampled levels)."""
+        if self.method == "sampled" and self.estimate is not None:
+            return self.estimate
         if self.total_subsets == 0:
             return 1.0
         return self.masked_subsets / self.total_subsets
@@ -137,19 +189,112 @@ class FaultToleranceCertificate:
     breaking_combined: list[tuple[frozenset[str], frozenset[str]]] = field(
         default_factory=list
     )
+    #: ``"exact"`` when every level was resolved by (projected)
+    #: enumeration; ``"sampled"`` when any level carries a statistical
+    #: estimate or a bounds refutation.
+    method: str = "exact"
+    #: Confidence of the sampled levels' intervals (None for exact runs).
+    confidence: float | None = None
+    #: Total random samples drawn across all sampled levels.
+    samples: int = 0
+    #: User seed the RNG streams were derived from (None for exact runs).
+    seed: int | None = None
 
     @property
     def certified(self) -> bool:
-        """True when every subset within the joint hypothesis is masked.
+        """True when every subset within the joint hypothesis is
+        *provably* masked.
 
         The hypothesis is ≤ ``npf`` processor crashes *and* ≤ ``npl``
-        link failures combined.
+        link failures combined.  Sampled in-hypothesis levels can never
+        certify (see :attr:`verdict` for the three-way answer).
         """
         return all(
             level.fully_masked
             for level in self.levels
             if level.failures <= self.npf and level.link_failures <= self.npl
         )
+
+    @property
+    def verdict(self) -> str:
+        """Three-way verdict over the joint hypothesis.
+
+        ``"certified"`` — every in-hypothesis level proven fully masked
+        (exact or projected enumeration); ``"refuted"`` — a concrete
+        in-hypothesis breaking subset exists (enumerated, hunted,
+        sampled, or a closed-form bounds witness); ``"estimated"`` —
+        neither proof: the in-hypothesis levels carry estimates with
+        confidence intervals instead.
+        """
+        in_hypothesis = [
+            level
+            for level in self.levels
+            if level.failures <= self.npf and level.link_failures <= self.npl
+        ]
+        if any(level.refuted for level in in_hypothesis):
+            return "refuted"
+        if all(level.fully_masked for level in in_hypothesis):
+            return "certified"
+        return "estimated"
+
+    @property
+    def ci(self) -> tuple[float, float] | None:
+        """CI of the weakest sampled level (lowest lower bound), if any."""
+        intervals = [
+            level.ci for level in self.levels if level.ci is not None
+        ]
+        return min(intervals) if intervals else None
+
+    def to_dict(self) -> dict:
+        """JSON-compatible certificate document (CLI and campaign records)."""
+        document: dict = {
+            "certified": self.certified,
+            "verdict": self.verdict,
+            "npf": self.npf,
+            "npl": self.npl,
+            "method": self.method,
+            "crash_times": list(self.crash_times),
+            "levels": [
+                {
+                    "failures": level.failures,
+                    "link_failures": level.link_failures,
+                    "masked": level.masked_subsets,
+                    "total": level.total_subsets,
+                    "method": level.method,
+                    **(
+                        {"population": level.population}
+                        if level.population is not None
+                        and level.population != level.total_subsets
+                        else {}
+                    ),
+                    **(
+                        {"samples": level.samples} if level.samples else {}
+                    ),
+                    **(
+                        {"estimate": level.estimate}
+                        if level.estimate is not None
+                        else {}
+                    ),
+                    **(
+                        {"ci": list(level.ci)} if level.ci is not None else {}
+                    ),
+                }
+                for level in self.levels
+            ],
+            "breaking_subsets": [
+                sorted(subset) for subset in self.breaking_subsets
+            ],
+            "breaking_combined": [
+                [sorted(procs), sorted(links)]
+                for procs, links in self.breaking_combined
+            ],
+        }
+        if self.method == "sampled":
+            document["confidence"] = self.confidence
+            document["samples"] = self.samples
+            document["seed"] = self.seed
+            document["ci"] = list(self.ci) if self.ci is not None else None
+        return document
 
     def level(self, failures: int, link_failures: int = 0) -> ToleranceLevel:
         """The statistics for one exact combined subset size."""
@@ -165,19 +310,47 @@ class FaultToleranceCertificate:
         hypothesis = f"npf={self.npf}"
         if self.npl or any(level.link_failures for level in self.levels):
             hypothesis += f", npl={self.npl}"
+        verdict = self.verdict
+        word = {
+            "certified": "CERTIFIED",
+            "refuted": "BROKEN",
+            "estimated": "ESTIMATED",
+        }[verdict]
         lines = [
             f"fault-tolerance certificate ({hypothesis}, "
-            f"crash times {list(self.crash_times)}): "
-            f"{'CERTIFIED' if self.certified else 'BROKEN'}"
+            f"crash times {list(self.crash_times)}): {word}"
         ]
+        if self.method == "sampled" and self.confidence is not None:
+            lines[0] += (
+                f" ({self.samples} samples at "
+                f"{self.confidence:.0%} confidence, seed {self.seed})"
+            )
         for level in self.levels:
             label = f"  {level.failures} crash(es)"
             if level.link_failures:
                 label += f" + {level.link_failures} link(s)"
-            lines.append(
-                f"{label}: {level.masked_subsets}/"
-                f"{level.total_subsets} subsets masked"
-            )
+            if level.method == "sampled":
+                lo, hi = level.ci if level.ci is not None else (0.0, 1.0)
+                lines.append(
+                    f"{label}: ~{level.masked_fraction:.2%} masked "
+                    f"(sampled {level.samples} of {level.population} "
+                    f"subsets, ci [{lo:.4f}, {hi:.4f}])"
+                )
+            elif level.method == "bounds":
+                lines.append(
+                    f"{label}: refuted by closed-form bound "
+                    f"({level.population} subsets, witness below)"
+                )
+            else:
+                suffix = (
+                    " (projected from the involved core)"
+                    if level.method == "projected"
+                    else ""
+                )
+                lines.append(
+                    f"{label}: {level.masked_subsets}/"
+                    f"{level.total_subsets} subsets masked{suffix}"
+                )
         for subset in self.breaking_subsets[:5]:
             lines.append(f"  breaking subset: {sorted(subset)}")
         for procs, links in self.breaking_combined[:5]:
@@ -229,21 +402,33 @@ def _subset_verdicts(
         return lambda subset, times, links=(): _masked(
             simulator, algorithm, subset, times, links
         )
+    return _resolve_engine(
+        schedule, algorithm, detection, engine
+    ).crash_subset_masked
+
+
+def _resolve_engine(
+    schedule: Schedule,
+    algorithm: AlgorithmGraph,
+    detection: DetectionPolicy,
+    engine: BatchScenarioEngine | ScheduleSimulator | None,
+) -> BatchScenarioEngine:
+    """A batch engine for this schedule, validated when caller-supplied."""
     if engine is None or isinstance(engine, ScheduleSimulator):
-        engine = BatchScenarioEngine(schedule, algorithm, detection)
-    elif engine.detection is not DetectionPolicy(detection):
+        return BatchScenarioEngine(schedule, algorithm, detection)
+    if engine.detection is not DetectionPolicy(detection):
         raise SimulationError(
             f"engine was built with detection={engine.detection}, "
             f"requested {DetectionPolicy(detection)}"
         )
-    elif engine.schedule is not schedule or engine.algorithm is not algorithm:
+    if engine.schedule is not schedule or engine.algorithm is not algorithm:
         # A mismatched engine would silently return the *other*
         # schedule's verdicts — the compiled arrays ignore these
         # arguments entirely.
         raise SimulationError(
             "engine was compiled for a different schedule/algorithm"
         )
-    return engine.crash_subset_masked
+    return engine
 
 
 def fault_tolerance_certificate(
@@ -255,8 +440,13 @@ def fault_tolerance_certificate(
     batched: bool = True,
     engine: BatchScenarioEngine | ScheduleSimulator | None = None,
     max_link_failures: int | None = None,
+    method: str = "auto",
+    confidence: float = 0.99,
+    budget: int | None = None,
+    seed: int = 0,
+    epsilon: float = 0.01,
 ) -> FaultToleranceCertificate:
-    """Exhaustively check masking of every crash subset up to a size.
+    """Check masking of every crash subset up to a size.
 
     ``max_failures`` defaults to ``schedule.npf + 1`` so the report also
     shows how much of the *next* failure level happens to be tolerated.
@@ -271,12 +461,38 @@ def fault_tolerance_certificate(
     schedule gets exactly the original processor-only certificate and a
     link-tolerant schedule is certified against what it promises.
 
+    ``method`` selects the resolution strategy per level:
+
+    * ``"auto"`` (default) — exhaustive enumeration wherever a level
+      fits under :data:`MAX_SUBSETS_PER_LEVEL` (bit-identical to the
+      historical certificate there, and never a cap warning), then
+      involved-set projection, closed-form bounds and seeded stratified
+      sampling for the levels enumeration cannot reach (see
+      :mod:`repro.analysis.sampling`).
+    * ``"exact"`` — the legacy exhaustive path, including the
+      deterministic canonical-prefix cap and its
+      :class:`CertificationCapWarning` past ``P > 12`` / ``L > 12``.
+    * ``"sampled"`` — force the sampling machinery even on levels small
+      enough to enumerate (test/benchmark escape hatch).
+
+    ``confidence``, ``budget``, ``seed`` and ``epsilon`` parameterize
+    the sampled levels: the adaptive loop refines each level until its
+    interval width undercuts ``epsilon`` or the total ``budget`` of
+    random draws is spent, and every draw derives deterministically
+    from the schedule content hash and ``seed``.
+
     ``batched`` selects the compile-once batch engine (default) or the
-    legacy per-scenario replay; the verdicts are bit-identical.  Pass
-    ``engine`` to share one prebuilt engine (and its caches) across
-    calls — e.g. a certificate followed by a reliability sweep.
+    legacy per-scenario replay; the verdicts are bit-identical (the
+    sampling machinery requires the batch engine, so ``batched=False``
+    always takes the legacy path).  Pass ``engine`` to share one
+    prebuilt engine (and its caches) across calls — e.g. a certificate
+    followed by a reliability sweep.
     """
-    is_masked = _subset_verdicts(schedule, algorithm, detection, batched, engine)
+    if method not in ("auto", "exact", "sampled"):
+        raise SimulationError(
+            f"unknown certification method {method!r}; "
+            f"expected 'auto', 'exact' or 'sampled'"
+        )
     processors = schedule.processor_names()
     links = schedule.link_names()
     npl = getattr(schedule, "npl", 0)
@@ -285,6 +501,12 @@ def fault_tolerance_certificate(
     link_bound = npl if max_link_failures is None else max_link_failures
     link_bound = min(link_bound, len(links))
     times = tuple(crash_times)
+    if method != "exact" and batched:
+        return _certificate_adaptive(
+            schedule, algorithm, detection, engine, times, bound,
+            link_bound, method, confidence, budget, seed, epsilon,
+        )
+    is_masked = _subset_verdicts(schedule, algorithm, detection, batched, engine)
     # The certificate only vouches for what it enumerated: capping the
     # link bound below the schedule's npl weakens the verified
     # hypothesis accordingly (never a vacuous CERTIFIED).
@@ -354,6 +576,130 @@ def fault_tolerance_certificate(
     return certificate
 
 
+def _certificate_adaptive(
+    schedule: Schedule,
+    algorithm: AlgorithmGraph,
+    detection: DetectionPolicy,
+    engine: BatchScenarioEngine | ScheduleSimulator | None,
+    times: tuple[float, ...],
+    bound: int,
+    link_bound: int,
+    method: str,
+    confidence: float,
+    budget: int | None,
+    seed: int,
+    epsilon: float,
+) -> FaultToleranceCertificate:
+    """The bounds/projection/sampling certificate (``method != "exact"``).
+
+    Levels small enough to enumerate are resolved exactly (bit-identical
+    counts and breaking subsets to the legacy path, in the same
+    canonical order); everything else goes through
+    :func:`repro.analysis.sampling.evaluate_level`.
+    """
+    engine = _resolve_engine(schedule, algorithm, detection, engine)
+    processors = schedule.processor_names()
+    links = schedule.link_names()
+    npl = getattr(schedule, "npl", 0)
+    certificate = FaultToleranceCertificate(
+        npf=schedule.npf, crash_times=times, npl=min(npl, link_bound)
+    )
+    force_sampled = method == "sampled"
+    needs_sampling = force_sampled or any(
+        math.comb(len(processors), size) * math.comb(len(links), link_size)
+        > MAX_SUBSETS_PER_LEVEL
+        for size in range(bound + 1)
+        for link_size in range(link_bound + 1)
+    )
+    bounds: sampling.FaultBounds | None = None
+    content = ""
+    involved_procs: tuple[str, ...] = ()
+    involved_links: tuple[str, ...] = ()
+    proc_cone_rank: tuple[str, ...] = ()
+    if needs_sampling:
+        with obs.span("certify.bounds"):
+            bounds = sampling.analytic_fault_bounds(schedule)
+        content = schedule_content_hash(schedule)
+        involved_procs = engine.involved_processors()
+        involved_links = engine.involved_links()
+        cone = engine.processor_cone_fractions()
+        proc_cone_rank = tuple(
+            sorted(cone, key=lambda name: (-cone[name], name))
+        )
+    budget_left = (
+        sampling.DEFAULT_CERTIFICATE_BUDGET if budget is None else budget
+    )
+    pruned_before = engine.stats.pruned_nominal + engine.stats.memo_hits
+    samples_total = 0
+    span = obs.span("certify.sample") if needs_sampling else None
+    if span is not None:
+        span.__enter__()
+    try:
+        for size in range(bound + 1):
+            for link_size in range(link_bound + 1):
+                outcome = sampling.evaluate_level(
+                    size=size,
+                    link_size=link_size,
+                    oracle=engine.crash_subset_masked,
+                    times=times,
+                    processors=processors,
+                    links=links,
+                    involved_procs=involved_procs,
+                    involved_links=involved_links,
+                    proc_cone_rank=proc_cone_rank,
+                    level_cap=MAX_SUBSETS_PER_LEVEL,
+                    bounds=bounds,
+                    confidence=confidence,
+                    epsilon=epsilon,
+                    budget=max(1, budget_left),
+                    rng=sampling.derive_rng(
+                        content, seed, f"level:{size}:{link_size}"
+                    ),
+                    force_sampled=force_sampled,
+                )
+                budget_left = max(0, budget_left - outcome.samples)
+                samples_total += outcome.samples
+                certificate.levels.append(
+                    ToleranceLevel(
+                        size,
+                        outcome.masked_subsets,
+                        outcome.total_subsets,
+                        link_failures=link_size,
+                        method=outcome.method,
+                        population=outcome.population,
+                        samples=outcome.samples,
+                        estimate=outcome.estimate,
+                        ci=outcome.ci,
+                        breaking_found=bool(outcome.breaking),
+                    )
+                )
+                if size <= schedule.npf and link_size <= npl:
+                    for proc_subset, link_subset in outcome.breaking or ():
+                        if link_size:
+                            certificate.breaking_combined.append(
+                                (frozenset(proc_subset), frozenset(link_subset))
+                            )
+                        else:
+                            certificate.breaking_subsets.append(
+                                frozenset(proc_subset)
+                            )
+    finally:
+        if span is not None:
+            span.__exit__(None, None, None)
+    if needs_sampling:
+        certificate.method = "sampled"
+        certificate.confidence = confidence
+        certificate.samples = samples_total
+        certificate.seed = seed
+        obs.metrics.inc("certify.samples_drawn", samples_total)
+        obs.metrics.inc(
+            "certify.samples_pruned",
+            engine.stats.pruned_nominal + engine.stats.memo_hits
+            - pruned_before,
+        )
+    return certificate
+
+
 def event_boundary_times(schedule: Schedule, limit: int = 32) -> tuple[float, ...]:
     """Representative crash instants: the static event start dates.
 
@@ -391,19 +737,37 @@ def _validate_probabilities(
 
 @dataclass(frozen=True)
 class ReliabilityReport:
-    """Probability that one iteration delivers all outputs."""
+    """Probability that one iteration delivers all outputs.
+
+    ``method == "exact"`` reports the enumerated truth;
+    ``method == "sampled"`` a stratified estimate whose ``ci`` holds at
+    ``confidence`` (``exhaustive_subsets`` then records how many
+    subsets exact enumeration would have had to sweep).
+    """
 
     reliability: float
     masked_probability_mass: float
     evaluated_subsets: int
     guaranteed_lower_bound: float
+    method: str = "exact"
+    confidence: float | None = None
+    ci: tuple[float, float] | None = None
+    samples: int = 0
+    exhaustive_subsets: int | None = None
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"reliability {self.reliability:.6f} "
             f"(guaranteed lower bound {self.guaranteed_lower_bound:.6f}, "
             f"{self.evaluated_subsets} crash subsets evaluated)"
         )
+        if self.method == "sampled" and self.ci is not None:
+            text += (
+                f" — sampled: ci [{self.ci[0]:.6f}, {self.ci[1]:.6f}] at "
+                f"{self.confidence:.0%} confidence, {self.samples} draws "
+                f"for a {self.exhaustive_subsets}-subset exhaustive space"
+            )
+        return text
 
 
 def schedule_reliability(
@@ -415,8 +779,14 @@ def schedule_reliability(
     batched: bool = True,
     engine: BatchScenarioEngine | ScheduleSimulator | None = None,
     link_failure_probabilities: Mapping[str, float] | None = None,
+    method: str = "auto",
+    confidence: float = 0.99,
+    budget: int | None = None,
+    seed: int = 0,
+    epsilon: float = 0.005,
+    cone_tilt: float = 0.0,
 ) -> ReliabilityReport:
-    """Exact reliability by enumeration over all ``2^P`` crash subsets.
+    """Reliability over the ``2^P`` (or ``2^P x 2^L``) crash subsets.
 
     ``failure_probabilities[p]`` is the probability that processor ``p``
     fails (fail-silent) during the iteration, independently of the
@@ -431,16 +801,89 @@ def schedule_reliability(
     links.  ``None`` keeps the processor-only sum bit-identical to the
     pre-link-tolerance implementation.
 
-    The probability sum always enumerates subsets in canonical order
-    (so ``batched=True`` and ``batched=False`` land on bit-identical
-    floats); batching changes only how each subset's masking verdict is
-    obtained.  ``engine`` shares a prebuilt batch engine's caches, e.g.
-    with a preceding certificate.
+    ``method="auto"`` enumerates exactly up to ``P, L <= 12``
+    (:data:`ENUMERATION_CAP`) and switches to stratified
+    conditional-Bernoulli sampling beyond (seeded, deterministic, with
+    a ``ci`` at ``confidence`` — see
+    :func:`repro.analysis.sampling.sampled_reliability`); ``"exact"``
+    and ``"sampled"`` force either path.  ``cone_tilt > 0`` tilts
+    sampled draws toward large dirty cones with exact reweighting.
+
+    The exact probability sum always enumerates subsets in canonical
+    order (so ``batched=True`` and ``batched=False`` land on
+    bit-identical floats); batching changes only how each subset's
+    masking verdict is obtained.  The sampled path requires the batch
+    engine (its involved-set reduction theorem is what makes the
+    strata exact).  ``engine`` shares a prebuilt batch engine's caches,
+    e.g. with a preceding certificate.
     """
+    if method not in ("auto", "exact", "sampled"):
+        raise SimulationError(
+            f"unknown reliability method {method!r}; "
+            f"expected 'auto', 'exact' or 'sampled'"
+        )
     processors = schedule.processor_names()
     _validate_probabilities(processors, failure_probabilities, "processor")
     links = schedule.link_names() if link_failure_probabilities is not None else ()
     _validate_probabilities(links, link_failure_probabilities or {}, "link")
+    if method == "auto":
+        small = (
+            len(processors) <= ENUMERATION_CAP
+            and len(links) <= ENUMERATION_CAP
+        )
+        # The legacy per-scenario engine has no involved-set reduction,
+        # so auto never routes it to the sampled path.
+        method = "exact" if small or not batched else "sampled"
+    if method == "sampled":
+        if not batched:
+            raise SimulationError(
+                "sampled reliability requires the batch engine "
+                "(batched=True): its involved-set reduction is what "
+                "makes the sampling strata exact"
+            )
+        resolved = _resolve_engine(schedule, algorithm, detection, engine)
+        npl = getattr(schedule, "npl", 0)
+        with obs.span("certify.sample"):
+            estimate = sampling.sampled_reliability(
+                schedule=schedule,
+                oracle=resolved.crash_subset_masked,
+                baseline_delivered=resolved.baseline_delivered,
+                failure_probabilities=failure_probabilities,
+                times=tuple(crash_times),
+                involved_procs=resolved.involved_processors(),
+                involved_links=(
+                    resolved.involved_links() if links else ()
+                ),
+                proc_cone_fractions=resolved.processor_cone_fractions(),
+                link_cone_fractions=(
+                    resolved.link_cone_fractions() if links else {}
+                ),
+                link_failure_probabilities=link_failure_probabilities,
+                confidence=confidence,
+                epsilon=epsilon,
+                budget=(
+                    sampling.DEFAULT_RELIABILITY_BUDGET
+                    if budget is None
+                    else budget
+                ),
+                seed=seed,
+                content_hash=schedule_content_hash(schedule),
+                npf=schedule.npf,
+                npl=npl,
+                cone_tilt=cone_tilt,
+            )
+        obs.metrics.inc("certify.samples_drawn", estimate.samples)
+        return ReliabilityReport(
+            reliability=estimate.reliability,
+            masked_probability_mass=estimate.masked_probability_mass,
+            evaluated_subsets=estimate.evaluated_subsets,
+            guaranteed_lower_bound=estimate.guaranteed_lower_bound,
+            method="sampled",
+            confidence=estimate.confidence,
+            ci=estimate.ci,
+            samples=estimate.samples,
+            exhaustive_subsets=estimate.exhaustive_subsets,
+        )
     is_masked = _subset_verdicts(schedule, algorithm, detection, batched, engine)
     npl = getattr(schedule, "npl", 0)
     times = tuple(crash_times)

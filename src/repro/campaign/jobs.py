@@ -238,8 +238,15 @@ def job_digest(
         # unset link knobs are dropped for the same reason — a spec
         # predating link tolerance must keep its digests.
         spec_document = asdict(reliability)
-        for knob in ("max_link_failures", "link_probability"):
+        for knob in ("max_link_failures", "link_probability", "budget"):
             if spec_document.get(knob) is None:
+                del spec_document[knob]
+        # Default-valued sampling knobs are likewise dropped: a spec
+        # predating sampled certification must keep its digests.
+        for knob, default in (
+            ("method", "auto"), ("confidence", 0.99), ("seed", 0)
+        ):
+            if spec_document.get(knob) == default:
                 del spec_document[knob]
         document["reliability"] = spec_document
     return content_hash("job", document)
@@ -477,6 +484,10 @@ def _certify(spec: ReliabilitySpec, ftbar) -> dict:
         detection=spec.detection,
         engine=engine,
         max_link_failures=spec.max_link_failures,
+        method=spec.method,
+        confidence=spec.confidence,
+        budget=spec.budget,
+        seed=spec.seed,
     )
     link_probabilities = (
         {l: spec.link_probability for l in schedule.link_names()}
@@ -493,17 +504,24 @@ def _certify(spec: ReliabilitySpec, ftbar) -> dict:
             detection=spec.detection,
             engine=engine,
             link_failure_probabilities=link_probabilities,
+            method=spec.method,
+            confidence=spec.confidence,
+            budget=spec.budget,
+            seed=spec.seed,
         )
         mttf = mean_time_to_failure_iterations(report.reliability)
-        sweep.append(
-            {
-                "probability": probability,
-                "reliability": report.reliability,
-                "guaranteed_lower_bound": report.guaranteed_lower_bound,
-                # None instead of inf: the records must stay strict JSON.
-                "mttf_iterations": None if math.isinf(mttf) else mttf,
-            }
-        )
+        point = {
+            "probability": probability,
+            "reliability": report.reliability,
+            "guaranteed_lower_bound": report.guaranteed_lower_bound,
+            # None instead of inf: the records must stay strict JSON.
+            "mttf_iterations": None if math.isinf(mttf) else mttf,
+        }
+        if report.method == "sampled":
+            point["method"] = "sampled"
+            point["ci"] = list(report.ci)
+            point["samples"] = report.samples
+        sweep.append(point)
     record = {
         "certified": certificate.certified,
         "crash_times": len(times),
@@ -519,6 +537,24 @@ def _certify(spec: ReliabilitySpec, ftbar) -> dict:
                     if level.link_failures
                     else {}
                 ),
+                # Sampling keys likewise only when the level was not
+                # resolved by plain enumeration.
+                **(
+                    {"method": level.method}
+                    if level.method != "exact"
+                    else {}
+                ),
+                **(
+                    {"population": level.population}
+                    if level.population is not None
+                    and level.population != level.total_subsets
+                    else {}
+                ),
+                **(
+                    {"estimate": level.estimate, "ci": list(level.ci)}
+                    if level.method == "sampled" and level.ci is not None
+                    else {}
+                ),
             }
             for level in certificate.levels
         ],
@@ -528,6 +564,12 @@ def _certify(spec: ReliabilitySpec, ftbar) -> dict:
     }
     if certificate.npl:
         record["npl"] = certificate.npl
+    if certificate.method == "sampled":
+        record["method"] = "sampled"
+        record["verdict"] = certificate.verdict
+        record["confidence"] = certificate.confidence
+        record["samples"] = certificate.samples
+        record["seed"] = certificate.seed
     return record
 
 

@@ -112,6 +112,18 @@ class ReliabilitySpec:
     #: Uniform per-link failure probability for the reliability sweep
     #: (None keeps the processor-only probability sum).
     link_probability: float | None = None
+    #: Certification method: ``"auto"`` (adaptive bounds/sampling past
+    #: the enumeration cap), ``"exact"`` (legacy capped enumeration) or
+    #: ``"sampled"``.  The defaults of these four knobs are dropped
+    #: from job digests so pre-sampling specs keep their identities.
+    method: str = "auto"
+    #: Confidence level of sampled intervals.
+    confidence: float = 0.99
+    #: Total sample budget per certificate / reliability estimate
+    #: (None = the library defaults).
+    budget: int | None = None
+    #: User seed of the deterministic sampling RNG streams.
+    seed: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -144,6 +156,17 @@ class ReliabilitySpec:
             raise SerializationError(
                 f"unknown detection policy {self.detection!r}"
             )
+        if self.method not in ("auto", "exact", "sampled"):
+            raise SerializationError(
+                f"unknown certification method {self.method!r}; "
+                f"expected 'auto', 'exact' or 'sampled'"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise SerializationError(
+                f"confidence must be in (0, 1), got {self.confidence!r}"
+            )
+        if self.budget is not None and self.budget < 1:
+            raise SerializationError("sample budget must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -284,6 +307,12 @@ def campaign_from_dict(document: Mapping) -> CampaignSpec:
                     link_probability=document["reliability"].get(
                         "link_probability"
                     ),
+                    method=document["reliability"].get("method", "auto"),
+                    confidence=float(
+                        document["reliability"].get("confidence", 0.99)
+                    ),
+                    budget=document["reliability"].get("budget"),
+                    seed=int(document["reliability"].get("seed", 0)),
                 )
                 if document.get("reliability") is not None
                 else None

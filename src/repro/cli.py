@@ -238,6 +238,44 @@ def _build_parser() -> argparse.ArgumentParser:
         help="use the per-scenario engine instead of the batched one",
     )
     certify.add_argument(
+        "--exact",
+        action="store_true",
+        help="force the legacy exhaustive enumeration (with its "
+        "deterministic cap and CertificationCapWarning past P > 12) "
+        "instead of the adaptive bounds/sampling path",
+    )
+    certify.add_argument(
+        "--confidence",
+        type=float,
+        default=0.99,
+        metavar="C",
+        help="confidence level of sampled levels' intervals (default 0.99)",
+    )
+    certify.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="total random-sample budget of the adaptive path "
+        "(default: 20000 for the certificate, 50000 per reliability)",
+    )
+    certify.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="user seed of the deterministic sampling RNG streams "
+        "(draws derive from SHA-256 over the schedule content hash, "
+        "this seed and the stratum label)",
+    )
+    certify.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the certificate document (method, samples, "
+        "confidence, ci, per-level estimates) as JSON",
+    )
+    certify.add_argument(
         "--compare",
         action="store_true",
         help="run both engines and fail unless their verdicts and "
@@ -580,6 +618,9 @@ def _cmd_certify(args: argparse.Namespace) -> int:
     times = event_boundary_times(schedule) if args.boundaries else (0.0,)
     probabilities = args.probability
     max_links = args.links
+    # --compare pins the batched engine against the per-scenario one,
+    # which only exists for the exhaustive path — force it there.
+    method = "exact" if args.exact or args.compare else "auto"
 
     def certificate_and_reports(batched: bool):
         engine = (
@@ -595,6 +636,10 @@ def _cmd_certify(args: argparse.Namespace) -> int:
             batched=batched,
             engine=engine,
             max_link_failures=max_links,
+            method=method,
+            confidence=args.confidence,
+            budget=args.budget,
+            seed=args.seed,
         )
         reports = [
             schedule_reliability(
@@ -605,6 +650,10 @@ def _cmd_certify(args: argparse.Namespace) -> int:
                 detection=detection,
                 batched=batched,
                 engine=engine,
+                method=method,
+                confidence=args.confidence,
+                budget=args.budget,
+                seed=args.seed,
             )
             for q in probabilities
         ]
@@ -612,6 +661,9 @@ def _cmd_certify(args: argparse.Namespace) -> int:
 
     certificate, reports, engine = certificate_and_reports(not args.legacy)
     print(certificate)
+    if args.json is not None:
+        save_json(certificate.to_dict(), args.json)
+        print(f"certificate document written to {args.json}")
     for probability, report in zip(probabilities, reports):
         mttf = mean_time_to_failure_iterations(report.reliability)
         print(f"q={probability:g}: {report}")
@@ -651,7 +703,9 @@ def _cmd_certify(args: argparse.Namespace) -> int:
             print(f"ENGINE MISMATCH: {', '.join(mismatches)}")
             return 1
         print("engines agree: batched and per-scenario verdicts bit-identical")
-    return 0 if certificate.certified else 1
+    # 0 = proven, 1 = a breaking subset exists, 2 = estimated only
+    # (sampled levels left the hypothesis unproven but unrefuted).
+    return {"certified": 0, "refuted": 1, "estimated": 2}[certificate.verdict]
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:

@@ -198,6 +198,58 @@ class BatchScenarioEngine:
         """The failure-free trace (compiled replay, executor-identical)."""
         return self._baseline.to_trace(self._compiled)
 
+    def involved_processors(self) -> tuple[str, ...]:
+        """Processors the schedule involves at all, in canonical order.
+
+        A crash subset's verdict depends only on its intersection with
+        this set (the reduction :meth:`crash_subset_masked` applies) —
+        the exactness theorem the sampled certifier's involved-set
+        projection is built on.
+        """
+        return tuple(
+            name
+            for name, involved in zip(
+                self._compiled.proc_names, self._compiled.proc_involved
+            )
+            if involved
+        )
+
+    def involved_links(self) -> tuple[str, ...]:
+        """Links that carry at least one comm, in canonical order."""
+        return tuple(
+            name
+            for name, involved in zip(
+                self._compiled.link_names, self._link_involved
+            )
+            if involved
+        )
+
+    def processor_cone_fractions(self) -> dict[str, float]:
+        """Dirty-cone size of each involved processor as an event share.
+
+        The fraction of all scheduled events reachable from the
+        processor's failures through data or resource-order edges —
+        the importance-sampling tilt of the sampled certifier (larger
+        cone = more decisions revisited = likelier to break).
+        """
+        compiled = self._compiled
+        total = max(1, len(compiled.op_events) + len(compiled.comm_events))
+        return {
+            name: compiled.proc_cone(compiled.proc_ids[name]).bit_count()
+            / total
+            for name in self.involved_processors()
+        }
+
+    def link_cone_fractions(self) -> dict[str, float]:
+        """Dirty-cone event share per involved link (see above)."""
+        compiled = self._compiled
+        total = max(1, len(compiled.op_events) + len(compiled.comm_events))
+        return {
+            name: compiled.link_cone(compiled.link_ids[name]).bit_count()
+            / total
+            for name in self.involved_links()
+        }
+
     # ------------------------------------------------------------------
     # generic scenarios (full traces)
     # ------------------------------------------------------------------

@@ -2,10 +2,14 @@
 
 ROADMAP follow-up: for P > 12 (or L > 12) the exhaustive per-level
 subset sweep leaves the regime the certifier was designed for.  The
-certificate now caps each level at ``MAX_SUBSETS_PER_LEVEL`` subsets
-taken deterministically in canonical order and emits a *structured*
+legacy ``method="exact"`` path caps each level at
+``MAX_SUBSETS_PER_LEVEL`` subsets taken deterministically in canonical
+order and emits a *structured*
 :class:`~repro.analysis.reliability.CertificationCapWarning` naming the
-cap and the enumerated fraction — never a silent weakening.
+cap and the enumerated fraction — never a silent weakening.  The
+default ``method="auto"`` path retired the warning entirely: past the
+cap it switches to bounds/projection/sampling with quantified output
+(see ``tests/test_sampled_certification.py``).
 """
 
 from __future__ import annotations
@@ -80,7 +84,7 @@ def test_processor_cap_emits_structured_warning():
     result = schedule_ftbar(_wide_problem(processors))
     with pytest.warns(CertificationCapWarning) as captured:
         certificate = fault_tolerance_certificate(
-            result.schedule, result.expanded_algorithm
+            result.schedule, result.expanded_algorithm, method="exact"
         )
     warning = captured[0].message
     assert warning.resources == ("processors",)
@@ -100,7 +104,7 @@ def test_truncated_levels_report_the_sampled_fraction(monkeypatch):
     result = schedule_ftbar(_wide_problem(processors))
     with pytest.warns(CertificationCapWarning) as captured:
         certificate = fault_tolerance_certificate(
-            result.schedule, result.expanded_algorithm
+            result.schedule, result.expanded_algorithm, method="exact"
         )
     warning = captured[0].message
     assert warning.enumerated_subsets < warning.total_subsets
@@ -113,7 +117,7 @@ def test_truncated_levels_report_the_sampled_fraction(monkeypatch):
     # Sampling is deterministic: canonical order, first K subsets.
     with pytest.warns(CertificationCapWarning):
         again = fault_tolerance_certificate(
-            result.schedule, result.expanded_algorithm
+            result.schedule, result.expanded_algorithm, method="exact"
         )
     assert [
         (level.failures, level.link_failures, level.masked_subsets,
@@ -130,7 +134,10 @@ def test_link_cap_emits_warning_naming_links():
     result = schedule_ftbar(_linky_problem())
     with pytest.warns(CertificationCapWarning) as captured:
         fault_tolerance_certificate(
-            result.schedule, result.expanded_algorithm, max_link_failures=1
+            result.schedule,
+            result.expanded_algorithm,
+            max_link_failures=1,
+            method="exact",
         )
     warning = captured[0].message
     assert warning.resources == ("links",)

@@ -82,11 +82,15 @@ class TestDigestStability:
         problem = build_problem(workload, "ring", 4, 0, 0.3, 0)
         spec = ReliabilitySpec(probabilities=(0.05,))
         digest = job_digest(problem, {}, ("ftbar", "reliability"), (), spec)
-        # The historical document shape: no link knobs at all.
+        # The historical document shape: no link knobs and no sampled
+        # certification knobs at all.
         legacy_reliability = {
             key: value
             for key, value in asdict(spec).items()
-            if key not in ("max_link_failures", "link_probability")
+            if key not in (
+                "max_link_failures", "link_probability",
+                "method", "confidence", "budget", "seed",
+            )
         }
         legacy = content_hash(
             "job",

@@ -392,7 +392,12 @@ class TestCampaignTelemetry:
         assert record["events"] == [{"kind": "compiled_fallback"}]
 
     def test_certification_cap_lands_in_store(self, tmp_path):
-        """Satellite: CertificationCapWarning → record["events"] → store."""
+        """Satellite: CertificationCapWarning → record["events"] → store.
+
+        The warning only exists on the legacy ``method="exact"`` path —
+        the default adaptive ladder answers past the cap without one
+        (tests/test_sampled_certification.py).
+        """
         spec = tiny_spec(
             name="obs-cap",
             workloads=(WorkloadSpec(family="in_tree", size=2),),
@@ -400,7 +405,7 @@ class TestCampaignTelemetry:
             processors=(13,),  # > ENUMERATION_CAP
             seeds=(1,),
             measures=("ftbar", "reliability"),
-            reliability=ReliabilitySpec(probabilities=(0.01,)),
+            reliability=ReliabilitySpec(probabilities=(0.01,), method="exact"),
         )
         store = ResultStore(tmp_path / "results.jsonl")
         with warnings.catch_warnings():
