@@ -24,6 +24,11 @@ and records it in ``BENCH_runtime.json`` at the repository root:
 * ``campaign_jobs1_vs_cpu`` — campaign throughput at ``jobs=1`` versus
   one worker per CPU (``--force-workers N`` oversubscribes on 1-CPU
   hosts so the comparison always produces numbers);
+* ``campaign_backend_scaling`` — the same campaign across execution
+  backends and worker counts (serial reference, then ``--backend``
+  at 1/2/4 workers), with every leg's canonically merged store
+  asserted byte-identical to the serial reference before its time
+  counts;
 * ``phase_breakdown`` — per-phase wall time of the pinned
   ``repro bench --smoke`` problems from a traced run (``--phases``
   also prints the table), sourced from the observability layer's span
@@ -32,14 +37,18 @@ and records it in ``BENCH_runtime.json`` at the repository root:
 Run it directly::
 
     PYTHONPATH=src python benchmarks/bench_runtime.py \
-        [--full] [--profile] [--phases] [--force-workers N]
+        [--full] [--profile] [--phases] [--force-workers N] \
+        [--backend local|directory]
 """
 
 import cProfile
 import gc
 import json
+import os
 import pstats
+import shutil
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -53,8 +62,6 @@ except ModuleNotFoundError:
     try:
         from benchmarks.conftest import full_scale, graphs_per_point
     except ModuleNotFoundError:
-        import os
-
         def full_scale() -> bool:
             return os.environ.get("REPRO_BENCH_FULL", "") == "1"
 
@@ -64,7 +71,8 @@ from repro import obs
 from repro.analysis.experiments import run_runtime_comparison
 from repro.analysis.reporting import format_runtime_comparison
 from repro.baselines.hbp import schedule_hbp
-from repro.campaign.pool import default_worker_count
+from repro.campaign.merge import merge_stores
+from repro.campaign.pool import cpu_affinity_count, default_worker_count
 from repro.campaign.runner import run_campaign
 from repro.campaign.spec import CampaignSpec, WorkloadSpec
 from repro.core.compile import compile_cache_stats, reset_compile_cache
@@ -398,7 +406,8 @@ def run_campaign_jobs_sweep(
             "operations": operations,
             "graphs": graphs,
             "workers": cpu_workers,
-            "cpu_count": cpu_workers,
+            "cpu_count": os.cpu_count() or 1,
+            "cpu_affinity": cpu_affinity_count(),
             "skipped": True,
             "reason": "only one CPU available — jobs=1 and jobs=cpu would "
             "run the same sequential path (pass --force-workers N to "
@@ -421,13 +430,130 @@ def run_campaign_jobs_sweep(
         "operations": operations,
         "graphs": graphs,
         "workers": workers,
-        "cpu_count": cpu_workers,
+        "cpu_count": os.cpu_count() or 1,
+        "cpu_affinity": cpu_affinity_count(),
         "oversubscribed": oversubscribed,
         "jobs1_s": jobs1_s,
         "jobs_cpu_s": jobs_cpu_s,
         "speedup": jobs1_s / jobs_cpu_s,
         "skipped": False,
     }
+
+
+def run_campaign_backend_scaling(
+    full: bool = False,
+    force_workers: int | None = None,
+    backend: str = "directory",
+) -> dict:
+    """Scaling sweep of one campaign across backend worker counts.
+
+    The same embarrassingly-parallel campaign (``graphs`` independent
+    random problems) runs once on the serial in-process backend — the
+    wall-clock *and* bit-exactness reference — then on ``backend`` at 1,
+    2 and 4 workers.  Every leg gets a fresh campaign directory and
+    store (a shared schedule cache would fake the scaling), the legs are
+    interleaved across repeats (host drift lands on all of them
+    equally), and each leg's canonically merged store is asserted
+    byte-identical to the serial reference before its time is recorded:
+    a speedup that changed the records would be worthless.
+
+    On a single-CPU host the sweep would only measure oversubscription;
+    without ``force_workers`` the entry is marked ``skipped`` with the
+    reason, and both ``cpu_count`` and ``cpu_affinity`` are recorded so
+    the skip is auditable (CI runners often confine the process to
+    fewer CPUs than the machine has).
+    """
+    operations = 60 if full else 30
+    graphs = 16 if full else 8
+    repeats = 3 if full else 2
+    cpu_workers = default_worker_count()
+    affinity = cpu_affinity_count()
+    worker_counts = [1, 2, 4]
+    oversubscribed = False
+    if force_workers is not None and force_workers > 1:
+        worker_counts = [w for w in worker_counts if w <= force_workers]
+        oversubscribed = max(worker_counts) > cpu_workers
+    elif cpu_workers <= 1:
+        return {
+            "operations": operations,
+            "graphs": graphs,
+            "backend": backend,
+            "cpu_count": os.cpu_count() or 1,
+            "cpu_affinity": affinity,
+            "skipped": True,
+            "reason": "only one CPU available — every worker count would "
+            "measure the same sequential path plus dispatch overhead "
+            "(pass --force-workers N to record oversubscribed numbers "
+            "anyway)",
+        }
+    else:
+        worker_counts = [w for w in worker_counts if w <= cpu_workers]
+    spec = CampaignSpec(
+        name="bench-backend-scaling",
+        workloads=(WorkloadSpec(family="random", size=operations),),
+        seeds=tuple(2003 + 1000 * index for index in range(graphs)),
+        measures=("ftbar", "non_ft"),
+    )
+    scratch = Path(tempfile.mkdtemp(prefix="bench-backend-scaling-"))
+    try:
+        serial_store = scratch / "serial.jsonl"
+        started = time.perf_counter()
+        serial = run_campaign(spec, backend="serial", store=serial_store)
+        serial_s = time.perf_counter() - started
+        assert serial.completed == serial.total_jobs, serial.summary()
+        reference = scratch / "serial-canonical.jsonl"
+        merge_stores([serial_store], reference)
+        reference_bytes = reference.read_bytes()
+
+        best: dict[int, float] = {w: float("inf") for w in worker_counts}
+        leg = 0
+        for _ in range(repeats):
+            for workers in worker_counts:
+                leg += 1
+                root = scratch / f"leg-{leg}"
+                gc.collect()
+                started = time.perf_counter()
+                report = run_campaign(
+                    spec,
+                    backend=backend,
+                    jobs=workers,
+                    directory=root if backend == "directory" else None,
+                )
+                elapsed = time.perf_counter() - started
+                assert report.completed == report.total_jobs, report.summary()
+                if backend == "directory":
+                    merged = scratch / f"leg-{leg}-canonical.jsonl"
+                    merge_stores([root], merged)
+                    assert merged.read_bytes() == reference_bytes, (
+                        f"{backend} backend at {workers} workers diverged "
+                        "from the serial reference"
+                    )
+                    shutil.rmtree(root)
+                else:
+                    assert report.records == serial.records, (
+                        f"{backend} backend at {workers} workers diverged"
+                    )
+                best[workers] = min(best[workers], elapsed)
+        return {
+            "operations": operations,
+            "graphs": graphs,
+            "backend": backend,
+            "repeats": repeats,
+            "cpu_count": os.cpu_count() or 1,
+            "cpu_affinity": affinity,
+            "oversubscribed": oversubscribed,
+            "serial_s": serial_s,
+            "skipped": False,
+            "sweep": {
+                str(workers): {
+                    "elapsed_s": best[workers],
+                    "speedup_vs_serial": serial_s / best[workers],
+                }
+                for workers in worker_counts
+            },
+        }
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
 
 
 def run_campaign_compile_reuse(full: bool = False) -> dict:
@@ -475,6 +601,7 @@ def write_bench_json(
     repeats: int = 5,
     profile: bool = False,
     force_workers: int | None = None,
+    backend: str = "directory",
 ) -> dict:
     """Run the sweeps and record them in ``BENCH_runtime.json``.
 
@@ -499,6 +626,9 @@ def write_bench_json(
             "campaign_compile_reuse": run_campaign_compile_reuse(full),
             "campaign_jobs1_vs_cpu": run_campaign_jobs_sweep(
                 full, force_workers
+            ),
+            "campaign_backend_scaling": run_campaign_backend_scaling(
+                full, force_workers, backend
             ),
         }
     )
@@ -557,19 +687,32 @@ def bench_runtime_incremental_vs_legacy(benchmark, record_result):
 def main(argv: list[str]) -> int:
     full = full_scale() or "--full" in argv
     profile = "--profile" in argv
+    usage = (
+        "usage: bench_runtime.py [--full] [--profile] [--phases] "
+        "[--force-workers N] [--backend local|directory]"
+    )
     force_workers = None
     if "--force-workers" in argv:
         try:
             force_workers = int(argv[argv.index("--force-workers") + 1])
         except (IndexError, ValueError):
-            print(
-                "usage: bench_runtime.py [--full] [--profile] [--phases] "
-                "[--force-workers N]",
-                file=sys.stderr,
-            )
+            print(usage, file=sys.stderr)
+            return 2
+    backend = "directory"
+    if "--backend" in argv:
+        try:
+            backend = argv[argv.index("--backend") + 1]
+        except IndexError:
+            print(usage, file=sys.stderr)
+            return 2
+        if backend not in ("local", "directory"):
+            print(usage, file=sys.stderr)
             return 2
     payload = write_bench_json(
-        full=full, profile=profile, force_workers=force_workers
+        full=full,
+        profile=profile,
+        force_workers=force_workers,
+        backend=backend,
     )
     print(json.dumps(payload, indent=1, sort_keys=True))
     n100 = payload["ftbar_incremental_vs_legacy"].get("100")
@@ -625,6 +768,22 @@ def main(argv: list[str]) -> int:
             f"{campaign['speedup']:.2f}x",
             file=sys.stderr,
         )
+    scaling = payload["campaign_backend_scaling"]
+    if scaling.get("skipped"):
+        print(
+            f"campaign backend scaling skipped: {scaling['reason']}",
+            file=sys.stderr,
+        )
+    else:
+        for workers, point in sorted(
+            scaling["sweep"].items(), key=lambda kv: int(kv[0])
+        ):
+            print(
+                f"{scaling['backend']} backend x{workers} workers: "
+                f"{point['speedup_vs_serial']:.2f}x vs serial "
+                f"({point['elapsed_s']:.2f}s)",
+                file=sys.stderr,
+            )
     return 0
 
 

@@ -20,6 +20,9 @@ Covered sections, one table per engine-trajectory PR:
 * ``campaign_compile_reuse`` — PR 6's shared-compilation memo hits
   across a npf/npl/ccr variant grid;
 * ``campaign_jobs1_vs_cpu`` — PR 2's worker pool;
+* ``campaign_backend_scaling`` — PR 9's execution backends (serial
+  reference vs the work-stealing directory backend at 1/2/4 workers,
+  merged stores verified byte-identical before timing);
 * ``phase_breakdown`` — PR 7's traced per-phase split of the smoke
   problems (where a scheduling run's wall time actually goes);
 * ``obs_overhead`` — PR 7's pinned no-op cost of disabled telemetry.
@@ -241,6 +244,52 @@ def render_campaign(section: dict) -> list[str]:
     return lines
 
 
+def render_backend_scaling(section: dict) -> list[str]:
+    lines = ["### PR 9 — execution-backend scaling", ""]
+    host = ""
+    if "cpu_count" in section:
+        affinity = section.get("cpu_affinity")
+        host = (
+            f" (host: {section['cpu_count']} CPUs"
+            + (f", affinity {affinity}" if affinity is not None else "")
+            + ")"
+        )
+    if section.get("skipped"):
+        lines.append(
+            f"Skipped on this host{host}: "
+            f"{section.get('reason', 'no reason recorded')}"
+        )
+        return lines
+    sweep = section.get("sweep")
+    if not isinstance(sweep, dict) or "serial_s" not in section:
+        lines.append(
+            "*(entry incomplete in `BENCH_runtime.json` — rerun "
+            "`benchmarks/bench_runtime.py`)*"
+        )
+        return lines
+    suffix = " — oversubscribed" if section.get("oversubscribed") else ""
+    lines += [
+        f"Campaign of {section.get('graphs', '?')} x "
+        f"N={section.get('operations', '?')} on the "
+        f"`{section.get('backend', '?')}` backend{host}{suffix}; every leg's "
+        "canonically merged store verified byte-identical to the serial "
+        "reference.",
+        "",
+        "| backend | workers | wall clock | speedup vs serial |",
+        "|:--|---:|---:|---:|",
+        f"| serial | 1 | {_fmt_ms(section['serial_s'])} | 1.0x |",
+    ]
+    for workers, point in sorted(sweep.items(), key=lambda kv: int(kv[0])):
+        if not isinstance(point, dict) or "elapsed_s" not in point:
+            continue
+        lines.append(
+            f"| {section.get('backend', '?')} | {workers} "
+            f"| {_fmt_ms(point['elapsed_s'])} "
+            f"| {point['speedup_vs_serial']:.1f}x |"
+        )
+    return lines
+
+
 def render_phase_breakdown(section: dict) -> list[str]:
     rows, skipped = [], []
     for label, point in sorted(section.items()):
@@ -327,6 +376,10 @@ def render(payload: dict) -> str:
         blocks.append(render_compile_reuse(payload["campaign_compile_reuse"]))
     if "campaign_jobs1_vs_cpu" in payload:
         blocks.append(render_campaign(payload["campaign_jobs1_vs_cpu"]))
+    if "campaign_backend_scaling" in payload:
+        blocks.append(
+            render_backend_scaling(payload["campaign_backend_scaling"])
+        )
     if "phase_breakdown" in payload:
         blocks.append(render_phase_breakdown(payload["phase_breakdown"]))
     if "obs_overhead" in payload:

@@ -1,13 +1,29 @@
-"""Batch experiment orchestration: specs, jobs, cache, pool, store.
+"""Batch experiment orchestration: specs, jobs, backends, store, merge.
 
 The campaign subsystem turns the one-shot scheduler into a batch
 service: declarative :class:`CampaignSpec` grids expand into
-content-hashed :class:`Job` units, executed on a ``multiprocessing``
-pool, persisted to an append-only JSONL :class:`ResultStore` (making
-every campaign resumable) and memoized in a content-addressed
-:class:`ScheduleCache` shared across campaigns.
+content-hashed :class:`Job` units, executed through a pluggable
+:class:`ExecutionBackend` (in-process ``serial``, the single-host
+``local`` pool, or the work-stealing multi-host ``directory`` queue),
+persisted to an append-only JSONL :class:`ResultStore` (making every
+campaign resumable), memoized in a content-addressed
+:class:`ScheduleCache` shared across campaigns, and merged
+bit-identically across shards with :func:`merge_stores`.
 """
 
+from repro.campaign.backends import (
+    BACKENDS,
+    DirectoryBackend,
+    ExecutionBackend,
+    LocalPoolBackend,
+    SerialBackend,
+    make_backend,
+)
+from repro.campaign.backends.directory import (
+    DirectoryCampaign,
+    WorkerReport,
+    worker_loop,
+)
 from repro.campaign.cache import ScheduleCache
 from repro.campaign.jobs import (
     Job,
@@ -18,7 +34,12 @@ from repro.campaign.jobs import (
     job_digest,
     job_problem,
 )
-from repro.campaign.pool import default_worker_count, execute_jobs
+from repro.campaign.merge import MergeConflictError, MergeReport, merge_stores
+from repro.campaign.pool import (
+    cpu_affinity_count,
+    default_worker_count,
+    execute_jobs,
+)
 from repro.campaign.runner import (
     CampaignReport,
     CampaignStatus,
@@ -40,14 +61,23 @@ from repro.campaign.spec import (
 from repro.campaign.store import ResultStore
 
 __all__ = [
+    "BACKENDS",
     "CampaignReport",
     "CampaignSpec",
     "CampaignStatus",
+    "DirectoryBackend",
+    "DirectoryCampaign",
+    "ExecutionBackend",
     "FailureSpec",
     "Job",
+    "LocalPoolBackend",
+    "MergeConflictError",
+    "MergeReport",
     "ReliabilitySpec",
     "ResultStore",
     "ScheduleCache",
+    "SerialBackend",
+    "WorkerReport",
     "WorkloadSpec",
     "build_architecture",
     "build_problem",
@@ -55,6 +85,7 @@ __all__ = [
     "campaign_report",
     "campaign_status",
     "campaign_to_dict",
+    "cpu_affinity_count",
     "default_worker_count",
     "execute_job",
     "execute_jobs",
@@ -62,7 +93,10 @@ __all__ = [
     "job_digest",
     "job_problem",
     "load_campaign",
+    "make_backend",
+    "merge_stores",
     "reliability_heatmap",
     "run_campaign",
     "save_campaign",
+    "worker_loop",
 ]

@@ -1,0 +1,611 @@
+"""Work-stealing campaign execution on shared storage.
+
+One campaign directory is the whole coordination substrate — no broker,
+no server, no network protocol beyond a filesystem that N worker
+processes (on any number of hosts) can all see::
+
+    <dir>/
+      campaign.json        the spec (workers re-expand jobs from it)
+      claims/<digest>.claim  lease files: owner + attempt, heartbeat mtime
+      shards/<worker>.jsonl  per-worker append-only result stores
+      cache/               content-addressed schedule cache (shared)
+
+The protocol (Dwork–Halpern–Waarts setting: many workers, independent
+idempotent jobs, workers that may stall or die):
+
+* **claim** — a worker takes a job by creating its claim file with
+  ``O_CREAT | O_EXCL``: the filesystem arbitrates, exactly one creator
+  wins.  The file records owner host/pid/worker-id and the attempt
+  number;
+* **heartbeat** — while executing, a daemon thread touches the claim
+  file's mtime every ``lease_ttl / 4``.  A live worker's lease
+  therefore never looks stale, however long the job runs;
+* **steal** — a claim whose mtime is older than ``lease_ttl`` belongs
+  to a dead (or wedged) worker.  Any worker may reclaim it: unlink the
+  stale file, then race a fresh ``O_EXCL`` create (losing the race is
+  harmless).  Each reclaim bumps the attempt counter and appends a
+  structured ``lease_reclaimed`` event to the stealer's shard;
+* **bounded retry** — a job whose claim has died ``max_attempts`` times
+  is poisoned (it kills its workers): the stale claim is left as a
+  tombstone, a ``retries_exhausted`` event is recorded once per
+  observer, and the job stays unrecorded rather than looping forever;
+* **done** — the result is appended to the worker's *own* shard (no
+  write contention), then the claim is released.  Workers exit when
+  every job is recorded in some shard.
+
+Correctness does not rest on the lease being a perfect mutex: jobs are
+deterministic and content-addressed, so the worst race (two workers
+computing the same job) yields byte-identical records that the merge
+(:mod:`repro.campaign.merge`) deduplicates — and any *non*-identical
+duplicate is a hard merge conflict, never silent corruption.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro import obs
+from repro.campaign.backends import ExecutionBackend
+from repro.campaign.cache import ScheduleCache
+from repro.campaign.jobs import Job, execute_job, expand_jobs
+from repro.campaign.spec import (
+    CampaignSpec,
+    campaign_from_dict,
+    campaign_to_dict,
+)
+from repro.campaign.store import ResultStore
+from repro.exceptions import ReproError
+from repro.schedule.serialization import load_json, save_json
+
+#: Default lease time-to-live: a claim untouched this long is stealable.
+DEFAULT_LEASE_TTL_S = 30.0
+
+#: Default attempts before a job is declared poisonous.
+DEFAULT_MAX_ATTEMPTS = 5
+
+
+def worker_identity() -> str:
+    """This process's worker id: ``<host>-<pid>`` (multi-host unique)."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class DirectoryCampaign:
+    """One campaign directory: spec, claims, shards, shared cache."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.spec_path = self.root / "campaign.json"
+        self.claims_dir = self.root / "claims"
+        self.shards_dir = self.root / "shards"
+        self.cache_dir = self.root / "cache"
+
+    # -- lifecycle ------------------------------------------------------
+
+    @classmethod
+    def initialize(
+        cls, spec: CampaignSpec, root: str | Path
+    ) -> "DirectoryCampaign":
+        """Create (or re-open) the campaign directory for ``spec``.
+
+        Re-initializing an existing directory with the *same* spec is a
+        no-op (that is how a crashed dispatch resumes); a different spec
+        is refused — one directory is one campaign.
+        """
+        campaign = cls(root)
+        document = campaign_to_dict(spec)
+        if campaign.spec_path.exists():
+            existing = load_json(campaign.spec_path)
+            # Compare specs, not documents: JSON round-trips tuples into
+            # lists, so a raw dict comparison would refuse a re-init
+            # with the exact same spec.
+            if campaign_from_dict(existing) != spec:
+                raise ReproError(
+                    f"{campaign.spec_path} already holds a different "
+                    f"campaign ({existing.get('name')!r}); one directory "
+                    "is one campaign"
+                )
+        else:
+            campaign.root.mkdir(parents=True, exist_ok=True)
+            save_json(document, campaign.spec_path)
+        for directory in (
+            campaign.claims_dir, campaign.shards_dir, campaign.cache_dir
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+        return campaign
+
+    def spec(self) -> CampaignSpec:
+        """The campaign spec this directory was initialized with."""
+        if not self.spec_path.exists():
+            raise ReproError(
+                f"{self.root} is not a campaign directory (no campaign.json "
+                "— run `repro campaign init` or `campaign run --backend "
+                "directory` first)"
+            )
+        return campaign_from_dict(load_json(self.spec_path))
+
+    def jobs(self) -> list[Job]:
+        """The campaign's deduplicated jobs (re-expanded, deterministic)."""
+        return expand_jobs(self.spec())
+
+    # -- shards ---------------------------------------------------------
+
+    def shard_paths(self) -> list[Path]:
+        """Every worker shard currently present, sorted for determinism."""
+        if not self.shards_dir.exists():
+            return []
+        return sorted(self.shards_dir.glob("*.jsonl"))
+
+    def shard_for(self, worker: str) -> ResultStore:
+        """The private result shard of one worker."""
+        return ResultStore(self.shards_dir / f"{worker}.jsonl")
+
+    def recorded_digests(self) -> set[str]:
+        """Digests recorded in *any* shard (the shared done-set)."""
+        done: set[str] = set()
+        for path in self.shard_paths():
+            done |= ResultStore(path).digests()
+        return done
+
+    # -- claims ---------------------------------------------------------
+
+    def claim_path(self, digest: str) -> Path:
+        return self.claims_dir / f"{digest}.claim"
+
+    def try_claim(self, digest: str, worker: str, attempt: int = 1) -> bool:
+        """Atomically claim one job; exactly one concurrent caller wins."""
+        host, _, pid = worker.rpartition("-")
+        payload = json.dumps(
+            {
+                "digest": digest,
+                "worker": worker,
+                "host": host or socket.gethostname(),
+                "pid": os.getpid(),
+                "attempt": attempt,
+                "claimed_at": time.time(),
+            },
+            sort_keys=True,
+        )
+        try:
+            descriptor = os.open(
+                self.claim_path(digest),
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            return False
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        return True
+
+    def read_claim(self, digest: str) -> dict | None:
+        """The claim document of one job, or ``None`` (absent/torn)."""
+        try:
+            return json.loads(self.claim_path(digest).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def claim_age_s(self, digest: str) -> float | None:
+        """Seconds since the claim's last heartbeat, or ``None``."""
+        try:
+            return time.time() - self.claim_path(digest).stat().st_mtime
+        except OSError:
+            return None
+
+    def release(self, digest: str) -> None:
+        """Drop a claim (idempotent — a racing steal may have won)."""
+        try:
+            os.unlink(self.claim_path(digest))
+        except FileNotFoundError:
+            pass
+
+    def renew(self, digest: str) -> None:
+        """Heartbeat: refresh the claim's mtime (its lease)."""
+        try:
+            os.utime(self.claim_path(digest))
+        except OSError:
+            pass  # claim stolen or released under us; the job is idempotent
+
+    def active_claims(self) -> list[dict]:
+        """Every live claim with its owner and age (the status view)."""
+        claims = []
+        if not self.claims_dir.exists():
+            return claims
+        for path in sorted(self.claims_dir.glob("*.claim")):
+            try:
+                document = json.loads(path.read_text())
+                age = time.time() - path.stat().st_mtime
+            except (OSError, json.JSONDecodeError):
+                continue
+            document["age_s"] = age
+            claims.append(document)
+        return claims
+
+
+class _Heartbeat:
+    """Daemon thread renewing one claim's lease while its job runs."""
+
+    def __init__(
+        self, campaign: DirectoryCampaign, digest: str, interval_s: float
+    ) -> None:
+        self._campaign = campaign
+        self._digest = digest
+        self._interval = max(interval_s, 0.02)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._stop.set()
+        self._thread.join()
+        return False
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._campaign.renew(self._digest)
+            obs.event("campaign.lease_renew", job=self._digest[:12])
+            obs.metrics.inc("campaign.backend.lease_renewals")
+
+
+@dataclass
+class WorkerReport:
+    """What one :func:`worker_loop` invocation did."""
+
+    worker: str
+    executed: int = 0
+    cache_hits: int = 0
+    reclaims: int = 0
+    exhausted: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def completed(self) -> int:
+        """Jobs this worker recorded (computed or cache-served)."""
+        return self.executed + self.cache_hits
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        parts = [
+            f"worker {self.worker}: {self.completed} jobs recorded "
+            f"({self.executed} executed, {self.cache_hits} cache hits)"
+        ]
+        if self.reclaims:
+            parts.append(f"{self.reclaims} leases reclaimed")
+        if self.exhausted:
+            parts.append(f"{self.exhausted} jobs abandoned (retries exhausted)")
+        parts.append(f"elapsed {self.elapsed_s:.2f}s")
+        return ", ".join(parts)
+
+
+def worker_loop(
+    root: str | Path,
+    *,
+    worker: str | None = None,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    poll_s: float = 0.2,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    delay_s: float = 0.0,
+    use_cache: bool = True,
+    progress=None,
+) -> WorkerReport:
+    """Run one work-stealing worker against a campaign directory.
+
+    The loop claims and executes unclaimed pending jobs first; once
+    everything pending is claimed by others it turns to stealing:
+    leases whose heartbeat has expired are reclaimed (bounded by
+    ``max_attempts`` per job), and otherwise the worker polls until the
+    shards record every job.  Returns when nothing is left to do —
+    which makes ``repro campaign worker <dir>`` safe to point at one
+    directory from as many processes and hosts as you like, with zero
+    coordination beyond the shared filesystem.
+
+    ``delay_s`` is a fault-injection knob (used by tests and the CI
+    dispatch-smoke job): sleep that long between claiming a job and
+    executing it, so a kill signal reliably lands mid-lease.
+    """
+    started = time.perf_counter()
+    campaign = DirectoryCampaign(root)
+    spec = campaign.spec()
+    jobs = expand_jobs(spec)
+    worker = worker or worker_identity()
+    shard = campaign.shard_for(worker)
+    cache = ScheduleCache(campaign.cache_dir) if use_cache else None
+    report = WorkerReport(worker=worker)
+    say = progress or (lambda message: None)
+    tracer = obs.tracer()
+    #: Jobs this worker has given up on (tombstoned claims).
+    abandoned: set[str] = set()
+
+    def run_claimed(job: Job, attempt: int) -> None:
+        if delay_s:
+            time.sleep(delay_s)
+        heartbeat = _Heartbeat(campaign, job.digest, lease_ttl_s / 4)
+        try:
+            with heartbeat:
+                entry = cache.get(job.digest) if cache is not None else None
+                if entry is not None:
+                    shard.append(job.digest, entry["record"], source="cache")
+                    report.cache_hits += 1
+                else:
+                    document = execute_job(job)
+                    if cache is not None:
+                        cache.put(job.digest, document)
+                    shard.append(
+                        job.digest,
+                        document["record"],
+                        elapsed_s=document["timing"]["elapsed_s"],
+                        source="computed",
+                    )
+                    report.executed += 1
+            say(f"[{worker}] {job.index}: {job.digest[:12]} done")
+            if tracer is not None:
+                tracer.event(
+                    "campaign.job",
+                    job=job.digest[:12],
+                    index=job.index,
+                    worker=worker,
+                    attempt=attempt,
+                )
+        finally:
+            campaign.release(job.digest)
+
+    while True:
+        done = campaign.recorded_digests()
+        for digest in done:
+            age = campaign.claim_age_s(digest)
+            if age is not None and age >= lease_ttl_s:
+                # A worker recorded this job but died before releasing:
+                # the work is safe, only the claim is a corpse — sweep
+                # it so ``status`` stops listing a phantom active lease.
+                campaign.release(digest)
+        pending = [
+            job
+            for job in jobs
+            if job.digest not in done and job.digest not in abandoned
+        ]
+        if not pending:
+            break
+        progressed = False
+        # Pass 1: virgin territory — claim whatever nobody holds.
+        for job in pending:
+            with obs.span("campaign.claim", job=job.digest[:12]):
+                won = campaign.try_claim(job.digest, worker)
+            if not won:
+                continue
+            if job.digest in campaign.recorded_digests():
+                # Stale pending list: someone recorded and released this
+                # job after our scan — don't recompute it.
+                campaign.release(job.digest)
+                continue
+            obs.metrics.inc("campaign.backend.claims")
+            progressed = True
+            run_claimed(job, attempt=1)
+        if progressed:
+            continue
+        # Pass 2: everything pending is claimed by someone else — steal
+        # any lease whose heartbeat has expired.
+        for job in pending:
+            age = campaign.claim_age_s(job.digest)
+            if age is None or age < lease_ttl_s:
+                continue  # live lease (or just released — next scan sees it)
+            stale = campaign.read_claim(job.digest) or {}
+            attempt = int(stale.get("attempt", 1))
+            if attempt >= max_attempts:
+                if job.digest not in abandoned:
+                    abandoned.add(job.digest)
+                    report.exhausted += 1
+                    shard.append_event(
+                        "retries_exhausted",
+                        job=job.digest,
+                        attempts=attempt,
+                        worker=worker,
+                    )
+                    obs.event(
+                        "warn.retries_exhausted",
+                        job=job.digest[:12],
+                        attempts=attempt,
+                    )
+                    obs.metrics.inc("campaign.backend.retries_exhausted")
+                    say(
+                        f"[{worker}] giving up on {job.digest[:12]} after "
+                        f"{attempt} dead leases"
+                    )
+                continue
+            campaign.release(job.digest)  # drop the corpse...
+            with obs.span("campaign.claim", job=job.digest[:12], steal=True):
+                won = campaign.try_claim(job.digest, worker, attempt + 1)
+            if not won:
+                continue  # another stealer beat us to the re-create
+            if job.digest in campaign.recorded_digests():
+                # The victim recorded the result but died before
+                # releasing: the work is done, only the claim was stale.
+                campaign.release(job.digest)
+                continue
+            report.reclaims += 1
+            progressed = True
+            shard.append_event(
+                "lease_reclaimed",
+                job=job.digest,
+                previous_worker=stale.get("worker"),
+                attempt=attempt + 1,
+                age_s=round(age, 3),
+                worker=worker,
+            )
+            obs.event(
+                "warn.lease_reclaimed",
+                job=job.digest[:12],
+                previous_worker=stale.get("worker"),
+                attempt=attempt + 1,
+            )
+            obs.metrics.inc("campaign.backend.reclaims")
+            say(
+                f"[{worker}] reclaimed {job.digest[:12]} from "
+                f"{stale.get('worker')} (attempt {attempt + 1})"
+            )
+            run_claimed(job, attempt=attempt + 1)
+        if not progressed:
+            time.sleep(poll_s)
+    report.elapsed_s = time.perf_counter() - started
+    return report
+
+
+def _worker_process(root, worker, lease_ttl_s, poll_s, max_attempts) -> None:
+    """Entry point of a dispatched worker process (fork-safe)."""
+    obs.worker_reset()
+    worker_loop(
+        root,
+        worker=worker,
+        lease_ttl_s=lease_ttl_s,
+        poll_s=poll_s,
+        max_attempts=max_attempts,
+    )
+
+
+class DirectoryBackend(ExecutionBackend):
+    """Dispatch a campaign onto directory workers and stream results.
+
+    ``execute`` initializes the campaign directory, spawns ``workers``
+    local worker processes against it (more can join from other
+    processes or hosts via ``repro campaign worker <dir>``), and tails
+    the shards — yielding each result document the moment some worker
+    records it, plus any worker-event lines, in completion order.
+    Workers write full execution documents into the directory's shared
+    content-addressed cache themselves (``manages_cache``), so the
+    runner does not re-cache the record-only documents yielded here.
+    """
+
+    name = "directory"
+    manages_cache = True
+
+    def __init__(
+        self,
+        root: str | Path,
+        workers: int = 1,
+        *,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        poll_s: float = 0.2,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> None:
+        self.root = Path(root)
+        self.workers = workers
+        self.lease_ttl_s = lease_ttl_s
+        self.poll_s = poll_s
+        self.max_attempts = max_attempts
+
+    def execute(
+        self, spec: CampaignSpec, jobs: Sequence[Job]
+    ) -> Iterator[dict]:
+        from repro.campaign.pool import default_worker_count
+
+        campaign = DirectoryCampaign.initialize(spec, self.root)
+        count = self.workers if self.workers else default_worker_count()
+        count = min(max(count, 1), max(1, len(jobs)))
+        processes = [
+            multiprocessing.Process(
+                target=_worker_process,
+                args=(
+                    str(self.root),
+                    f"{worker_identity()}-w{index}",
+                    self.lease_ttl_s,
+                    self.poll_s,
+                    self.max_attempts,
+                ),
+                daemon=True,
+            )
+            for index in range(count)
+        ]
+        tail = _ShardTail(campaign)
+        wanted = {job.digest for job in jobs}
+        yielded: set[str] = set()
+        try:
+            for process in processes:
+                process.start()
+            while True:
+                for document in tail.poll():
+                    if "event" in document:
+                        yield document
+                    elif (
+                        document["digest"] in wanted
+                        and document["digest"] not in yielded
+                    ):
+                        yielded.add(document["digest"])
+                        yield document
+                if wanted <= yielded:
+                    break
+                if not any(process.is_alive() for process in processes):
+                    # Workers exited; one final scan catches the tail,
+                    # then whatever is missing stays missing (e.g.
+                    # retries exhausted) — the runner reports it.
+                    for document in tail.poll():
+                        if "event" in document:
+                            yield document
+                        elif (
+                            document["digest"] in wanted
+                            and document["digest"] not in yielded
+                        ):
+                            yielded.add(document["digest"])
+                            yield document
+                    break
+                time.sleep(min(self.poll_s, 0.1))
+            for process in processes:
+                process.join()
+        finally:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in processes:
+                process.join()
+
+
+class _ShardTail:
+    """Incremental reader over a campaign's shards (complete lines only)."""
+
+    def __init__(self, campaign: DirectoryCampaign) -> None:
+        self._campaign = campaign
+        self._offsets: dict[Path, int] = {}
+
+    def poll(self) -> Iterator[dict]:
+        """Yield the documents appended since the last poll.
+
+        Result lines come back runner-shaped (``digest`` / ``record`` /
+        ``timing.elapsed_s`` / ``source``); event lines come back
+        verbatim.  Only byte ranges ending in a newline are consumed —
+        a torn in-flight write is left for the next poll.
+        """
+        for path in self._campaign.shard_paths():
+            offset = self._offsets.get(path, 0)
+            try:
+                with open(path, "rb") as handle:
+                    handle.seek(offset)
+                    chunk = handle.read()
+            except OSError:
+                continue
+            complete = chunk.rfind(b"\n") + 1
+            if not complete:
+                continue
+            self._offsets[path] = offset + complete
+            for raw in chunk[:complete].splitlines():
+                if not raw.strip():
+                    continue
+                try:
+                    line = json.loads(raw)
+                except json.JSONDecodeError:
+                    continue  # torn mid-file line from a killed worker
+                if "digest" in line:
+                    yield {
+                        "digest": line["digest"],
+                        "record": line["record"],
+                        "timing": {"elapsed_s": line.get("elapsed_s", 0.0)},
+                        "source": line.get("source", "computed"),
+                    }
+                elif "event" in line:
+                    yield line

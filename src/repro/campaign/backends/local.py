@@ -1,0 +1,35 @@
+"""The single-host ``multiprocessing`` pool backend.
+
+This wraps the historical :mod:`repro.campaign.pool` machinery —
+long-lived forked workers, chunked dispatch, completion-order streaming,
+graceful Ctrl-C — behind the :class:`ExecutionBackend` contract without
+changing its semantics: ``workers <= 1`` degrades to the sequential
+in-process path exactly as ``--jobs 1`` always has.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.campaign.backends import ExecutionBackend
+from repro.campaign.jobs import Job
+from repro.campaign.pool import execute_jobs
+from repro.campaign.spec import CampaignSpec
+
+
+class LocalPoolBackend(ExecutionBackend):
+    """Execute jobs on one host's worker-process pool."""
+
+    name = "local"
+
+    def __init__(self, workers: int = 1, chunk_size: int | None = None) -> None:
+        #: ``0`` = one per available CPU, resolved by the pool.
+        self.workers = workers
+        self.chunk_size = chunk_size
+
+    def execute(
+        self, spec: CampaignSpec, jobs: Sequence[Job]
+    ) -> Iterator[dict]:
+        return execute_jobs(
+            list(jobs), worker_count=self.workers, chunk_size=self.chunk_size
+        )

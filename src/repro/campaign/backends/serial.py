@@ -1,0 +1,30 @@
+"""The in-process execution backend: no fork, no pickling, no pool.
+
+Every job runs in the caller's interpreter, one after the other, which
+makes this the backend for debugging (breakpoints and tracebacks land
+in one process) and the bit-exact reference the experiment harness
+compares everything else against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.campaign.backends import ExecutionBackend
+from repro.campaign.jobs import Job, execute_job
+from repro.campaign.spec import CampaignSpec
+
+
+class SerialBackend(ExecutionBackend):
+    """Execute jobs sequentially in the current process."""
+
+    name = "serial"
+
+    def __init__(self, execute: Callable[[Job], dict] = execute_job) -> None:
+        self._execute = execute
+
+    def execute(
+        self, spec: CampaignSpec, jobs: Sequence[Job]
+    ) -> Iterator[dict]:
+        for job in jobs:
+            yield self._execute(job)

@@ -361,6 +361,41 @@ def execute_job(job: Job) -> dict:
     }
 
 
+def reemit_job_telemetry(tracer, job: Job, document: dict) -> None:
+    """Fold one worker's job telemetry into the parent trace.
+
+    Workers trace into in-memory streams (their fork must not touch the
+    parent's file — see :func:`repro.campaign.pool._init_worker`); the
+    dispatching process re-emits the shipped summary: one
+    ``campaign.job`` completion event carrying the worker heartbeat, the
+    job's per-phase aggregate spans, and one event per structured
+    warning the job recorded.
+    """
+    timing = document.get("timing", {})
+    telemetry = timing.get("obs", {})
+    tracer.event(
+        "campaign.job",
+        job=job.digest[:12],
+        index=job.index,
+        worker=telemetry.get("worker"),
+        started_wall=telemetry.get("started_wall"),
+        elapsed_s=timing.get("elapsed_s"),
+    )
+    for entry in telemetry.get("spans", ()):
+        tracer.aggregate(
+            entry["name"],
+            entry["total_s"],
+            entry["count"],
+            job=job.digest[:12],
+        )
+    for event in document["record"].get("events", ()):
+        tracer.event(
+            "job." + event["kind"],
+            job=job.digest[:12],
+            **{k: v for k, v in event.items() if k != "kind"},
+        )
+
+
 def _execute(job: Job, tracer) -> tuple[dict, dict, dict]:
     """The job's measurement phases, spanned under the job tracer."""
     compile_before = compile_cache_stats()

@@ -1,0 +1,191 @@
+"""Digest-keyed, order-canonicalized union of campaign result stores.
+
+Directory-backend workers each append to a private JSONL shard; SSH
+fan-out or multi-host runs produce one shard per worker per host.  The
+content-hashed job identities make those shards mergeable *by
+construction*: a job's digest names exactly one deterministic record,
+so the union of any set of shards — whatever the completion order,
+worker count or host mix — is a pure set union keyed by digest.
+
+:func:`merge_stores` materializes that union canonically:
+
+* **order-canonicalized** — one line per digest, sorted by digest, the
+  record serialized with sorted keys and no volatile envelope.  Two
+  campaigns that computed the same records produce *byte-identical*
+  merged stores, regardless of how the work was sharded;
+* **idempotent** — the merged store is itself a valid input shard;
+  merging it again (with or without the original shards) reproduces
+  the same bytes;
+* **conflict-checking** — the same digest carrying two *different*
+  records is a hard :class:`MergeConflictError`, never a silent
+  last-writer-wins: a digest collision with divergent results means a
+  worker is broken (or the determinism contract is), and merging would
+  launder that.
+
+Worker-event lines (lease reclaims, exhausted retries) are run history,
+not measurements; they are harvested into an events sidecar next to the
+merged store so operational forensics survive the merge without
+polluting the canonical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro import obs
+from repro.campaign.store import ResultStore
+from repro.exceptions import ReproError
+
+
+class MergeConflictError(ReproError):
+    """Two shards record *different* results under the same job digest."""
+
+
+def _shard_files(inputs: Iterable[str | Path]) -> list[Path]:
+    """Expand each input into its store files.
+
+    A directory is expanded to its ``shards/*.jsonl`` (a campaign
+    directory) or its own ``*.jsonl`` files; a file stands for itself.
+    """
+    files: list[Path] = []
+    for entry in inputs:
+        path = Path(entry)
+        if path.is_dir():
+            shard_dir = path / "shards" if (path / "shards").is_dir() else path
+            found = sorted(shard_dir.glob("*.jsonl"))
+            if not found:
+                raise ReproError(f"no result shards under {path}")
+            files.extend(found)
+        elif path.exists():
+            files.append(path)
+        else:
+            raise ReproError(f"merge input does not exist: {path}")
+    return files
+
+
+@dataclass
+class MergeReport:
+    """What one :func:`merge_stores` call combined."""
+
+    shards: int
+    jobs: int
+    events: int
+    duplicates: int
+    output: Path | None = None
+    events_output: Path | None = None
+    event_kinds: dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        parts = [
+            f"merged {self.jobs} jobs from {self.shards} shards "
+            f"({self.duplicates} duplicate records verified identical)"
+        ]
+        if self.events:
+            kinds = ", ".join(
+                f"{kind}: {count}"
+                for kind, count in sorted(self.event_kinds.items())
+            )
+            parts.append(f"{self.events} worker events ({kinds})")
+        return " — ".join(parts)
+
+
+def canonical_record_line(digest: str, record: dict) -> str:
+    """The one canonical serialization of a merged result line."""
+    return json.dumps({"digest": digest, "record": record}, sort_keys=True)
+
+
+def merge_stores(
+    inputs: Sequence[str | Path],
+    output: str | Path | None = None,
+    *,
+    events_output: str | Path | None = None,
+) -> MergeReport:
+    """Merge result shards into one canonical store (see module doc).
+
+    ``inputs`` are store files, campaign directories, or directories of
+    shards; ``output`` is written atomically (temp file + ``replace``)
+    so a killed merge never leaves a torn store, and may itself be one
+    of the inputs (re-merging in place is the idempotence contract).
+    With ``output=None`` the merge is a dry run: conflicts are still
+    checked, nothing is written.
+
+    Worker events from every shard go to ``events_output`` (default:
+    ``<output stem>.events.jsonl``), only when any exist.
+    """
+    files = _shard_files(inputs)
+    merged: dict[str, str] = {}
+    first_seen: dict[str, Path] = {}
+    events: list[dict] = []
+    duplicates = 0
+    with obs.span("campaign.merge", shards=len(files)):
+        for path in files:
+            store = ResultStore(path)
+            for line in store.lines():
+                if "digest" in line:
+                    digest = line["digest"]
+                    canonical = canonical_record_line(digest, line["record"])
+                    previous = merged.get(digest)
+                    if previous is None:
+                        merged[digest] = canonical
+                        first_seen[digest] = path
+                    elif previous == canonical:
+                        duplicates += 1
+                    else:
+                        raise MergeConflictError(
+                            f"job {digest[:12]} has conflicting records: "
+                            f"{first_seen[digest]} vs {path} disagree on "
+                            "the deterministic record — a worker (or the "
+                            "determinism contract) is broken; refusing to "
+                            "merge"
+                        )
+                elif "event" in line:
+                    events.append(line)
+        obs.metrics.inc("campaign.merge.jobs", len(merged))
+        obs.metrics.inc("campaign.merge.events", len(events))
+
+    report = MergeReport(
+        shards=len(files),
+        jobs=len(merged),
+        events=len(events),
+        duplicates=duplicates,
+    )
+    for line in events:
+        kind = str(line.get("event"))
+        report.event_kinds[kind] = report.event_kinds.get(kind, 0) + 1
+    if output is None:
+        return report
+
+    output = Path(output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    body = "".join(merged[digest] + "\n" for digest in sorted(merged))
+    _atomic_write(output, body)
+    report.output = output
+    if events:
+        events_path = (
+            Path(events_output)
+            if events_output is not None
+            else output.with_name(output.stem + ".events.jsonl")
+        )
+        # Sorted by serialized form: deterministic for fixed inputs even
+        # though the lines carry wall-clock fields.
+        _atomic_write(
+            events_path,
+            "".join(
+                text + "\n"
+                for text in sorted(json.dumps(line, sort_keys=True)
+                                   for line in events)
+            ),
+        )
+        report.events_output = events_path
+    return report
+
+
+def _atomic_write(path: Path, body: str) -> None:
+    temporary = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    temporary.write_text(body, encoding="utf-8")
+    os.replace(temporary, path)

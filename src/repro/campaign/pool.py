@@ -26,9 +26,30 @@ from repro import obs
 from repro.campaign.jobs import Job, execute_job
 
 
+def cpu_affinity_count() -> int | None:
+    """CPUs this process may actually run on, or ``None`` if unknowable.
+
+    Under cgroup/taskset confinement (CI runners, batch schedulers,
+    containers) ``os.cpu_count()`` reports the whole machine while the
+    scheduler only ever grants the affinity mask — sizing a pool on the
+    former oversubscribes the mask and serializes the "parallel" workers.
+    """
+    getter = getattr(os, "sched_getaffinity", None)
+    if getter is None:  # non-Linux
+        return None
+    try:
+        return len(getter(0)) or None
+    except OSError:
+        return None
+
+
 def default_worker_count() -> int:
-    """Worker count used for ``jobs=0`` / ``--jobs 0``: one per CPU."""
-    return os.cpu_count() or 1
+    """Worker count used for ``jobs=0`` / ``--jobs 0``.
+
+    One worker per *available* CPU: the scheduling affinity mask when
+    the platform exposes it, the raw CPU count otherwise.
+    """
+    return cpu_affinity_count() or os.cpu_count() or 1
 
 
 def _init_worker() -> None:

@@ -25,9 +25,9 @@ from pathlib import Path
 from typing import Callable
 
 from repro import obs
+from repro.campaign.backends import ExecutionBackend, make_backend
 from repro.campaign.cache import ScheduleCache
-from repro.campaign.jobs import Job, expand_jobs
-from repro.campaign.pool import execute_jobs
+from repro.campaign.jobs import Job, expand_jobs, reemit_job_telemetry
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore
 
@@ -46,6 +46,10 @@ class CampaignReport:
     elapsed_s: float = 0.0
     records: dict[str, dict] = field(default_factory=dict)
     jobs: list[Job] = field(default_factory=list)
+    backend: str = "local"
+    #: Worker-event lines the backend reported (kind -> count), e.g.
+    #: ``lease_reclaimed`` when a directory worker stole a dead lease.
+    events: dict[str, int] = field(default_factory=dict)
 
     @property
     def completed(self) -> int:
@@ -72,6 +76,15 @@ class CampaignReport:
             f"cache hits: {self.cache_hits}/{self.total_jobs}, "
             f"resumed: {self.resumed}, "
             f"elapsed {self.elapsed_s:.2f}s"
+            + (
+                " — worker events: "
+                + ", ".join(
+                    f"{kind}: {count}"
+                    for kind, count in sorted(self.events.items())
+                )
+                if self.events
+                else ""
+            )
         )
 
 
@@ -83,19 +96,40 @@ def run_campaign(
     cache: ScheduleCache | str | Path | None = None,
     resume: bool = False,
     progress: Callable[[str], None] | None = None,
+    backend: ExecutionBackend | str | None = None,
+    directory: str | Path | None = None,
+    lease_ttl_s: float = 30.0,
+    max_attempts: int = 5,
 ) -> CampaignReport:
     """Run a campaign and return its report.
 
     ``jobs`` is the worker count (``1`` = sequential in-process, the
-    bit-exact legacy path; ``0`` = one worker per CPU).  ``store`` and
-    ``cache`` are optional: without a store the records only live in
-    the report; without a cache every pending job is computed.
+    bit-exact legacy path; ``0`` = one worker per available CPU).
+    ``store`` and ``cache`` are optional: without a store the records
+    only live in the report; without a cache every pending job is
+    computed.
+
+    ``backend`` selects the execution transport — an
+    :class:`~repro.campaign.backends.ExecutionBackend` instance, a
+    registry name, or ``None`` for the spec's own ``backend`` field
+    (default ``"local"``, the historical pool path — the legacy
+    signature is bit-exact unchanged).  The remaining keywords only
+    matter for the ``"directory"`` backend: the campaign directory and
+    its lease/retry protocol knobs.
     """
     started = time.perf_counter()
     if store is not None and not isinstance(store, ResultStore):
         store = ResultStore(store)
     if cache is not None and not isinstance(cache, ScheduleCache):
         cache = ScheduleCache(cache)
+    if not isinstance(backend, ExecutionBackend):
+        backend = make_backend(
+            backend or spec.backend,
+            workers=jobs,
+            directory=directory,
+            lease_ttl_s=lease_ttl_s,
+            max_attempts=max_attempts,
+        )
     say = progress or (lambda message: None)
     tracer = obs.tracer()
 
@@ -110,6 +144,7 @@ def run_campaign(
         grid_size=spec.grid_size,
         total_jobs=len(expanded),
         jobs=expanded,
+        backend=backend.name,
     )
     by_digest = {job.digest: job for job in expanded}
 
@@ -149,28 +184,49 @@ def run_campaign(
                 campaign=spec.name,
                 jobs=len(to_compute),
                 workers=jobs,
+                backend=backend.name,
             )
             if tracer is not None
             else obs.NOOP_SPAN
         ):
-            for document in execute_jobs(to_compute, worker_count=jobs):
+            for document in backend.execute(spec, to_compute):
+                if "event" in document and "digest" not in document:
+                    # A worker-event line (lease reclaim, exhausted
+                    # retries): operational history, not a result.
+                    kind = str(document["event"])
+                    report.events[kind] = report.events.get(kind, 0) + 1
+                    detail = {
+                        k: v
+                        for k, v in document.items()
+                        if k not in ("event", "recorded_at")
+                    }
+                    if store is not None:
+                        store.append_event(kind, **detail)
+                    if tracer is not None:
+                        tracer.event("warn." + kind, **detail)
+                    say(f"worker event: {kind} ({detail.get('job', '?')})")
+                    continue
                 digest = document["digest"]
                 record = document["record"]
+                if digest in report.records:
+                    continue  # raced steal recomputed it; idempotent
                 report.records[digest] = record
-                report.executed += 1
-                if cache is not None:
+                source = document.get("source", "computed")
+                if source == "cache":
+                    report.cache_hits += 1
+                else:
+                    report.executed += 1
+                if cache is not None and not backend.manages_cache:
                     cache.put(digest, document)
                 if store is not None:
                     store.append(
                         digest,
                         record,
                         elapsed_s=document["timing"]["elapsed_s"],
-                        source="computed",
+                        source=source,
                     )
                 if tracer is not None:
-                    _reemit_job_telemetry(
-                        tracer, by_digest[digest], document
-                    )
+                    reemit_job_telemetry(tracer, by_digest[digest], document)
                 say(
                     f"[{report.completed}/{report.total_jobs}] "
                     f"{by_digest[digest].index}: {record['problem']}"
@@ -187,41 +243,9 @@ def run_campaign(
         metrics.inc("campaign.jobs.resumed", report.resumed)
         metrics.gauge("campaign.jobs.pending", len(expanded) - len(report.records))
         metrics.observe("campaign.run_s", report.elapsed_s)
+        for kind, count in report.events.items():
+            metrics.inc(f"campaign.events.{kind}", count)
     return report
-
-
-def _reemit_job_telemetry(tracer, job: Job, document: dict) -> None:
-    """Fold one worker's job telemetry into the parent trace.
-
-    Workers trace into in-memory streams (their fork must not touch the
-    parent's file — see :func:`repro.campaign.pool._init_worker`); the
-    runner re-emits the shipped summary: one ``campaign.job`` completion
-    event carrying the worker heartbeat, the job's per-phase aggregate
-    spans, and one event per structured warning the job recorded.
-    """
-    timing = document.get("timing", {})
-    telemetry = timing.get("obs", {})
-    tracer.event(
-        "campaign.job",
-        job=job.digest[:12],
-        index=job.index,
-        worker=telemetry.get("worker"),
-        started_wall=telemetry.get("started_wall"),
-        elapsed_s=timing.get("elapsed_s"),
-    )
-    for entry in telemetry.get("spans", ()):
-        tracer.aggregate(
-            entry["name"],
-            entry["total_s"],
-            entry["count"],
-            job=job.digest[:12],
-        )
-    for event in document["record"].get("events", ()):
-        tracer.event(
-            "job." + event["kind"],
-            job=job.digest[:12],
-            **{k: v for k, v in event.items() if k != "kind"},
-        )
 
 
 # ----------------------------------------------------------------------

@@ -38,6 +38,9 @@ MEASURES = ("ftbar", "non_ft", "hbp", "degraded", "reliability")
 #: Crash-instant policies of the ``reliability`` measure.
 CRASH_TIME_POLICIES = ("zero", "boundaries")
 
+#: Execution backends a spec may select (see :mod:`repro.campaign.backends`).
+BACKENDS = ("local", "serial", "directory")
+
 
 @dataclass(frozen=True)
 class WorkloadSpec:
@@ -186,6 +189,10 @@ class CampaignSpec:
     mean_execution: float = 10.0
     options: Mapping[str, bool] = field(default_factory=dict)
     reliability: ReliabilitySpec | None = None
+    #: Default execution backend (``repro campaign run --backend``
+    #: overrides).  Not part of any job's digest: the same campaign
+    #: computes the same records whatever transport ran it.
+    backend: str = "local"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workloads", tuple(self.workloads))
@@ -219,6 +226,11 @@ class CampaignSpec:
             raise SerializationError(f"unknown scheduler options: {sorted(unknown)}")
         if "reliability" in self.measures and self.reliability is None:
             object.__setattr__(self, "reliability", ReliabilitySpec())
+        if self.backend not in BACKENDS:
+            raise SerializationError(
+                f"unknown execution backend {self.backend!r}; "
+                f"expected one of {BACKENDS}"
+            )
 
     @property
     def grid_size(self) -> int:
@@ -317,6 +329,7 @@ def campaign_from_dict(document: Mapping) -> CampaignSpec:
                 if document.get("reliability") is not None
                 else None
             ),
+            backend=document.get("backend", "local"),
         )
     except (KeyError, TypeError, AttributeError) as error:
         raise SerializationError(f"invalid campaign document: {error}") from error

@@ -11,6 +11,15 @@ across runs, worker counts and machines) from the volatile envelope
 (wall-clock timing, cache provenance, completion timestamp) so stores
 from different runs of the same campaign can be compared byte-for-byte
 modulo the envelope.
+
+Besides result lines the store carries *worker event* lines
+(``{"event": kind, ...}``) — structured operational facts such as a
+directory worker reclaiming an expired lease.  Events are part of the
+run's history, not of any job's measurement, so every record accessor
+(:meth:`ResultStore.load`, :meth:`~ResultStore.digests`,
+:meth:`~ResultStore.diffable_lines`) skips them; they are read back
+through :meth:`ResultStore.events` and harvested into a sidecar by
+``repro campaign merge``.
 """
 
 from __future__ import annotations
@@ -78,6 +87,24 @@ class ResultStore:
             },
             sort_keys=True,
         )
+        self._append_line(line)
+
+    def append_event(self, kind: str, **fields) -> None:
+        """Durably append one worker-event line (e.g. a lease reclaim).
+
+        Events record *how* a campaign ran (lease reclaims, exhausted
+        retries), never *what* it measured — they carry wall-clock data
+        and worker identities, so every record accessor skips them and
+        ``campaign merge`` routes them to an events sidecar instead of
+        the canonical merged store.
+        """
+        line = json.dumps(
+            {"event": kind, **fields, "recorded_at": time.time()},
+            sort_keys=True,
+        )
+        self._append_line(line)
+
+    def _append_line(self, line: str) -> None:
         self._drop_torn_tail()
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
@@ -99,22 +126,36 @@ class ResultStore:
                     return  # torn tail of a killed run
                 raise
 
+    def records(self) -> Iterator[dict]:
+        """Iterate the result lines only (worker-event lines skipped)."""
+        for line in self.lines():
+            if "digest" in line:
+                yield line
+
+    def events(self) -> Iterator[dict]:
+        """Iterate the worker-event lines only (result lines skipped)."""
+        for line in self.lines():
+            if "event" in line and "digest" not in line:
+                yield line
+
     def load(self) -> dict[str, dict]:
         """Map digest -> deterministic record (last occurrence wins)."""
-        return {line["digest"]: line["record"] for line in self.lines()}
+        return {line["digest"]: line["record"] for line in self.records()}
 
     def digests(self) -> set[str]:
         """The set of digests already recorded (the resume skip-list)."""
-        return {line["digest"] for line in self.lines()}
+        return {line["digest"] for line in self.records()}
 
     def diffable_lines(self) -> list[dict]:
         """The recorded lines with the volatile envelope stripped.
 
         Two runs of the same campaign (uninterrupted vs killed+resumed,
-        computed vs cache-served) agree on this view exactly.
+        computed vs cache-served) agree on this view exactly.  Event
+        lines are omitted whole: which worker reclaimed which lease is
+        legitimately different between two runs.
         """
         stripped = []
-        for line in self.lines():
+        for line in self.records():
             stripped.append(
                 {k: v for k, v in line.items() if k not in VOLATILE_KEYS}
             )

@@ -9,12 +9,16 @@ Sub-commands::
     ftbar bench     figure9|figure10|npf|runtime|ablation
     ftbar certify   [problem.json]   batched reliability certificate
     ftbar campaign  run|status|report|heatmap spec.json
+    ftbar campaign  init spec.json --dir D    prepare a campaign directory
+    ftbar campaign  worker DIR                join it as a stealing worker
+    ftbar campaign  merge INPUTS... -o OUT    canonical shard merge
     ftbar trace     trace.jsonl      render/validate a telemetry trace
     ftbar stats     [trace.jsonl]    render a trace's metrics snapshot
 
-Telemetry: ``schedule``, ``certify``, ``bench`` and ``campaign run``
-accept ``--trace [PATH]`` (or the ``REPRO_TRACE`` environment variable)
-to record a span/event/metrics trace — see ``docs/observability.md``.
+Telemetry: ``schedule``, ``certify``, ``bench``, ``campaign run``,
+``campaign worker`` and ``campaign merge`` accept ``--trace [PATH]``
+(or the ``REPRO_TRACE`` environment variable) to record a
+span/event/metrics trace — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -351,6 +355,33 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, help="worker processes (0 = one per CPU)"
     )
     campaign_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="synonym for --jobs (the backend vocabulary)",
+    )
+    campaign_run.add_argument(
+        "--backend",
+        choices=["local", "serial", "directory"],
+        default=None,
+        help="execution backend (default: the spec's, usually 'local')",
+    )
+    campaign_run.add_argument(
+        "--dir",
+        type=Path,
+        default=None,
+        dest="campaign_dir",
+        help="campaign directory of the 'directory' backend "
+        "(default: <spec stem>-campaign next to the spec)",
+    )
+    campaign_run.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="directory backend: seconds before an unrenewed job lease "
+        "may be stolen (default: 30)",
+    )
+    campaign_run.add_argument(
         "--cache",
         type=Path,
         default=None,
@@ -370,16 +401,120 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_flag(campaign_run)
 
-    _campaign_common(
-        campaign_commands.add_parser(
-            "status", help="progress of a campaign against its result store"
-        )
+    campaign_status_cmd = campaign_commands.add_parser(
+        "status", help="progress of a campaign against its result store"
+    )
+    _campaign_common(campaign_status_cmd)
+    campaign_status_cmd.add_argument(
+        "--dir",
+        type=Path,
+        default=None,
+        dest="campaign_dir",
+        help="also poll this campaign directory's shards and live claims",
+    )
+    campaign_status_cmd.add_argument(
+        "--watch",
+        action="store_true",
+        help="repaint the progress line until the campaign completes",
+    )
+    campaign_status_cmd.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="--watch poll interval in seconds (default: 2)",
     )
     _campaign_common(
         campaign_commands.add_parser(
             "report", help="aggregate a campaign's recorded results"
         )
     )
+
+    campaign_init = campaign_commands.add_parser(
+        "init", help="initialize a campaign directory for detached workers"
+    )
+    campaign_init.add_argument("spec", type=Path, help="campaign spec JSON file")
+    campaign_init.add_argument(
+        "--dir",
+        type=Path,
+        default=None,
+        dest="campaign_dir",
+        help="campaign directory to create "
+        "(default: <spec stem>-campaign next to the spec)",
+    )
+
+    campaign_worker = campaign_commands.add_parser(
+        "worker",
+        help="join a campaign directory as one work-stealing worker",
+    )
+    campaign_worker.add_argument(
+        "dir", type=Path, help="campaign directory (see 'campaign init')"
+    )
+    campaign_worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="worker identity for claims and the result shard "
+        "(default: <host>-<pid>)",
+    )
+    campaign_worker.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="seconds before an unrenewed lease may be stolen (default: 30)",
+    )
+    campaign_worker.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        help="idle poll interval in seconds (default: 0.2)",
+    )
+    campaign_worker.add_argument(
+        "--max-attempts",
+        type=int,
+        default=5,
+        help="dead leases per job before it is abandoned (default: 5)",
+    )
+    campaign_worker.add_argument(
+        "--delay",
+        type=float,
+        default=0.0,
+        help="fault-injection: sleep this long between claiming a job "
+        "and executing it (holding the lease)",
+    )
+    campaign_worker.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the campaign directory's shared schedule cache",
+    )
+    campaign_worker.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress lines"
+    )
+    _add_trace_flag(campaign_worker)
+
+    campaign_merge = campaign_commands.add_parser(
+        "merge",
+        help="merge result shards into one canonical, diffable store",
+    )
+    campaign_merge.add_argument(
+        "inputs",
+        type=Path,
+        nargs="+",
+        help="store files, campaign directories, or directories of shards",
+    )
+    campaign_merge.add_argument(
+        "--output",
+        "-o",
+        type=Path,
+        default=None,
+        help="merged store path (omit for a conflict-checking dry run)",
+    )
+    campaign_merge.add_argument(
+        "--events",
+        type=Path,
+        default=None,
+        help="worker-events sidecar path "
+        "(default: <output stem>.events.jsonl)",
+    )
+    _add_trace_flag(campaign_merge)
     campaign_heatmap = campaign_commands.add_parser(
         "heatmap", help="render the npf x failure-probability heatmap"
     )
@@ -888,19 +1023,128 @@ def _campaign_paths(args: argparse.Namespace) -> tuple:
     return spec, store_path
 
 
+def _default_campaign_dir(args: argparse.Namespace) -> Path:
+    """The campaign directory next to the spec, unless ``--dir`` says."""
+    if getattr(args, "campaign_dir", None) is not None:
+        return args.campaign_dir
+    return args.spec.with_name(f"{args.spec.stem}-campaign")
+
+
+def _cmd_campaign_worker(args: argparse.Namespace) -> int:
+    from repro.campaign.backends.directory import worker_loop
+
+    report = worker_loop(
+        args.dir,
+        worker=args.worker_id,
+        lease_ttl_s=args.lease_ttl,
+        poll_s=args.poll,
+        max_attempts=args.max_attempts,
+        delay_s=args.delay,
+        use_cache=not args.no_cache,
+        progress=None if args.quiet else print,
+    )
+    print(report.summary())
+    return 0 if not report.exhausted else 1
+
+
+def _cmd_campaign_merge(args: argparse.Namespace) -> int:
+    from repro.campaign.merge import merge_stores
+
+    report = merge_stores(
+        args.inputs, args.output, events_output=args.events
+    )
+    print(report.summary())
+    if report.output is not None:
+        print(f"merged store: {report.output}")
+    if report.events_output is not None:
+        print(f"worker events: {report.events_output}")
+    if report.output is None:
+        print("(dry run — pass --output to write the merged store)")
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace, spec, store_path) -> int:
+    import time as _time
+
+    from repro.campaign.backends.directory import DirectoryCampaign
+    from repro.campaign.runner import campaign_status
+    from repro.campaign.store import ResultStore
+    from repro.obs.render import progress_line
+
+    campaign = (
+        DirectoryCampaign(args.campaign_dir)
+        if args.campaign_dir is not None
+        else None
+    )
+
+    def snapshot() -> tuple[str, bool]:
+        store = ResultStore(store_path)
+        done = store.digests()
+        workers: dict[str, int] = {}
+        if campaign is not None:
+            for shard in campaign.shard_paths():
+                worker = shard.stem
+                digests = ResultStore(shard).digests()
+                workers[worker] = len(digests)
+                done |= digests
+        from repro.campaign.jobs import expand_jobs
+
+        total = {job.digest for job in expand_jobs(spec)}
+        finished = len(done & total)
+        line = progress_line(
+            f"campaign {spec.name!r}", finished, len(total), workers=workers
+        )
+        if campaign is not None:
+            claims = campaign.active_claims()
+            if claims:
+                line += f" — {len(claims)} live claims"
+        return line, finished >= len(total)
+
+    if not args.watch:
+        status = campaign_status(spec, ResultStore(store_path))
+        if campaign is None:
+            print(status.summary())
+        else:
+            print(snapshot()[0])
+        return 0
+    while True:
+        line, complete = snapshot()
+        print(line, flush=True)
+        if complete:
+            return 0
+        _time.sleep(args.interval)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.campaign_command == "worker":
+        return _cmd_campaign_worker(args)
+    if args.campaign_command == "merge":
+        return _cmd_campaign_merge(args)
+
     from repro.campaign.runner import (
         campaign_report,
-        campaign_status,
         reliability_heatmap,
         run_campaign,
     )
     from repro.campaign.store import ResultStore
 
+    if args.campaign_command == "init":
+        from repro.campaign.backends.directory import DirectoryCampaign
+        from repro.campaign.spec import load_campaign
+
+        spec = load_campaign(args.spec)
+        campaign = DirectoryCampaign.initialize(spec, _default_campaign_dir(args))
+        jobs = campaign.jobs()
+        print(
+            f"campaign {spec.name!r} initialized: {len(jobs)} jobs in "
+            f"{campaign.root}"
+        )
+        print(f"join workers with: ftbar campaign worker {campaign.root}")
+        return 0
+
     spec, store_path = _campaign_paths(args)
     if args.campaign_command == "status":
-        print(campaign_status(spec, ResultStore(store_path)).summary())
-        return 0
+        return _cmd_campaign_status(args, spec, store_path)
     if args.campaign_command == "report":
         print(campaign_report(spec, ResultStore(store_path)))
         return 0
@@ -915,18 +1159,27 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             if args.cache is not None
             else args.spec.parent / ".schedule-cache"
         )
+    backend = args.backend or spec.backend
+    jobs = args.workers if args.workers is not None else args.jobs
     report = run_campaign(
         spec,
-        jobs=args.jobs,  # 0 = one per CPU, resolved by the campaign pool
+        jobs=jobs,  # 0 = one per available CPU, resolved by the pool
         store=store_path,
         cache=cache_dir,
         resume=args.resume,
         progress=None if args.quiet else print,
+        backend=backend,
+        directory=(
+            _default_campaign_dir(args) if backend == "directory" else None
+        ),
+        lease_ttl_s=args.lease_ttl,
     )
     print(report.summary())
     print(f"results: {store_path}")
     if cache_dir is not None:
         print(f"cache: {cache_dir}")
+    if backend == "directory":
+        print(f"campaign dir: {_default_campaign_dir(args)}")
     return 0 if not report.interrupted else 1
 
 

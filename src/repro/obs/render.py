@@ -203,6 +203,33 @@ def render_snapshot(snapshot: dict) -> str:
     return "\n".join(out) if out else "snapshot is empty"
 
 
+def progress_line(
+    name: str,
+    done: int,
+    total: int,
+    *,
+    rate: float | None = None,
+    workers: dict[str, int] | None = None,
+) -> str:
+    """One campaign progress line shared by every live view.
+
+    Used by the trace renderer's :func:`campaign_progress` and by
+    ``ftbar campaign status --watch``, so "how far along is this
+    campaign" reads identically whether it comes from a recorded trace
+    or a live poll of the store and shards.
+    """
+    percent = 100.0 * done / total if total else 100.0
+    line = f"{name}: {done}/{total} jobs ({percent:.0f}%)"
+    if rate is not None:
+        line += f", {rate:.2f} jobs/s"
+    if workers:
+        counts = ", ".join(
+            f"{worker}: {count}" for worker, count in sorted(workers.items())
+        )
+        line += f" — workers: {counts}"
+    return line
+
+
 def campaign_progress(lines: list[dict]) -> str:
     """Throughput summary of a traced campaign run (empty when none).
 
