@@ -56,6 +56,8 @@ from repro import obs
 from repro.campaign.backends import ExecutionBackend
 from repro.campaign.cache import ScheduleCache
 from repro.campaign.jobs import Job, execute_job, expand_jobs
+from repro.core.retry import retry_io
+from repro.faultinject import failpoint, set_worker
 from repro.campaign.spec import (
     CampaignSpec,
     campaign_from_dict,
@@ -173,16 +175,33 @@ class DirectoryCampaign:
             },
             sort_keys=True,
         )
-        try:
-            descriptor = os.open(
-                self.claim_path(digest),
-                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
-            )
-        except FileExistsError:
-            return False
-        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-            handle.write(payload)
-        return True
+        def attempt_claim() -> bool:
+            failpoint("directory.claim.create", key=digest)
+            try:
+                descriptor = os.open(
+                    self.claim_path(digest),
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                )
+            except FileExistsError:
+                # Losing the race is an answer, not a transient —
+                # returned before the retry policy can touch it.
+                return False
+            fault = failpoint("directory.claim.write", key=digest)
+            text = payload if fault is None else fault.apply_text(payload)
+            try:
+                with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                if fault is not None and fault.kind == "torn_write":
+                    raise fault.error()
+            except OSError:
+                # A half-written claim is a lie; drop it before the
+                # retry, or the O_EXCL create would lose to our own
+                # corpse and strand the job behind a garbage lease.
+                self.release(digest)
+                raise
+            return True
+
+        return retry_io(attempt_claim, attempts=3, base_s=0.005, cap_s=0.05)
 
     def read_claim(self, digest: str) -> dict | None:
         """The claim document of one job, or ``None`` (absent/torn)."""
@@ -198,8 +217,18 @@ class DirectoryCampaign:
         except OSError:
             return None
 
-    def release(self, digest: str) -> None:
-        """Drop a claim (idempotent — a racing steal may have won)."""
+    def release(self, digest: str, *, owner: str | None = None) -> None:
+        """Drop a claim (idempotent — a racing steal may have won).
+
+        With ``owner``, only a claim that worker still holds is
+        dropped: a victim whose lease was stolen must not unlink the
+        *stealer's* live claim on its way out — that window would let a
+        third worker claim the job yet again.
+        """
+        if owner is not None:
+            claim = self.read_claim(digest)
+            if claim is not None and claim.get("worker") != owner:
+                return
         try:
             os.unlink(self.claim_path(digest))
         except FileNotFoundError:
@@ -229,16 +258,36 @@ class DirectoryCampaign:
 
 
 class _Heartbeat:
-    """Daemon thread renewing one claim's lease while its job runs."""
+    """Daemon thread renewing one claim's lease while its job runs.
+
+    Renewal *and* detection: each beat re-reads the claim before
+    touching it, and the thread flags :attr:`lost` when the claim now
+    names another worker (a stealer decided we were dead), when the
+    claim stays missing or unrenewable for three beats running, or when
+    anything at all kills the thread itself — a silently-dead heartbeat
+    would leave the worker computing a job whose lease *will* be
+    stolen.  The worker checks :attr:`lost` (plus one direct ownership
+    read) immediately before recording, so a stolen lease can never
+    yield a duplicate record.
+    """
 
     def __init__(
-        self, campaign: DirectoryCampaign, digest: str, interval_s: float
+        self,
+        campaign: DirectoryCampaign,
+        digest: str,
+        interval_s: float,
+        worker: str | None = None,
     ) -> None:
         self._campaign = campaign
         self._digest = digest
         self._interval = max(interval_s, 0.02)
+        self._worker = worker
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
+        #: Set once this lease is known to no longer protect the job.
+        self.lost = threading.Event()
+        #: Why the lease was lost (for the ``lease_lost`` event).
+        self.reason: str | None = None
 
     def __enter__(self) -> "_Heartbeat":
         self._thread.start()
@@ -249,11 +298,47 @@ class _Heartbeat:
         self._thread.join()
         return False
 
+    def _mark_lost(self, reason: str) -> None:
+        self.reason = reason
+        self.lost.set()
+
     def _run(self) -> None:
-        while not self._stop.wait(self._interval):
-            self._campaign.renew(self._digest)
-            obs.event("campaign.lease_renew", job=self._digest[:12])
-            obs.metrics.inc("campaign.backend.lease_renewals")
+        strikes = 0
+        try:
+            while not self._stop.wait(self._interval):
+                try:
+                    failpoint(
+                        "directory.heartbeat.renew", key=self._digest
+                    )
+                    claim = self._campaign.read_claim(self._digest)
+                    if (
+                        claim is not None
+                        and self._worker is not None
+                        and claim.get("worker") != self._worker
+                    ):
+                        self._mark_lost(
+                            f"lease stolen by {claim.get('worker')!r}"
+                        )
+                        return
+                    if claim is None:
+                        raise OSError("claim file missing or unreadable")
+                    self._campaign.renew(self._digest)
+                    strikes = 0
+                    obs.event(
+                        "campaign.lease_renew", job=self._digest[:12]
+                    )
+                    obs.metrics.inc("campaign.backend.lease_renewals")
+                except OSError as error:
+                    strikes += 1
+                    if strikes >= 3:
+                        self._mark_lost(f"heartbeat failing: {error}")
+                        return
+        except BaseException as error:
+            # Nothing may kill this daemon silently (the classic bug:
+            # an unhandled error ends the thread, the claim goes stale,
+            # the lease is stolen, and the oblivious victim records a
+            # job another worker is re-running).
+            self._mark_lost(f"heartbeat thread died: {error!r}")
 
 
 @dataclass
@@ -265,6 +350,11 @@ class WorkerReport:
     cache_hits: int = 0
     reclaims: int = 0
     exhausted: int = 0
+    #: Jobs completed but *not* recorded because the lease was lost
+    #: (stolen or heartbeat-dead) — the double-execution guard.
+    lost_leases: int = 0
+    #: Jobs that failed with an I/O error and were released for retry.
+    errors: int = 0
     elapsed_s: float = 0.0
 
     @property
@@ -280,6 +370,10 @@ class WorkerReport:
         ]
         if self.reclaims:
             parts.append(f"{self.reclaims} leases reclaimed")
+        if self.lost_leases:
+            parts.append(f"{self.lost_leases} lost leases abandoned unrecorded")
+        if self.errors:
+            parts.append(f"{self.errors} jobs errored (released for retry)")
         if self.exhausted:
             parts.append(f"{self.exhausted} jobs abandoned (retries exhausted)")
         parts.append(f"elapsed {self.elapsed_s:.2f}s")
@@ -317,6 +411,9 @@ def worker_loop(
     spec = campaign.spec()
     jobs = expand_jobs(spec)
     worker = worker or worker_identity()
+    # Bind the identity fault-plan ``worker`` patterns match against
+    # (no-op unless an injection plan is active in this process).
+    set_worker(worker)
     shard = campaign.shard_for(worker)
     cache = ScheduleCache(campaign.cache_dir) if use_cache else None
     report = WorkerReport(worker=worker)
@@ -324,21 +421,98 @@ def worker_loop(
     tracer = obs.tracer()
     #: Jobs this worker has given up on (tombstoned claims).
     abandoned: set[str] = set()
+    degraded_noted = False
+
+    def drain_cache_events() -> None:
+        """Turn cache self-reports into structured shard events."""
+        nonlocal degraded_noted
+        if cache is None:
+            return
+        for corruption in cache.pop_corruptions():
+            shard.append_event(
+                "cache_corrupt",
+                job=corruption["digest"],
+                reason=corruption["reason"],
+                quarantined_to=corruption["quarantined_to"],
+                worker=worker,
+            )
+        if cache.degraded and not degraded_noted:
+            degraded_noted = True
+            shard.append_event(
+                "cache_degraded", root=str(cache.root), worker=worker
+            )
+
+    def job_error(job: Job, error: OSError) -> None:
+        """Contain one job's I/O failure: note it, release, move on."""
+        report.errors += 1
+        obs.event("warn.job_error", job=job.digest[:12], error=str(error))
+        obs.metrics.inc("campaign.backend.job_errors")
+        say(f"[{worker}] error on {job.digest[:12]}: {error}")
+        try:
+            shard.append_event(
+                "job_error", job=job.digest, worker=worker, error=str(error)
+            )
+        except OSError:
+            pass  # the shard itself is hurting; the event is best-effort
 
     def run_claimed(job: Job, attempt: int) -> None:
         if delay_s:
             time.sleep(delay_s)
-        heartbeat = _Heartbeat(campaign, job.digest, lease_ttl_s / 4)
+        failpoint("directory.worker.claimed", key=job.digest)
+        heartbeat = _Heartbeat(
+            campaign, job.digest, lease_ttl_s / 4, worker=worker
+        )
+
+        def lease_held() -> bool:
+            # The async flag alone is not enough: the heartbeat may not
+            # have ticked since the steal, so re-read ownership now.
+            if heartbeat.lost.is_set():
+                return False
+            claim = campaign.read_claim(job.digest)
+            return claim is not None and claim.get("worker") == worker
+
+        def abandon() -> None:
+            # The double-execution guard: our lease stopped protecting
+            # this job (stolen, or the heartbeat died), so another
+            # worker is — or soon will be — re-running it.  Recording
+            # now could race a divergent merge view; walking away is
+            # free because the job is idempotent and the stealer's
+            # record is bit-identical.
+            reason = heartbeat.reason or "claim lost before recording"
+            report.lost_leases += 1
+            shard.append_event(
+                "lease_lost",
+                job=job.digest,
+                worker=worker,
+                attempt=attempt,
+                reason=reason,
+            )
+            obs.event(
+                "warn.lease_lost", job=job.digest[:12], reason=reason
+            )
+            obs.metrics.inc("campaign.backend.leases_lost")
+            say(f"[{worker}] abandoning {job.digest[:12]}: {reason}")
+
+        recorded = False
         try:
             with heartbeat:
                 entry = cache.get(job.digest) if cache is not None else None
+                drain_cache_events()
                 if entry is not None:
+                    if not lease_held():
+                        abandon()
+                        return
                     shard.append(job.digest, entry["record"], source="cache")
                     report.cache_hits += 1
                 else:
                     document = execute_job(job)
                     if cache is not None:
                         cache.put(job.digest, document)
+                        drain_cache_events()
+                    failpoint("directory.worker.record", key=job.digest)
+                    if not lease_held():
+                        abandon()
+                        return
                     shard.append(
                         job.digest,
                         document["record"],
@@ -346,8 +520,10 @@ def worker_loop(
                         source="computed",
                     )
                     report.executed += 1
+                recorded = True
+            failpoint("directory.worker.release", key=job.digest)
             say(f"[{worker}] {job.index}: {job.digest[:12]} done")
-            if tracer is not None:
+            if tracer is not None and recorded:
                 tracer.event(
                     "campaign.job",
                     job=job.digest[:12],
@@ -356,7 +532,7 @@ def worker_loop(
                     attempt=attempt,
                 )
         finally:
-            campaign.release(job.digest)
+            campaign.release(job.digest, owner=worker)
 
     while True:
         done = campaign.recorded_digests()
@@ -388,7 +564,13 @@ def worker_loop(
                 continue
             obs.metrics.inc("campaign.backend.claims")
             progressed = True
-            run_claimed(job, attempt=1)
+            try:
+                run_claimed(job, attempt=1)
+            except OSError as error:
+                # Transients below already retried and still failed;
+                # release happened in run_claimed's finally, so the
+                # next scan (here or elsewhere) re-claims the job.
+                job_error(job, error)
         if progressed:
             continue
         # Pass 2: everything pending is claimed by someone else — steal
@@ -451,7 +633,10 @@ def worker_loop(
                 f"[{worker}] reclaimed {job.digest[:12]} from "
                 f"{stale.get('worker')} (attempt {attempt + 1})"
             )
-            run_claimed(job, attempt=attempt + 1)
+            try:
+                run_claimed(job, attempt=attempt + 1)
+            except OSError as error:
+                job_error(job, error)
         if not progressed:
             time.sleep(poll_s)
     report.elapsed_s = time.perf_counter() - started

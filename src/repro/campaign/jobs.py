@@ -34,6 +34,7 @@ from repro.campaign.spec import (
     WorkloadSpec,
 )
 from repro.exceptions import CompiledFallbackWarning, SerializationError
+from repro.faultinject import failpoint
 from repro.analysis.metrics import degraded_lengths
 from repro.analysis.reliability import (
     event_boundary_times,
@@ -320,6 +321,9 @@ def execute_job(job: Job) -> dict:
     additionally recorded — deterministically, without timestamps — as
     ``record["events"]``, then re-emitted for the caller.
     """
+    # Chaos-harness hook: models slow or dying compute (sleep past a
+    # lease TTL, kill mid-job) on any backend; no-op in production.
+    failpoint("worker.execute", key=job.digest)
     exporter = obs.ListExporter()
     tracer = obs.Tracer(
         exporter, meta={"job": job.digest[:12], "campaign": job.campaign}

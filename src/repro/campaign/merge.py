@@ -38,7 +38,9 @@ from typing import Iterable, Sequence
 
 from repro import obs
 from repro.campaign.store import ResultStore
+from repro.core.retry import retry_io
 from repro.exceptions import ReproError
+from repro.faultinject import failpoint
 
 
 class MergeConflictError(ReproError):
@@ -78,6 +80,8 @@ class MergeReport:
     output: Path | None = None
     events_output: Path | None = None
     event_kinds: dict[str, int] = field(default_factory=dict)
+    #: Corrupt interior shard lines skipped during the merge scan.
+    corrupt_lines: int = 0
 
     def summary(self) -> str:
         """One-line human-readable outcome."""
@@ -91,6 +95,8 @@ class MergeReport:
                 for kind, count in sorted(self.event_kinds.items())
             )
             parts.append(f"{self.events} worker events ({kinds})")
+        if self.corrupt_lines:
+            parts.append(f"{self.corrupt_lines} corrupt shard lines skipped")
         return " — ".join(parts)
 
 
@@ -122,6 +128,7 @@ def merge_stores(
     first_seen: dict[str, Path] = {}
     events: list[dict] = []
     duplicates = 0
+    corrupt_lines = 0
     with obs.span("campaign.merge", shards=len(files)):
         for path in files:
             store = ResultStore(path)
@@ -145,6 +152,10 @@ def merge_stores(
                         )
                 elif "event" in line:
                     events.append(line)
+            # A corrupt shard line is a skipped digest, not a merge
+            # failure: the line's job stays unrecorded and a re-run
+            # recomputes it.  The count surfaces in the report.
+            corrupt_lines += len(store.corrupt_lines)
         obs.metrics.inc("campaign.merge.jobs", len(merged))
         obs.metrics.inc("campaign.merge.events", len(events))
 
@@ -153,6 +164,7 @@ def merge_stores(
         jobs=len(merged),
         events=len(events),
         duplicates=duplicates,
+        corrupt_lines=corrupt_lines,
     )
     for line in events:
         kind = str(line.get("event"))
@@ -186,6 +198,25 @@ def merge_stores(
 
 
 def _atomic_write(path: Path, body: str) -> None:
+    """Publish ``body`` atomically: the old file or the new, never torn.
+
+    The ``merge.write`` / ``merge.replace`` failpoints bracket the
+    crash window between the temp write and the rename — a kill landing
+    there leaves the previous canonical store intact plus a stale temp
+    file, and an idempotent re-merge recovers.  Transient write errors
+    heal under the shared retry policy.
+    """
     temporary = path.parent / f".{path.name}.{os.getpid()}.tmp"
-    temporary.write_text(body, encoding="utf-8")
-    os.replace(temporary, path)
+
+    def attempt() -> None:
+        fault = failpoint("merge.write", key=path.name)
+        text = body
+        if fault is not None:
+            text = fault.apply_text(text)
+        temporary.write_text(text, encoding="utf-8")
+        if fault is not None and fault.kind == "torn_write":
+            raise fault.error()
+        failpoint("merge.replace", key=path.name)
+        os.replace(temporary, path)
+
+    retry_io(attempt, attempts=3, base_s=0.005, cap_s=0.05)

@@ -24,6 +24,20 @@ from typing import Callable, Iterable, Iterator
 
 from repro import obs
 from repro.campaign.jobs import Job, execute_job
+from repro.core.retry import retry_io
+
+
+def resilient_execute(job: Job) -> dict:
+    """Execute one job, absorbing transient I/O faults.
+
+    The default pool callable: a worker hitting a transient ``OSError``
+    (flaky storage under the problem generator's file reads, an
+    injected fault) retries under the shared backoff policy instead of
+    poisoning the whole chunk.  Deterministic results are unaffected —
+    a retried job recomputes the exact same record.
+    """
+    return retry_io(lambda: execute_job(job), attempts=3, base_s=0.01,
+                    cap_s=0.1)
 
 
 def cpu_affinity_count() -> int | None:
@@ -69,7 +83,7 @@ def execute_jobs(
     jobs: Iterable[Job],
     worker_count: int = 1,
     chunk_size: int | None = None,
-    execute: Callable[[Job], dict] = execute_job,
+    execute: Callable[[Job], dict] = resilient_execute,
 ) -> Iterator[dict]:
     """Execute jobs, yielding each execution document as it completes.
 

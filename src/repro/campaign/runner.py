@@ -162,6 +162,44 @@ def run_campaign(
         if report.resumed:
             say(f"resume: {report.resumed} jobs already recorded")
 
+    degraded_noted = False
+
+    def note_cache_health() -> None:
+        """Surface cache self-reports (corruption, ENOSPC degradation).
+
+        Quarantined entries and a read-only flip are operational facts
+        of the run: they become store events and ``warn.*`` trace
+        events exactly like backend worker events do.
+        """
+        nonlocal degraded_noted
+        if cache is None:
+            return
+        for corruption in cache.pop_corruptions():
+            report.events["cache_corrupt"] = (
+                report.events.get("cache_corrupt", 0) + 1
+            )
+            if store is not None:
+                store.append_event(
+                    "cache_corrupt",
+                    job=corruption["digest"],
+                    reason=corruption["reason"],
+                    quarantined_to=corruption["quarantined_to"],
+                )
+            if tracer is not None:
+                tracer.event(
+                    "warn.cache_corrupt",
+                    job=corruption["digest"][:12],
+                    reason=corruption["reason"],
+                )
+        if cache.degraded and not degraded_noted:
+            degraded_noted = True
+            report.events["cache_degraded"] = (
+                report.events.get("cache_degraded", 0) + 1
+            )
+            if store is not None:
+                store.append_event("cache_degraded", root=str(cache.root))
+            say(f"cache degraded read-only (out of space): {cache.root}")
+
     try:
         to_compute: list[Job] = []
         for job in pending:
@@ -175,6 +213,7 @@ def run_campaign(
                     store.append(job.digest, entry["record"], source="cache")
             else:
                 to_compute.append(job)
+        note_cache_health()
         if report.cache_hits:
             say(f"cache: {report.cache_hits} jobs served from {cache.root}")
 
@@ -218,6 +257,7 @@ def run_campaign(
                     report.executed += 1
                 if cache is not None and not backend.manages_cache:
                     cache.put(digest, document)
+                    note_cache_health()
                 if store is not None:
                     store.append(
                         digest,
@@ -259,6 +299,9 @@ class CampaignStatus:
     name: str
     total_jobs: int
     done: int
+    #: Corrupt interior store lines skipped while scanning (each one
+    #: is a digest that will be recomputed, plus a forensics lead).
+    corrupt_lines: int = 0
 
     @property
     def pending(self) -> int:
@@ -272,10 +315,13 @@ class CampaignStatus:
 
     def summary(self) -> str:
         """One-line progress report."""
-        return (
+        line = (
             f"campaign {self.name!r}: {self.done}/{self.total_jobs} jobs done "
             f"({self.percent:.0f}%), {self.pending} pending"
         )
+        if self.corrupt_lines:
+            line += f" — {self.corrupt_lines} corrupt store lines skipped"
+        return line
 
 
 def campaign_status(spec: CampaignSpec, store: ResultStore) -> CampaignStatus:
@@ -283,7 +329,12 @@ def campaign_status(spec: CampaignSpec, store: ResultStore) -> CampaignStatus:
     expanded = expand_jobs(spec)
     recorded = store.digests()
     done = sum(1 for job in expanded if job.digest in recorded)
-    return CampaignStatus(name=spec.name, total_jobs=len(expanded), done=done)
+    return CampaignStatus(
+        name=spec.name,
+        total_jobs=len(expanded),
+        done=done,
+        corrupt_lines=len(store.corrupt_lines),
+    )
 
 
 def _mean(values: list[float]) -> float:

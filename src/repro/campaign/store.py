@@ -6,6 +6,20 @@ on, so a killed campaign loses at most the line being written when the
 signal landed.  ``load()`` tolerates that torn tail by skipping the
 final line when it is not valid JSON.
 
+Corruption never stops an iteration: a corrupt *interior* line (bit
+rot, a torn write that later appends glued over, an injected fault)
+is skipped and counted — each one surfaces as a structured
+``warn.store_corrupt_line`` trace event, a ``store.corrupt_lines``
+counter, and an entry in :attr:`ResultStore.corrupt_lines` that
+``repro campaign status`` reports.  A skipped line only ever costs a
+recompute: the job's digest goes unrecorded, so resume logic simply
+runs it again.
+
+Appends are self-healing: each durable write runs under the shared
+transient-I/O retry policy (:func:`repro.core.retry.retry_io`), and
+every attempt re-repairs the torn tail first — so a fault injected
+mid-append (:mod:`repro.faultinject`) costs one backoff, not a record.
+
 Each line separates the *deterministic* measurement record (identical
 across runs, worker counts and machines) from the volatile envelope
 (wall-clock timing, cache provenance, completion timestamp) so stores
@@ -30,6 +44,10 @@ import time
 from pathlib import Path
 from typing import Iterator
 
+from repro import obs
+from repro.core.retry import retry_io
+from repro.faultinject import failpoint
+
 #: Envelope keys that legitimately differ between two runs of the same
 #: campaign (used by tests and ``diffable_lines``).
 VOLATILE_KEYS = ("elapsed_s", "finished_at", "source")
@@ -41,6 +59,9 @@ class ResultStore:
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        #: Corrupt interior lines found by the most recent full scan:
+        #: ``[{"line": 1-based number, "chars": length}, ...]``.
+        self.corrupt_lines: list[dict] = []
 
     def exists(self) -> bool:
         """True when the store file is present on disk."""
@@ -87,7 +108,7 @@ class ResultStore:
             },
             sort_keys=True,
         )
-        self._append_line(line)
+        self._append_line(line, key=digest)
 
     def append_event(self, kind: str, **fields) -> None:
         """Durably append one worker-event line (e.g. a lease reclaim).
@@ -102,29 +123,66 @@ class ResultStore:
             {"event": kind, **fields, "recorded_at": time.time()},
             sort_keys=True,
         )
-        self._append_line(line)
+        self._append_line(line, key=kind)
 
-    def _append_line(self, line: str) -> None:
-        self._drop_torn_tail()
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+    def _append_line(self, line: str, key: str | None = None) -> None:
+        def attempt() -> None:
+            # Re-repairing on *every* attempt is what makes retries
+            # heal a torn write instead of gluing onto the fragment.
+            self._drop_torn_tail()
+            payload = line + "\n"
+            fault = failpoint("store.append.write", key=key)
+            if fault is not None:
+                payload = fault.apply_text(payload)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(payload)
+                handle.flush()
+                if fault is not None and fault.kind == "torn_write":
+                    raise fault.error()
+                failpoint("store.append.fsync", key=key)
+                os.fsync(handle.fileno())
+
+        retry_io(attempt, attempts=3, base_s=0.005, cap_s=0.05)
 
     def lines(self) -> Iterator[dict]:
-        """Iterate the recorded lines, skipping a torn final line."""
+        """Iterate the recorded lines; corruption is skipped, never fatal.
+
+        A torn *final* line is the expected residue of a killed run and
+        is dropped silently (the next append repairs it).  A corrupt
+        *interior* line is counted into :attr:`corrupt_lines` and
+        reported as a ``warn.store_corrupt_line`` event — the digest it
+        carried simply stays unrecorded, so resume recomputes it.
+        """
         if not self.path.exists():
             return
-        raw = self.path.read_text(encoding="utf-8").splitlines()
+        self.corrupt_lines = []
+        # errors="replace": external corruption can break UTF-8 itself;
+        # a mangled decode then fails JSON parsing below like any other
+        # corrupt line instead of killing the whole iteration.
+        raw = self.path.read_text(
+            encoding="utf-8", errors="replace"
+        ).splitlines()
         for number, text in enumerate(raw):
             if not text.strip():
                 continue
             try:
-                yield json.loads(text)
-            except json.JSONDecodeError:
+                line = json.loads(text)
+                if not isinstance(line, dict):
+                    raise ValueError("line is not a JSON object")
+            except (json.JSONDecodeError, ValueError):
                 if number == len(raw) - 1:
                     return  # torn tail of a killed run
-                raise
+                self.corrupt_lines.append(
+                    {"line": number + 1, "chars": len(text)}
+                )
+                obs.event(
+                    "warn.store_corrupt_line",
+                    store=str(self.path),
+                    line=number + 1,
+                )
+                obs.metrics.inc("store.corrupt_lines")
+                continue
+            yield line
 
     def records(self) -> Iterator[dict]:
         """Iterate the result lines only (worker-event lines skipped)."""

@@ -12,6 +12,8 @@ Sub-commands::
     ftbar campaign  init spec.json --dir D    prepare a campaign directory
     ftbar campaign  worker DIR                join it as a stealing worker
     ftbar campaign  merge INPUTS... -o OUT    canonical shard merge
+    ftbar chaos     run spec.json --plan P    campaign under fault injection
+    ftbar chaos     sites                     list the failpoint site catalog
     ftbar trace     trace.jsonl      render/validate a telemetry trace
     ftbar stats     [trace.jsonl]    render a trace's metrics snapshot
 
@@ -564,6 +566,70 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="trace JSONL (default: repro-trace.jsonl)",
     )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run a campaign under deterministic fault injection",
+    )
+    chaos_commands = chaos.add_subparsers(dest="chaos_command", required=True)
+    chaos_run = chaos_commands.add_parser(
+        "run",
+        help="attack a campaign with an injection plan and verify the "
+        "merged store is byte-identical to a clean serial run",
+    )
+    chaos_run.add_argument(
+        "spec", type=Path, help="campaign spec JSON (see 'campaign run')"
+    )
+    chaos_run.add_argument(
+        "--plan",
+        type=Path,
+        required=True,
+        metavar="PLAN",
+        help="fault-injection plan JSON (see docs/robustness.md)",
+    )
+    chaos_run.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the plan's seed (replays are (plan, seed)-exact)",
+    )
+    chaos_run.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="chaos workers per round (default: 2)",
+    )
+    chaos_run.add_argument(
+        "--rounds",
+        type=int,
+        default=5,
+        help="worker rounds before declaring the campaign incomplete "
+        "(default: 5)",
+    )
+    chaos_run.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=2.0,
+        help="campaign lease TTL in seconds (short: steals happen fast "
+        "under injected stalls; default: 2.0)",
+    )
+    chaos_run.add_argument(
+        "--dir",
+        type=Path,
+        default=None,
+        dest="chaos_dir",
+        help="scratch directory to use and keep "
+        "(default: a fresh temp dir)",
+    )
+    chaos_run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full chaos report as JSON instead of the summary",
+    )
+    _add_trace_flag(chaos_run)
+    chaos_commands.add_parser(
+        "sites", help="list every failpoint site a plan may target"
+    )
     return parser
 
 
@@ -1080,13 +1146,16 @@ def _cmd_campaign_status(args: argparse.Namespace, spec, store_path) -> int:
     def snapshot() -> tuple[str, bool]:
         store = ResultStore(store_path)
         done = store.digests()
+        corrupt = len(store.corrupt_lines)
         workers: dict[str, int] = {}
         if campaign is not None:
             for shard in campaign.shard_paths():
                 worker = shard.stem
-                digests = ResultStore(shard).digests()
+                shard_store = ResultStore(shard)
+                digests = shard_store.digests()
                 workers[worker] = len(digests)
                 done |= digests
+                corrupt += len(shard_store.corrupt_lines)
         from repro.campaign.jobs import expand_jobs
 
         total = {job.digest for job in expand_jobs(spec)}
@@ -1098,6 +1167,8 @@ def _cmd_campaign_status(args: argparse.Namespace, spec, store_path) -> int:
             claims = campaign.active_claims()
             if claims:
                 line += f" — {len(claims)} live claims"
+        if corrupt:
+            line += f" — {corrupt} corrupt store lines skipped"
         return line, finished >= len(total)
 
     if not args.watch:
@@ -1183,6 +1254,44 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if not report.interrupted else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.campaign.spec import load_campaign
+    from repro.faultinject import FAILPOINT_SITES, load_plan
+    from repro.faultinject.chaos import run_chaos
+
+    if args.chaos_command == "sites":
+        width = max(len(site) for site in FAILPOINT_SITES)
+        for site, description in sorted(FAILPOINT_SITES.items()):
+            print(f"{site:<{width}}  {description}")
+        return 0
+
+    spec = load_campaign(args.spec)
+    plan = load_plan(args.plan, seed=args.seed)
+    report = run_chaos(
+        spec,
+        plan,
+        workers=args.workers,
+        rounds=args.rounds,
+        root=args.chaos_dir,
+        lease_ttl_s=args.lease_ttl,
+        # With --json, stdout is the report document; narrate on stderr.
+        progress=(
+            (lambda message: print(message, file=sys.stderr))
+            if args.json
+            else print
+        ),
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    if report.passed:
+        return 0
+    # Incomplete campaigns / failed merges are budget exhaustion (2);
+    # a byte mismatch is the property under test failing (1).
+    return 2 if not (report.complete and report.merge_ok) else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import render
 
@@ -1260,6 +1369,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "bench": _cmd_bench,
     "campaign": _cmd_campaign,
+    "chaos": _cmd_chaos,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
 }
@@ -1281,6 +1391,11 @@ def main(argv: list[str] | None = None) -> int:
             obs.enable(flag or None, meta={"command": args.command})
         else:
             obs.configure_from_env()
+        from repro.faultinject import configure_from_env as _fault_env
+
+        # REPRO_FAULT_PLAN arms fault injection in any sub-command —
+        # how chaos subprocesses and CI smoke runs inherit a plan.
+        _fault_env()
     try:
         with obs.span(f"cli.{args.command}"):
             return _COMMANDS[args.command](args)

@@ -1,0 +1,72 @@
+"""Bounded retry with decorrelated-jitter backoff for transient I/O.
+
+Shared-storage campaigns live on filesystems that hiccup: NFS leases,
+overloaded disks, transient ``EIO``/``EAGAIN`` — and the fault-injection
+harness (:mod:`repro.faultinject`) manufactures exactly those errors on
+demand.  :func:`retry_io` is the one retry policy every I/O-adjacent
+path uses (store appends, cache writes, claim files, merges), so
+backoff behavior is consistent and testable in one place.
+
+The backoff is *decorrelated jitter* (the AWS Architecture Blog
+variant): each sleep is drawn uniformly from ``[base, previous * 3]``,
+capped — spreading concurrent retriers apart instead of letting them
+thundering-herd on synchronized exponential steps.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, TypeVar
+
+from repro import obs
+
+T = TypeVar("T")
+
+
+def decorrelated_jitter(
+    previous_s: float, base_s: float, cap_s: float, rng: random.Random
+) -> float:
+    """The next backoff delay after sleeping ``previous_s``."""
+    return min(cap_s, rng.uniform(base_s, previous_s * 3))
+
+
+def retry_io(
+    operation: Callable[[], T],
+    *,
+    attempts: int = 4,
+    base_s: float = 0.01,
+    cap_s: float = 0.25,
+    retry_on: tuple[type[BaseException], ...] = (OSError,),
+    should_retry: Callable[[BaseException], bool] | None = None,
+    rng: random.Random | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> T:
+    """Run ``operation``, retrying transient failures with jittered backoff.
+
+    ``attempts`` bounds total tries; the final failure re-raises.
+    ``should_retry`` vetoes retries for errors that are *answers*, not
+    transients (e.g. ``FileExistsError`` losing a claim race, or
+    ``ENOSPC`` — a full disk does not empty itself in 250 ms).
+    ``sleep``/``rng`` are injectable for deterministic tests.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    rng = rng if rng is not None else random.Random()
+    delay = base_s
+    for attempt in range(1, attempts + 1):
+        try:
+            return operation()
+        except retry_on as error:
+            if should_retry is not None and not should_retry(error):
+                raise
+            if attempt == attempts:
+                obs.metrics.inc("retry.exhausted")
+                raise
+            obs.metrics.inc("retry.attempts")
+            if on_retry is not None:
+                on_retry(attempt, error)
+            sleep(delay)
+            delay = decorrelated_jitter(delay, base_s, cap_s, rng)
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -55,6 +55,20 @@ class SerializationError(ReproError):
     """A document could not be converted to or from its JSON form."""
 
 
+class FaultPlanError(ReproError):
+    """A fault-injection plan document is malformed or inconsistent."""
+
+
+class CacheDegradedWarning(UserWarning):
+    """The schedule cache hit ``ENOSPC`` and flipped to read-only.
+
+    A full disk must cost cache hits, never jobs: existing entries keep
+    serving, new entries are silently skipped, and this warning fires
+    once per cache instance instead of once per job (deduped — a
+    thousand-job campaign on a full disk warns a single time).
+    """
+
+
 class CompiledFallbackWarning(UserWarning):
     """``compiled=True`` was combined with an option the kernel cannot model.
 

@@ -1,0 +1,304 @@
+"""The process-wide failpoint registry and its zero-cost fast path.
+
+Instrumented call sites invoke :func:`failpoint` with their site name
+and an optional content *key* (usually the job digest).  With no plan
+configured — the production state — the call is one module-global load,
+one ``None`` check and a return: the same discipline as the obs layer's
+``NOOP_SPAN`` fast path, pinned by ``benchmarks/bench_fault_overhead.py``.
+
+With a plan active, each hit consults the plan's triggers:
+
+* ``raise`` / ``sleep`` / ``kill`` faults are acted on *inside* the
+  failpoint — the call site needs no cooperation;
+* ``torn_write`` / ``corrupt`` faults return a :class:`Fault` handle
+  the call site applies to its payload (truncate, then raise the
+  fault's error; or write the mutated bytes and carry on silently).
+
+Every fired fault is recorded — as a ``warn.fault_injected`` trace
+event, a ``faultinject.fired`` counter, and (when configured) one line
+of an append-only JSONL fault log the chaos harness reads back to pin
+exact-replay determinism.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from fnmatch import fnmatchcase
+from pathlib import Path
+
+from repro import obs
+from repro.faultinject.plan import (
+    FaultTrigger,
+    InjectionPlan,
+    derive_unit,
+    load_plan,
+)
+
+
+class InjectedFault(OSError):
+    """A deterministic I/O error raised by an active injection plan."""
+
+
+class Fault:
+    """A fired data-corruption fault the call site must apply itself."""
+
+    __slots__ = ("site", "kind", "hit", "key", "trigger", "_seed")
+
+    def __init__(
+        self,
+        site: str,
+        trigger: FaultTrigger,
+        hit: int,
+        key: str | None,
+        seed: int,
+    ) -> None:
+        self.site = site
+        self.kind = trigger.action
+        self.trigger = trigger
+        self.hit = hit
+        self.key = key
+        self._seed = seed
+
+    def apply_text(self, text: str) -> str:
+        """The faulted form of ``text`` (truncated or byte-corrupted)."""
+        if not text:
+            return text
+        if self.kind == "torn_write":
+            cut = max(1, int(len(text) * self.trigger.fraction))
+            return text[:cut]
+        # ``corrupt``: overwrite one deterministic position with NUL —
+        # never valid inside JSON, so corruption is detectable, never a
+        # silent record mutation that would masquerade as divergence.
+        token = self.key if self.key is not None else self.hit
+        unit = derive_unit(self._seed, self.site + "#pos", token)
+        position = int(unit * max(1, len(text) - 1))
+        if text[position] == "\n":
+            position = max(0, position - 1)
+        return text[:position] + "\x00" + text[position + 1:]
+
+    def error(self) -> InjectedFault:
+        """The OSError a cooperating call site raises after truncating."""
+        return InjectedFault(
+            self.trigger.errno_code,
+            f"injected {self.kind} at {self.site} "
+            f"(hit {self.hit}, key {self.key!r})",
+        )
+
+
+class _Runtime:
+    """One configured plan plus this process's hit/fire bookkeeping."""
+
+    def __init__(
+        self,
+        plan: InjectionPlan,
+        worker: str | None = None,
+        log_path: str | Path | None = None,
+    ) -> None:
+        self.plan = plan
+        self.worker = worker
+        self.log_path = None if log_path is None else Path(log_path)
+        self._by_site = {
+            site: tuple(
+                (index, trigger)
+                for index, trigger in enumerate(plan.triggers)
+                if trigger.site == site
+            )
+            for site in plan.sites()
+        }
+        self._lock = threading.Lock()
+        self._hits: dict[str, int] = {}
+        self._fired: list[dict] = []
+        self._fired_keys: set[tuple[int, str]] = set()
+        self._fire_counts: dict[int, int] = {}
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def hit_counts(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._hits)
+
+    def fired(self) -> list[dict]:
+        with self._lock:
+            return list(self._fired)
+
+    def _select(
+        self, site: str, key: str | None, hit: int
+    ) -> tuple[int, FaultTrigger] | None:
+        for index, trigger in self._by_site.get(site, ()):
+            if trigger.worker is not None and not fnmatchcase(
+                self.worker or "", trigger.worker
+            ):
+                continue
+            if trigger.nth is not None and hit != trigger.nth:
+                continue
+            if trigger.probability is not None:
+                token = key if key is not None else hit
+                if derive_unit(
+                    self.plan.seed, site, token
+                ) >= trigger.probability:
+                    continue
+            if key is not None and (index, key) in self._fired_keys:
+                # Fire-once-per-key: the retry that follows a keyed
+                # fault must heal, and the fired set stays a pure
+                # function of (plan, seed, keys) across interleavings.
+                continue
+            count = self._fire_counts.get(index, 0)
+            if trigger.limit is not None and count >= trigger.limit:
+                continue
+            return index, trigger
+        return None
+
+    def _record(
+        self, trigger: FaultTrigger, site: str, key: str | None, hit: int
+    ) -> None:
+        entry = {
+            "site": site,
+            "action": trigger.action,
+            "key": key,
+            "hit": hit,
+            "worker": self.worker,
+            "pid": os.getpid(),
+        }
+        self._fired.append(entry)
+        obs.event(
+            "warn.fault_injected",
+            site=site,
+            action=trigger.action,
+            key=key,
+            hit=hit,
+        )
+        obs.metrics.inc("faultinject.fired", site=site)
+        if self.log_path is not None:
+            # O_APPEND single-write lines: safe for any number of
+            # concurrently-injected processes sharing one fault log.
+            line = json.dumps(entry, sort_keys=True) + "\n"
+            descriptor = os.open(
+                self.log_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(descriptor, line.encode())
+            finally:
+                os.close(descriptor)
+
+    # -- the hot path ---------------------------------------------------
+
+    def fire(self, site: str, key: str | None) -> Fault | None:
+        with self._lock:
+            hit = self._hits.get(site, 0) + 1
+            self._hits[site] = hit
+            selected = self._select(site, key, hit)
+            if selected is None:
+                return None
+            index, trigger = selected
+            self._fire_counts[index] = self._fire_counts.get(index, 0) + 1
+            if key is not None:
+                self._fired_keys.add((index, key))
+            self._record(trigger, site, key, hit)
+        if trigger.action == "sleep":
+            time.sleep(trigger.seconds)
+            return None
+        if trigger.action == "kill":
+            # A hard crash, not an exception: no finally blocks, no
+            # atexit, no flushing — exactly what a SIGKILL leaves.
+            os._exit(trigger.exit_code)
+        if trigger.action == "raise":
+            exception_class = trigger.exception_class()
+            if exception_class is not None:
+                raise exception_class(
+                    f"injected {exception_class.__name__} at {site} "
+                    f"(hit {hit}, key {key!r})"
+                )
+            raise InjectedFault(
+                trigger.errno_code,
+                f"injected raise at {site} (hit {hit}, key {key!r})",
+            )
+        return Fault(site, trigger, hit, key, self.plan.seed)
+
+
+#: The process-wide runtime; ``None`` = injection disabled (fast path).
+_ACTIVE: _Runtime | None = None
+
+
+def failpoint(site: str, key: str | None = None) -> Fault | None:
+    """The instrumented-site entry point; no-op unless a plan is active.
+
+    Returns ``None`` on the overwhelmingly common path (no plan, or the
+    plan's triggers did not fire).  ``raise``/``sleep``/``kill`` faults
+    act here; ``torn_write``/``corrupt`` faults come back as a
+    :class:`Fault` for the call site to apply.
+    """
+    runtime = _ACTIVE
+    if runtime is None:
+        return None
+    return runtime.fire(site, key)
+
+
+def configure(
+    plan: InjectionPlan,
+    *,
+    worker: str | None = None,
+    log_path: str | Path | None = None,
+) -> _Runtime:
+    """Install ``plan`` process-wide (fresh hit counters; last call wins)."""
+    global _ACTIVE
+    _ACTIVE = _Runtime(plan, worker=worker, log_path=log_path)
+    return _ACTIVE
+
+
+def deconfigure() -> None:
+    """Disable injection (back to the zero-cost path)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def is_active() -> bool:
+    """True when an injection plan is installed in this process."""
+    return _ACTIVE is not None
+
+
+def active_plan() -> InjectionPlan | None:
+    """The installed plan, or ``None``."""
+    runtime = _ACTIVE
+    return None if runtime is None else runtime.plan
+
+
+def set_worker(worker: str) -> None:
+    """Bind the worker identity ``worker``-pattern triggers match on."""
+    runtime = _ACTIVE
+    if runtime is not None:
+        runtime.worker = worker
+
+
+def hit_counts() -> dict[str, int]:
+    """Per-site hit counters of the active runtime (empty when off)."""
+    runtime = _ACTIVE
+    return {} if runtime is None else runtime.hit_counts()
+
+
+def fired_faults() -> list[dict]:
+    """Every fault fired in this process so far (empty when off)."""
+    runtime = _ACTIVE
+    return [] if runtime is None else runtime.fired()
+
+
+def configure_from_env(environ=os.environ) -> _Runtime | None:
+    """Honor ``REPRO_FAULT_PLAN`` (CLI entry points call this once).
+
+    ``REPRO_FAULT_PLAN`` is an injection-plan path; unset or empty means
+    disabled.  ``REPRO_FAULT_SEED`` overrides the plan's seed,
+    ``REPRO_FAULT_WORKER`` pre-binds the worker identity, and
+    ``REPRO_FAULT_LOG`` appends fired faults to a JSONL log.
+    """
+    value = environ.get("REPRO_FAULT_PLAN", "").strip()
+    if not value:
+        return None
+    seed = environ.get("REPRO_FAULT_SEED", "").strip()
+    plan = load_plan(value, seed=int(seed) if seed else None)
+    return configure(
+        plan,
+        worker=environ.get("REPRO_FAULT_WORKER") or None,
+        log_path=environ.get("REPRO_FAULT_LOG") or None,
+    )

@@ -10,8 +10,6 @@ The two properties the subsystem promises (and the ISSUE pins):
   cache hits without recomputing anything.
 """
 
-import json
-
 import pytest
 
 from repro.analysis.experiments import (
@@ -262,14 +260,16 @@ class TestStoreAndResume:
         assert store.digests() == {"a" * 64, "c" * 64, "d" * 64}
         assert len(list(store.lines())) == 3
 
-    def test_corrupt_middle_line_raises(self, tmp_path):
+    def test_corrupt_middle_line_skipped_and_counted(self, tmp_path):
         store = ResultStore(tmp_path / "store.jsonl")
         store.append("a" * 64, {"problem": "x"})
         with open(store.path, "a") as handle:
             handle.write("garbage\n")
         store.append("b" * 64, {"problem": "y"})
-        with pytest.raises(json.JSONDecodeError):
-            list(store.lines())
+        lines = list(store.lines())
+        assert [line["digest"] for line in lines] == ["a" * 64, "b" * 64]
+        assert store.corrupt_lines == [{"line": 2, "chars": len("garbage")}]
+        assert store.digests() == {"a" * 64, "b" * 64}
 
     def test_resume_without_prior_store_runs_everything(self, tmp_path):
         spec = golden_spec(

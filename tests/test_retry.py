@@ -1,0 +1,129 @@
+"""The shared transient-I/O retry policy (``repro.core.retry``).
+
+One policy backs every hardened I/O path (store appends, cache writes,
+claim files, merges), so its contract is pinned once, here: bounded
+attempts, decorrelated-jitter delays, and a ``should_retry`` veto that
+keeps *answers* (ENOSPC, lost claim races) from being retried like
+transients.
+"""
+
+import errno
+import random
+
+import pytest
+
+from repro.core.retry import decorrelated_jitter, retry_io
+
+
+class Flaky:
+    """Fails ``failures`` times with ``error``, then returns ``value``."""
+
+    def __init__(self, failures, error=None, value="ok"):
+        self.failures = failures
+        self.error = error or OSError(errno.EIO, "flaky")
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return self.value
+
+
+def no_sleep(_delay):
+    pass
+
+
+class TestRetryIO:
+    def test_first_try_success_never_sleeps(self):
+        slept = []
+        result = retry_io(lambda: 42, sleep=slept.append)
+        assert result == 42
+        assert slept == []
+
+    def test_transient_failure_heals(self):
+        operation = Flaky(failures=2)
+        assert retry_io(operation, attempts=4, sleep=no_sleep) == "ok"
+        assert operation.calls == 3
+
+    def test_attempts_bound_final_error_reraises(self):
+        operation = Flaky(failures=10)
+        with pytest.raises(OSError):
+            retry_io(operation, attempts=3, sleep=no_sleep)
+        assert operation.calls == 3
+
+    def test_should_retry_vetoes_immediately(self):
+        # ENOSPC is an answer, not a transient: one call, no retries.
+        operation = Flaky(
+            failures=10, error=OSError(errno.ENOSPC, "disk full")
+        )
+        with pytest.raises(OSError):
+            retry_io(
+                operation,
+                attempts=5,
+                sleep=no_sleep,
+                should_retry=lambda e: e.errno != errno.ENOSPC,
+            )
+        assert operation.calls == 1
+
+    def test_non_retry_on_exceptions_propagate(self):
+        def broken():
+            raise ValueError("not I/O")
+
+        with pytest.raises(ValueError):
+            retry_io(broken, sleep=no_sleep)
+
+    def test_on_retry_sees_each_failure(self):
+        seen = []
+        operation = Flaky(failures=2)
+        retry_io(
+            operation,
+            attempts=4,
+            sleep=no_sleep,
+            on_retry=lambda attempt, error: seen.append(attempt),
+        )
+        assert seen == [1, 2]
+
+    def test_sleeps_stay_within_base_and_cap(self):
+        slept = []
+        operation = Flaky(failures=5)
+        retry_io(
+            operation,
+            attempts=6,
+            base_s=0.01,
+            cap_s=0.05,
+            sleep=slept.append,
+            rng=random.Random(7),
+        )
+        assert len(slept) == 5
+        assert all(0.01 <= delay <= 0.05 for delay in slept[1:])
+        assert slept[0] == 0.01  # first delay is exactly the base
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            retry_io(lambda: None, attempts=0)
+
+
+class TestDecorrelatedJitter:
+    def test_bounded_by_cap(self):
+        rng = random.Random(3)
+        for _ in range(100):
+            assert decorrelated_jitter(10.0, 0.01, 0.25, rng) == 0.25
+
+    def test_bounded_below_by_base(self):
+        rng = random.Random(3)
+        for _ in range(100):
+            delay = decorrelated_jitter(0.01, 0.01, 0.25, rng)
+            assert 0.01 <= delay <= 0.25
+
+    def test_deterministic_given_rng(self):
+        a = [
+            decorrelated_jitter(0.01, 0.01, 0.25, random.Random(11))
+            for _ in range(3)
+        ]
+        b = [
+            decorrelated_jitter(0.01, 0.01, 0.25, random.Random(11))
+            for _ in range(3)
+        ]
+        assert a == b
